@@ -1,0 +1,32 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test test-fast bench examples fig1 outputs clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do \
+		echo "== $$ex"; \
+		python $$ex $$( [ "$$ex" = "examples/fig1_reproduction.py" ] && echo --quick ) > /dev/null || exit 1; \
+	done
+
+fig1:
+	python examples/fig1_reproduction.py
+
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/out build src/*.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

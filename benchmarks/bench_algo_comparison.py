@@ -1,0 +1,37 @@
+"""Ext. E — future work: other alignment algorithms on PIM (experiment index).
+
+WFA vs classical banded Gotoh DP, both as score-only DPU kernels on the
+same simulated hardware.  On low-error reads WFA computes an order of
+magnitude fewer cells — the reason it is the state of the art that the
+paper ports.
+"""
+
+from conftest import emit
+
+from repro.experiments.sweeps import algorithm_comparison
+from repro.perf.report import format_table
+
+
+def test_wfa_vs_banded_on_dpu(benchmark):
+    results = benchmark.pedantic(
+        lambda: {e: algorithm_comparison(error_rate=e, sample_pairs_per_dpu=24)
+                 for e in (0.02, 0.04)},
+        rounds=1,
+        iterations=1,
+    )
+    blocks = [res.report() for res in results.values()]
+    rows = []
+    for e, res in results.items():
+        vals = {r.label.split("(")[0]: r.values for r in res.rows}
+        rows.append(
+            (
+                f"E={e:.0%}",
+                f"{vals['banded']['kernel_s'] / vals['wfa']['kernel_s']:.2f}x",
+            )
+        )
+    blocks.append(format_table(["threshold", "wfa_speedup_over_banded"], rows))
+    emit("algo_comparison", "\n\n".join(blocks))
+
+    for res in results.values():
+        vals = {r.label.split("(")[0]: r.values for r in res.rows}
+        assert vals["wfa"]["kernel_s"] < vals["banded"]["kernel_s"]

@@ -1,0 +1,83 @@
+"""Bidirectional WFA: memory advantage and wall-clock cost.
+
+BiWFA-style scoring keeps only two O(s)-wide wavefront windows alive
+instead of the O(s^2) metadata a full-traceback engine accumulates.
+This bench measures both the peak-metadata ratio and the Python
+wall-clock cost of the bidirectional drive.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.bidirectional import biwfa_score
+from repro.core.penalties import AffinePenalties
+from repro.core.wfa import WfaEngine
+from repro.perf.report import format_table
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def make_pair(length: int, seed: int) -> tuple[str, str]:
+    rng = random.Random(seed)
+    p = "".join(rng.choice("ACGT") for _ in range(length))
+    t = list(p)
+    for _ in range(round(0.08 * length)):
+        op = rng.randrange(3)
+        if op == 0 and t:
+            t[rng.randrange(len(t))] = rng.choice("ACGT")
+        elif op == 1:
+            t.insert(rng.randrange(len(t) + 1), rng.choice("ACGT"))
+        elif t:
+            del t[rng.randrange(len(t))]
+    return p, "".join(t)
+
+
+PAIRS = [make_pair(400, s) for s in range(6)]
+
+
+def test_biwfa_score_wallclock(benchmark):
+    scores = benchmark(lambda: [biwfa_score(p, t, PEN) for p, t in PAIRS])
+    assert all(s >= 0 for s in scores)
+
+
+def test_standard_score_wallclock(benchmark):
+    aligner = WavefrontAligner(PEN)
+    scores = benchmark(
+        lambda: [aligner.align(p, t, score_only=True).score for p, t in PAIRS]
+    )
+    assert all(s >= 0 for s in scores)
+
+
+def test_memory_footprint_table(benchmark):
+    def run():
+        rows = []
+        for p, t in PAIRS[:3]:
+            full = WfaEngine(p, t, PEN, memory_mode="full")
+            full.run()
+            low = WfaEngine(p, t, PEN, memory_mode="low")
+            low.run()
+            bi = biwfa_score(p, t, PEN)
+            assert bi == full.final_score
+            rows.append(
+                (
+                    f"{len(p)}bp s={full.final_score}",
+                    f"{full.counters.peak_live_bytes:,} B",
+                    f"{2 * low.counters.peak_live_bytes:,} B",
+                    f"{full.counters.peak_live_bytes / (2 * low.counters.peak_live_bytes):.1f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "biwfa_memory",
+        format_table(
+            ["pair", "full-traceback peak", "bidirectional peak (2 windows)", "saving"],
+            rows,
+            title="peak wavefront metadata: standard vs bidirectional",
+        ),
+    )
+    for row in rows:
+        assert float(row[3].rstrip("x")) > 2.0

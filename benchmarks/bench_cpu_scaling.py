@@ -1,0 +1,66 @@
+"""Obs. 1 — CPU performance does not scale with threads (experiment index).
+
+Regenerates the CPU side of Fig. 1 as a thread-scaling series and asserts
+its shape: near-linear to ~8 threads, flat beyond — "its performance is
+limited by memory bandwidth".
+"""
+
+from conftest import emit
+
+from repro.cpu.config import xeon_gold_5120_dual
+from repro.cpu.model import CpuModel
+from repro.cpu.runner import CpuRunner
+from repro.data.datasets import paper_dataset
+from repro.perf.report import format_series, format_table
+
+THREADS = [1, 2, 4, 8, 16, 32, 56]
+
+
+def run_curve(error_rate: float, sample: int = 300):
+    spec = paper_dataset(error_rate)
+    measurement = CpuRunner().measure(spec.sample(sample))
+    model = CpuModel(xeon_gold_5120_dual())
+    return model.scaling_curve(
+        measurement.counters,
+        measurement.pairs,
+        measurement.seq_bytes_per_pair,
+        spec.num_pairs,
+        THREADS,
+    )
+
+
+def test_cpu_thread_scaling(benchmark):
+    curves = benchmark.pedantic(
+        lambda: {e: run_curve(e) for e in (0.02, 0.04)}, rounds=1, iterations=1
+    )
+    blocks = []
+    for e, curve in curves.items():
+        blocks.append(
+            format_series(
+                f"cpu_seconds_E{e:.0%}",
+                [b.threads for b in curve],
+                [b.seconds for b in curve],
+            )
+        )
+        blocks.append(
+            format_table(
+                ["threads", "seconds", "bound", "speedup_vs_1T"],
+                [
+                    (
+                        b.threads,
+                        f"{b.seconds:.4g}",
+                        b.bound,
+                        f"{curve[0].seconds / b.seconds:.2f}x",
+                    )
+                    for b in curve
+                ],
+                title=f"CPU scaling E={e:.0%} (5M pairs, 2x Xeon Gold 5120)",
+            )
+        )
+    emit("cpu_scaling", "\n\n".join(blocks))
+
+    for curve in curves.values():
+        times = [b.seconds for b in curve]
+        assert times[0] / times[3] > 4.0  # near-linear 1 -> 8
+        assert times[4] / times[6] < 1.5  # flat 16 -> 56
+        assert curve[-1].bound == "memory"  # the paper's explanation

@@ -1,0 +1,65 @@
+"""Ext. H — energy-to-solution, CPU vs PIM (experiment index).
+
+The paper reports throughput; energy is the standard companion PIM
+metric.  Busy-power model over the Fig. 1 operating points (provenance
+in repro/perf/energy.py).
+"""
+
+from conftest import emit
+
+from repro.experiments.fig1 import Fig1Config, run_fig1
+from repro.perf.energy import EnergyModel
+from repro.perf.report import format_table
+
+
+def test_energy_comparison(benchmark):
+    fig1 = benchmark.pedantic(
+        lambda: run_fig1(
+            Fig1Config(
+                cpu_sample_pairs=200,
+                pim_sample_pairs_per_dpu=48,
+                num_simulated_dpus=1,
+            )
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    model = EnergyModel()
+    rows = []
+    gains = {}
+    for panel in fig1.panels:
+        cpu56 = panel.cpu_curve[-1]
+        cpu_e = model.cpu_energy(cpu56)
+        pim_e = model.pim_energy(panel.pim)
+        gain = model.efficiency_gain(cpu56, panel.pim, panel.spec.num_pairs)
+        gains[panel.error_rate] = gain
+        rows.append(
+            (
+                f"E={panel.error_rate:.0%}",
+                f"{cpu_e.total_joules:.1f} J",
+                f"{pim_e.total_joules:.1f} J",
+                f"{cpu_e.pairs_per_joule(panel.spec.num_pairs):,.0f}",
+                f"{pim_e.pairs_per_joule(panel.spec.num_pairs):,.0f}",
+                f"{gain:.1f}x",
+            )
+        )
+    emit(
+        "energy",
+        format_table(
+            [
+                "threshold",
+                "CPU-56T energy",
+                "PIM energy",
+                "CPU pairs/J",
+                "PIM pairs/J",
+                "PIM gain",
+            ],
+            rows,
+            title="energy to align 5M pairs (busy-power model)",
+        ),
+    )
+    # PIM should clearly win on energy at both thresholds, comparably to
+    # (or better than) its time advantage.
+    for panel in fig1.panels:
+        assert gains[panel.error_rate] > 2.0
+        assert gains[panel.error_rate] > 0.8 * panel.total_speedup

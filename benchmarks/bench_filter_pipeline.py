@@ -1,0 +1,81 @@
+"""Ext. L — pre-alignment filtering in front of the PIM system.
+
+Filter-then-align vs align-everything across contamination levels
+(fractions of unrelated candidate pairs, as a seed-and-extend mapper
+produces).  The filter pays off once enough junk exists to offset its
+host cost; on a clean workload it is pure overhead — the bench prints
+the crossover.
+"""
+
+import random
+
+from conftest import emit
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPair, ReadPairGenerator, random_sequence
+from repro.perf.report import format_table
+from repro.pim.config import PimSystemConfig
+from repro.pim.kernel import KernelConfig
+from repro.pim.system import PimSystem
+from repro.pipeline import FilterAlignPipeline
+
+PEN = AffinePenalties(4, 6, 2)
+TOTAL = 96
+
+
+def workload(junk_fraction: float, seed: int = 5) -> list[ReadPair]:
+    rng = random.Random(seed)
+    n_junk = round(TOTAL * junk_fraction)
+    gen = ReadPairGenerator(length=100, error_rate=0.02, seed=seed)
+    pairs = gen.pairs(TOTAL - n_junk)
+    pairs += [
+        ReadPair(pattern=random_sequence(100, rng), text=random_sequence(100, rng))
+        for _ in range(n_junk)
+    ]
+    rng.shuffle(pairs)
+    return pairs
+
+
+def build_system() -> PimSystem:
+    cfg = PimSystemConfig(num_dpus=8, num_ranks=1, tasklets=4, num_simulated_dpus=8)
+    # junk pairs must not crash the no-filter baseline: budget for the
+    # worst realistic random-pair distance (~0.55-0.7 per base), with
+    # chunked staging so the huge score bound still fits WRAM
+    kc = KernelConfig(
+        penalties=PEN, max_read_len=100, max_edits=80, staging_chunk_bytes=512
+    )
+    return PimSystem(cfg, kc)
+
+
+def test_filter_crossover(benchmark):
+    def run():
+        rows = []
+        for junk in (0.0, 0.25, 0.5, 0.75):
+            pairs = workload(junk)
+            baseline = build_system().align(pairs, collect_results=False)
+            piped = FilterAlignPipeline(build_system(), max_edits=2).run(pairs)
+            rows.append(
+                (
+                    f"{junk:.0%} junk",
+                    f"{baseline.total_seconds * 1e3:.2f} ms",
+                    f"{piped.total_seconds * 1e3:.2f} ms",
+                    f"{piped.filter_stats.acceptance_rate:.0%}",
+                    f"{baseline.total_seconds / piped.total_seconds:.2f}x",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "filter_pipeline",
+        format_table(
+            ["workload", "align-all", "filter+align", "accepted", "speedup"],
+            rows,
+            title=f"pre-alignment filtering ({TOTAL} candidate pairs, filter k=2)",
+        ),
+    )
+    # at heavy contamination the filter must win end-to-end
+    final_speedup = float(rows[-1][-1].rstrip("x"))
+    assert final_speedup > 1.0
+    # filter keeps everything on the clean workload
+    assert rows[0][3] == "100%"

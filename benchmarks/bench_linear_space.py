@@ -1,0 +1,49 @@
+"""Linear-space traceback: Myers-Miller vs full-matrix Gotoh (wall clock).
+
+Both produce optimal gap-affine alignments with CIGARs; Myers-Miller
+holds O(m) cost rows instead of O(n*m) matrices.  The wall-clock gap on
+moderate inputs quantifies the recursion's constant factor; the memory
+gap is why it exists.
+"""
+
+import random
+
+from repro.baselines.gotoh import gotoh_align
+from repro.baselines.linear_space import myers_miller_align
+from repro.core.penalties import AffinePenalties
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def make_pair(length: int, seed: int) -> tuple[str, str]:
+    rng = random.Random(seed)
+    p = "".join(rng.choice("ACGT") for _ in range(length))
+    t = list(p)
+    for _ in range(round(0.04 * length)):
+        op = rng.randrange(3)
+        if op == 0 and t:
+            t[rng.randrange(len(t))] = rng.choice("ACGT")
+        elif op == 1:
+            t.insert(rng.randrange(len(t) + 1), rng.choice("ACGT"))
+        elif t:
+            del t[rng.randrange(len(t))]
+    return p, "".join(t)
+
+
+PAIRS = [make_pair(300, s) for s in range(4)]
+
+
+def test_myers_miller_wallclock(benchmark):
+    results = benchmark(lambda: [myers_miller_align(p, t, PEN) for p, t in PAIRS])
+    for (p, t), (score, cigar) in zip(PAIRS, results):
+        cigar.validate(p, t)
+
+
+def test_gotoh_full_matrix_wallclock(benchmark):
+    results = benchmark(lambda: [gotoh_align(p, t, PEN) for p, t in PAIRS])
+    assert all(score >= 0 for score, _ in results)
+
+
+def test_scores_identical():
+    for p, t in PAIRS:
+        assert myers_miller_align(p, t, PEN)[0] == gotoh_align(p, t, PEN)[0]

@@ -1,0 +1,81 @@
+"""Simulator micro-benchmarks: throughput of the PIM substrate itself.
+
+These time the simulator's own components (DMA engine, allocator, memory,
+full per-pair kernel path) with pytest-benchmark.  They guard against
+performance regressions that would make the sampled-measurement
+methodology impractically slow, and they document the simulator's
+alignment-per-second capacity.
+"""
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.pim.allocator import BumpAllocator
+from repro.pim.config import DpuConfig, DpuTimingConfig, HostTransferConfig
+from repro.pim.dma import DmaEngine
+from repro.pim.dpu import Dpu
+from repro.pim.kernel import KernelConfig, WfaDpuKernel
+from repro.pim.layout import MramLayout
+from repro.pim.memory import Mram, Wram
+from repro.pim.transfer import HostTransferEngine
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def test_dma_transfer_throughput(benchmark):
+    dma = DmaEngine(Mram(), Wram(), DpuTimingConfig())
+    dma.mram.write(0, b"\xaa" * 2048)
+
+    def run():
+        for _ in range(100):
+            dma.read(0, 0, 2048)
+
+    benchmark(run)
+    assert dma.transfers >= 100
+
+
+def test_bump_allocator_throughput(benchmark):
+    arena = BumpAllocator(0, 1 << 20, "wram")
+
+    def run():
+        arena.reset()
+        for _ in range(1000):
+            arena.alloc(36)
+
+    benchmark(run)
+
+
+def test_memory_rw_throughput(benchmark):
+    mem = Wram()
+    payload = b"\x55" * 256
+
+    def run():
+        for addr in range(0, 32 * 1024, 256):
+            mem.write(addr, payload)
+            mem.read(addr, 256)
+
+    benchmark(run)
+
+
+def test_kernel_pairs_per_second(benchmark):
+    """End-to-end simulated alignments per wall-clock second."""
+    pairs = ReadPairGenerator(length=100, error_rate=0.02, seed=1).pairs(32)
+    kc = KernelConfig(penalties=PEN, max_read_len=100, max_edits=2)
+    kernel = WfaDpuKernel(kc)
+    layout = MramLayout.plan(
+        num_pairs=len(pairs),
+        max_pattern_len=kc.max_seq_len,
+        max_text_len=kc.max_seq_len,
+        max_cigar_ops=kc.max_cigar_ops,
+        tasklets=8,
+        metadata_bytes_per_tasklet=kc.metadata_peak_bytes(),
+    )
+    assignments = [list(range(t, len(pairs), 8)) for t in range(8)]
+
+    def run():
+        dpu = Dpu(DpuConfig())
+        HostTransferEngine(HostTransferConfig()).push_batch(dpu, layout, pairs)
+        stats, _ = kernel.run(dpu, layout, assignments, "mram")
+        return dpu.summarize(stats)
+
+    summary = benchmark(run)
+    assert summary.pairs_done == 32

@@ -1,0 +1,78 @@
+"""Ctx. F — WFA vs classical DP on the host (experiment index).
+
+Real wall-clock pytest-benchmark timings of our functional
+implementations on identical workloads.  This is the only bench that
+measures Python execution speed rather than modeled platform time; the
+*relative* ordering (WFA does far less work than full DP on low-error
+pairs) is the property being demonstrated.
+"""
+
+import pytest
+
+from repro.baselines.banded import band_for_error_rate, banded_gotoh_score
+from repro.baselines.bitparallel import myers_edit_distance
+from repro.baselines.gotoh import gotoh_score
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.data.generator import ReadPairGenerator
+
+PEN = AffinePenalties(4, 6, 2)
+PAIRS = ReadPairGenerator(length=100, error_rate=0.02, seed=42).pairs(20)
+
+
+@pytest.fixture(scope="module")
+def aligner():
+    return WavefrontAligner(PEN)
+
+
+def test_wfa_affine_score_only(benchmark, aligner):
+    def run():
+        return [aligner.align(p.pattern, p.text, score_only=True).score for p in PAIRS]
+
+    scores = benchmark(run)
+    assert all(s >= 0 for s in scores)
+
+
+def test_wfa_affine_with_traceback(benchmark, aligner):
+    def run():
+        return [aligner.align(p.pattern, p.text).score for p in PAIRS]
+
+    scores = benchmark(run)
+    assert all(s >= 0 for s in scores)
+
+
+def test_wfa_adaptive(benchmark):
+    adaptive = WavefrontAligner(PEN, heuristic="adaptive")
+    benchmark(lambda: [adaptive.align(p.pattern, p.text).score for p in PAIRS])
+
+
+def test_wfa_edit_metric(benchmark):
+    edit = WavefrontAligner(EditPenalties())
+    benchmark(
+        lambda: [edit.align(p.pattern, p.text, score_only=True).score for p in PAIRS]
+    )
+
+
+def test_gotoh_full_dp(benchmark):
+    benchmark(lambda: [gotoh_score(p.pattern, p.text, PEN) for p in PAIRS])
+
+
+def test_banded_dp(benchmark):
+    band = band_for_error_rate(100, 0.02)
+    benchmark(
+        lambda: [banded_gotoh_score(p.pattern, p.text, PEN, band) for p in PAIRS]
+    )
+
+
+def test_myers_bitparallel_edit(benchmark):
+    benchmark(lambda: [myers_edit_distance(p.pattern, p.text) for p in PAIRS])
+
+
+def test_consistency_across_entrants():
+    """All exact affine entrants agree on every pair (not timed)."""
+    aligner = WavefrontAligner(PEN)
+    band = band_for_error_rate(100, 0.02)
+    for p in PAIRS:
+        wfa = aligner.align(p.pattern, p.text, score_only=True).score
+        assert wfa == gotoh_score(p.pattern, p.text, PEN)
+        assert wfa == banded_gotoh_score(p.pattern, p.text, PEN, band)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Pre-alignment filtering in front of the PIM system.
+
+Seed-and-extend mappers hand aligners candidate pairs of which many are
+false positives; aligning junk through WFA is its worst case (the score
+— and hence the O(s²) work — grows with dissimilarity).  This example
+composes a cheap bounded-edit filter (Ukkonen band) with the simulated
+PIM system and shows the end-to-end effect as contamination grows.
+
+Run:  python examples/filter_pipeline.py
+"""
+
+import random
+
+from repro import AffinePenalties
+from repro.data import ReadPair, ReadPairGenerator, random_sequence
+from repro.perf import format_table
+from repro.pim import KernelConfig, PimSystem, PimSystemConfig
+from repro.pipeline import FilterAlignPipeline
+
+
+def workload(total: int, junk_fraction: float, seed: int = 77) -> list[ReadPair]:
+    rng = random.Random(seed)
+    n_junk = round(total * junk_fraction)
+    pairs = ReadPairGenerator(length=100, error_rate=0.02, seed=seed).pairs(
+        total - n_junk
+    )
+    pairs += [
+        ReadPair(pattern=random_sequence(100, rng), text=random_sequence(100, rng))
+        for _ in range(n_junk)
+    ]
+    rng.shuffle(pairs)
+    return pairs
+
+
+def build_system() -> PimSystem:
+    return PimSystem(
+        PimSystemConfig(num_dpus=8, num_ranks=1, tasklets=4, num_simulated_dpus=8),
+        KernelConfig(
+            penalties=AffinePenalties(),
+            max_read_len=100,
+            max_edits=80,  # junk pairs are ~60 edits apart
+            staging_chunk_bytes=512,
+        ),
+    )
+
+
+def main() -> None:
+    rows = []
+    for junk in (0.0, 0.25, 0.5, 0.75):
+        pairs = workload(96, junk)
+        plain = build_system().align(pairs, collect_results=False)
+        piped = FilterAlignPipeline(build_system(), max_edits=2).run(pairs)
+        aligned = sum(1 for ok, _s, _c in piped.outcomes if ok)
+        rows.append(
+            (
+                f"{junk:.0%}",
+                f"{plain.total_seconds * 1e3:.2f} ms",
+                f"{piped.total_seconds * 1e3:.2f} ms",
+                f"{aligned}/96",
+                f"{plain.total_seconds / piped.total_seconds:.1f}x",
+            )
+        )
+    print(
+        format_table(
+            ["junk", "align everything", "filter + align", "aligned", "gain"],
+            rows,
+            title="pre-alignment filtering on the simulated PIM system",
+        )
+    )
+    print()
+    print(
+        "The filter never drops a within-budget pair (property-tested);\n"
+        "its payoff scales with how much junk the candidate generator emits."
+    )
+
+
+if __name__ == "__main__":
+    main()

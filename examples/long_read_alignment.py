@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Long, noisy reads: exact WFA vs the WFA-Adapt heuristic.
+
+The paper's future work targets longer read lengths; this example shows
+the algorithmic side of that direction: on multi-kilobase reads at
+long-read error rates, the adaptive reduction cuts wavefront work by a
+large factor while (on these inputs) preserving the optimal penalty.
+
+Run:  python examples/long_read_alignment.py
+"""
+
+import random
+import time
+
+from repro import AdaptiveReduction, AffinePenalties, WavefrontAligner
+from repro.data import mutate_sequence, random_sequence
+from repro.perf import format_table
+
+
+def main() -> None:
+    penalties = AffinePenalties()
+    exact = WavefrontAligner(penalties)
+    adaptive = WavefrontAligner(
+        penalties,
+        heuristic=AdaptiveReduction(min_wavefront_length=10, max_distance_threshold=50),
+    )
+
+    rng = random.Random(2022)
+    rows = []
+    for length, error_rate in [(500, 0.05), (1000, 0.05), (2000, 0.08)]:
+        pattern = random_sequence(length, rng)
+        text = mutate_sequence(pattern, round(error_rate * length), rng)
+
+        t0 = time.time()
+        r_exact = exact.align(pattern, text)
+        t_exact = time.time() - t0
+
+        t0 = time.time()
+        r_adapt = adaptive.align(pattern, text)
+        t_adapt = time.time() - t0
+
+        r_adapt.cigar.validate(pattern, text)
+        rows.append(
+            (
+                f"{length}bp @ {error_rate:.0%}",
+                r_exact.score,
+                r_adapt.score,
+                f"{r_exact.counters.cells_computed:,}",
+                f"{r_adapt.counters.cells_computed:,}",
+                f"{r_exact.counters.cells_computed / max(r_adapt.counters.cells_computed, 1):.1f}x",
+                f"{t_exact / max(t_adapt, 1e-9):.1f}x",
+            )
+        )
+
+    print(
+        format_table(
+            [
+                "read",
+                "exact score",
+                "adaptive score",
+                "exact cells",
+                "adaptive cells",
+                "cell savings",
+                "wall speedup",
+            ],
+            rows,
+            title="exact WFA vs WFA-Adapt on long noisy reads",
+        )
+    )
+    print()
+    print(
+        "The adaptive score is an upper bound on the optimal penalty; on\n"
+        "reads whose errors are uniformly spread it is almost always equal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Cross-implementation result comparison.
+
+Tools for validating one aligner's output against another's over a
+workload — the harness behind the "PIM port changes nothing semantic"
+claim (paper: "we apply no optimizations to the WFA PIM implementation
+compared to the original").  Reports score agreement, CIGAR agreement
+(scores can agree while paths differ — co-optimal alignments are
+expected) and the offending pairs when they disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.cigar import Cigar
+from repro.errors import ConfigError
+
+__all__ = ["Disagreement", "ComparisonReport", "compare_scores", "compare_alignments"]
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One pair where the two result sets differ."""
+
+    index: int
+    kind: str  # "score" | "cigar"
+    left: object
+    right: object
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing two result sets over one workload."""
+
+    total: int
+    score_matches: int
+    cigar_matches: int
+    cigars_compared: int
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+    @property
+    def scores_agree(self) -> bool:
+        return self.score_matches == self.total
+
+    @property
+    def score_agreement(self) -> float:
+        return self.score_matches / self.total if self.total else 1.0
+
+    def report(self) -> str:
+        lines = [
+            f"pairs compared : {self.total}",
+            f"score agreement: {self.score_matches}/{self.total}",
+        ]
+        if self.cigars_compared:
+            lines.append(
+                f"cigar agreement: {self.cigar_matches}/{self.cigars_compared} "
+                "(path differences between co-optimal alignments are benign)"
+            )
+        for d in self.disagreements[:10]:
+            lines.append(f"  pair {d.index}: {d.kind} {d.left!r} != {d.right!r}")
+        if len(self.disagreements) > 10:
+            lines.append(f"  ... and {len(self.disagreements) - 10} more")
+        return "\n".join(lines)
+
+
+def compare_scores(
+    left: Sequence[int], right: Sequence[int]
+) -> ComparisonReport:
+    """Compare two per-pair score lists (same workload order)."""
+    if len(left) != len(right):
+        raise ConfigError(
+            f"result sets differ in size: {len(left)} vs {len(right)}"
+        )
+    if not left:
+        raise ConfigError("cannot compare empty result sets")
+    report = ComparisonReport(
+        total=len(left), score_matches=0, cigar_matches=0, cigars_compared=0
+    )
+    for i, (a, b) in enumerate(zip(left, right)):
+        if a == b:
+            report.score_matches += 1
+        else:
+            report.disagreements.append(
+                Disagreement(index=i, kind="score", left=a, right=b)
+            )
+    return report
+
+
+def compare_alignments(
+    left: Sequence[tuple[int, Optional[Cigar]]],
+    right: Sequence[tuple[int, Optional[Cigar]]],
+) -> ComparisonReport:
+    """Compare (score, cigar) result lists (same workload order)."""
+    report = compare_scores([s for s, _ in left], [s for s, _ in right])
+    for i, ((_, ca), (_, cb)) in enumerate(zip(left, right)):
+        if ca is None or cb is None:
+            continue
+        report.cigars_compared += 1
+        if ca == cb:
+            report.cigar_matches += 1
+        else:
+            report.disagreements.append(
+                Disagreement(index=i, kind="cigar", left=str(ca), right=str(cb))
+            )
+    return report

@@ -1,0 +1,91 @@
+"""Mapping accuracy evaluation against simulation ground truth.
+
+The read simulator (:class:`~repro.data.simulator.ReferenceSampler`)
+knows where every read came from; this module scores a set of PAF
+mappings against that truth — the standard simulated-read evaluation
+(as done by tools like mason/pbsim evaluations): a mapping is *correct*
+when it places the read on the right strand within a positional
+tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.paf import PafRecord
+from repro.data.simulator import SampledRead
+from repro.errors import ConfigError
+
+__all__ = ["MappingEvaluation", "evaluate_mappings"]
+
+
+@dataclass
+class MappingEvaluation:
+    """Aggregate accuracy of a mapping run."""
+
+    total: int
+    correct: int
+    wrong_position: int
+    wrong_strand: int
+    tolerance: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 1.0
+
+    def report(self) -> str:
+        return (
+            f"mapped reads      : {self.total}\n"
+            f"correct (+-{self.tolerance}bp): {self.correct} "
+            f"({self.accuracy:.1%})\n"
+            f"wrong position    : {self.wrong_position}\n"
+            f"wrong strand      : {self.wrong_strand}"
+        )
+
+
+def evaluate_mappings(
+    records: Sequence[PafRecord],
+    truth: Sequence[SampledRead],
+    tolerance: int = 5,
+    window_offsets: Sequence[int] | None = None,
+) -> MappingEvaluation:
+    """Score mappings against the simulator's ground truth.
+
+    Args:
+        records: one PAF record per read, in read order.
+        truth: the :class:`SampledRead` objects, same order.
+        tolerance: allowed positional error in bases.
+        window_offsets: when reads were aligned inside *windows* rather
+            than the whole reference, the window's start offset per read
+            (so ``target_start`` translates to a reference position);
+            omit when targets are full-reference coordinates.
+    """
+    if len(records) != len(truth):
+        raise ConfigError(
+            f"records ({len(records)}) and truth ({len(truth)}) differ in size"
+        )
+    if tolerance < 0:
+        raise ConfigError("tolerance must be >= 0")
+    if window_offsets is not None and len(window_offsets) != len(records):
+        raise ConfigError("window_offsets must match records in length")
+
+    correct = wrong_pos = wrong_strand = 0
+    for i, (rec, read) in enumerate(zip(records, truth)):
+        expected_strand = "-" if read.reverse else "+"
+        if rec.strand != expected_strand:
+            wrong_strand += 1
+            continue
+        base = window_offsets[i] if window_offsets is not None else 0
+        mapped_position = base + rec.target_start
+        if abs(mapped_position - read.position) <= tolerance:
+            correct += 1
+        else:
+            wrong_pos += 1
+    return MappingEvaluation(
+        total=len(records),
+        correct=correct,
+        wrong_position=wrong_pos,
+        wrong_strand=wrong_strand,
+        tolerance=tolerance,
+    )

@@ -1,0 +1,128 @@
+"""Alignment result statistics.
+
+Summaries a practitioner wants after aligning a batch: score and
+identity distributions, CIGAR-operation totals, error-type breakdowns —
+plus the workload-level distance histogram the E-threshold datasets are
+defined by.  Pure-Python over :class:`~repro.core.aligner.AlignmentResult`
+lists; NumPy only for the percentile math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.aligner import AlignmentResult
+from repro.errors import ConfigError
+
+__all__ = ["Distribution", "BatchStats", "summarize_results"]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Five-number-ish summary of one metric over a batch."""
+
+    count: int
+    mean: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Distribution":
+        if not values:
+            raise ConfigError("cannot summarize an empty value list")
+        arr = np.asarray(values, dtype=np.float64)
+        q25, q50, q75 = np.percentile(arr, [25, 50, 75])
+        return cls(
+            count=len(values),
+            mean=float(arr.mean()),
+            minimum=float(arr.min()),
+            p25=float(q25),
+            median=float(q50),
+            p75=float(q75),
+            maximum=float(arr.max()),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3g} "
+            f"min/p25/med/p75/max={self.minimum:.3g}/{self.p25:.3g}/"
+            f"{self.median:.3g}/{self.p75:.3g}/{self.maximum:.3g}"
+        )
+
+
+@dataclass
+class BatchStats:
+    """Aggregate statistics for a batch of alignment results."""
+
+    scores: Distribution
+    identities: Distribution
+    op_totals: dict[str, int] = field(default_factory=dict)
+    exact_fraction: float = 1.0
+    score_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mismatch_rate(self) -> float:
+        """Mismatches per aligned (M+X) column."""
+        aligned = self.op_totals.get("M", 0) + self.op_totals.get("X", 0)
+        return self.op_totals.get("X", 0) / aligned if aligned else 0.0
+
+    @property
+    def gap_rate(self) -> float:
+        """Gap columns per alignment column."""
+        total = sum(self.op_totals.values())
+        gaps = self.op_totals.get("I", 0) + self.op_totals.get("D", 0)
+        return gaps / total if total else 0.0
+
+    def report(self) -> str:
+        lines = [
+            f"scores     : {self.scores.describe()}",
+            f"identities : {self.identities.describe()}",
+            f"ops        : "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.op_totals.items())),
+            f"mismatch rate : {self.mismatch_rate:.4f}",
+            f"gap rate      : {self.gap_rate:.4f}",
+            f"exact results : {self.exact_fraction:.0%}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize_results(results: Iterable[AlignmentResult]) -> BatchStats:
+    """Fold a batch of results into :class:`BatchStats`.
+
+    Results without CIGARs (score-only) contribute to score statistics
+    but not to identity/op statistics; a batch that is entirely
+    score-only still summarizes (identity defaults to 1.0 per WFA
+    convention for the degenerate case of no columns — callers wanting
+    strictness should align with traceback).
+    """
+    scores: list[float] = []
+    identities: list[float] = []
+    ops = {"M": 0, "X": 0, "I": 0, "D": 0}
+    hist: dict[int, int] = {}
+    exact = 0
+    total = 0
+    for res in results:
+        total += 1
+        scores.append(res.score)
+        hist[res.score] = hist.get(res.score, 0) + 1
+        if res.exact:
+            exact += 1
+        if res.cigar is not None:
+            identities.append(res.identity())
+            for op, count in res.cigar.counts().items():
+                ops[op] += count
+    if total == 0:
+        raise ConfigError("cannot summarize an empty result batch")
+    return BatchStats(
+        scores=Distribution.of(scores),
+        identities=Distribution.of(identities if identities else [1.0]),
+        op_totals=ops,
+        exact_fraction=exact / total,
+        score_histogram=dict(sorted(hist.items())),
+    )

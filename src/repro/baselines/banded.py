@@ -1,0 +1,189 @@
+"""Banded gap-affine dynamic programming.
+
+The classical heuristic answer to full-matrix DP cost: only compute cells
+within ``band`` diagonals of the main diagonal.  Exact whenever the
+optimal alignment stays inside the band (guaranteed when the edit
+distance ``d`` satisfies ``d <= band - |m - n|``), otherwise an upper
+bound — exactly the trade-off the paper's workloads (reads within an edit
+threshold E) are designed around.
+
+Also used as the "other alignment algorithm" PIM kernel for the paper's
+future-work comparison (experiment Ext. E in DESIGN.md).
+
+Complexity: O((n + m) · band) cells.  Rows are allocated fresh per
+iteration for clarity; the cost models meter *cells computed*, not Python
+allocations, so this costs nothing where it matters.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cigar import Cigar, CigarOp
+from repro.core.penalties import Penalties
+from repro.baselines.gotoh import _penalty_params
+from repro.errors import AlignmentError
+
+__all__ = ["banded_gotoh_score", "banded_gotoh_align", "band_for_error_rate"]
+
+_INF = 2**31
+
+
+def band_for_error_rate(length: int, error_rate: float, slack: int = 2) -> int:
+    """Band width sufficient for pairs within ``error_rate`` edits.
+
+    A pair of ~``length`` bp reads with at most ``ceil(error_rate*length)``
+    edits strays at most that many diagonals from the main diagonal;
+    ``slack`` extra diagonals absorb length differences.
+    """
+    return int(math.ceil(error_rate * length)) + slack
+
+
+def banded_gotoh_score(
+    pattern: str, text: str, penalties: Penalties, band: int
+) -> int:
+    """Gap-affine penalty within a band of ``band`` diagonals.
+
+    Returns the optimal score if the optimal path fits the band; raises
+    :class:`AlignmentError` if no path at all fits (band smaller than
+    ``|m - n|``).
+    """
+    score, _ = _banded(pattern, text, penalties, band, traceback=False)
+    return score
+
+
+def banded_gotoh_align(
+    pattern: str, text: str, penalties: Penalties, band: int
+) -> tuple[int, Cigar]:
+    """Banded alignment with traceback; see :func:`banded_gotoh_score`."""
+    score, cigar = _banded(pattern, text, penalties, band, traceback=True)
+    assert cigar is not None
+    return score, cigar
+
+
+def _banded(
+    pattern: str, text: str, penalties: Penalties, band: int, traceback: bool
+) -> tuple[int, Cigar | None]:
+    n, m = len(pattern), len(text)
+    if band < 1:
+        raise AlignmentError(f"band must be >= 1, got {band}")
+    if abs(m - n) > band:
+        raise AlignmentError(
+            f"band {band} cannot reach the corner: |m - n| = {abs(m - n)}"
+        )
+    x, o, e = _penalty_params(penalties)
+
+    def fresh_row() -> list[int]:
+        return [_INF] * (m + 1)
+
+    prev_m = fresh_row()
+    prev_d = fresh_row()
+    prev_m[0] = 0
+    for jj in range(1, min(band, m) + 1):
+        prev_m[jj] = o + e * jj
+
+    # Full matrices retained only when a traceback is requested.
+    M = [prev_m[:]] if traceback else None
+    I = [fresh_row()] if traceback else None
+    D = [prev_d[:]] if traceback else None
+    if traceback:
+        for jj in range(1, min(band, m) + 1):
+            I[0][jj] = o + e * jj
+
+    for ii in range(1, n + 1):
+        lo = max(0, ii - band)
+        hi = min(m, ii + band)
+        cur_m = fresh_row()
+        cur_i = fresh_row()
+        cur_d = fresh_row()
+        if lo == 0:
+            cur_d[0] = o + e * ii
+            cur_m[0] = cur_d[0]
+        for jj in range(max(lo, 1), hi + 1):
+            i_open = cur_m[jj - 1] + o + e if cur_m[jj - 1] < _INF else _INF
+            i_ext = cur_i[jj - 1] + e if cur_i[jj - 1] < _INF else _INF
+            i_val = min(i_open, i_ext)
+            d_open = prev_m[jj] + o + e if prev_m[jj] < _INF else _INF
+            d_ext = prev_d[jj] + e if prev_d[jj] < _INF else _INF
+            d_val = min(d_open, d_ext)
+            if prev_m[jj - 1] < _INF:
+                diag = prev_m[jj - 1] + (
+                    0 if pattern[ii - 1] == text[jj - 1] else x
+                )
+            else:
+                diag = _INF
+            cur_i[jj] = i_val
+            cur_d[jj] = d_val
+            cur_m[jj] = min(diag, i_val, d_val)
+        if traceback:
+            M.append(cur_m)
+            I.append(cur_i)
+            D.append(cur_d)
+        prev_m, prev_d = cur_m, cur_d
+
+    score = prev_m[m]
+    if score >= _INF:
+        raise AlignmentError(f"no alignment found within band {band}")
+    if not traceback:
+        return int(score), None
+    cigar = _traceback_banded(pattern, text, M, I, D, x, o, e)
+    return int(score), cigar
+
+
+def _traceback_banded(pattern, text, M, I, D, x, o, e) -> Cigar:
+    n, m = len(pattern), len(text)
+    ops: list[CigarOp] = []
+
+    def emit(op: str) -> None:
+        if ops and ops[-1].op == op:
+            ops[-1] = CigarOp(ops[-1].length + 1, op)
+        else:
+            ops.append(CigarOp(1, op))
+
+    ii, jj = n, m
+    state = "M"
+    guard = 2 * (n + m) + 4
+    while (ii > 0 or jj > 0) and guard > 0:
+        guard -= 1
+        if state == "M":
+            val = M[ii][jj]
+            if ii > 0 and jj > 0 and M[ii - 1][jj - 1] < _INF:
+                sub = 0 if pattern[ii - 1] == text[jj - 1] else x
+                if val == M[ii - 1][jj - 1] + sub:
+                    emit("M" if sub == 0 else "X")
+                    ii -= 1
+                    jj -= 1
+                    continue
+            if val == I[ii][jj]:
+                state = "I"
+                continue
+            if val == D[ii][jj]:
+                state = "D"
+                continue
+            raise AlignmentError(f"banded traceback dead end at M[{ii}][{jj}]")
+        elif state == "I":
+            val = I[ii][jj]
+            emit("I")
+            if jj > 0 and I[ii][jj - 1] < _INF and val == I[ii][jj - 1] + e:
+                jj -= 1
+                continue
+            if jj > 0 and M[ii][jj - 1] < _INF and val == M[ii][jj - 1] + o + e:
+                jj -= 1
+                state = "M"
+                continue
+            raise AlignmentError(f"banded traceback dead end at I[{ii}][{jj}]")
+        else:
+            val = D[ii][jj]
+            emit("D")
+            if ii > 0 and D[ii - 1][jj] < _INF and val == D[ii - 1][jj] + e:
+                ii -= 1
+                continue
+            if ii > 0 and M[ii - 1][jj] < _INF and val == M[ii - 1][jj] + o + e:
+                ii -= 1
+                state = "M"
+                continue
+            raise AlignmentError(f"banded traceback dead end at D[{ii}][{jj}]")
+    if guard == 0:
+        raise AlignmentError("banded traceback did not terminate")  # pragma: no cover
+    ops.reverse()
+    return Cigar(ops)

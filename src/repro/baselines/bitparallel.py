@@ -1,0 +1,85 @@
+"""Bit-parallel and plain-DP Levenshtein distance references.
+
+* :func:`myers_edit_distance` — Myers' 1999 bit-parallel algorithm in its
+  *global* (whole-vs-whole) form: the horizontal boundary delta ``+1`` is
+  shifted into the PH vector each step, so the tracked score is
+  ``D[n][j]`` and, after consuming the whole text, the Levenshtein
+  distance.  Python's arbitrary-precision integers stand in for the
+  64-bit-block machinery of the C original — the bitwise recurrence is
+  identical.
+* :func:`levenshtein_dp` — the textbook O(n·m) DP, NumPy row-vectorized;
+  deliberately boring, used as the independent oracle in property tests
+  (generator edit budgets, edit-metric WFA, and the bit-parallel code all
+  get checked against it).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["myers_edit_distance", "levenshtein_dp"]
+
+
+def myers_edit_distance(pattern: str, text: str) -> int:
+    """Global Levenshtein distance via Myers' bit-parallel recurrence."""
+    n = len(pattern)
+    if n == 0:
+        return len(text)
+    if len(text) == 0:
+        return n
+
+    peq: dict[str, int] = defaultdict(int)
+    for i, ch in enumerate(pattern):
+        peq[ch] |= 1 << i
+
+    full = (1 << n) - 1
+    high = 1 << (n - 1)
+    pv = full  # vertical +1 deltas (column j=0: D[i][0] - D[i-1][0] = +1)
+    mv = 0
+    score = n  # D[n][0]
+
+    for ch in text:
+        eq = peq[ch]
+        xv = eq | mv
+        xh = (((eq & pv) + pv) ^ pv) | eq
+        ph = mv | (~(xh | pv) & full)
+        mh = pv & xh
+        if ph & high:
+            score += 1
+        if mh & high:
+            score -= 1
+        # Shift the horizontal deltas up one row; the OR-ed 1 is the
+        # boundary delta D[0][j] - D[0][j-1] = +1 of *global* alignment
+        # (the approximate-matching original shifts in 0 here).
+        ph = ((ph << 1) | 1) & full
+        mh = (mh << 1) & full
+        pv = (mh | (~(xv | ph) & full)) & full
+        mv = ph & xv
+
+    return score
+
+
+def levenshtein_dp(a: str, b: str) -> int:
+    """Textbook Levenshtein DP, one NumPy-vectorized row at a time."""
+    n, m = len(a), len(b)
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    bv = np.frombuffer(b.encode("ascii"), dtype=np.uint8)
+    prev = np.arange(m + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        cur = np.empty(m + 1, dtype=np.int64)
+        cur[0] = i
+        sub = prev[:-1] + (bv != ord(a[i - 1]))
+        dele = prev[1:] + 1
+        best = np.minimum(sub, dele)
+        # Insertions propagate left-to-right; resolve with a running scan.
+        run = cur[0]
+        for j in range(1, m + 1):
+            run = min(run + 1, best[j - 1])
+            cur[j] = run
+        prev = cur
+    return int(prev[m])

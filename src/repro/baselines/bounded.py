@@ -1,0 +1,63 @@
+"""Bounded (thresholded) edit distance — Ukkonen's banded algorithm.
+
+``bounded_edit_distance(a, b, k)`` answers "is the Levenshtein distance
+at most k, and if so what is it?" in O(k·min(n,m)) time by computing only
+the 2k+1 diagonals that any ≤k-edit alignment can touch, with an early
+abort when a whole band row exceeds the threshold.
+
+This is the classic *pre-alignment filter* primitive: genomics pipelines
+(including this paper's authors' filtering line of work) use a cheap
+bounded check to discard obviously-dissimilar candidate pairs before
+paying for full alignment.  See :mod:`repro.pipeline` for the
+filter-then-align composition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import AlignmentError
+
+__all__ = ["bounded_edit_distance"]
+
+_INF = 2**31
+
+
+def bounded_edit_distance(a: str, b: str, k: int) -> Optional[int]:
+    """Levenshtein distance if it is <= ``k``, else ``None``.
+
+    Args:
+        a, b: the sequences.
+        k: inclusive threshold; must be >= 0.
+    """
+    if k < 0:
+        raise AlignmentError(f"threshold must be >= 0, got {k}")
+    n, m = len(a), len(b)
+    if abs(n - m) > k:
+        return None
+    if n == 0 or m == 0:
+        d = max(n, m)
+        return d if d <= k else None
+
+    # Row-wise DP restricted to the band |j - i| <= k.
+    prev = [j if j <= k else _INF for j in range(m + 1)]
+    for i in range(1, n + 1):
+        lo = max(1, i - k)
+        hi = min(m, i + k)
+        cur = [_INF] * (m + 1)
+        if i - 0 <= k:
+            cur[0] = i
+        row_min = cur[0] if cur[0] < _INF else _INF
+        for j in range(lo, hi + 1):
+            sub = prev[j - 1] + (0 if a[i - 1] == b[j - 1] else 1)
+            dele = prev[j] + 1 if prev[j] < _INF else _INF
+            ins = cur[j - 1] + 1 if cur[j - 1] < _INF else _INF
+            best = min(sub, dele, ins)
+            cur[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > k:  # every path already exceeds the threshold
+            return None
+        prev = cur
+    d = prev[m]
+    return int(d) if d <= k else None

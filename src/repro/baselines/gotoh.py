@@ -1,0 +1,220 @@
+"""Gotoh's gap-affine dynamic programming — the classical exact baseline.
+
+This is the O(n·m) algorithm WFA supersedes; we implement it as the *gold
+reference*: the library's central correctness invariant (property-tested)
+is that WFA's score equals Gotoh's score on every input.
+
+Semantics match :class:`~repro.core.penalties.AffinePenalties` (penalty
+minimization, match = 0, gap of length ``l`` costs ``open + l·extend``)
+so scores are directly comparable with WFA's.
+
+Two entry points:
+
+* :func:`gotoh_score` — score-only, NumPy-vectorized over anti-rows
+  (row-at-a-time recurrence), O(min memory).
+* :func:`gotoh_align` — full matrices + traceback to a CIGAR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cigar import Cigar, CigarOp
+from repro.core.penalties import AffinePenalties, LinearPenalties, Penalties
+from repro.errors import AlignmentError
+
+__all__ = ["gotoh_score", "gotoh_align", "INF"]
+
+#: Effectively-infinite penalty; small enough to add without overflow.
+INF = np.int64(2**31)
+
+
+def _penalty_params(penalties: Penalties) -> tuple[int, int, int]:
+    """Normalize a penalty model to (mismatch, gap_open, gap_extend).
+
+    Gap-linear and edit metrics are affine with ``gap_open = 0``, so the
+    same DP covers all three.
+    """
+    if isinstance(penalties, AffinePenalties):
+        return penalties.mismatch, penalties.gap_open, penalties.gap_extend
+    if isinstance(penalties, LinearPenalties):
+        return penalties.mismatch, 0, penalties.indel
+    # EditPenalties (or anything scoring like it).
+    return penalties.mismatch_cost(), 0, penalties.gap_cost(1)
+
+
+def gotoh_score(pattern: str, text: str, penalties: Penalties) -> int:
+    """Optimal gap-affine alignment penalty, score only.
+
+    Row-wise vectorized: M and D rows are pure elementwise updates; the I
+    matrix has a horizontal dependence that is resolved with the standard
+    prefix-minimum trick (``I[j] = min_{j' < j}(cand[j'] + e*(j - j'))``
+    becomes a running minimum over ``cand[j'] - e*j'``).
+    """
+    n, m = len(pattern), len(text)
+    x, o, e = _penalty_params(penalties)
+    pat = np.frombuffer(pattern.encode("ascii"), dtype=np.uint8)
+    txt = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+
+    # Row 0: aligning empty pattern prefix to text prefixes (pure insertion).
+    j = np.arange(m + 1, dtype=np.int64)
+    m_row = np.where(j == 0, 0, o + e * j)
+    d_row = np.full(m + 1, INF, dtype=np.int64)
+    i_row = m_row.copy()
+    i_row[0] = INF
+
+    for vi in range(1, n + 1):
+        prev_m, prev_d = m_row, d_row
+        # Vertical (deletion) component: open from M above or extend D above.
+        d_row = np.minimum(prev_m + o + e, prev_d + e)
+        # Diagonal (match/mismatch) component.
+        sub = np.where(txt == pat[vi - 1], 0, x)
+        diag = prev_m[:-1] + sub
+        # Horizontal (insertion) needs a left-to-right scan; do it with a
+        # running minimum on cand[j'] - e*j' (cand = best of open/extend
+        # entry at column j').
+        m_new = np.empty(m + 1, dtype=np.int64)
+        i_new = np.empty(m + 1, dtype=np.int64)
+        m_new[0] = o + e * vi
+        i_new[0] = INF
+        # First compute M without I (M = min(diag, D)); then fold I in a scan.
+        m_wo_i = np.empty(m + 1, dtype=np.int64)
+        m_wo_i[0] = m_new[0]
+        m_wo_i[1:] = np.minimum(diag, d_row[1:])
+        run = m_wo_i[0] + o  # best (M[j'] + o - e*j') seen so far, at j'=0
+        base = run
+        for jj in range(1, m + 1):
+            i_val = base + e * jj
+            i_new[jj] = i_val
+            m_val = min(m_wo_i[jj], i_val)
+            m_new[jj] = m_val
+            cand = m_val + o - e * jj
+            if cand < base:
+                base = cand
+        m_row, d_row, i_row = m_new, d_row, i_new
+
+    score = int(m_row[m])
+    if score >= INF:
+        raise AlignmentError("gotoh_score produced no finite score")  # pragma: no cover
+    return score
+
+
+def gotoh_align(pattern: str, text: str, penalties: Penalties) -> tuple[int, Cigar]:
+    """Optimal gap-affine alignment with traceback.
+
+    Returns ``(score, cigar)``.  Uses full O(n·m) matrices; intended for
+    the read lengths of the paper (hundreds to low thousands of bp).
+    """
+    n, m = len(pattern), len(text)
+    x, o, e = _penalty_params(penalties)
+
+    M = np.full((n + 1, m + 1), INF, dtype=np.int64)
+    I = np.full((n + 1, m + 1), INF, dtype=np.int64)
+    D = np.full((n + 1, m + 1), INF, dtype=np.int64)
+    M[0, 0] = 0
+    for jj in range(1, m + 1):
+        I[0, jj] = o + e * jj
+        M[0, jj] = I[0, jj]
+    for ii in range(1, n + 1):
+        D[ii, 0] = o + e * ii
+        M[ii, 0] = D[ii, 0]
+
+    pat = pattern
+    txt = text
+    for ii in range(1, n + 1):
+        pc = pat[ii - 1]
+        M_prev = M[ii - 1]
+        D_prev = D[ii - 1]
+        M_cur = M[ii]
+        I_cur = I[ii]
+        D_cur = D[ii]
+        for jj in range(1, m + 1):
+            i_val = min(M_cur[jj - 1] + o + e, I_cur[jj - 1] + e)
+            d_val = min(M_prev[jj] + o + e, D_prev[jj] + e)
+            diag = M_prev[jj - 1] + (0 if pc == txt[jj - 1] else x)
+            I_cur[jj] = i_val
+            D_cur[jj] = d_val
+            M_cur[jj] = min(diag, i_val, d_val)
+
+    score = int(M[n, m])
+    cigar = _traceback(pattern, text, M, I, D, x, o, e)
+    return score, cigar
+
+
+def _traceback(
+    pattern: str,
+    text: str,
+    M: np.ndarray,
+    I: np.ndarray,
+    D: np.ndarray,
+    x: int,
+    o: int,
+    e: int,
+) -> Cigar:
+    n, m = len(pattern), len(text)
+    ops: list[CigarOp] = []
+
+    def emit(op: str, length: int = 1) -> None:
+        if length <= 0:
+            return
+        if ops and ops[-1].op == op:
+            ops[-1] = CigarOp(ops[-1].length + length, op)
+        else:
+            ops.append(CigarOp(length, op))
+
+    ii, jj = n, m
+    state = "M"
+    while ii > 0 or jj > 0:
+        if state == "M":
+            val = M[ii, jj]
+            if ii > 0 and jj > 0:
+                sub = 0 if pattern[ii - 1] == text[jj - 1] else x
+                if val == M[ii - 1, jj - 1] + sub:
+                    emit("M" if sub == 0 else "X")
+                    ii -= 1
+                    jj -= 1
+                    continue
+            if val == I[ii, jj]:
+                state = "I"
+                continue
+            if val == D[ii, jj]:
+                state = "D"
+                continue
+            raise AlignmentError(
+                f"Gotoh traceback dead end at M[{ii},{jj}]"
+            )  # pragma: no cover
+        elif state == "I":
+            val = I[ii, jj]
+            emit("I")
+            if jj > 1 and val == I[ii, jj - 1] + e:
+                jj -= 1
+                continue
+            if val == M[ii, jj - 1] + o + e:
+                jj -= 1
+                state = "M"
+                continue
+            # Column 1 of row 0 boundary: opening from M[ii,0].
+            if jj > 0 and val == I[ii, jj - 1] + e:
+                jj -= 1
+                continue
+            raise AlignmentError(
+                f"Gotoh traceback dead end at I[{ii},{jj}]"
+            )  # pragma: no cover
+        else:  # state == "D"
+            val = D[ii, jj]
+            emit("D")
+            if ii > 1 and val == D[ii - 1, jj] + e:
+                ii -= 1
+                continue
+            if val == M[ii - 1, jj] + o + e:
+                ii -= 1
+                state = "M"
+                continue
+            if ii > 0 and val == D[ii - 1, jj] + e:
+                ii -= 1
+                continue
+            raise AlignmentError(
+                f"Gotoh traceback dead end at D[{ii},{jj}]"
+            )  # pragma: no cover
+    ops.reverse()
+    return Cigar(ops)

@@ -1,0 +1,103 @@
+"""Ends-free gap-affine DP oracle.
+
+Classical DP counterpart of WFA's ends-free spans
+(:class:`~repro.core.span.AlignmentSpan`): prefixes within the begin-free
+allowances start at cost 0, and the final score is the minimum over every
+boundary cell whose remaining suffix fits the end-free allowance of the
+*other* sequence (matching WFA2's termination: at least one sequence is
+fully consumed).  Score-only, plain Python — used purely as the
+correctness oracle for the span-aware WFA engine.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.gotoh import _penalty_params
+from repro.core.penalties import Penalties
+from repro.core.span import AlignmentSpan
+from repro.errors import AlignmentError
+
+__all__ = ["gotoh_endsfree_score"]
+
+_INF = 2**31
+
+
+def gotoh_endsfree_score(
+    pattern: str, text: str, penalties: Penalties, span: AlignmentSpan
+) -> int:
+    """Optimal ends-free gap-affine penalty (score only)."""
+    n, m = len(pattern), len(text)
+    span = span.clamped(n, m)
+    x, o, e = _penalty_params(penalties)
+
+    # Row 0: free skip up to text_begin_free, gaps beyond.
+    prev_m = [_INF] * (m + 1)
+    prev_d = [_INF] * (m + 1)
+    prev_i = [_INF] * (m + 1)
+    prev_m[0] = 0
+    for jj in range(1, m + 1):
+        i_val = min(
+            prev_m[jj - 1] + o + e if prev_m[jj - 1] < _INF else _INF,
+            prev_i[jj - 1] + e if prev_i[jj - 1] < _INF else _INF,
+        )
+        prev_i[jj] = i_val
+        free = 0 if jj <= span.text_begin_free else _INF
+        prev_m[jj] = min(free, i_val)
+
+    best = _INF
+    if n - 0 <= 0 or True:
+        # row 0 may already touch the end conditions
+        best = _candidates(prev_m, 0, n, m, span, best)
+
+    col_m_free_limit = span.pattern_begin_free
+    col_m = prev_m[0]
+    col_d = _INF
+    for ii in range(1, n + 1):
+        cur_m = [_INF] * (m + 1)
+        cur_i = [_INF] * (m + 1)
+        cur_d = [_INF] * (m + 1)
+        # Column 0: free skip of the pattern prefix, deletions beyond.
+        d_val = min(
+            col_m + o + e if col_m < _INF else _INF,
+            col_d + e if col_d < _INF else _INF,
+        )
+        cur_d[0] = d_val
+        cur_m[0] = min(0 if ii <= col_m_free_limit else _INF, d_val)
+        pc = pattern[ii - 1]
+        for jj in range(1, m + 1):
+            i_val = min(
+                cur_m[jj - 1] + o + e if cur_m[jj - 1] < _INF else _INF,
+                cur_i[jj - 1] + e if cur_i[jj - 1] < _INF else _INF,
+            )
+            d_val = min(
+                prev_m[jj] + o + e if prev_m[jj] < _INF else _INF,
+                prev_d[jj] + e if prev_d[jj] < _INF else _INF,
+            )
+            if prev_m[jj - 1] < _INF:
+                diag = prev_m[jj - 1] + (0 if pc == text[jj - 1] else x)
+            else:
+                diag = _INF
+            cur_i[jj] = i_val
+            cur_d[jj] = d_val
+            cur_m[jj] = min(diag, i_val, d_val)
+        best = _candidates(cur_m, ii, n, m, span, best)
+        prev_m, prev_i, prev_d = cur_m, cur_i, cur_d
+        col_m, col_d = cur_m[0], cur_d[0]
+
+    if best >= _INF:
+        raise AlignmentError("ends-free DP found no admissible end point")
+    return int(best)
+
+
+def _candidates(
+    row_m: list[int], ii: int, n: int, m: int, span: AlignmentSpan, best: int
+) -> int:
+    """Fold row ``ii``'s admissible end cells into the running best."""
+    # End at (ii, m): text fully consumed; pattern remainder must fit.
+    if n - ii <= span.pattern_end_free and row_m[m] < best:
+        best = row_m[m]
+    # End at (n, jj): pattern fully consumed; text remainder must fit.
+    if ii == n:
+        for jj in range(m + 1):
+            if m - jj <= span.text_end_free and row_m[jj] < best:
+                best = row_m[jj]
+    return best

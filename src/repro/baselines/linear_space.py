@@ -1,0 +1,180 @@
+"""Myers–Miller linear-space optimal gap-affine alignment (1988).
+
+Hirschberg's divide-and-conquer adapted to affine gaps: the pattern is
+split at its middle row; forward and backward Gotoh passes over that row
+yield, for every column ``j``, the best total cost of a path crossing at
+``(i*, j)`` either in the match/mismatch state (``CC + RR``) or inside a
+vertical gap (``DD + SS - gap_open`` — both halves paid one opening of
+the same gap).  Recursion on the winning crossing point needs only two
+O(N) cost rows at a time, so the full optimal CIGAR is recovered in
+linear space — the classical answer to the same memory pressure that
+motivates BiWFA.
+
+The boundary parameters ``tb``/``te`` carry the gap-opening cost charged
+at the top/bottom edges of a subproblem: 0 when the edge lies inside an
+already-open gap of the parent problem (Myers & Miller's fix for gaps
+crossing the split row), ``gap_open`` otherwise.
+
+Used as: (a) an independently-derived oracle for the WFA stack, and
+(b) the library's linear-memory traceback option for very long
+sequences.
+"""
+
+from __future__ import annotations
+
+from repro.core.cigar import Cigar, CigarOp
+from repro.core.penalties import AffinePenalties, Penalties
+from repro.baselines.gotoh import _penalty_params
+from repro.errors import AlignmentError
+
+__all__ = ["myers_miller_align"]
+
+_INF = 2**31
+
+
+def myers_miller_align(
+    pattern: str, text: str, penalties: Penalties
+) -> tuple[int, Cigar]:
+    """Optimal gap-affine alignment in linear space.
+
+    Accepts any penalty model expressible as (mismatch, open, extend)
+    (affine; linear and edit as open = 0 cases).  Returns
+    ``(score, cigar)`` identical in score to
+    :func:`repro.baselines.gotoh.gotoh_align`.
+    """
+    x, g, h = _penalty_params(penalties)
+    ops: list[CigarOp] = []
+
+    def emit(op: str, count: int = 1) -> None:
+        if count <= 0:
+            return
+        if ops and ops[-1].op == op:
+            ops[-1] = CigarOp(ops[-1].length + count, op)
+        else:
+            ops.append(CigarOp(count, op))
+
+    _diff(pattern, text, g, g, x, g, h, emit)
+    cigar = Cigar(ops)
+    return cigar.score(penalties), cigar
+
+
+def _forward_rows(
+    a: str, b: str, tb: int, x: int, g: int, h: int
+) -> tuple[list[int], list[int]]:
+    """Gotoh rows for aligning all of ``a`` to prefixes of ``b``.
+
+    Returns ``(CC, DD)``: best cost ending at ``(len(a), j)`` in any
+    state / in a vertical-gap (deletion) state.  ``tb`` is the opening
+    cost charged to a deletion gap touching the top boundary.
+    """
+    n, m = len(a), len(b)
+    cc = [0] * (m + 1)
+    dd = [0] * (m + 1)
+    # Row 0: insertions along the top (interior opening g).
+    cc[0] = 0
+    for j in range(1, m + 1):
+        cc[j] = g + h * j
+    for j in range(m + 1):
+        dd[j] = cc[j] + (tb if j == 0 else g)  # pre-opened entry cost base
+    # In-place row updates.
+    for i in range(1, n + 1):
+        diag = cc[0]  # cc[j-1] of the previous row
+        cc[0] = tb + h * i
+        dd[0] = cc[0]
+        e_ins = _INF  # I state of the current row
+        ai = a[i - 1]
+        for j in range(1, m + 1):
+            d_del = min(dd[j] + h, cc[j] + g + h)  # from previous row
+            e_ins = min(e_ins + h, cc[j - 1] + g + h)
+            sub = diag + (0 if ai == b[j - 1] else x)
+            diag = cc[j]
+            best = min(sub, d_del, e_ins)
+            cc[j] = best
+            dd[j] = d_del
+    return cc, dd
+
+
+def _diff(
+    a: str, b: str, tb: int, te: int, x: int, g: int, h: int, emit
+) -> None:
+    """Emit the optimal alignment of ``a`` vs ``b`` (Myers-Miller)."""
+    n, m = len(a), len(b)
+    if m == 0:
+        emit("D", n)
+        return
+    if n == 0:
+        emit("I", m)
+        return
+    if n == 1:
+        _base_single(a, b, tb, te, x, g, h, emit)
+        return
+
+    i_mid = n // 2
+    cc, dd = _forward_rows(a[:i_mid], b, tb, x, g, h)
+    rr, ss = _forward_rows(a[i_mid:][::-1], b[::-1], te, x, g, h)
+    rr = rr[::-1]
+    ss = ss[::-1]
+
+    best = _INF
+    best_j = 0
+    best_in_gap = False
+    for j in range(m + 1):
+        through_m = cc[j] + rr[j]
+        through_d = dd[j] + ss[j] - g
+        if through_m <= through_d:
+            if through_m < best:
+                best, best_j, best_in_gap = through_m, j, False
+        else:
+            if through_d < best:
+                best, best_j, best_in_gap = through_d, j, True
+    if best >= _INF:  # pragma: no cover - unreachable for finite inputs
+        raise AlignmentError("linear-space combine found no crossing point")
+
+    if not best_in_gap:
+        _diff(a[:i_mid], b[:best_j], tb, g, x, g, h, emit)
+        _diff(a[i_mid:], b[best_j:], g, te, x, g, h, emit)
+    else:
+        # The optimal path crosses row i_mid inside a deletion: rows
+        # i_mid and i_mid+1 are both deleted; the gap may extend into
+        # both halves, so their facing boundaries open for free.
+        _diff(a[: i_mid - 1], b[:best_j], tb, 0, x, g, h, emit)
+        emit("D", 2)
+        _diff(a[i_mid + 1 :], b[best_j:], 0, te, x, g, h, emit)
+
+
+def _base_single(
+    a: str, b: str, tb: int, te: int, x: int, g: int, h: int, emit
+) -> None:
+    """Optimal alignment of a single character against ``b``.
+
+    Two shapes: delete ``a`` (opening at the cheaper boundary) and
+    insert all of ``b``; or match/substitute ``a`` against some ``b[j]``
+    with the rest of ``b`` inserted around it.
+    """
+    m = len(b)
+    a0 = a[0]
+    best = min(tb, te) + h + (g + h * m)  # delete + insert-everything
+    best_j = -1  # -1 encodes the deletion shape
+    for j in range(m):
+        cost = 0 if b[j] == a0 else x
+        if j > 0:
+            cost += g + h * j
+        if j < m - 1:
+            cost += g + h * (m - 1 - j)
+        if cost < best:
+            best = cost
+            best_j = j
+    if best_j < 0:
+        # Emission order: if the bottom boundary is the cheaper opening,
+        # the deletion abuts the following subproblem; order I then D so
+        # adjacent deletions merge.  Cost is order-independent.
+        if te < tb:
+            emit("I", m)
+            emit("D", 1)
+        else:
+            emit("D", 1)
+            emit("I", m)
+    else:
+        emit("I", best_j)
+        emit("X" if b[best_j] != a0 else "M", 1)
+        emit("I", m - 1 - best_j)

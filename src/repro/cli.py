@@ -1,0 +1,368 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro generate --pairs 1000 --length 100 --error-rate 0.02 -o reads.seq
+    repro align    -i reads.seq --metric affine
+    repro pim-align -i reads.seq --dpus 64 --tasklets 16
+    repro fig1     --quick
+    repro sweep    tasklets
+
+Each subcommand is a thin wrapper over the library API; anything the CLI
+can do, `import repro` can do better.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import (
+    AffinePenalties,
+    EditPenalties,
+    LinearPenalties,
+    Penalties,
+    TwoPieceAffinePenalties,
+)
+from repro.data.datasets import DatasetSpec
+from repro.data.seqio import read_seq, write_fasta_pairs, write_seq
+from repro.errors import ReproError
+from repro.perf.report import format_table, human_time
+
+__all__ = ["main", "build_parser"]
+
+
+def _penalties_from_args(args: argparse.Namespace) -> Penalties:
+    if args.metric == "edit":
+        return EditPenalties()
+    if args.metric == "linear":
+        return LinearPenalties(mismatch=args.mismatch, indel=args.gap_extend)
+    if args.metric == "affine2p":
+        return TwoPieceAffinePenalties(
+            mismatch=args.mismatch,
+            gap_open1=args.gap_open,
+            gap_extend1=args.gap_extend,
+            gap_open2=args.gap_open2,
+            gap_extend2=args.gap_extend2,
+        )
+    return AffinePenalties(
+        mismatch=args.mismatch, gap_open=args.gap_open, gap_extend=args.gap_extend
+    )
+
+
+def _add_penalty_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metric",
+        choices=("affine", "edit", "linear", "affine2p"),
+        default="affine",
+        help="distance metric (default: gap-affine, the paper's)",
+    )
+    parser.add_argument("--mismatch", type=int, default=4)
+    parser.add_argument("--gap-open", type=int, default=6)
+    parser.add_argument("--gap-extend", type=int, default=2)
+    parser.add_argument("--gap-open2", type=int, default=24)
+    parser.add_argument("--gap-extend2", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WFA-on-PIM reproduction toolkit (Diab et al., IPDPS'22)",
+    )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # generate ---------------------------------------------------------
+    gen = sub.add_parser("generate", help="generate a synthetic read-pair workload")
+    gen.add_argument("--pairs", type=int, default=1000)
+    gen.add_argument("--length", type=int, default=100)
+    gen.add_argument("--error-rate", type=float, default=0.02)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--error-model", choices=("exact", "uniform", "binomial"), default="exact"
+    )
+    gen.add_argument("--format", choices=("seq", "fasta"), default="seq")
+    gen.add_argument("-o", "--output", required=True)
+
+    # align ---------------------------------------------------------------
+    aln = sub.add_parser("align", help="align a .seq workload on the host")
+    aln.add_argument("-i", "--input", required=True)
+    aln.add_argument("--score-only", action="store_true")
+    aln.add_argument("--adaptive", action="store_true")
+    aln.add_argument(
+        "--linear-space",
+        action="store_true",
+        help="use Myers-Miller linear-space traceback (long sequences)",
+    )
+    aln.add_argument("-o", "--output", help="TSV output path (default: stdout)")
+    _add_penalty_args(aln)
+
+    # pim-align -----------------------------------------------------------
+    pim = sub.add_parser(
+        "pim-align", help="align a .seq workload on the simulated PIM system"
+    )
+    pim.add_argument("-i", "--input", required=True)
+    pim.add_argument("--dpus", type=int, default=64)
+    pim.add_argument("--tasklets", type=int, default=16)
+    pim.add_argument("--policy", choices=("mram", "wram"), default="mram")
+    pim.add_argument("--max-edits", type=int, default=None,
+                     help="kernel edit budget (default: inferred from data)")
+    _add_penalty_args(pim)
+
+    # map ---------------------------------------------------------------
+    mp = sub.add_parser(
+        "map",
+        help="map FASTA reads semi-globally onto a (small) FASTA reference",
+    )
+    mp.add_argument("--reference", required=True, help="single-record FASTA")
+    mp.add_argument("--reads", required=True, help="FASTA of reads")
+    mp.add_argument("-o", "--output", required=True, help="PAF output path")
+    mp.add_argument("--both-strands", action="store_true",
+                    help="also try the reverse complement, keep the better hit")
+    _add_penalty_args(mp)
+
+    # stats ---------------------------------------------------------------
+    stats = sub.add_parser(
+        "stats", help="align a .seq workload and print batch statistics"
+    )
+    stats.add_argument("-i", "--input", required=True)
+    stats.add_argument("--adaptive", action="store_true")
+    _add_penalty_args(stats)
+
+    # fig1 ---------------------------------------------------------------
+    fig = sub.add_parser("fig1", help="reproduce the paper's Fig. 1")
+    fig.add_argument("--quick", action="store_true")
+    fig.add_argument("--json", help="also write a machine-readable record")
+
+    # sweep -----------------------------------------------------------------
+    sweep = sub.add_parser("sweep", help="run an ablation/extension sweep")
+    sweep.add_argument(
+        "which",
+        choices=(
+            "tasklets",
+            "allocator",
+            "error-rate",
+            "read-length",
+            "dpus",
+            "algos",
+            "staging",
+            "sensitivity",
+        ),
+    )
+
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = DatasetSpec(
+        num_pairs=args.pairs,
+        length=args.length,
+        error_rate=args.error_rate,
+        seed=args.seed,
+        error_model=args.error_model,
+    )
+    writer = write_seq if args.format == "seq" else write_fasta_pairs
+    count = writer(args.output, spec.stream())
+    print(f"wrote {count} pairs ({spec.describe()}) to {args.output}")
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    pairs = read_seq(args.input)
+    penalties = _penalties_from_args(args)
+    if args.linear_space and args.metric == "affine2p":
+        print("error: --linear-space supports affine/linear/edit only",
+              file=sys.stderr)
+        return 1
+    aligner = WavefrontAligner(
+        penalties, heuristic="adaptive" if args.adaptive else None
+    )
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        print("pair\tscore\tcigar", file=out)
+        for idx, pair in enumerate(pairs):
+            if args.linear_space:
+                from repro.baselines.linear_space import myers_miller_align
+
+                score, cig = myers_miller_align(pair.pattern, pair.text, penalties)
+                print(f"{idx}\t{score}\t{cig}", file=out)
+                continue
+            result = aligner.align(pair.pattern, pair.text, score_only=args.score_only)
+            cigar = str(result.cigar) if result.cigar is not None else "."
+            print(f"{idx}\t{result.score}\t{cigar}", file=out)
+    finally:
+        if args.output:
+            out.close()
+    if args.output:
+        print(f"aligned {len(pairs)} pairs -> {args.output}")
+    return 0
+
+
+def _cmd_pim_align(args: argparse.Namespace) -> int:
+    from repro.pim.config import PimSystemConfig
+    from repro.pim.kernel import KernelConfig
+    from repro.pim.system import PimSystem
+
+    pairs = read_seq(args.input)
+    if not pairs:
+        print("input holds no pairs", file=sys.stderr)
+        return 1
+    penalties = _penalties_from_args(args)
+    max_len = max(p.max_length() for p in pairs)
+    if args.max_edits is not None:
+        max_edits = args.max_edits
+    else:
+        # infer a budget from the data: CIGAR-free upper bound via lengths
+        # plus a conservative 10% of the read length
+        max_edits = max(1, max_len // 10)
+    config = PimSystemConfig(
+        num_dpus=args.dpus,
+        num_ranks=max(1, args.dpus // 64) if args.dpus % 64 == 0 else 1,
+        tasklets=args.tasklets,
+        num_simulated_dpus=args.dpus,
+        metadata_policy=args.policy,
+    )
+    kernel_config = KernelConfig(
+        penalties=penalties, max_read_len=max_len, max_edits=max_edits
+    )
+    system = PimSystem(config, kernel_config)
+    run = system.align(pairs)
+    rows = [
+        ("pairs", f"{run.num_pairs:,}"),
+        ("DPUs / tasklets / policy", f"{args.dpus} / {args.tasklets} / {args.policy}"),
+        ("kernel", human_time(run.kernel_seconds)),
+        ("transfers", human_time(run.transfer_seconds)),
+        ("total", human_time(run.total_seconds)),
+        ("throughput", f"{run.throughput():,.0f} pairs/s"),
+        ("kernel throughput", f"{run.kernel_throughput():,.0f} pairs/s"),
+        ("DPU bound", run.dominant_bound()),
+    ]
+    print(format_table(["metric", "value"], rows, title="simulated PIM run"))
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.core.span import AlignmentSpan
+    from repro.data.paf import from_alignment, write_paf
+    from repro.data.seqio import read_fasta
+    from repro.data.seqtools import reverse_complement
+
+    refs = read_fasta(args.reference)
+    if len(refs) != 1:
+        print(
+            f"error: reference must hold exactly one record, got {len(refs)}",
+            file=sys.stderr,
+        )
+        return 1
+    ref_name, reference = refs[0]
+    reads = read_fasta(args.reads)
+    if not reads:
+        print("error: no reads found", file=sys.stderr)
+        return 1
+
+    aligner = WavefrontAligner(
+        _penalties_from_args(args), span=AlignmentSpan.semiglobal()
+    )
+    records = []
+    for name, seq in reads:
+        fwd = aligner.align(seq, reference)
+        best, strand = fwd, "+"
+        if args.both_strands:
+            rev = aligner.align(reverse_complement(seq), reference)
+            if rev.score < best.score:
+                best, strand = rev, "-"
+        records.append(from_alignment(best, name, ref_name, strand=strand))
+    write_paf(args.output, records)
+    print(
+        f"mapped {len(records)} reads onto {ref_name} "
+        f"({len(reference)} bp) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis import summarize_results
+
+    pairs = read_seq(args.input)
+    if not pairs:
+        print("input holds no pairs", file=sys.stderr)
+        return 1
+    aligner = WavefrontAligner(
+        _penalties_from_args(args), heuristic="adaptive" if args.adaptive else None
+    )
+    results = [aligner.align(p.pattern, p.text) for p in pairs]
+    print(summarize_results(results).report())
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.experiments.fig1 import Fig1Config, run_fig1
+
+    config = Fig1Config(
+        cpu_sample_pairs=100 if args.quick else 400,
+        pim_sample_pairs_per_dpu=32 if args.quick else 96,
+        num_simulated_dpus=1 if args.quick else 2,
+    )
+    result = run_fig1(config)
+    print(result.report())
+    if args.json:
+        from repro.experiments.record import fig1_to_dict, write_record
+
+        path = write_record(fig1_to_dict(result), args.json)
+        print(f"\nwrote machine-readable record to {path}")
+    return 0
+
+
+def _sensitivity_sweep():
+    from repro.experiments.sensitivity import sensitivity_analysis
+
+    return sensitivity_analysis(cpu_sample=120, pim_sample=24)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import sweeps
+
+    runner = {
+        "tasklets": lambda: sweeps.tasklet_sweep(sample_pairs_per_dpu=32),
+        "allocator": lambda: sweeps.allocator_policy_ablation(sample_pairs_per_dpu=24),
+        "error-rate": lambda: sweeps.error_rate_sweep(sample_pairs_per_dpu=12),
+        "read-length": lambda: sweeps.read_length_sweep(sample_pairs_per_dpu=6),
+        "dpus": lambda: sweeps.dpu_count_sweep(sample_pairs_per_dpu=24),
+        "algos": lambda: sweeps.algorithm_comparison(sample_pairs_per_dpu=16),
+        "staging": lambda: sweeps.staging_chunk_ablation(sample_pairs_per_dpu=3),
+        "sensitivity": _sensitivity_sweep,
+    }[args.which]
+    print(runner().report())
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "align": _cmd_align,
+    "pim-align": _cmd_pim_align,
+    "map": _cmd_map,
+    "stats": _cmd_stats,
+    "fig1": _cmd_fig1,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

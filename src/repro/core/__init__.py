@@ -1,0 +1,52 @@
+"""WFA core: penalties, wavefronts, the algorithm, traceback, heuristics.
+
+This package implements the paper's primary algorithmic substrate — the
+wavefront alignment algorithm of Marco-Sola et al. (2021) — from scratch,
+for the edit, gap-linear and gap-affine metrics, with exact and adaptive
+modes and full-CIGAR or score-only output.
+"""
+
+from repro.core.aligner import AlignmentResult, WavefrontAligner
+from repro.core.bidirectional import BiWfaScorer, biwfa_score
+from repro.core.cigar import Cigar, CigarOp
+from repro.core.heuristics import AdaptiveReduction, StaticBand
+from repro.core.span import AlignmentSpan
+from repro.core.penalties import (
+    AffinePenalties,
+    EditPenalties,
+    LinearPenalties,
+    Penalties,
+    TwoPieceAffinePenalties,
+)
+from repro.core.wavefront import OFFSET_NULL, Wavefront, WavefrontSet, WfaCounters
+from repro.core.viz import (
+    render_alignment_matrix,
+    render_score_histogram,
+    render_wavefront_progress,
+)
+from repro.core.wfa import WfaEngine
+
+__all__ = [
+    "AlignmentResult",
+    "WavefrontAligner",
+    "BiWfaScorer",
+    "biwfa_score",
+    "Cigar",
+    "CigarOp",
+    "AdaptiveReduction",
+    "StaticBand",
+    "AlignmentSpan",
+    "Penalties",
+    "EditPenalties",
+    "LinearPenalties",
+    "AffinePenalties",
+    "TwoPieceAffinePenalties",
+    "Wavefront",
+    "WavefrontSet",
+    "WfaCounters",
+    "WfaEngine",
+    "OFFSET_NULL",
+    "render_wavefront_progress",
+    "render_alignment_matrix",
+    "render_score_histogram",
+]

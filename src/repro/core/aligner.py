@@ -1,0 +1,197 @@
+"""Public aligner API.
+
+:class:`WavefrontAligner` is the library's front door for pairwise
+alignment: configure it once with a penalty model (and optionally a
+heuristic), then call :meth:`WavefrontAligner.align` per sequence pair.
+
+Example:
+
+    >>> from repro.core.aligner import WavefrontAligner
+    >>> from repro.core.penalties import AffinePenalties
+    >>> aligner = WavefrontAligner(AffinePenalties(mismatch=4, gap_open=6, gap_extend=2))
+    >>> result = aligner.align("GATTACA", "GATCACA")
+    >>> result.score
+    4
+    >>> str(result.cigar)
+    '3M1X3M'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.core.backtrace import backtrace
+from repro.core.cigar import Cigar
+from repro.core.heuristics import AdaptiveReduction
+from repro.core.penalties import AffinePenalties, Penalties
+from repro.core.span import AlignmentSpan
+from repro.core.wavefront import WfaCounters
+from repro.core.wfa import WfaEngine
+from repro.errors import AlignmentError
+
+__all__ = ["AlignmentResult", "WavefrontAligner"]
+
+Sequence = Union[str, bytes]
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of aligning one pattern/text pair.
+
+    Attributes:
+        score: optimal (or, with a heuristic, near-optimal) total penalty;
+            non-negative, 0 for identical sequences.
+        cigar: the alignment path, ``None`` in score-only mode.
+        counters: functional instrumentation (see
+            :class:`~repro.core.wavefront.WfaCounters`); feeds the CPU and
+            PIM timing models.
+        penalties: the metric the score was computed under.
+        pattern_len / text_len: input lengths, kept for reporting.
+        exact: False when a reduction heuristic was active (the score is
+            then an upper bound on the optimal penalty).
+    """
+
+    score: int
+    cigar: Optional[Cigar]
+    counters: WfaCounters
+    penalties: Penalties
+    pattern_len: int
+    text_len: int
+    exact: bool = True
+    #: aligned region (half-open); the full sequences for global spans.
+    #: Ends-free alignment may leave prefixes/suffixes outside the region.
+    pattern_start: int = 0
+    pattern_end: int = -1
+    text_start: int = 0
+    text_end: int = -1
+
+    def __post_init__(self) -> None:
+        if self.pattern_end < 0:
+            self.pattern_end = self.pattern_len
+        if self.text_end < 0:
+            self.text_end = self.text_len
+
+    def aligned_region(self) -> tuple[int, int, int, int]:
+        """``(pattern_start, pattern_end, text_start, text_end)``."""
+        return (self.pattern_start, self.pattern_end, self.text_start, self.text_end)
+
+    def identity(self) -> float:
+        """Fraction of alignment columns that are matches (requires a CIGAR)."""
+        if self.cigar is None:
+            raise AlignmentError("identity() requires a CIGAR (score-only result)")
+        columns = self.cigar.columns()
+        if columns == 0:
+            return 1.0
+        return self.cigar.counts()["M"] / columns
+
+
+class WavefrontAligner:
+    """Reusable WFA aligner.
+
+    Args:
+        penalties: distance metric; defaults to the paper's gap-affine
+            model with WFA's default penalties (4, 6, 2).
+        heuristic: ``None`` for exact WFA, ``"adaptive"`` for WFA-Adapt
+            with default parameters, or any callable with the engine-hook
+            signature (see :mod:`repro.core.heuristics`).
+        max_score: optional score cap; alignments whose optimal penalty
+            exceeds it raise :class:`AlignmentError`.  Used to emulate
+            bounded-edit-distance alignment.
+        validate: when True, every produced CIGAR is checked against the
+            input pair and its score recomputed — a development safety
+            net, also used heavily by the test-suite.
+    """
+
+    def __init__(
+        self,
+        penalties: Optional[Penalties] = None,
+        *,
+        heuristic: Union[None, str, Callable] = None,
+        max_score: Optional[int] = None,
+        validate: bool = False,
+        span: Optional[AlignmentSpan] = None,
+    ) -> None:
+        self.penalties = penalties if penalties is not None else AffinePenalties()
+        self.penalties.validate()
+        if heuristic == "adaptive":
+            heuristic = AdaptiveReduction()
+        elif isinstance(heuristic, str):
+            raise AlignmentError(f"unknown heuristic {heuristic!r}")
+        self.heuristic = heuristic
+        self.max_score = max_score
+        self.validate = validate
+        self.span = span if span is not None else AlignmentSpan()
+
+    @staticmethod
+    def _as_str(seq: Sequence, name: str) -> str:
+        if isinstance(seq, bytes):
+            return seq.decode("ascii")
+        if isinstance(seq, str):
+            return seq
+        raise AlignmentError(f"{name} must be str or bytes, got {type(seq).__name__}")
+
+    def align(
+        self,
+        pattern: Sequence,
+        text: Sequence,
+        *,
+        score_only: bool = False,
+    ) -> AlignmentResult:
+        """Align ``pattern`` against ``text`` globally.
+
+        Args:
+            pattern: query sequence.
+            text: target sequence.
+            score_only: skip traceback and run the engine in its
+                low-memory mode (what WFA calls score-only alignment).
+
+        Returns:
+            An :class:`AlignmentResult`; ``result.cigar`` is ``None`` iff
+            ``score_only``.
+        """
+        pattern_s = self._as_str(pattern, "pattern")
+        text_s = self._as_str(text, "text")
+        engine = WfaEngine(
+            pattern_s,
+            text_s,
+            self.penalties,
+            memory_mode="low" if score_only else "full",
+            heuristic=self.heuristic,
+            max_score=self.max_score,
+            span=self.span,
+        )
+        score = engine.run()
+        # End coordinates of the aligned region (free suffixes excluded).
+        p_end = engine.end_offset - engine.end_k
+        t_end = engine.end_offset
+        cigar: Optional[Cigar] = None
+        p_start, t_start = 0, 0
+        if not score_only:
+            cigar = backtrace(engine)
+            p_start = p_end - cigar.pattern_length()
+            t_start = t_end - cigar.text_length()
+            if self.validate:
+                cigar.validate(pattern_s[p_start:p_end], text_s[t_start:t_end])
+                rescored = cigar.score(self.penalties)
+                if rescored != score:
+                    raise AlignmentError(
+                        f"CIGAR rescoring mismatch: engine={score}, cigar={rescored}"
+                    )
+        return AlignmentResult(
+            score=score,
+            cigar=cigar,
+            counters=engine.counters,
+            penalties=self.penalties,
+            pattern_len=len(pattern_s),
+            text_len=len(text_s),
+            exact=self.heuristic is None,
+            pattern_start=p_start,
+            pattern_end=p_end,
+            text_start=t_start,
+            text_end=t_end,
+        )
+
+    def score(self, pattern: Sequence, text: Sequence) -> int:
+        """Convenience wrapper: the alignment penalty only."""
+        return self.align(pattern, text, score_only=True).score

@@ -1,0 +1,163 @@
+"""Bidirectional WFA (BiWFA-style) score computation.
+
+Runs two low-memory WFA engines towards each other — forward from
+``(0, 0)`` and reverse from ``(n, m)`` (on the reversed sequences) — and
+detects where their wavefronts meet, following the breakpoint lemmas of
+Marco-Sola et al.'s BiWFA ("Optimal gap-affine alignment in O(s) space",
+2023):
+
+* two **M** furthest-reaching points on mirrored diagonals whose offsets
+  cover the text between them witness an alignment of cost
+  ``s_fwd + s_rev``;
+* two **I** (or two **D**) points meeting *inside* a gap witness
+  ``s_fwd + s_rev - gap_open`` — both halves paid the opening of what is
+  a single gap.
+
+Each side keeps only the wavefront window its recurrences need, so peak
+memory is O(s) instead of the O(s²) a full-traceback WFA retains.  The
+detection window (the last ``lookback`` reverse scores are checked
+against each new forward wavefront, and vice versa) covers every split
+the balanced-split lemma guarantees to exist.
+
+Scope: score-only.  (Recursive O(s)-memory traceback is future work;
+``WavefrontAligner`` produces CIGARs with the standard engine.)
+
+Coordinate mirror: a reverse-problem point on diagonal ``k'`` with
+offset ``h'`` is the forward-problem point on diagonal
+``k = (m - n) - k'`` with text position ``h = m - h'``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.penalties import (
+    AffinePenalties,
+    Penalties,
+    TwoPieceAffinePenalties,
+)
+from repro.core.wfa import NULL_THRESHOLD, WfaEngine
+from repro.errors import AlignmentError
+
+__all__ = ["BiWfaScorer", "biwfa_score"]
+
+
+class BiWfaScorer:
+    """Meet-in-the-middle WFA scorer for one penalty model."""
+
+    def __init__(self, penalties: Optional[Penalties] = None) -> None:
+        self.penalties = penalties if penalties is not None else AffinePenalties()
+        self.penalties.validate()
+        if isinstance(self.penalties, TwoPieceAffinePenalties):
+            # Two gap-open corrections (one per piece) would be needed;
+            # the detection lemma per piece is future work.
+            raise AlignmentError("BiWFA scoring does not support affine-2p yet")
+
+    # -- gap-open correction per metric ---------------------------------
+
+    def _gap_open(self) -> int:
+        pen = self.penalties
+        if isinstance(pen, AffinePenalties):
+            return pen.gap_open
+        return 0  # edit/linear: gaps have no opening cost to double-count
+
+    def score(self, pattern: str, text: str) -> int:
+        """Optimal alignment penalty via bidirectional search."""
+        n, m = len(pattern), len(text)
+        if n == 0 or m == 0:
+            return self.penalties.gap_cost(max(n, m))
+
+        fwd = WfaEngine(pattern, text, self.penalties, memory_mode="low")
+        rev = WfaEngine(pattern[::-1], text[::-1], self.penalties, memory_mode="low")
+        gap_open = self._gap_open()
+        hard_cap = self.penalties.worst_case_score(n, m)
+
+        fwd.seed()
+        rev.seed()
+        best = self._probe(fwd, rev, fwd.score, rev.score, m, n, gap_open)
+
+        # A future probe at frontier total T+1 can pair the new wavefront
+        # with one up to `lookback` scores old and save up to gap_open on
+        # a mid-gap meet, so its candidates are >= T+1 - lookback - open.
+        slack = fwd.lookback + gap_open
+        while True:
+            if best is not None and fwd.score + rev.score + 1 - slack >= best:
+                return best
+            if fwd.score + rev.score > 2 * hard_cap:  # pragma: no cover
+                raise AlignmentError("bidirectional search failed to meet")
+            side = fwd if fwd.score <= rev.score else rev
+            side.advance()
+            cand = self._probe(fwd, rev, fwd.score, rev.score, m, n, gap_open)
+            if cand is not None and (best is None or cand < best):
+                best = cand
+
+    # -- detection ------------------------------------------------------
+
+    def _probe(
+        self,
+        fwd: WfaEngine,
+        rev: WfaEngine,
+        sf: int,
+        sr: int,
+        m: int,
+        n: int,
+        gap_open: int,
+    ) -> Optional[int]:
+        """Check the current frontier pair across both retained windows."""
+        best: Optional[int] = None
+        for sr_w in self._window(rev, sr):
+            cand = self._check_pair(fwd, sf, rev, sr_w, m, n, gap_open)
+            if cand is not None and (best is None or cand < best):
+                best = cand
+        for sf_w in self._window(fwd, sf):
+            cand = self._check_pair(fwd, sf_w, rev, sr, m, n, gap_open)
+            if cand is not None and (best is None or cand < best):
+                best = cand
+        return best
+
+    @staticmethod
+    def _window(engine: WfaEngine, score: int) -> list[int]:
+        lo = max(0, score - engine.lookback)
+        return [s for s in range(lo, score + 1) if engine.wavefronts.get(s) is not None]
+
+    def _check_pair(
+        self,
+        fwd: WfaEngine,
+        sf: int,
+        rev: WfaEngine,
+        sr: int,
+        m: int,
+        n: int,
+        gap_open: int,
+    ) -> Optional[int]:
+        ws_f = fwd.wavefronts.get(sf)
+        ws_r = rev.wavefronts.get(sr)
+        if ws_f is None or ws_r is None:
+            return None
+        best: Optional[int] = None
+        mirror = m - n
+        for comp, penalty_saved in (("m", 0), ("i", gap_open), ("d", gap_open)):
+            wf_f = getattr(ws_f, comp)
+            wf_r = getattr(ws_r, comp)
+            if wf_f is None or wf_r is None:
+                continue
+            # Diagonal k in forward view maps to mirror - k in reverse view.
+            k_lo = max(wf_f.lo, mirror - wf_r.hi)
+            k_hi = min(wf_f.hi, mirror - wf_r.lo)
+            for k in range(k_lo, k_hi + 1):
+                f = wf_f[k]
+                r = wf_r[mirror - k]
+                if f <= NULL_THRESHOLD or r <= NULL_THRESHOLD:
+                    continue
+                if f + r >= m:
+                    cand = sf + sr - penalty_saved
+                    if best is None or cand < best:
+                        best = cand
+        return best
+
+
+def biwfa_score(
+    pattern: str, text: str, penalties: Optional[Penalties] = None
+) -> int:
+    """Convenience wrapper: one-shot bidirectional score."""
+    return BiWfaScorer(penalties).score(pattern, text)

@@ -1,0 +1,126 @@
+"""Wavefront reduction heuristics.
+
+Exact WFA's wavefronts span every reachable diagonal, which for dissimilar
+sequences approaches the full ``n + m`` band.  The *adaptive* reduction of
+Marco-Sola et al. (WFA-Adapt) trims diagonals whose furthest-reaching
+points lag hopelessly behind the leaders, trading guaranteed optimality
+for a large wavefront-size reduction.  The trim only ever removes
+diagonals from the two ends of a wavefront, so wavefronts stay contiguous
+and the recurrences unchanged.
+
+Heuristics plug into :class:`~repro.core.wfa.WfaEngine` as a callable
+invoked after each wavefront extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.wavefront import WavefrontSet
+from repro.errors import ConfigError
+
+__all__ = ["AdaptiveReduction", "StaticBand"]
+
+_INF = float("inf")
+
+
+@dataclass
+class StaticBand:
+    """Fixed-band heuristic: trim wavefronts to ``[-band_lo, band_hi]``.
+
+    The wavefront formulation of classical banded alignment (WFA2-lib's
+    ``--wfa-heuristic=banded-static``): diagonals outside a fixed band
+    around the main diagonal are discarded every step.  Exact whenever
+    the optimal alignment stays inside the band; otherwise an upper
+    bound, like :func:`repro.baselines.banded.banded_gotoh_score` — the
+    two are cross-checked in the test-suite.
+    """
+
+    band_lo: int = 10
+    band_hi: int = 10
+
+    def __post_init__(self) -> None:
+        if self.band_lo < 0 or self.band_hi < 0:
+            raise ConfigError("band bounds must be >= 0")
+
+    def __call__(self, engine, score: int, ws: WavefrontSet) -> None:
+        # Keep diagonals in [-band_lo, band_hi] around the main diagonal,
+        # always retaining the end diagonal so termination stays possible.
+        k_end = engine.m - engine.n
+        lo_lim = min(-self.band_lo, k_end)
+        hi_lim = max(self.band_hi, k_end)
+        for comp in ws.components():
+            lo = max(comp.lo, lo_lim)
+            hi = min(comp.hi, hi_lim)
+            if lo <= hi and (lo > comp.lo or hi < comp.hi):
+                engine.counters.heuristic_trims += len(comp) - (hi - lo + 1)
+                comp.trim(lo, hi)
+
+
+@dataclass
+class AdaptiveReduction:
+    """WFA-Adapt: drop lagging boundary diagonals.
+
+    For every reached diagonal the *distance left to the end point* is
+    ``max(n - v, m - h)`` (the Chebyshev distance, a lower bound on the
+    remaining alignment columns).  Diagonals whose distance exceeds the
+    best by more than ``max_distance_threshold`` are trimmed from the
+    wavefront ends.  Wavefronts shorter than ``min_wavefront_length`` are
+    left alone, which keeps the heuristic exact on easy inputs.
+
+    Defaults are WFA's published defaults (10 / 50).
+    """
+
+    min_wavefront_length: int = 10
+    max_distance_threshold: int = 50
+
+    def __post_init__(self) -> None:
+        if self.min_wavefront_length < 1:
+            raise ConfigError("min_wavefront_length must be >= 1")
+        if self.max_distance_threshold < 1:
+            raise ConfigError("max_distance_threshold must be >= 1")
+
+    def __call__(self, engine, score: int, ws: WavefrontSet) -> None:
+        wf = ws.m
+        if wf is None or len(wf) < self.min_wavefront_length:
+            return
+        n, m = engine.n, engine.m
+
+        distances: list[float] = []
+        best = _INF
+        for idx, offset in enumerate(wf.offsets):
+            if offset < 0:
+                distances.append(_INF)
+                continue
+            k = wf.lo + idx
+            h = offset
+            v = offset - k
+            dist = max(n - v, m - h)
+            distances.append(dist)
+            if dist < best:
+                best = dist
+        if best is _INF:
+            return
+
+        limit = best + self.max_distance_threshold
+        lo_idx = 0
+        hi_idx = len(distances) - 1
+        while lo_idx < hi_idx and distances[lo_idx] > limit:
+            lo_idx += 1
+        while hi_idx > lo_idx and distances[hi_idx] > limit:
+            hi_idx -= 1
+        if lo_idx == 0 and hi_idx == len(distances) - 1:
+            return
+
+        new_lo = wf.lo + lo_idx
+        new_hi = wf.lo + hi_idx
+        trimmed = (len(wf) - (hi_idx - lo_idx + 1))
+        engine.counters.heuristic_trims += trimmed
+        for comp in ws.components():
+            # All components of a score share [lo, hi] in this engine, but
+            # guard with an intersection so the trim stays legal even if a
+            # future engine variant allocates them differently.
+            lo = max(new_lo, comp.lo)
+            hi = min(new_hi, comp.hi)
+            if lo <= hi and (lo > comp.lo or hi < comp.hi):
+                comp.trim(lo, hi)

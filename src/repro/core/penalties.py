@@ -1,0 +1,274 @@
+"""Alignment penalty models.
+
+The wavefront algorithm (WFA) is formulated over *penalty* scores: a match
+costs 0 and every other event accumulates a non-negative penalty, so the
+optimal alignment is the one of **minimum** total penalty.  This module
+defines the three distance metrics implemented by this reproduction,
+mirroring the metrics of WFA / WFA2-lib:
+
+* :class:`EditPenalties` — unit-cost Levenshtein distance (mismatch,
+  insertion and deletion all cost 1).
+* :class:`LinearPenalties` — gap-linear: mismatch costs ``mismatch``, each
+  inserted/deleted character costs ``indel``.
+* :class:`AffinePenalties` — gap-affine (the metric of the paper): a
+  mismatch costs ``mismatch`` and a gap of length ``l`` costs
+  ``gap_open + l * gap_extend``.  Note the WFA convention: the *first*
+  gap character already pays ``gap_open + gap_extend``.
+
+All penalty classes are immutable and hashable so they can be used as
+dictionary keys in caches and as parts of experiment configurations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.errors import PenaltyError
+
+__all__ = [
+    "Penalties",
+    "EditPenalties",
+    "LinearPenalties",
+    "AffinePenalties",
+    "TwoPieceAffinePenalties",
+]
+
+
+@dataclass(frozen=True)
+class Penalties:
+    """Base class for penalty models.
+
+    Subclasses must provide the attributes used by the generic helpers
+    below; the base class only implements shared validation and the
+    gap-cost interface.
+    """
+
+    def validate(self) -> None:
+        """Raise :class:`PenaltyError` if the configuration is unusable."""
+        raise NotImplementedError
+
+    def gap_cost(self, length: int) -> int:
+        """Penalty of a contiguous gap of ``length`` characters."""
+        raise NotImplementedError
+
+    def mismatch_cost(self) -> int:
+        """Penalty of a single mismatching character pair."""
+        raise NotImplementedError
+
+    # -- generic helpers -------------------------------------------------
+
+    def cigar_score(self, cigar: str) -> int:
+        """Score a CIGAR string under this model (match = 0).
+
+        ``cigar`` must be an *expanded or run-length encoded* CIGAR using
+        the alphabet ``M`` (match), ``X`` (mismatch), ``I`` (gap in
+        pattern / insertion into text) and ``D`` (gap in text / deletion
+        from pattern).  Implemented here once so every metric scores
+        consistently; gap runs are priced with :meth:`gap_cost`.
+        """
+        # Import here to avoid a cycle: cigar.py imports penalties for its
+        # own scoring helpers.
+        from repro.core.cigar import Cigar
+
+        return Cigar.from_string(cigar).score(self)
+
+    def worst_case_score(self, pattern_len: int, text_len: int) -> int:
+        """An upper bound on the optimal score for the given lengths.
+
+        Used by the WFA main loop as a safety net against runaway score
+        iteration (which would indicate a bug, not a legitimate
+        alignment).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EditPenalties(Penalties):
+    """Unit-cost edit (Levenshtein) distance."""
+
+    def validate(self) -> None:  # noqa: D102 - documented on base
+        return
+
+    def gap_cost(self, length: int) -> int:  # noqa: D102
+        if length < 0:
+            raise PenaltyError(f"negative gap length: {length}")
+        return length
+
+    def mismatch_cost(self) -> int:  # noqa: D102
+        return 1
+
+    def worst_case_score(self, pattern_len: int, text_len: int) -> int:  # noqa: D102
+        return max(pattern_len, text_len)
+
+
+@dataclass(frozen=True)
+class LinearPenalties(Penalties):
+    """Gap-linear penalties: ``mismatch`` per mismatch, ``indel`` per gap char."""
+
+    mismatch: int = 4
+    indel: int = 2
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:  # noqa: D102
+        if self.mismatch <= 0:
+            raise PenaltyError(f"mismatch penalty must be positive, got {self.mismatch}")
+        if self.indel <= 0:
+            raise PenaltyError(f"indel penalty must be positive, got {self.indel}")
+
+    def gap_cost(self, length: int) -> int:  # noqa: D102
+        if length < 0:
+            raise PenaltyError(f"negative gap length: {length}")
+        return self.indel * length
+
+    def mismatch_cost(self) -> int:  # noqa: D102
+        return self.mismatch
+
+    def worst_case_score(self, pattern_len: int, text_len: int) -> int:  # noqa: D102
+        # Deleting the whole pattern and inserting the whole text is always
+        # a legal (if terrible) alignment.
+        return self.indel * (pattern_len + text_len) + self.mismatch
+
+    def as_tuple(self) -> tuple[int, int]:
+        """``(mismatch, indel)`` — convenient for logging and cost tables."""
+        return (self.mismatch, self.indel)
+
+
+@dataclass(frozen=True)
+class AffinePenalties(Penalties):
+    """Gap-affine penalties — the metric used throughout the paper.
+
+    ``gap_cost(l) = gap_open + l * gap_extend`` for ``l >= 1`` (WFA
+    convention), 0 for ``l == 0``.  The defaults ``(4, 6, 2)`` are the
+    defaults of WFA2-lib and of the original WFA paper's evaluation.
+    """
+
+    mismatch: int = 4
+    gap_open: int = 6
+    gap_extend: int = 2
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:  # noqa: D102
+        if self.mismatch <= 0:
+            raise PenaltyError(f"mismatch penalty must be positive, got {self.mismatch}")
+        if self.gap_open < 0:
+            raise PenaltyError(f"gap_open must be non-negative, got {self.gap_open}")
+        if self.gap_extend <= 0:
+            raise PenaltyError(f"gap_extend must be positive, got {self.gap_extend}")
+
+    def gap_cost(self, length: int) -> int:  # noqa: D102
+        if length < 0:
+            raise PenaltyError(f"negative gap length: {length}")
+        if length == 0:
+            return 0
+        return self.gap_open + self.gap_extend * length
+
+    def mismatch_cost(self) -> int:  # noqa: D102
+        return self.mismatch
+
+    def worst_case_score(self, pattern_len: int, text_len: int) -> int:  # noqa: D102
+        return (
+            self.gap_cost(pattern_len)
+            + self.gap_cost(text_len)
+            + self.mismatch
+        )
+
+    def as_tuple(self) -> tuple[int, int, int]:
+        """``(mismatch, gap_open, gap_extend)``."""
+        return (self.mismatch, self.gap_open, self.gap_extend)
+
+    def to_linear(self) -> LinearPenalties:
+        """The gap-linear model obtained by dropping the opening penalty.
+
+        Useful for quick lower-bound estimates: for any alignment the
+        affine score is >= the linear score with ``indel = gap_extend``.
+        """
+        return LinearPenalties(mismatch=self.mismatch, indel=self.gap_extend)
+
+
+@dataclass(frozen=True)
+class TwoPieceAffinePenalties(Penalties):
+    """Two-piece gap-affine ("affine-2p" / convex) penalties.
+
+    The gap model of WFA2-lib's ``gap-affine-2p`` distance: two affine
+    pieces, ``gap_cost(l) = min(open1 + l*extend1, open2 + l*extend2)``,
+    which approximates a convex gap penalty — cheap to open short gaps,
+    cheap to extend long ones.  Conventionally ``extend2 < extend1`` and
+    ``open2 > open1`` so the second piece wins for long gaps.
+
+    Defaults follow WFA2-lib's documentation example (x=4, 6/2, 24/1).
+    """
+
+    mismatch: int = 4
+    gap_open1: int = 6
+    gap_extend1: int = 2
+    gap_open2: int = 24
+    gap_extend2: int = 1
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:  # noqa: D102
+        if self.mismatch <= 0:
+            raise PenaltyError(f"mismatch penalty must be positive, got {self.mismatch}")
+        for name in ("gap_open1", "gap_open2"):
+            if getattr(self, name) < 0:
+                raise PenaltyError(f"{name} must be non-negative")
+        for name in ("gap_extend1", "gap_extend2"):
+            if getattr(self, name) <= 0:
+                raise PenaltyError(f"{name} must be positive")
+
+    def gap_cost(self, length: int) -> int:  # noqa: D102
+        if length < 0:
+            raise PenaltyError(f"negative gap length: {length}")
+        if length == 0:
+            return 0
+        return min(
+            self.gap_open1 + self.gap_extend1 * length,
+            self.gap_open2 + self.gap_extend2 * length,
+        )
+
+    def mismatch_cost(self) -> int:  # noqa: D102
+        return self.mismatch
+
+    def worst_case_score(self, pattern_len: int, text_len: int) -> int:  # noqa: D102
+        return (
+            self.gap_cost(pattern_len)
+            + self.gap_cost(text_len)
+            + self.mismatch
+        )
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        """``(mismatch, open1, extend1, open2, extend2)``."""
+        return (
+            self.mismatch,
+            self.gap_open1,
+            self.gap_extend1,
+            self.gap_open2,
+            self.gap_extend2,
+        )
+
+    def piece1(self) -> AffinePenalties:
+        """The first affine piece as a standalone model."""
+        return AffinePenalties(
+            mismatch=self.mismatch,
+            gap_open=self.gap_open1,
+            gap_extend=self.gap_extend1,
+        )
+
+    def piece2(self) -> AffinePenalties:
+        """The second affine piece as a standalone model."""
+        return AffinePenalties(
+            mismatch=self.mismatch,
+            gap_open=self.gap_open2,
+            gap_extend=self.gap_extend2,
+        )
+
+
+def replace(penalties: Penalties, **changes: int) -> Penalties:
+    """Return a copy of ``penalties`` with the given fields replaced."""
+    return dataclasses.replace(penalties, **changes)

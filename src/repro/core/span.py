@@ -1,0 +1,91 @@
+"""Alignment spans: global, semi-global and ends-free alignment.
+
+WFA (like WFA2-lib) supports *ends-free* alignment: up to a configured
+number of characters at either end of either sequence may be left
+unaligned for free.  This generalizes:
+
+* **global** (Needleman-Wunsch style) — nothing free;
+* **semi-global** read mapping — the whole text may overhang on both
+  sides (pattern must align end-to-end inside the text);
+* **dovetail / overlap** forms — one free end per sequence.
+
+Free spans affect WFA in exactly two places: the score-0 wavefront is
+seeded along every diagonal reachable by a free prefix, and the
+termination test accepts any furthest-reaching point whose remaining
+suffix is within its free allowance.  Everything in between — the
+recurrences — is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AlignmentError
+
+__all__ = ["AlignmentSpan"]
+
+
+@dataclass(frozen=True)
+class AlignmentSpan:
+    """Free-end allowances, in characters (0 = that end is anchored)."""
+
+    pattern_begin_free: int = 0
+    pattern_end_free: int = 0
+    text_begin_free: int = 0
+    text_end_free: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pattern_begin_free",
+            "pattern_end_free",
+            "text_begin_free",
+            "text_end_free",
+        ):
+            if getattr(self, name) < 0:
+                raise AlignmentError(f"{name} must be >= 0")
+
+    # -- common presets ----------------------------------------------------
+
+    @classmethod
+    def global_(cls) -> "AlignmentSpan":
+        """End-to-end alignment of both sequences (the default)."""
+        return cls()
+
+    @classmethod
+    def semiglobal(cls, max_text_overhang: int | None = None) -> "AlignmentSpan":
+        """Pattern aligned end-to-end, text free at both ends.
+
+        ``max_text_overhang`` bounds the free text on each side; ``None``
+        means unbounded (clamped to the text length at alignment time).
+        """
+        free = 2**30 if max_text_overhang is None else max_text_overhang
+        return cls(text_begin_free=free, text_end_free=free)
+
+    @classmethod
+    def ends_free(cls, pattern_free: int, text_free: int) -> "AlignmentSpan":
+        """Symmetric ends-free: the same allowance at both ends of each."""
+        return cls(
+            pattern_begin_free=pattern_free,
+            pattern_end_free=pattern_free,
+            text_begin_free=text_free,
+            text_end_free=text_free,
+        )
+
+    @property
+    def is_global(self) -> bool:
+        """True when no end is free (plain global alignment)."""
+        return (
+            self.pattern_begin_free == 0
+            and self.pattern_end_free == 0
+            and self.text_begin_free == 0
+            and self.text_end_free == 0
+        )
+
+    def clamped(self, pattern_len: int, text_len: int) -> "AlignmentSpan":
+        """Allowances clamped to the actual sequence lengths."""
+        return AlignmentSpan(
+            pattern_begin_free=min(self.pattern_begin_free, pattern_len),
+            pattern_end_free=min(self.pattern_end_free, pattern_len),
+            text_begin_free=min(self.text_begin_free, text_len),
+            text_end_free=min(self.text_end_free, text_len),
+        )

@@ -1,0 +1,116 @@
+"""Text visualizations of WFA state — for debugging, docs and teaching.
+
+Plain-ASCII renderings (no plotting dependencies):
+
+* :func:`render_wavefront_progress` — per-score wavefront extents and the
+  furthest offset, showing the characteristic "wavefront funnel" of easy
+  pairs vs the widening fan of dissimilar ones.
+* :func:`render_alignment_matrix` — the DP matrix with the optimal path
+  drawn through it (small inputs), handy for validating tracebacks by
+  eye.
+* :func:`render_score_histogram` — workload score distribution as a bar
+  chart (used by the stats tooling).
+"""
+
+from __future__ import annotations
+
+from repro.core.cigar import Cigar
+from repro.core.wfa import WfaEngine
+from repro.errors import AlignmentError
+
+__all__ = [
+    "render_wavefront_progress",
+    "render_alignment_matrix",
+    "render_score_histogram",
+]
+
+
+def render_wavefront_progress(engine: WfaEngine, width: int = 64) -> str:
+    """One line per computed score: diagonal extent and furthest offset.
+
+    The engine must have been run in ``"full"`` memory mode (the default
+    of :meth:`~repro.core.aligner.WavefrontAligner.align`).
+    """
+    if engine.final_score is None:
+        raise AlignmentError("run the engine before rendering its wavefronts")
+    n, m = engine.n, engine.m
+    span_lo, span_hi = -n, m  # the full diagonal range
+    total = max(span_hi - span_lo, 1)
+    lines = [f"wavefront progress (n={n}, m={m}, final score {engine.final_score})"]
+    for score in sorted(engine.wavefronts):
+        ws = engine.wavefronts[score]
+        if ws is None or ws.m is None:
+            continue
+        wf = ws.m
+
+        def col(k: int) -> int:
+            # wavefront bounds over-allocate one diagonal per side, so
+            # clamp into the drawable range
+            return min(max(int((k - span_lo) / total * width), 0), width)
+
+        bar = [" "] * (width + 1)
+        for c in range(col(wf.lo), col(wf.hi) + 1):
+            bar[c] = "-"
+        # mark the best (furthest) reached diagonal
+        best_k, best_off = None, -1
+        for k in wf.diagonals():
+            if wf.reached(k) and wf[k] > best_off:
+                best_k, best_off = k, wf[k]
+        if best_k is not None:
+            bar[col(best_k)] = "*"
+        lines.append(f"s={score:<4d} [{''.join(bar)}] max_h={max(best_off, 0)}")
+    return "\n".join(lines)
+
+
+def render_alignment_matrix(
+    pattern: str, text: str, cigar: Cigar, max_size: int = 40
+) -> str:
+    """The DP grid with the alignment path marked.
+
+    ``\\`` diagonal steps (match/mismatch), ``>`` insertions, ``v``
+    deletions.  Limited to small inputs — this is a debugging aid, not a
+    genome browser.
+    """
+    n, m = len(pattern), len(text)
+    if n > max_size or m > max_size:
+        raise AlignmentError(
+            f"matrix rendering limited to {max_size}x{max_size} "
+            f"(got {n}x{m}); raise max_size explicitly if you must"
+        )
+    cigar.validate(pattern, text)
+    grid = [[" " for _ in range(m + 1)] for _ in range(n + 1)]
+    v = h = 0
+    grid[0][0] = "o"
+    for op in cigar:
+        for _ in range(op.length):
+            if op.op in ("M", "X"):
+                v += 1
+                h += 1
+                grid[v][h] = "\\" if op.op == "M" else "x"
+            elif op.op == "I":
+                h += 1
+                grid[v][h] = ">"
+            else:
+                v += 1
+                grid[v][h] = "v"
+    header = "      " + " ".join(text) if m else "      (empty text)"
+    lines = [header]
+    for i in range(n + 1):
+        label = pattern[i - 1] if i > 0 else " "
+        lines.append(f"  {label} " + " ".join(grid[i]))
+    return "\n".join(lines)
+
+
+def render_score_histogram(
+    histogram: dict[int, int], width: int = 40
+) -> str:
+    """Horizontal bar chart of a score histogram."""
+    if not histogram:
+        raise AlignmentError("empty histogram")
+    peak = max(histogram.values())
+    lines = []
+    for score in sorted(histogram):
+        count = histogram[score]
+        bar = "#" * max(1, round(count / peak * width))
+        lines.append(f"score {score:>4d} | {bar} {count}")
+    return "\n".join(lines)

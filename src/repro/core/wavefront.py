@@ -1,0 +1,189 @@
+"""Wavefront containers for the WFA algorithm.
+
+A *wavefront* for penalty score ``s`` stores, for every diagonal ``k`` in a
+contiguous range ``[lo, hi]``, the furthest-reaching offset reached on that
+diagonal with total penalty exactly ``s``.  Following WFA2-lib's
+convention, for a pattern of length ``n`` (index ``v``) and a text of
+length ``m`` (index ``h``):
+
+* diagonal ``k = h - v`` (so ``k`` ranges over ``[-n, m]``),
+* the stored *offset* is ``h`` (so ``v = offset - k``).
+
+Unreachable diagonals hold the sentinel :data:`OFFSET_NULL`, which is
+negative enough that ``max()`` arithmetic never confuses it with a real
+offset even after ``+1`` adjustments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["OFFSET_NULL", "Wavefront", "WavefrontSet", "WfaCounters"]
+
+#: Sentinel for "diagonal not reached".  Chosen so that ``OFFSET_NULL + c``
+#: for any small constant ``c`` still compares below every legal offset.
+OFFSET_NULL = -(2**30)
+
+
+class Wavefront:
+    """Offsets of the furthest-reaching points for one (score, component).
+
+    The container is a dense list over ``[lo, hi]``; indexing with a
+    diagonal outside the range returns :data:`OFFSET_NULL` instead of
+    raising, which keeps the recurrence code free of bounds checks (the
+    same trick real WFA implementations play with padded allocations).
+    """
+
+    __slots__ = ("lo", "hi", "offsets")
+
+    def __init__(self, lo: int, hi: int, fill: int = OFFSET_NULL) -> None:
+        if hi < lo:
+            raise ValueError(f"wavefront range is empty: [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+        self.offsets = [fill] * (hi - lo + 1)
+
+    def __len__(self) -> int:
+        """Number of diagonals covered (``hi - lo + 1``)."""
+        return self.hi - self.lo + 1
+
+    def __getitem__(self, k: int) -> int:
+        if k < self.lo or k > self.hi:
+            return OFFSET_NULL
+        return self.offsets[k - self.lo]
+
+    def __setitem__(self, k: int, offset: int) -> None:
+        if k < self.lo or k > self.hi:
+            raise IndexError(f"diagonal {k} outside wavefront range [{self.lo}, {self.hi}]")
+        self.offsets[k - self.lo] = offset
+
+    def diagonals(self) -> Iterator[int]:
+        """Iterate the covered diagonals in increasing order."""
+        return iter(range(self.lo, self.hi + 1))
+
+    def reached(self, k: int) -> bool:
+        """True if diagonal ``k`` holds a real (non-null) offset."""
+        return self[k] > OFFSET_NULL // 2
+
+    def max_offset(self) -> int:
+        """Largest stored offset (``OFFSET_NULL`` if nothing reached)."""
+        return max(self.offsets)
+
+    def trim(self, lo: int, hi: int) -> None:
+        """Shrink the covered range to ``[lo, hi]`` (used by heuristics).
+
+        The new range must be contained in the old one; offsets outside it
+        are discarded.
+        """
+        if lo < self.lo or hi > self.hi or hi < lo:
+            raise ValueError(
+                f"cannot trim [{self.lo}, {self.hi}] to [{lo}, {hi}]"
+            )
+        self.offsets = self.offsets[lo - self.lo : hi - self.lo + 1]
+        self.lo = lo
+        self.hi = hi
+
+    def nbytes(self, bytes_per_offset: int = 4) -> int:
+        """Footprint of this wavefront in a packed int32 layout.
+
+        This is the size the *real* (C / DPU) implementation would
+        allocate, which is what the PIM memory accounting uses — not the
+        Python object overhead.
+        """
+        return len(self) * bytes_per_offset
+
+    def __repr__(self) -> str:
+        cells = ", ".join(
+            "·" if not self.reached(k) else str(self[k]) for k in self.diagonals()
+        )
+        return f"Wavefront[lo={self.lo}, hi={self.hi}: {cells}]"
+
+
+@dataclass
+class WavefrontSet:
+    """The wavefront components for one score.
+
+    ``m`` is the match/mismatch component; ``i``/``d`` are the gap
+    components (``None`` for metrics without separate gap states — edit
+    and gap-linear); ``i2``/``d2`` are the second-piece gap components
+    used only by the two-piece affine metric.
+    """
+
+    m: Optional[Wavefront] = None
+    i: Optional[Wavefront] = None
+    d: Optional[Wavefront] = None
+    i2: Optional[Wavefront] = None
+    d2: Optional[Wavefront] = None
+
+    def components(self) -> list[Wavefront]:
+        """All present component wavefronts."""
+        return [
+            wf for wf in (self.m, self.i, self.d, self.i2, self.d2) if wf is not None
+        ]
+
+    def is_empty(self) -> bool:
+        """True when no component holds any reachable diagonal."""
+        for wf in self.components():
+            if any(wf.reached(k) for k in wf.diagonals()):
+                return False
+        return True
+
+    def nbytes(self, bytes_per_offset: int = 4) -> int:
+        """Packed footprint of all present components."""
+        return sum(wf.nbytes(bytes_per_offset) for wf in self.components())
+
+
+@dataclass
+class WfaCounters:
+    """Instrumentation gathered while aligning one pair.
+
+    These counts are the *functional* measurements that the CPU and PIM
+    timing models convert into cycles; they are deterministic for a given
+    input pair and penalty model.
+
+    Attributes:
+        cells_computed: wavefront cells evaluated by the recurrences
+            (one per (component, diagonal) of every computed wavefront).
+        extend_steps: character comparisons performed by greedy extension
+            (both the matching steps and the final mismatching probe).
+        score_iterations: main-loop iterations (== final score + 1 minus
+            skipped empty scores, counted per score value visited).
+        wavefronts_allocated: number of component wavefronts allocated.
+        offsets_allocated: total offsets across all allocated wavefronts
+            — multiplied by 4 bytes this is the metadata footprint the
+            paper's allocator must manage.
+        peak_live_bytes: maximum packed metadata resident at any score
+            (full-memory mode keeps everything; score-only mode keeps a
+            window).
+        backtrace_ops: CIGAR operations emitted during traceback.
+        heuristic_trims: diagonals removed by the adaptive heuristic.
+    """
+
+    cells_computed: int = 0
+    extend_steps: int = 0
+    score_iterations: int = 0
+    wavefronts_allocated: int = 0
+    offsets_allocated: int = 0
+    peak_live_bytes: int = 0
+    backtrace_ops: int = 0
+    heuristic_trims: int = 0
+    #: per-score allocation log: ``(score, component, lo, hi)`` for every
+    #: wavefront created, in creation order.  The PIM kernel replays this
+    #: log to charge DMA traffic for metadata staged between WRAM and MRAM.
+    wavefront_log: list[tuple[int, str, int, int]] = field(default_factory=list)
+
+    def add(self, other: "WfaCounters") -> None:
+        """Accumulate another pair's counters into this one (logs excluded)."""
+        self.cells_computed += other.cells_computed
+        self.extend_steps += other.extend_steps
+        self.score_iterations += other.score_iterations
+        self.wavefronts_allocated += other.wavefronts_allocated
+        self.offsets_allocated += other.offsets_allocated
+        self.peak_live_bytes = max(self.peak_live_bytes, other.peak_live_bytes)
+        self.backtrace_ops += other.backtrace_ops
+        self.heuristic_trims += other.heuristic_trims
+
+    def metadata_bytes(self, bytes_per_offset: int = 4) -> int:
+        """Total packed bytes of all wavefront metadata ever allocated."""
+        return self.offsets_allocated * bytes_per_offset

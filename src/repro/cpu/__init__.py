@@ -1,0 +1,15 @@
+"""CPU substrate: the paper's multicore baseline (functional + roofline)."""
+
+from repro.cpu.config import CpuConfig, xeon_gold_5120_dual
+from repro.cpu.model import CpuModel, CpuTimeBreakdown, CpuTrafficModel
+from repro.cpu.runner import CpuRunner, CpuSampleMeasurement
+
+__all__ = [
+    "CpuConfig",
+    "xeon_gold_5120_dual",
+    "CpuModel",
+    "CpuTimeBreakdown",
+    "CpuTrafficModel",
+    "CpuRunner",
+    "CpuSampleMeasurement",
+]

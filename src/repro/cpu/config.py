@@ -1,0 +1,103 @@
+"""CPU platform configuration and the paper's Xeon preset.
+
+The paper's CPU baseline is a dual-socket Intel Xeon Gold 5120 server (14
+cores x 2 sockets x 2-way SMT = 56 threads, 2.2 GHz base, 6 DDR4-2400
+channels per socket, 64 GB).  :func:`xeon_gold_5120_dual` captures its
+published characteristics; effective-rate parameters (IPC, SMT yield,
+achievable bandwidth) are calibration constants documented in
+:mod:`repro.perf.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+__all__ = ["CpuConfig", "xeon_gold_5120_dual"]
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Multicore CPU characteristics for the roofline timing model."""
+
+    name: str = "generic-cpu"
+    sockets: int = 2
+    cores_per_socket: int = 14
+    smt: int = 2
+    frequency_hz: float = 2.2e9
+    #: effective instructions per cycle per thread for the (vectorized)
+    #: WFA workload, already folding in AVX throughput and stalls.
+    ipc: float = 1.6
+    #: marginal throughput of a second SMT thread on a busy core.
+    smt_yield: float = 0.30
+    #: *effective* DRAM bandwidth achievable by this workload's access
+    #: pattern (small malloc-backed blocks, strided wavefront walks, two
+    #: NUMA domains) — far below the ~115 GB/s STREAM figure of this
+    #: machine; see perf/calibration.py for the anchoring.
+    mem_bandwidth_bytes_per_s: float = 8.9e9
+    #: threads at which B(T) = peak/2 in the saturating-bandwidth curve
+    #: ``B(T) = peak * T / (T + bw_saturation_threads)``.
+    bw_saturation_threads: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.smt < 1:
+            raise ConfigError("topology fields must be >= 1")
+        if self.frequency_hz <= 0 or self.ipc <= 0:
+            raise ConfigError("frequency and ipc must be positive")
+        if not 0.0 <= self.smt_yield <= 1.0:
+            raise ConfigError("smt_yield must be in [0, 1]")
+        if self.mem_bandwidth_bytes_per_s <= 0 or self.bw_saturation_threads <= 0:
+            raise ConfigError("bandwidth parameters must be positive")
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def max_threads(self) -> int:
+        return self.physical_cores * self.smt
+
+    def effective_cores(self, threads: int) -> float:
+        """Core-equivalents delivered by ``threads`` software threads.
+
+        Linear up to the physical core count; additional SMT siblings
+        contribute ``smt_yield`` each.
+        """
+        if threads < 1:
+            raise ConfigError(f"threads must be >= 1, got {threads}")
+        if threads > self.max_threads:
+            raise ConfigError(
+                f"{threads} threads exceed the machine's {self.max_threads}"
+            )
+        if threads <= self.physical_cores:
+            return float(threads)
+        return self.physical_cores + (threads - self.physical_cores) * self.smt_yield
+
+    def compute_rate(self, threads: int) -> float:
+        """Aggregate instruction throughput (instructions/second)."""
+        return self.effective_cores(threads) * self.frequency_hz * self.ipc
+
+    def memory_bandwidth(self, threads: int) -> float:
+        """Achievable DRAM bandwidth with ``threads`` active threads.
+
+        Saturating: a single thread cannot issue enough outstanding
+        misses to fill the channels; the curve approaches the peak as
+        threads grow (classic STREAM-vs-threads behaviour).
+        """
+        t = float(threads)
+        return self.mem_bandwidth_bytes_per_s * t / (t + self.bw_saturation_threads)
+
+    def with_(self, **changes) -> "CpuConfig":
+        return replace(self, **changes)
+
+
+def xeon_gold_5120_dual() -> CpuConfig:
+    """The paper's CPU: 2 x Xeon Gold 5120 (56 threads, DDR4-2400 x 12)."""
+    return CpuConfig(
+        name="2x Intel Xeon Gold 5120",
+        sockets=2,
+        cores_per_socket=14,
+        smt=2,
+        frequency_hz=2.2e9,
+    )

@@ -1,0 +1,135 @@
+"""Roofline timing model for the multicore CPU baseline.
+
+The paper's key CPU observation is that WFA throughput "does not scale
+well with the number of threads ... since its performance is limited by
+memory bandwidth".  The standard analytic form of that behaviour is a
+roofline over thread count:
+
+``t(T) = max( W / R(T),  Q / B(T) )``
+
+* ``W`` — total instruction work, from the functional operation counts
+  via :class:`~repro.perf.costs.CpuCostModel`;
+* ``R(T)`` — aggregate instruction throughput (linear in cores, derated
+  SMT; :meth:`~repro.cpu.config.CpuConfig.compute_rate`);
+* ``Q`` — total DRAM traffic, from the per-pair traffic model below;
+* ``B(T)`` — achievable bandwidth, saturating in ``T``.
+
+At small ``T`` the compute term dominates and scaling is near-linear; as
+``T`` grows the bandwidth term takes over and the curve flattens — the
+shape of the paper's Fig. 1 CPU bars.
+
+DRAM traffic per pair: each pair's sequences and result are streamed
+once (compulsory traffic), the allocator and runtime touch a further
+fixed overhead, and a small fraction of the WFA wavefront metadata
+spills past the caches (for 100 bp reads the few-KB metadata is largely
+cache-resident — the spill fraction and overhead are calibration
+constants with their rationale in :mod:`repro.perf.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.wavefront import WfaCounters
+from repro.cpu.config import CpuConfig
+from repro.errors import ConfigError
+from repro.perf.costs import CpuCostModel
+
+__all__ = ["CpuTrafficModel", "CpuTimeBreakdown", "CpuModel"]
+
+
+@dataclass(frozen=True)
+class CpuTrafficModel:
+    """Per-pair DRAM traffic estimate."""
+
+    #: bytes streamed per pair beyond the sequences themselves: result
+    #: write-back, per-alignment allocator slab touches, page-granular
+    #: prefetch waste (see perf/calibration.py).
+    fixed_overhead_bytes: float = 1600.0
+    #: multiplier on sequence bytes (read once, write-allocate etc.).
+    sequence_factor: float = 2.0
+    #: fraction of packed wavefront metadata that misses the caches.
+    metadata_spill_fraction: float = 0.10
+
+    def bytes_per_pair(
+        self, metadata_bytes_per_pair: float, seq_bytes: float
+    ) -> float:
+        """DRAM bytes for one pair given its mean metadata and sequence size."""
+        return (
+            self.fixed_overhead_bytes
+            + self.sequence_factor * seq_bytes
+            + self.metadata_spill_fraction * metadata_bytes_per_pair
+        )
+
+
+@dataclass
+class CpuTimeBreakdown:
+    """Modeled run time at one thread count."""
+
+    threads: int
+    compute_seconds: float
+    memory_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+
+@dataclass
+class CpuModel:
+    """Converts measured workload counts into time-vs-threads curves."""
+
+    config: CpuConfig
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    traffic_model: CpuTrafficModel = field(default_factory=CpuTrafficModel)
+
+    def time_for(
+        self,
+        counters: WfaCounters,
+        pairs_measured: int,
+        seq_bytes_per_pair: float,
+        total_pairs: int,
+        threads: int,
+    ) -> CpuTimeBreakdown:
+        """Model time to align ``total_pairs`` with ``threads`` threads.
+
+        ``counters`` must hold the *accumulated* counts of
+        ``pairs_measured`` functionally aligned sample pairs; per-pair
+        means are extrapolated to ``total_pairs``.
+        """
+        if pairs_measured < 1:
+            raise ConfigError("pairs_measured must be >= 1")
+        if total_pairs < 0:
+            raise ConfigError("total_pairs must be >= 0")
+        scale = total_pairs / pairs_measured
+        work = self.cost_model.instructions(counters, pairs=pairs_measured) * scale
+        metadata_pp = counters.metadata_bytes() / pairs_measured
+        traffic = (
+            self.traffic_model.bytes_per_pair(metadata_pp, seq_bytes_per_pair)
+            * total_pairs
+        )
+        compute_s = work / self.config.compute_rate(threads)
+        memory_s = traffic / self.config.memory_bandwidth(threads)
+        return CpuTimeBreakdown(
+            threads=threads, compute_seconds=compute_s, memory_seconds=memory_s
+        )
+
+    def scaling_curve(
+        self,
+        counters: WfaCounters,
+        pairs_measured: int,
+        seq_bytes_per_pair: float,
+        total_pairs: int,
+        thread_counts: list[int],
+    ) -> list[CpuTimeBreakdown]:
+        """Model the paper's thread sweep (1, 2, 4, ..., 56)."""
+        return [
+            self.time_for(
+                counters, pairs_measured, seq_bytes_per_pair, total_pairs, t
+            )
+            for t in thread_counts
+        ]

@@ -1,0 +1,124 @@
+"""Functional CPU execution of WFA workloads.
+
+Two roles:
+
+* :meth:`CpuRunner.measure` — align a sample of pairs with the reference
+  WFA implementation and accumulate the operation counters that the
+  roofline model (:mod:`repro.cpu.model`) extrapolates to full workload
+  timings.  This is the CPU-side half of the functional-first
+  methodology.
+* :meth:`CpuRunner.align_all` — actually align a batch, optionally
+  fanning out over worker *processes* (Python threads would serialize on
+  the GIL; the paper's C implementation uses threads, which our modeled
+  thread counts represent — worker processes here are purely a
+  wall-clock convenience for large functional runs).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.aligner import AlignmentResult, WavefrontAligner
+from repro.core.penalties import AffinePenalties, Penalties
+from repro.core.wavefront import WfaCounters
+from repro.data.generator import ReadPair
+from repro.errors import ConfigError
+
+__all__ = ["CpuSampleMeasurement", "CpuRunner"]
+
+
+@dataclass
+class CpuSampleMeasurement:
+    """Accumulated functional counts over a measured sample."""
+
+    counters: WfaCounters
+    pairs: int
+    seq_bytes_per_pair: float
+    scores: list[int] = field(default_factory=list)
+
+    @property
+    def cells_per_pair(self) -> float:
+        return self.counters.cells_computed / self.pairs if self.pairs else 0.0
+
+    @property
+    def metadata_bytes_per_pair(self) -> float:
+        return self.counters.metadata_bytes() / self.pairs if self.pairs else 0.0
+
+
+# Module-level worker so multiprocessing can pickle it.
+_WORKER_ALIGNER: Optional[WavefrontAligner] = None
+
+
+def _init_worker(penalties: Penalties, heuristic, score_only: bool) -> None:
+    global _WORKER_ALIGNER
+    _WORKER_ALIGNER = WavefrontAligner(penalties, heuristic=heuristic)
+    _WORKER_ALIGNER._score_only = score_only  # type: ignore[attr-defined]
+
+
+def _align_pair(pair: ReadPair) -> AlignmentResult:
+    assert _WORKER_ALIGNER is not None
+    return _WORKER_ALIGNER.align(
+        pair.pattern,
+        pair.text,
+        score_only=getattr(_WORKER_ALIGNER, "_score_only", False),
+    )
+
+
+class CpuRunner:
+    """Reference (CPU-side) WFA executor and counter harvester."""
+
+    def __init__(
+        self,
+        penalties: Optional[Penalties] = None,
+        *,
+        traceback: bool = True,
+        adaptive: bool = False,
+    ) -> None:
+        self.penalties = penalties if penalties is not None else AffinePenalties()
+        self.traceback = traceback
+        self.heuristic = "adaptive" if adaptive else None
+        self._aligner = WavefrontAligner(self.penalties, heuristic=self.heuristic)
+
+    def measure(self, pairs: Sequence[ReadPair]) -> CpuSampleMeasurement:
+        """Align every pair, accumulating counters and sequence sizes."""
+        if not pairs:
+            raise ConfigError("measure() needs at least one pair")
+        total = WfaCounters()
+        scores: list[int] = []
+        seq_bytes = 0
+        for pair in pairs:
+            result = self._aligner.align(
+                pair.pattern, pair.text, score_only=not self.traceback
+            )
+            total.add(result.counters)
+            scores.append(result.score)
+            seq_bytes += len(pair.pattern) + len(pair.text)
+        return CpuSampleMeasurement(
+            counters=total,
+            pairs=len(pairs),
+            seq_bytes_per_pair=seq_bytes / len(pairs),
+            scores=scores,
+        )
+
+    def align_all(
+        self, pairs: Sequence[ReadPair], workers: int = 1
+    ) -> list[AlignmentResult]:
+        """Align a batch, optionally in parallel worker processes."""
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if workers == 1 or len(pairs) < 2 * workers:
+            return [
+                self._aligner.align(
+                    p.pattern, p.text, score_only=not self.traceback
+                )
+                for p in pairs
+            ]
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(self.penalties, self.heuristic, not self.traceback),
+        ) as pool:
+            return pool.map(_align_pair, list(pairs), chunksize=64)

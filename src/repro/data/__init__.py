@@ -1,0 +1,63 @@
+"""Workload substrate: read-pair generation, dataset specs, sequence I/O."""
+
+from repro.data.datasets import (
+    PAPER_NUM_PAIRS,
+    PAPER_READ_LENGTH,
+    DatasetSpec,
+    paper_dataset,
+)
+from repro.data.generator import (
+    ReadPair,
+    ReadPairGenerator,
+    mutate_sequence,
+    random_sequence,
+    total_bases,
+)
+from repro.data.paf import PafRecord, from_alignment, read_paf, write_paf
+from repro.data.simulator import ReferenceSampler, SampledRead
+from repro.data.seqtools import (
+    gc_content,
+    hamming_distance,
+    kmer_counts,
+    reverse_complement,
+    validate_alphabet,
+)
+from repro.data.seqio import (
+    iter_seq,
+    read_fasta,
+    write_fasta,
+    read_fasta_pairs,
+    read_seq,
+    write_fasta_pairs,
+    write_seq,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "paper_dataset",
+    "PAPER_NUM_PAIRS",
+    "PAPER_READ_LENGTH",
+    "ReadPair",
+    "ReadPairGenerator",
+    "random_sequence",
+    "mutate_sequence",
+    "total_bases",
+    "write_seq",
+    "read_seq",
+    "iter_seq",
+    "write_fasta_pairs",
+    "read_fasta_pairs",
+    "read_fasta",
+    "write_fasta",
+    "reverse_complement",
+    "gc_content",
+    "hamming_distance",
+    "kmer_counts",
+    "validate_alphabet",
+    "ReferenceSampler",
+    "SampledRead",
+    "PafRecord",
+    "from_alignment",
+    "write_paf",
+    "read_paf",
+]

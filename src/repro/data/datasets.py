@@ -1,0 +1,87 @@
+"""Dataset specifications and the paper's workload presets.
+
+A :class:`DatasetSpec` fully determines a workload (count, length, error
+threshold, error model, seed) without materializing it — 5 million pairs
+are never held in memory.  Experiments *sample* a spec: they generate the
+first ``sample_size`` pairs, measure per-pair operation counts, and
+extrapolate to the full count (legitimate because pairs are i.i.d. by
+construction and generation is seeded/deterministic; see DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.data.generator import ReadPair, ReadPairGenerator
+from repro.errors import DataError
+
+__all__ = ["DatasetSpec", "paper_dataset", "PAPER_NUM_PAIRS", "PAPER_READ_LENGTH"]
+
+#: Workload constants from the paper's Results section.
+PAPER_NUM_PAIRS = 5_000_000
+PAPER_READ_LENGTH = 100
+PAPER_ERROR_RATES = (0.02, 0.04)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A fully-seeded description of an alignment workload."""
+
+    num_pairs: int
+    length: int
+    error_rate: float
+    seed: int = 0
+    error_model: str = "exact"
+
+    def __post_init__(self) -> None:
+        if self.num_pairs < 0:
+            raise DataError(f"num_pairs must be >= 0, got {self.num_pairs}")
+
+    def generator(self) -> ReadPairGenerator:
+        """A fresh generator positioned at the start of this dataset."""
+        return ReadPairGenerator(
+            length=self.length,
+            error_rate=self.error_rate,
+            seed=self.seed,
+            error_model=self.error_model,
+        )
+
+    def sample(self, sample_size: int) -> list[ReadPair]:
+        """The first ``min(sample_size, num_pairs)`` pairs of the dataset."""
+        take = min(sample_size, self.num_pairs)
+        return self.generator().pairs(take)
+
+    def stream(self) -> Iterator[ReadPair]:
+        """Every pair of the dataset, lazily."""
+        return self.generator().stream(self.num_pairs)
+
+    def scaled(self, num_pairs: int) -> "DatasetSpec":
+        """Same distribution, different pair count (mini-scale experiments)."""
+        return replace(self, num_pairs=num_pairs)
+
+    @property
+    def edit_budget(self) -> int:
+        """Per-pair edit budget ``round(error_rate * length)``."""
+        return round(self.error_rate * self.length)
+
+    def describe(self) -> str:
+        """Human-readable one-liner used in experiment reports."""
+        return (
+            f"{self.num_pairs:,} pairs x {self.length}bp, "
+            f"E={self.error_rate:.0%} ({self.error_model}, seed={self.seed})"
+        )
+
+
+def paper_dataset(error_rate: float, seed: int = 0) -> DatasetSpec:
+    """The paper's workload: 5M pairs of 100bp reads at threshold E.
+
+    ``error_rate`` should be one of the paper's thresholds (0.02, 0.04)
+    but any value in [0, 1] is accepted for the extension sweeps.
+    """
+    return DatasetSpec(
+        num_pairs=PAPER_NUM_PAIRS,
+        length=PAPER_READ_LENGTH,
+        error_rate=error_rate,
+        seed=seed,
+    )

@@ -1,0 +1,159 @@
+"""Synthetic read-pair workload generation.
+
+The paper's workload is "5 million pairs of 100bp-long reads with edit
+distance thresholds (E) of 2% and 4%" — the standard WFA evaluation
+setup: for each pair, a random DNA read and a copy mutated with edits up
+to the threshold.  Real sequencing reads are not available offline, so
+this generator is the substitution (see DESIGN.md §2); its guarantees are
+property-tested against an independent Levenshtein implementation.
+
+Error models (``error_model``):
+
+* ``"exact"`` (default) — every pair receives exactly
+  ``round(error_rate * length)`` edit operations (the WFA paper's setup).
+* ``"uniform"`` — the edit count is drawn uniformly from
+  ``[0, round(error_rate * length)]``, modelling a threshold rather than
+  a fixed rate.
+* ``"binomial"`` — each position independently mutates with probability
+  ``error_rate``, modelling a uniform per-base error process.
+
+In every model the *requested* edit count is an upper bound on the true
+edit distance of the pair (random edits can cancel or overlap).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.errors import DataError
+
+__all__ = ["ReadPair", "ReadPairGenerator", "random_sequence", "mutate_sequence"]
+
+DNA = "ACGT"
+
+
+def random_sequence(length: int, rng: random.Random, alphabet: str = DNA) -> str:
+    """Uniform random sequence over ``alphabet``."""
+    if length < 0:
+        raise DataError(f"sequence length must be >= 0, got {length}")
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def mutate_sequence(
+    seq: str,
+    num_errors: int,
+    rng: random.Random,
+    alphabet: str = DNA,
+) -> str:
+    """Apply exactly ``num_errors`` random edits to ``seq``.
+
+    Each edit is a substitution (to a *different* character), an
+    insertion, or a deletion, chosen uniformly; positions are uniform over
+    the current sequence.  The result's edit distance to ``seq`` is at
+    most ``num_errors`` (edits may cancel), which is precisely the
+    "threshold" semantics of the paper's E parameter.
+    """
+    if num_errors < 0:
+        raise DataError(f"num_errors must be >= 0, got {num_errors}")
+    out = list(seq)
+    for _ in range(num_errors):
+        kind = rng.randrange(3)
+        if kind == 0 and out:  # substitution
+            pos = rng.randrange(len(out))
+            old = out[pos]
+            choices = [c for c in alphabet if c != old]
+            out[pos] = rng.choice(choices) if choices else old
+        elif kind == 1:  # insertion
+            pos = rng.randrange(len(out) + 1)
+            out.insert(pos, rng.choice(alphabet))
+        elif out:  # deletion
+            pos = rng.randrange(len(out))
+            del out[pos]
+    return "".join(out)
+
+
+@dataclass(frozen=True)
+class ReadPair:
+    """One alignment work item: a (pattern, text) pair plus provenance."""
+
+    pattern: str
+    text: str
+    requested_errors: int = 0
+
+    def max_length(self) -> int:
+        """Longer of the two reads (sizing MRAM slots)."""
+        return max(len(self.pattern), len(self.text))
+
+
+@dataclass
+class ReadPairGenerator:
+    """Seeded generator of read pairs at a given length and error threshold.
+
+    Args:
+        length: read length in bp (the paper uses 100).
+        error_rate: edit threshold E as a fraction (0.02 for the paper's
+            2%); the per-pair edit budget is ``round(error_rate*length)``.
+        seed: RNG seed; two generators with equal parameters produce
+            identical streams, which is what lets the sampled-measurement
+            methodology extrapolate deterministically.
+        error_model: ``"exact"``, ``"uniform"`` or ``"binomial"``.
+        alphabet: residue alphabet, default DNA.
+    """
+
+    length: int = 100
+    error_rate: float = 0.02
+    seed: int = 0
+    error_model: str = "exact"
+    alphabet: str = DNA
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise DataError(f"length must be >= 1, got {self.length}")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise DataError(f"error_rate must be in [0, 1], got {self.error_rate}")
+        if self.error_model not in ("exact", "uniform", "binomial"):
+            raise DataError(f"unknown error_model {self.error_model!r}")
+        if len(self.alphabet) < 2:
+            raise DataError("alphabet needs at least 2 symbols to mutate")
+        self._rng = random.Random(self.seed)
+
+    @property
+    def edit_budget(self) -> int:
+        """Per-pair maximum number of edit operations."""
+        return round(self.error_rate * self.length)
+
+    def _draw_errors(self) -> int:
+        if self.error_model == "exact":
+            return self.edit_budget
+        if self.error_model == "uniform":
+            return self._rng.randint(0, self.edit_budget)
+        # binomial: per-base coin flips
+        return sum(
+            1 for _ in range(self.length) if self._rng.random() < self.error_rate
+        )
+
+    def pair(self) -> ReadPair:
+        """Generate the next read pair."""
+        pattern = random_sequence(self.length, self._rng, self.alphabet)
+        errors = self._draw_errors()
+        text = mutate_sequence(pattern, errors, self._rng, self.alphabet)
+        return ReadPair(pattern=pattern, text=text, requested_errors=errors)
+
+    def pairs(self, count: int) -> list[ReadPair]:
+        """Generate ``count`` pairs eagerly."""
+        if count < 0:
+            raise DataError(f"count must be >= 0, got {count}")
+        return [self.pair() for _ in range(count)]
+
+    def stream(self, count: int) -> Iterator[ReadPair]:
+        """Generate ``count`` pairs lazily."""
+        for _ in range(count):
+            yield self.pair()
+
+
+def total_bases(pairs: Sequence[ReadPair]) -> int:
+    """Total residues across all reads of all pairs (transfer sizing)."""
+    return sum(len(p.pattern) + len(p.text) for p in pairs)

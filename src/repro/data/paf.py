@@ -1,0 +1,141 @@
+"""PAF output for mapping-style alignment results.
+
+PAF (the "pairwise mapping format" of minimap2) is the lingua franca for
+read-to-reference mappings; writing it makes this library's semi-global
+results consumable by standard downstream tooling (paftools, dotplots,
+IGV converters).
+
+One record per mapped read; the ``cg:Z:`` tag carries the CIGAR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.core.aligner import AlignmentResult
+from repro.errors import DataError
+
+__all__ = ["PafRecord", "from_alignment", "write_paf", "read_paf"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class PafRecord:
+    """One PAF line (mandatory columns + the cg CIGAR tag)."""
+
+    query_name: str
+    query_len: int
+    query_start: int
+    query_end: int
+    strand: str  # "+" or "-"
+    target_name: str
+    target_len: int
+    target_start: int
+    target_end: int
+    matches: int
+    alignment_len: int
+    mapq: int = 255
+    cigar: str = ""
+
+    def __post_init__(self) -> None:
+        if self.strand not in ("+", "-"):
+            raise DataError(f"strand must be '+' or '-', got {self.strand!r}")
+        if not 0 <= self.query_start <= self.query_end <= self.query_len:
+            raise DataError("query coordinates out of order")
+        if not 0 <= self.target_start <= self.target_end <= self.target_len:
+            raise DataError("target coordinates out of order")
+
+    def line(self) -> str:
+        fields = [
+            self.query_name,
+            str(self.query_len),
+            str(self.query_start),
+            str(self.query_end),
+            self.strand,
+            self.target_name,
+            str(self.target_len),
+            str(self.target_start),
+            str(self.target_end),
+            str(self.matches),
+            str(self.alignment_len),
+            str(self.mapq),
+        ]
+        if self.cigar:
+            fields.append(f"cg:Z:{self.cigar}")
+        return "\t".join(fields)
+
+
+def from_alignment(
+    result: AlignmentResult,
+    query_name: str,
+    target_name: str,
+    strand: str = "+",
+    mapq: int = 255,
+) -> PafRecord:
+    """Build a PAF record from an (ends-free or global) alignment result."""
+    if result.cigar is None:
+        raise DataError("PAF output needs a CIGAR (align without score_only)")
+    counts = result.cigar.counts()
+    return PafRecord(
+        query_name=query_name,
+        query_len=result.pattern_len,
+        query_start=result.pattern_start,
+        query_end=result.pattern_end,
+        strand=strand,
+        target_name=target_name,
+        target_len=result.text_len,
+        target_start=result.text_start,
+        target_end=result.text_end,
+        matches=counts["M"],
+        alignment_len=result.cigar.columns(),
+        mapq=mapq,
+        cigar=str(result.cigar),
+    )
+
+
+def write_paf(path: PathLike, records: Iterable[PafRecord]) -> int:
+    """Write records to a PAF file; returns the count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for rec in records:
+            fh.write(rec.line() + "\n")
+            count += 1
+    return count
+
+
+def read_paf(path: PathLike) -> list[PafRecord]:
+    """Parse a PAF file (mandatory columns + optional cg tag)."""
+    records = []
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) < 12:
+                raise DataError(f"{path}:{lineno}: PAF needs >= 12 columns")
+            cigar = ""
+            for tag in fields[12:]:
+                if tag.startswith("cg:Z:"):
+                    cigar = tag[5:]
+            records.append(
+                PafRecord(
+                    query_name=fields[0],
+                    query_len=int(fields[1]),
+                    query_start=int(fields[2]),
+                    query_end=int(fields[3]),
+                    strand=fields[4],
+                    target_name=fields[5],
+                    target_len=int(fields[6]),
+                    target_start=int(fields[7]),
+                    target_end=int(fields[8]),
+                    matches=int(fields[9]),
+                    alignment_len=int(fields[10]),
+                    mapq=int(fields[11]),
+                    cigar=cigar,
+                )
+            )
+    return records

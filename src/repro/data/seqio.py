@@ -1,0 +1,190 @@
+"""Sequence-pair file I/O.
+
+Two formats:
+
+* **``.seq``** — the pair format of WFA2-lib's ``align_benchmark`` tool:
+  two lines per pair, ``>PATTERN`` then ``<TEXT``.  This is the format
+  the paper's tooling consumes, so datasets written here are drop-in
+  usable with the original software.
+* **FASTA** — interleaved records ``(pair<i>/1, pair<i>/2)``; provided
+  for interoperability with general bioinformatics tooling.
+
+Parsers are strict: malformed input raises :class:`DataError` with the
+offending line number rather than silently skipping records.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.data.generator import ReadPair
+from repro.errors import DataError
+
+__all__ = [
+    "write_seq",
+    "read_seq",
+    "write_fasta_pairs",
+    "read_fasta_pairs",
+    "read_fasta",
+    "write_fasta",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_seq(path: PathLike, pairs: Iterable[ReadPair]) -> int:
+    """Write pairs in ``.seq`` format; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for pair in pairs:
+            fh.write(f">{pair.pattern}\n<{pair.text}\n")
+            count += 1
+    return count
+
+
+def read_seq(path: PathLike) -> list[ReadPair]:
+    """Read a ``.seq`` file into :class:`ReadPair` objects."""
+    pairs: list[ReadPair] = []
+    pattern: str | None = None
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            tag, body = line[0], line[1:]
+            if tag == ">":
+                if pattern is not None:
+                    raise DataError(
+                        f"{path}:{lineno}: consecutive '>' lines (missing '<')"
+                    )
+                pattern = body
+            elif tag == "<":
+                if pattern is None:
+                    raise DataError(
+                        f"{path}:{lineno}: '<' line without preceding '>'"
+                    )
+                pairs.append(ReadPair(pattern=pattern, text=body))
+                pattern = None
+            else:
+                raise DataError(
+                    f"{path}:{lineno}: line must start with '>' or '<', got {tag!r}"
+                )
+    if pattern is not None:
+        raise DataError(f"{path}: trailing '>' line without '<'")
+    return pairs
+
+
+def iter_seq(path: PathLike) -> Iterator[ReadPair]:
+    """Streaming variant of :func:`read_seq` for large files."""
+    pattern: str | None = None
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            tag, body = line[0], line[1:]
+            if tag == ">":
+                if pattern is not None:
+                    raise DataError(
+                        f"{path}:{lineno}: consecutive '>' lines (missing '<')"
+                    )
+                pattern = body
+            elif tag == "<":
+                if pattern is None:
+                    raise DataError(
+                        f"{path}:{lineno}: '<' line without preceding '>'"
+                    )
+                yield ReadPair(pattern=pattern, text=body)
+                pattern = None
+            else:
+                raise DataError(
+                    f"{path}:{lineno}: line must start with '>' or '<', got {tag!r}"
+                )
+    if pattern is not None:
+        raise DataError(f"{path}: trailing '>' line without '<'")
+
+
+def read_fasta(path: PathLike) -> list[tuple[str, str]]:
+    """Read a generic FASTA file into ``(name, sequence)`` records."""
+    records: list[tuple[str, str]] = []
+    name: str | None = None
+    chunks: list[str] = []
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if line.startswith(">"):
+                if name is not None:
+                    records.append((name, "".join(chunks)))
+                name = line[1:].split()[0] if len(line) > 1 else f"seq{len(records)}"
+                chunks = []
+            elif line:
+                if name is None:
+                    raise DataError(
+                        f"{path}:{lineno}: sequence data before first header"
+                    )
+                chunks.append(line)
+    if name is not None:
+        records.append((name, "".join(chunks)))
+    return records
+
+
+def write_fasta(
+    path: PathLike, records: Iterable[tuple[str, str]], width: int = 80
+) -> int:
+    """Write generic ``(name, sequence)`` records as FASTA."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for name, seq in records:
+            fh.write(f">{name}\n")
+            for start in range(0, len(seq), width):
+                fh.write(seq[start : start + width] + "\n")
+            if not seq:
+                fh.write("\n")
+            count += 1
+    return count
+
+
+def write_fasta_pairs(path: PathLike, pairs: Iterable[ReadPair], width: int = 80) -> int:
+    """Write pairs as interleaved FASTA records ``pair<i>/1``, ``pair<i>/2``."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        for idx, pair in enumerate(pairs):
+            for suffix, seq in (("1", pair.pattern), ("2", pair.text)):
+                fh.write(f">pair{idx}/{suffix}\n")
+                for start in range(0, len(seq), width):
+                    fh.write(seq[start : start + width] + "\n")
+                if not seq:
+                    fh.write("\n")
+            count += 1
+    return count
+
+
+def read_fasta_pairs(path: PathLike) -> list[ReadPair]:
+    """Read interleaved FASTA back into pairs (records taken two at a time)."""
+    names: list[str] = []
+    seqs: list[str] = []
+    current: list[str] | None = None
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if line.startswith(">"):
+                names.append(line[1:])
+                if current is not None:
+                    seqs.append("".join(current))
+                current = []
+            else:
+                if current is None:
+                    if line:
+                        raise DataError(
+                            f"{path}:{lineno}: sequence data before first header"
+                        )
+                    continue
+                current.append(line)
+    if current is not None:
+        seqs.append("".join(current))
+    if len(seqs) % 2 != 0:
+        raise DataError(f"{path}: odd number of FASTA records ({len(seqs)})")
+    return [
+        ReadPair(pattern=seqs[i], text=seqs[i + 1]) for i in range(0, len(seqs), 2)
+    ]

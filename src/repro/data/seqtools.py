@@ -1,0 +1,58 @@
+"""Small sequence utilities used by examples, tests and workload tooling."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import DataError
+
+__all__ = [
+    "reverse_complement",
+    "gc_content",
+    "hamming_distance",
+    "kmer_counts",
+    "validate_alphabet",
+]
+
+_COMPLEMENT = str.maketrans("ACGTNacgtn", "TGCANtgcan")
+
+
+def reverse_complement(seq: str) -> str:
+    """Reverse complement of a DNA sequence (supports N, preserves case)."""
+    try:
+        return seq.translate(_COMPLEMENT)[::-1]
+    except Exception as exc:  # pragma: no cover - translate never raises here
+        raise DataError(f"cannot reverse-complement {seq!r}") from exc
+
+
+def gc_content(seq: str) -> float:
+    """Fraction of G/C residues (case-insensitive); 0.0 for empty input."""
+    if not seq:
+        return 0.0
+    up = seq.upper()
+    return (up.count("G") + up.count("C")) / len(seq)
+
+
+def hamming_distance(a: str, b: str) -> int:
+    """Mismatch count between equal-length sequences."""
+    if len(a) != len(b):
+        raise DataError(
+            f"hamming_distance requires equal lengths, got {len(a)} and {len(b)}"
+        )
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def kmer_counts(seq: str, k: int) -> Counter:
+    """Counts of every length-``k`` substring."""
+    if k < 1:
+        raise DataError(f"k must be >= 1, got {k}")
+    return Counter(seq[i : i + k] for i in range(len(seq) - k + 1))
+
+
+def validate_alphabet(seq: str, alphabet: str = "ACGT") -> None:
+    """Raise :class:`DataError` if ``seq`` uses symbols outside ``alphabet``."""
+    extra = set(seq) - set(alphabet)
+    if extra:
+        raise DataError(
+            f"sequence uses symbols outside {alphabet!r}: {sorted(extra)}"
+        )

@@ -1,0 +1,108 @@
+"""Reference-based read simulation.
+
+Where :mod:`repro.data.generator` mutates random pairs (the paper's
+pairwise workload), this module simulates the *mapping* scenario: reads
+sampled from positions of a reference contig, optionally from the
+reverse strand, with sequencing errors — producing the
+(read, window, true position) triples the semi-global alignment mode and
+the ends-free PIM kernel consume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.generator import mutate_sequence, random_sequence
+from repro.data.seqtools import reverse_complement
+from repro.errors import DataError
+
+__all__ = ["SampledRead", "ReferenceSampler"]
+
+
+@dataclass(frozen=True)
+class SampledRead:
+    """One simulated read with its provenance."""
+
+    sequence: str
+    #: 0-based position of the read's origin on the forward strand.
+    position: int
+    #: True when the read was sampled from the reverse strand.
+    reverse: bool
+    #: edits applied on top of the perfect extraction.
+    errors: int
+
+    def window(self, reference: str, flank: int) -> tuple[str, int]:
+        """The candidate mapping window around the true origin.
+
+        Returns ``(window_sequence, read_offset_in_window)`` — what a
+        seed index would hand an aligner.
+        """
+        start = max(0, self.position - flank)
+        end = min(len(reference), self.position + len(self.sequence) + flank)
+        return reference[start:end], self.position - start
+
+
+@dataclass
+class ReferenceSampler:
+    """Samples error-bearing reads from a reference sequence.
+
+    Args:
+        reference: the contig to sample from (generated if omitted).
+        read_length: bases per read.
+        error_rate: per-read edit budget fraction (exact count, like the
+            paper's E).
+        reverse_strand_fraction: probability a read comes from the
+            reverse strand (its sequence is reverse-complemented).
+        seed: RNG seed; sampling is fully deterministic.
+    """
+
+    reference: str = ""
+    read_length: int = 100
+    error_rate: float = 0.02
+    reverse_strand_fraction: float = 0.5
+    seed: int = 0
+    reference_length: int = 100_000
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        if not self.reference:
+            self.reference = random_sequence(self.reference_length, self._rng)
+        if self.read_length < 1:
+            raise DataError(f"read_length must be >= 1, got {self.read_length}")
+        if self.read_length > len(self.reference):
+            raise DataError(
+                f"read_length {self.read_length} exceeds the reference "
+                f"({len(self.reference)} bp)"
+            )
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise DataError(f"error_rate must be in [0, 1], got {self.error_rate}")
+        if not 0.0 <= self.reverse_strand_fraction <= 1.0:
+            raise DataError("reverse_strand_fraction must be in [0, 1]")
+
+    @property
+    def edit_budget(self) -> int:
+        return round(self.error_rate * self.read_length)
+
+    def read(self) -> SampledRead:
+        """Sample one read."""
+        pos = self._rng.randrange(len(self.reference) - self.read_length + 1)
+        fragment = self.reference[pos : pos + self.read_length]
+        reverse = self._rng.random() < self.reverse_strand_fraction
+        if reverse:
+            fragment = reverse_complement(fragment)
+        errors = self.edit_budget
+        sequence = mutate_sequence(fragment, errors, self._rng)
+        return SampledRead(
+            sequence=sequence, position=pos, reverse=reverse, errors=errors
+        )
+
+    def reads(self, count: int) -> list[SampledRead]:
+        if count < 0:
+            raise DataError(f"count must be >= 0, got {count}")
+        return [self.read() for _ in range(count)]
+
+    def oriented_query(self, read: SampledRead) -> str:
+        """The read in forward-strand orientation (as a mapper would try)."""
+        return reverse_complement(read.sequence) if read.reverse else read.sequence

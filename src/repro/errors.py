@@ -1,0 +1,59 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors.  The PIM simulator raises the
+more specific subclasses to mirror the failure modes of the real UPMEM
+toolchain (out-of-memory in WRAM/MRAM, misaligned DMA, oversubscribed
+tasklets, malformed MRAM layouts).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class AlignmentError(ReproError):
+    """An aligner was misused or failed to produce a valid alignment."""
+
+
+class PenaltyError(ReproError):
+    """Invalid alignment penalty configuration."""
+
+
+class CigarError(ReproError):
+    """A CIGAR string is malformed or inconsistent with its sequences."""
+
+
+class DataError(ReproError):
+    """Workload generation or sequence I/O failure."""
+
+
+class PimError(ReproError):
+    """Base class for PIM-simulator errors."""
+
+
+class MemoryFault(PimError):
+    """Out-of-bounds access to a simulated MRAM or WRAM memory."""
+
+
+class AlignmentFault(PimError):
+    """A DMA transfer violated UPMEM's 8-byte alignment / size rules."""
+
+
+class AllocationError(PimError):
+    """A simulated allocator ran out of its arena."""
+
+
+class LayoutError(PimError):
+    """An MRAM layout was malformed or overflowed the 64 MB bank."""
+
+
+class KernelError(PimError):
+    """A DPU kernel failed during simulated execution."""
+
+
+class ConfigError(ReproError):
+    """Invalid platform / experiment configuration."""

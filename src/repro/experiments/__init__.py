@@ -1,0 +1,38 @@
+"""Experiment harnesses: Fig. 1 and the ablation/extension sweeps."""
+
+from repro.experiments.fig1 import Fig1Config, Fig1Panel, Fig1Result, run_fig1
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    SensitivityResult,
+    sensitivity_analysis,
+)
+from repro.experiments.sweeps import (
+    SweepResult,
+    SweepRow,
+    algorithm_comparison,
+    allocator_policy_ablation,
+    dpu_count_sweep,
+    error_rate_sweep,
+    read_length_sweep,
+    staging_chunk_ablation,
+    tasklet_sweep,
+)
+
+__all__ = [
+    "Fig1Config",
+    "Fig1Panel",
+    "Fig1Result",
+    "run_fig1",
+    "SweepResult",
+    "SweepRow",
+    "tasklet_sweep",
+    "allocator_policy_ablation",
+    "read_length_sweep",
+    "error_rate_sweep",
+    "dpu_count_sweep",
+    "staging_chunk_ablation",
+    "SensitivityPoint",
+    "SensitivityResult",
+    "sensitivity_analysis",
+    "algorithm_comparison",
+]

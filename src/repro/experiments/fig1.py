@@ -1,0 +1,199 @@
+"""Reproduction of the paper's Fig. 1 (its only figure).
+
+"Time for aligning 5 million read pairs using WFA": for each edit
+threshold E in {2%, 4%}, bars for the CPU at 1..56 threads and for the
+PIM system's Kernel and Total times, from which §II's headline speedups
+follow (Total 4.87x / 4.05x, Kernel 37.4x / 12.3x).
+
+Methodology (DESIGN.md §5): operation counts are measured functionally on
+seeded samples and extrapolated — per-pair counts are i.i.d. by
+construction.  CPU times come from the roofline model over the measured
+counts; PIM times from the cycle-level DPU model at the paper's operating
+point (2560 DPUs, 1954 pairs per DPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.penalties import AffinePenalties, Penalties
+from repro.cpu.config import CpuConfig, xeon_gold_5120_dual
+from repro.cpu.model import CpuModel, CpuTimeBreakdown
+from repro.cpu.runner import CpuRunner
+from repro.data.datasets import DatasetSpec
+from repro.perf.calibration import PAPER_TARGETS
+from repro.perf.report import format_comparison, format_series, format_table
+from repro.pim.config import PimSystemConfig, upmem_paper_system
+from repro.pim.kernel import KernelConfig
+from repro.pim.system import PimRunResult, PimSystem
+
+__all__ = ["Fig1Config", "Fig1Panel", "Fig1Result", "run_fig1"]
+
+PAPER_THREAD_COUNTS = (1, 2, 4, 8, 16, 32, 56)
+
+
+@dataclass(frozen=True)
+class Fig1Config:
+    """Parameters of the Fig. 1 reproduction (defaults = the paper's)."""
+
+    num_pairs: int = 5_000_000
+    read_length: int = 100
+    error_rates: tuple[float, ...] = (0.02, 0.04)
+    thread_counts: tuple[int, ...] = PAPER_THREAD_COUNTS
+    penalties: Penalties = field(default_factory=AffinePenalties)
+    tasklets: int = 16
+    seed: int = 0
+    #: pairs functionally measured for the CPU count extrapolation.
+    cpu_sample_pairs: int = 300
+    #: pairs functionally simulated per DPU (scaled to the true load).
+    pim_sample_pairs_per_dpu: int = 48
+    num_simulated_dpus: int = 2
+
+
+@dataclass
+class Fig1Panel:
+    """One error-rate panel of the figure."""
+
+    error_rate: float
+    spec: DatasetSpec
+    cpu_curve: list[CpuTimeBreakdown]
+    pim: PimRunResult
+
+    @property
+    def cpu_best_seconds(self) -> float:
+        """The maximum-thread (56T) CPU time — the paper's reference bar."""
+        return self.cpu_curve[-1].seconds
+
+    @property
+    def total_speedup(self) -> float:
+        return self.cpu_best_seconds / self.pim.total_seconds
+
+    @property
+    def kernel_speedup(self) -> float:
+        return self.cpu_best_seconds / self.pim.kernel_seconds
+
+    def series(self) -> dict[str, float]:
+        """All bars of this panel, labeled as in the figure."""
+        out = {f"CPU-{b.threads}T": b.seconds for b in self.cpu_curve}
+        out["PIM-Kernel"] = self.pim.kernel_seconds
+        out["PIM-Total"] = self.pim.total_seconds
+        return out
+
+
+@dataclass
+class Fig1Result:
+    """Both panels plus report formatting."""
+
+    config: Fig1Config
+    panels: list[Fig1Panel]
+
+    def panel(self, error_rate: float) -> Fig1Panel:
+        for p in self.panels:
+            if abs(p.error_rate - error_rate) < 1e-12:
+                return p
+        raise KeyError(f"no panel for error rate {error_rate}")
+
+    def comparison_rows(self) -> list[tuple[str, float, float]]:
+        """Paper-vs-measured rows for the headline speedups."""
+        rows: list[tuple[str, float, float]] = []
+        targets = {
+            0.02: (PAPER_TARGETS.total_speedup_e2, PAPER_TARGETS.kernel_speedup_e2),
+            0.04: (PAPER_TARGETS.total_speedup_e4, PAPER_TARGETS.kernel_speedup_e4),
+        }
+        for p in self.panels:
+            t = targets.get(round(p.error_rate, 4))
+            if t is None:
+                continue
+            rows.append((f"total_speedup_E{p.error_rate:.0%}", t[0], p.total_speedup))
+            rows.append(
+                (f"kernel_speedup_E{p.error_rate:.0%}", t[1], p.kernel_speedup)
+            )
+        return rows
+
+    def report(self) -> str:
+        """The figure as text: per-panel bars + speedup summary."""
+        blocks: list[str] = []
+        for p in self.panels:
+            bars = p.series()
+            blocks.append(
+                format_table(
+                    ["bar", "seconds", "pairs/s"],
+                    [
+                        (name, f"{sec:.4g}", f"{p.spec.num_pairs / sec:,.0f}")
+                        for name, sec in bars.items()
+                    ],
+                    title=(
+                        f"Fig. 1 panel E={p.error_rate:.0%} — "
+                        f"{p.spec.describe()}"
+                    ),
+                )
+            )
+            blocks.append(
+                format_series(
+                    f"cpu_scaling_E{p.error_rate:.0%}",
+                    [b.threads for b in p.cpu_curve],
+                    [b.seconds for b in p.cpu_curve],
+                )
+            )
+            blocks.append(
+                f"PIM split E={p.error_rate:.0%}: kernel={p.pim.kernel_seconds:.4g}s "
+                f"xfer_in={p.pim.transfer_in_seconds:.4g}s "
+                f"xfer_out={p.pim.transfer_out_seconds:.4g}s "
+                f"launch={p.pim.launch_seconds:.4g}s "
+                f"(DPU bound: {p.pim.dominant_bound()})"
+            )
+        rows = self.comparison_rows()
+        if rows:
+            blocks.append(format_comparison(rows))
+        return "\n\n".join(blocks)
+
+
+def run_fig1(
+    config: Fig1Config | None = None,
+    cpu_config: CpuConfig | None = None,
+    pim_config: PimSystemConfig | None = None,
+) -> Fig1Result:
+    """Run the full Fig. 1 reproduction and return both panels."""
+    cfg = config if config is not None else Fig1Config()
+    cpu_cfg = cpu_config if cpu_config is not None else xeon_gold_5120_dual()
+    panels: list[Fig1Panel] = []
+    for e in cfg.error_rates:
+        spec = DatasetSpec(
+            num_pairs=cfg.num_pairs,
+            length=cfg.read_length,
+            error_rate=e,
+            seed=cfg.seed,
+        )
+        # CPU: functional measurement + roofline curve.
+        runner = CpuRunner(cfg.penalties)
+        sample = spec.sample(cfg.cpu_sample_pairs)
+        measurement = runner.measure(sample)
+        model = CpuModel(cpu_cfg)
+        curve = model.scaling_curve(
+            measurement.counters,
+            measurement.pairs,
+            measurement.seq_bytes_per_pair,
+            spec.num_pairs,
+            list(cfg.thread_counts),
+        )
+        # PIM: cycle-level model at the paper's operating point.
+        p_cfg = (
+            pim_config
+            if pim_config is not None
+            else upmem_paper_system(
+                tasklets=cfg.tasklets, num_simulated_dpus=cfg.num_simulated_dpus
+            )
+        )
+        kernel_cfg = KernelConfig(
+            penalties=cfg.penalties,
+            max_read_len=cfg.read_length,
+            max_edits=max(spec.edit_budget, 1),
+        )
+        system = PimSystem(p_cfg, kernel_cfg)
+        pim = system.model_run(
+            spec, sample_pairs_per_dpu=cfg.pim_sample_pairs_per_dpu
+        )
+        panels.append(
+            Fig1Panel(error_rate=e, spec=spec, cpu_curve=curve, pim=pim)
+        )
+    return Fig1Result(config=cfg, panels=panels)

@@ -1,0 +1,87 @@
+"""Calibration: how the model constants were anchored, and the targets.
+
+The reproduction is *functional-first*: all operation counts (wavefront
+cells, extension steps, DMA transfers and bytes, record sizes) are
+measured by executing the real algorithm.  What remains are per-platform
+rate constants.  This module records (a) the paper's published numbers,
+(b) the provenance of every constant, and (c) the anchoring procedure,
+so the calibration is reproducible and auditable.
+
+Published targets (paper Fig. 1 and §II)
+-----------------------------------------
+
+======================  =======  =======
+quantity                E = 2%   E = 4%
+======================  =======  =======
+Total speedup vs 56T    4.87x    4.05x
+Kernel speedup vs 56T   37.4x    12.3x
+======================  =======  =======
+
+plus the qualitative observation that CPU time flattens with threads.
+
+Anchoring procedure
+-------------------
+
+1. **DPU side is derived, not fitted.**  Kernel cycles come from
+   measured counts x the hand-compiled scalar instruction costs
+   (:class:`~repro.perf.costs.DpuCostModel`) and the PrIM pipeline / DMA
+   constants (11-cycle dispatch period, 77-cycle DMA setup, 5.4
+   cycles per 8 B ~= 630 MB/s streaming).  At the paper's operating
+   point (1954 pairs/DPU, 16 tasklets) this yields a kernel time of
+   ~32 ms (E=2%) / ~85 ms (E=4%) for the full 5M pairs.
+2. **Host transfers are near-peak.**  The workload ships one ~430 KB
+   contiguous block per DPU — precisely PrIM's peak parallel-transfer
+   regime — so effective bandwidths are set to ~99% of PrIM's measured
+   peaks (6.68 / 4.07 GB/s).
+3. **The CPU anchor.**  The paper gives no absolute CPU time, only the
+   37.4x E=2% kernel speedup; we anchor the 56-thread CPU time to it:
+   ``C(2%) = 37.4 x K(2%) ~= 1.2 s`` (~4.2 M pairs/s aggregate, ~75 k
+   pairs/s/thread — in line with the 2021 reference implementation on
+   100 bp reads).  The effective-bandwidth constant of
+   :class:`~repro.cpu.config.CpuConfig` (8.9 GB/s — ~8% of STREAM,
+   reflecting the malloc-heavy, NUMA-unaware access pattern) places the
+   56-thread point on the memory roof at that anchor; the CPU
+   instruction-cost constants put the compute/memory crossover near 8
+   threads, reproducing the flattening of Fig. 1.
+
+Everything else (the E=4% column, the thread-scaling curve, the
+kernel/total split) is then *predicted* by the models, not fitted;
+EXPERIMENTS.md tabulates predicted vs published.
+
+Known deviation: our kernel model scales ~2.7x from E=2% to 4% (cells
+scale 3.5x, diluted by extension/traceback/overhead) where the paper's
+two kernel speedups imply ~3.3x; consequently the modeled E=4% kernel
+speedup is ~15x vs the published 12.3x.  The direction and magnitude
+class (an order below the E=2% headline) are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperTargets", "PAPER_TARGETS"]
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """The numbers Fig. 1 / §II of the paper report."""
+
+    total_speedup_e2: float = 4.87
+    total_speedup_e4: float = 4.05
+    kernel_speedup_e2: float = 37.4
+    kernel_speedup_e4: float = 12.3
+    cpu_threads: int = 56
+    num_pairs: int = 5_000_000
+    read_length: int = 100
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """(label, value) rows for reports."""
+        return [
+            ("total_speedup_E2%", self.total_speedup_e2),
+            ("total_speedup_E4%", self.total_speedup_e4),
+            ("kernel_speedup_E2%", self.kernel_speedup_e2),
+            ("kernel_speedup_E4%", self.kernel_speedup_e4),
+        ]
+
+
+PAPER_TARGETS = PaperTargets()

@@ -1,0 +1,114 @@
+"""Energy model: CPU vs PIM energy-to-solution.
+
+The paper reports throughput only, but energy is the standard companion
+metric in PIM evaluations (e.g., PrIM §6), so the harness models it as an
+extension experiment.  The model is power-based: documented busy powers
+multiplied by the modeled phase durations.
+
+Power provenance:
+
+* ``cpu_busy_watts`` — 2x Xeon Gold 5120 at 105 W TDP each, plus ~60 W
+  for 12 busy DDR4 channels and board overhead => ~270 W under load.
+* ``watts_per_dimm`` — PrIM measures ~23.22 W per UPMEM DIMM with all
+  DPUs active; the paper's system has 20 DIMMs (~464 W during kernels).
+* ``host_watts_during_pim`` — the host core orchestrating transfers and
+  launches (one busy core + memory traffic), ~80 W.
+* ``pim_idle_dimm_watts`` — DRAM refresh/background while DPUs wait
+  during host transfer phases, ~4 W per DIMM.
+
+All parameters are explicit so sensitivity studies can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # imported lazily to avoid a perf <-> pim import cycle
+    from repro.cpu.model import CpuTimeBreakdown
+    from repro.pim.system import PimRunResult
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per phase for one run."""
+
+    label: str
+    phases: dict[str, float]
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.phases.values())
+
+    def pairs_per_joule(self, num_pairs: int) -> float:
+        return num_pairs / self.total_joules if self.total_joules else 0.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Busy-power energy model for both platforms."""
+
+    cpu_busy_watts: float = 270.0
+    watts_per_dimm: float = 23.22
+    num_dimms: int = 20
+    host_watts_during_pim: float = 80.0
+    pim_idle_dimm_watts: float = 4.0
+
+    def validate(self) -> None:
+        for name in (
+            "cpu_busy_watts",
+            "watts_per_dimm",
+            "host_watts_during_pim",
+            "pim_idle_dimm_watts",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.num_dimms < 1:
+            raise ConfigError("num_dimms must be >= 1")
+
+    # -- CPU -----------------------------------------------------------
+
+    def cpu_energy(self, breakdown: CpuTimeBreakdown) -> EnergyBreakdown:
+        """Energy for a modeled CPU run (whole package busy throughout)."""
+        self.validate()
+        return EnergyBreakdown(
+            label=f"cpu-{breakdown.threads}T",
+            phases={"compute": self.cpu_busy_watts * breakdown.seconds},
+        )
+
+    # -- PIM -----------------------------------------------------------
+
+    def pim_energy(self, run: PimRunResult) -> EnergyBreakdown:
+        """Energy for a modeled PIM run, split by phase.
+
+        During the kernel all DIMMs draw busy power and the host idles
+        at orchestration power; during transfers the DIMMs draw idle
+        power and the host is busy.
+        """
+        self.validate()
+        dimm_busy = self.watts_per_dimm * self.num_dimms
+        dimm_idle = self.pim_idle_dimm_watts * self.num_dimms
+        transfer_s = run.transfer_seconds + run.launch_seconds
+        return EnergyBreakdown(
+            label=f"pim-{run.tasklets}T",
+            phases={
+                "kernel (DIMMs busy)": dimm_busy * run.kernel_seconds,
+                "kernel (host orchestrating)": (
+                    self.host_watts_during_pim * run.kernel_seconds
+                ),
+                "transfers (host busy)": self.host_watts_during_pim * transfer_s,
+                "transfers (DIMMs idle)": dimm_idle * transfer_s,
+            },
+        )
+
+    def efficiency_gain(
+        self, cpu: CpuTimeBreakdown, pim: PimRunResult, num_pairs: int
+    ) -> float:
+        """PIM-over-CPU improvement in pairs aligned per joule."""
+        cpu_eff = self.cpu_energy(cpu).pairs_per_joule(num_pairs)
+        pim_eff = self.pim_energy(pim).pairs_per_joule(num_pairs)
+        return pim_eff / cpu_eff if cpu_eff else float("inf")

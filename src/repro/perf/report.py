@@ -1,0 +1,65 @@
+"""Plain-text table / series formatting for experiment reports.
+
+The benchmark harness prints the same rows and series the paper's figure
+shows; these helpers keep that output consistent across experiments
+(fixed-width columns, explicit units, a paper-vs-measured block).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series", "format_comparison", "human_time"]
+
+
+def human_time(seconds: float) -> str:
+    """Compact human-readable duration (``1.23 s``, ``45.6 ms``...)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g} us"
+    return f"{seconds * 1e9:.3g} ns"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One figure series as ``name: x=y, x=y, ...`` with 3-sig-fig values."""
+    points = ", ".join(f"{x}={y:.4g}" for x, y in zip(xs, ys))
+    return f"{name}: {points}"
+
+
+def format_comparison(
+    rows: Sequence[tuple[str, float, float]], title: str = "paper vs measured"
+) -> str:
+    """Paper-vs-measured block with relative deviation per row."""
+    out = [
+        format_table(
+            ["metric", "paper", "measured", "measured/paper"],
+            [
+                (label, f"{paper:.3g}", f"{measured:.3g}", f"{measured / paper:.2f}x")
+                for label, paper, measured in rows
+            ],
+            title=title,
+        )
+    ]
+    return "\n".join(out)

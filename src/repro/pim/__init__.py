@@ -1,0 +1,78 @@
+"""UPMEM PIM substrate: functional + timing simulator.
+
+Models the architecture the paper runs on — DPUs with private
+MRAM (64 MB) and WRAM (64 KB), 8-byte-aligned DMA, up to 24 tasklets on a
+revolving 11-cycle pipeline, host transfers across ranks — plus the
+paper's contributions on top: the custom two-level allocator and the
+MRAM-metadata WFA kernel.
+"""
+
+from repro.pim.allocator import Allocation, BumpAllocator, TaskletAllocator
+from repro.pim.config import (
+    DpuConfig,
+    DpuTimingConfig,
+    HostTransferConfig,
+    PimSystemConfig,
+    upmem_paper_system,
+    upmem_single_rank,
+)
+from repro.pim.dma import DMA_ALIGN, DMA_MAX, DMA_MIN, DmaEngine, aligned_size
+from repro.pim.dpu import Dpu, DpuKernelStats
+from repro.pim.kernel import (
+    KernelConfig,
+    WfaDpuKernel,
+    WramPlan,
+    max_supported_tasklets,
+)
+from repro.pim.layout import MramLayout
+from repro.pim.memory import Mram, SimMemory, Wram
+from repro.pim.host_api import DpuSet, dpu_alloc
+from repro.pim.rank import RankSummary, group_by_rank, imbalance
+from repro.pim.scheduler import BatchSchedule, BatchScheduler, ScheduledRun
+from repro.pim.system import PimRunResult, PimSystem
+from repro.pim.tasklet import TaskletContext, TaskletStats
+from repro.pim.trace import KernelTrace, TraceEvent
+from repro.pim.transfer import HostTransferEngine, TransferStats
+
+__all__ = [
+    "BumpAllocator",
+    "TaskletAllocator",
+    "Allocation",
+    "DpuConfig",
+    "DpuTimingConfig",
+    "HostTransferConfig",
+    "PimSystemConfig",
+    "upmem_paper_system",
+    "upmem_single_rank",
+    "DmaEngine",
+    "DMA_ALIGN",
+    "DMA_MIN",
+    "DMA_MAX",
+    "aligned_size",
+    "Dpu",
+    "DpuKernelStats",
+    "KernelConfig",
+    "WfaDpuKernel",
+    "WramPlan",
+    "max_supported_tasklets",
+    "MramLayout",
+    "Mram",
+    "Wram",
+    "SimMemory",
+    "PimSystem",
+    "PimRunResult",
+    "BatchScheduler",
+    "BatchSchedule",
+    "ScheduledRun",
+    "DpuSet",
+    "dpu_alloc",
+    "RankSummary",
+    "group_by_rank",
+    "imbalance",
+    "TaskletContext",
+    "KernelTrace",
+    "TraceEvent",
+    "TaskletStats",
+    "HostTransferEngine",
+    "TransferStats",
+]

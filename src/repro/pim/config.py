@@ -1,0 +1,214 @@
+"""UPMEM PIM architecture configuration.
+
+Numbers and their provenance:
+
+* **DPU organization** — a UPMEM DIMM is a DDR4-2400 module with PIM
+  chips; each DPU is an in-order 32-bit RISC core with up to 24 hardware
+  threads (tasklets), a private 64 MB MRAM bank and a 64 KB WRAM
+  scratchpad (paper §I; Devaux, Hot Chips 2019).
+* **Pipeline** — DPUs use revolving fine-grained multithreading: an
+  instruction from the *same* tasklet can be dispatched at most once
+  every 11 cycles, so the pipeline only reaches one-instruction-per-cycle
+  throughput with >= 11 active tasklets (PrIM, Gómez-Luna et al. 2021).
+* **Clock** — the paper's system runs DPUs at 425 MHz.
+* **MRAM DMA** — explicit 8-byte-aligned DMA between MRAM and WRAM, sizes
+  multiple of 8 in [8, 2048] bytes; streaming bandwidth ~628 MB/s per DPU
+  with a fixed per-transfer setup cost (PrIM microbenchmarks).
+* **Host transfers** — parallel CPU->DPU / DPU->CPU copies across all
+  ranks; PrIM's *peak* aggregate figures at ~2556 DPUs are 6.68 / 4.07
+  GB/s.  The defaults below are *effective* scatter/gather bandwidths
+  (including SDK rank-interleaving and buffer-assembly overhead),
+  calibrated so the paper's Kernel-vs-Total split is reproduced; see
+  ``repro/perf/calibration.py`` for the derivation.
+* **Scale** — the paper's system has 20 DIMMs = 2560 DPUs (2 ranks per
+  DIMM, 64 DPUs per rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DpuTimingConfig",
+    "DpuConfig",
+    "HostTransferConfig",
+    "PimSystemConfig",
+    "upmem_paper_system",
+    "upmem_single_rank",
+    "MB",
+    "KB",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DpuTimingConfig:
+    """Cycle-level timing parameters of one DPU."""
+
+    frequency_hz: float = 425e6
+    #: minimum cycles between two instructions of the same tasklet
+    #: (revolving-pipeline dispatch period).
+    pipeline_period: int = 11
+    #: fixed cycles to set up one MRAM<->WRAM DMA transfer.
+    dma_setup_cycles: float = 77.0
+    #: cycles to stream each 8-byte beat of a DMA transfer.  5.4 cycles
+    #: per 8 B at 425 MHz is ~630 MB/s, matching PrIM's measured
+    #: streaming bandwidth.
+    dma_cycles_per_8b: float = 5.4
+
+    def validate(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency_hz must be positive")
+        if self.pipeline_period < 1:
+            raise ConfigError("pipeline_period must be >= 1")
+        if self.dma_setup_cycles < 0 or self.dma_cycles_per_8b <= 0:
+            raise ConfigError("DMA cycle parameters must be positive")
+
+    def dma_cycles(self, nbytes: int) -> float:
+        """Cycles for one DMA transfer of ``nbytes`` (already validated)."""
+        beats = (nbytes + 7) // 8
+        return self.dma_setup_cycles + beats * self.dma_cycles_per_8b
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds at this clock."""
+        return cycles / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class DpuConfig:
+    """Capacity and threading parameters of one DPU."""
+
+    mram_bytes: int = 64 * MB
+    wram_bytes: int = 64 * KB
+    max_tasklets: int = 24
+    timing: DpuTimingConfig = field(default_factory=DpuTimingConfig)
+
+    def validate(self) -> None:
+        if self.mram_bytes <= 0 or self.wram_bytes <= 0:
+            raise ConfigError("memory sizes must be positive")
+        if not 1 <= self.max_tasklets <= 24:
+            raise ConfigError("max_tasklets must be in [1, 24]")
+        self.timing.validate()
+
+
+@dataclass(frozen=True)
+class HostTransferConfig:
+    """Effective aggregate host<->DPU copy bandwidths (full system).
+
+    ``peak_*`` document PrIM's ideal parallel-transfer peaks;
+    ``effective_*`` are what the scatter/gather of many small per-pair
+    records achieves and are the values the timing model uses.
+    """
+
+    peak_to_dpu_bytes_per_s: float = 6.68e9
+    peak_from_dpu_bytes_per_s: float = 4.07e9
+    #: ~99% of PrIM's peaks: the workload pushes one large contiguous
+    #: block (~430 KB) per DPU, exactly the regime where parallel
+    #: transfers peak.
+    effective_to_dpu_bytes_per_s: float = 6.6e9
+    effective_from_dpu_bytes_per_s: float = 4.02e9
+    #: per-rank copy bandwidth (PrIM: parallel transfers scale with the
+    #: number of ranks until the aggregate saturates; a single rank moves
+    #: ~0.7 GB/s in, ~0.45 GB/s out).  Small systems are rank-bound, the
+    #: paper's 40-rank system is aggregate-bound.
+    per_rank_to_dpu_bytes_per_s: float = 0.7e9
+    per_rank_from_dpu_bytes_per_s: float = 0.45e9
+    #: fixed software overhead per launch (rank setup, parameter copy).
+    launch_overhead_s: float = 0.01
+
+    def validate(self) -> None:
+        for name in (
+            "peak_to_dpu_bytes_per_s",
+            "peak_from_dpu_bytes_per_s",
+            "effective_to_dpu_bytes_per_s",
+            "effective_from_dpu_bytes_per_s",
+            "per_rank_to_dpu_bytes_per_s",
+            "per_rank_from_dpu_bytes_per_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.launch_overhead_s < 0:
+            raise ConfigError("launch_overhead_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class PimSystemConfig:
+    """A full UPMEM system: many DPUs plus host-transfer characteristics.
+
+    ``num_simulated_dpus`` bounds how many DPUs are *functionally*
+    simulated; work is distributed round-robin, so simulating a
+    representative subset and extrapolating per-DPU time to ``num_dpus``
+    is exact up to load-imbalance noise (which the experiments measure
+    and report).  Set it equal to ``num_dpus`` for small systems.
+    """
+
+    num_dpus: int = 2560
+    num_ranks: int = 40
+    tasklets: int = 16
+    dpu: DpuConfig = field(default_factory=DpuConfig)
+    transfer: HostTransferConfig = field(default_factory=HostTransferConfig)
+    num_simulated_dpus: int = 4
+    #: metadata placement policy: "mram" (the paper's design: WFA
+    #: wavefronts live in MRAM, staged through WRAM on demand) or "wram"
+    #: (everything in WRAM; caps the usable tasklet count).
+    metadata_policy: str = "mram"
+
+    def validate(self) -> None:
+        if self.num_dpus < 1:
+            raise ConfigError("num_dpus must be >= 1")
+        if self.num_ranks < 1 or self.num_dpus % self.num_ranks != 0:
+            raise ConfigError("num_dpus must be a positive multiple of num_ranks")
+        if not 1 <= self.tasklets <= self.dpu.max_tasklets:
+            raise ConfigError(
+                f"tasklets must be in [1, {self.dpu.max_tasklets}], got {self.tasklets}"
+            )
+        if not 1 <= self.num_simulated_dpus <= self.num_dpus:
+            raise ConfigError("num_simulated_dpus must be in [1, num_dpus]")
+        if self.metadata_policy not in ("mram", "wram"):
+            raise ConfigError(f"unknown metadata_policy {self.metadata_policy!r}")
+        self.dpu.validate()
+        self.transfer.validate()
+
+    @property
+    def dpus_per_rank(self) -> int:
+        return self.num_dpus // self.num_ranks
+
+    def with_(self, **changes) -> "PimSystemConfig":
+        """Functional update helper (frozen dataclass)."""
+        return replace(self, **changes)
+
+
+def upmem_paper_system(
+    tasklets: int = 16,
+    num_simulated_dpus: int = 4,
+    metadata_policy: str = "mram",
+) -> PimSystemConfig:
+    """The paper's full-scale system: 20 DIMMs = 2560 DPUs @ 425 MHz."""
+    cfg = PimSystemConfig(
+        num_dpus=2560,
+        num_ranks=40,
+        tasklets=tasklets,
+        num_simulated_dpus=num_simulated_dpus,
+        metadata_policy=metadata_policy,
+    )
+    cfg.validate()
+    return cfg
+
+
+def upmem_single_rank(
+    tasklets: int = 16, metadata_policy: str = "mram"
+) -> PimSystemConfig:
+    """A single 64-DPU rank, fully simulated — for tests and examples."""
+    cfg = PimSystemConfig(
+        num_dpus=64,
+        num_ranks=1,
+        tasklets=tasklets,
+        num_simulated_dpus=64,
+        metadata_policy=metadata_policy,
+    )
+    cfg.validate()
+    return cfg

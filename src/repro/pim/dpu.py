@@ -1,0 +1,104 @@
+"""One simulated DPU: memories, DMA engine, and the pipeline timing model.
+
+Functional state (MRAM, WRAM, DMA) is byte-accurate.  Timing follows the
+PrIM characterization of the real pipeline:
+
+* The DPU is an in-order core with **revolving fine-grained
+  multithreading**: at most one instruction of the *same* tasklet can be
+  dispatched every ``pipeline_period`` (= 11) cycles.  With ``T``
+  tasklets executing ``n_i`` instructions each, execution is
+  *latency-bound* (``period * max_i n_i`` cycles) below 11 tasklets and
+  *throughput-bound* (``sum_i n_i`` cycles, one instruction per cycle)
+  at or above 11 — the reason the paper works so hard to run many
+  tasklets.
+* The single DMA engine serializes all tasklets' MRAM transfers, adding
+  a third bound: total DMA cycles.
+
+``kernel_cycles = max(sum_i n_i, period * max_i n_i, sum_i dma_i)``
+
+This three-term max is a standard bottleneck (roofline-style) model: it
+assumes perfect overlap of compute and DMA across tasklets, which PrIM
+shows the hardware approaches when >= 11 tasklets are active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.pim.config import DpuConfig
+from repro.pim.dma import DmaEngine
+from repro.pim.memory import Mram, Wram
+from repro.pim.tasklet import TaskletStats
+
+__all__ = ["Dpu", "DpuKernelStats"]
+
+
+@dataclass
+class DpuKernelStats:
+    """Timing summary of one kernel launch on one DPU."""
+
+    dpu_id: int
+    tasklets: int
+    pairs_done: int
+    instructions: float
+    dma_cycles: float
+    dma_bytes: int
+    cycles: float
+    seconds: float
+    #: which of the three bounds won: "throughput" | "latency" | "dma"
+    bound: str
+
+
+class Dpu:
+    """A single DPU with its private memories and DMA engine."""
+
+    def __init__(self, config: DpuConfig, dpu_id: int = 0) -> None:
+        config.validate()
+        self.config = config
+        self.dpu_id = dpu_id
+        self.mram = Mram(config.mram_bytes)
+        self.wram = Wram(config.wram_bytes)
+        self.dma = DmaEngine(self.mram, self.wram, config.timing)
+
+    def kernel_cycles(self, tasklet_stats: list[TaskletStats]) -> tuple[float, str]:
+        """Apply the pipeline model to per-tasklet work totals.
+
+        Returns ``(cycles, bound)`` where ``bound`` names the binding
+        term.
+        """
+        if not tasklet_stats:
+            return 0.0, "throughput"
+        if len(tasklet_stats) > self.config.max_tasklets:
+            raise ConfigError(
+                f"{len(tasklet_stats)} tasklets exceed the DPU limit "
+                f"{self.config.max_tasklets}"
+            )
+        total_instr = sum(t.instructions for t in tasklet_stats)
+        max_instr = max(t.instructions for t in tasklet_stats)
+        total_dma = sum(t.dma_cycles for t in tasklet_stats)
+        latency_bound = self.config.timing.pipeline_period * max_instr
+        candidates = {
+            "throughput": total_instr,
+            "latency": latency_bound,
+            "dma": total_dma,
+        }
+        bound = max(candidates, key=candidates.__getitem__)
+        return candidates[bound], bound
+
+    def summarize(
+        self, tasklet_stats: list[TaskletStats]
+    ) -> DpuKernelStats:
+        """Bundle per-tasklet stats into a :class:`DpuKernelStats`."""
+        cycles, bound = self.kernel_cycles(tasklet_stats)
+        return DpuKernelStats(
+            dpu_id=self.dpu_id,
+            tasklets=len(tasklet_stats),
+            pairs_done=sum(t.pairs_done for t in tasklet_stats),
+            instructions=sum(t.instructions for t in tasklet_stats),
+            dma_cycles=sum(t.dma_cycles for t in tasklet_stats),
+            dma_bytes=sum(t.dma_bytes for t in tasklet_stats),
+            cycles=cycles,
+            seconds=self.config.timing.seconds(cycles),
+            bound=bound,
+        )

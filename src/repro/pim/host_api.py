@@ -1,0 +1,135 @@
+"""An UPMEM-SDK-flavoured host API over the simulator.
+
+The real UPMEM host library exposes ``dpu_alloc`` / ``dpu_load`` /
+``dpu_copy_to`` / ``dpu_launch`` / ``dpu_copy_from`` / ``dpu_free``; this
+facade mirrors that surface over the simulated system so code written
+against the SDK's idioms ports naturally, and so the simulator can be
+driven at the same granularity real host programs use:
+
+    with dpu_alloc(64) as dpu_set:
+        dpu_set.load(WfaDpuKernel(kernel_config))
+        dpu_set.copy_to(layout, batches)
+        stats = dpu_set.launch(tasklets=16)
+        results = dpu_set.copy_from(counts)
+
+The higher-level :class:`~repro.pim.system.PimSystem` remains the
+recommended entry point; this facade exists for SDK-style control and
+for tests that exercise phases independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cigar import Cigar
+from repro.data.generator import ReadPair
+from repro.errors import ConfigError, PimError
+from repro.pim.config import DpuConfig, HostTransferConfig
+from repro.pim.dpu import Dpu, DpuKernelStats
+from repro.pim.kernel import WfaDpuKernel
+from repro.pim.layout import MramLayout
+from repro.pim.transfer import HostTransferEngine
+
+__all__ = ["DpuSet", "dpu_alloc"]
+
+
+@dataclass
+class DpuSet:
+    """A set of allocated (simulated) DPUs, SDK style."""
+
+    num_dpus: int
+    dpu_config: DpuConfig = field(default_factory=DpuConfig)
+    transfer_config: HostTransferConfig = field(default_factory=HostTransferConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_dpus < 1:
+            raise ConfigError("dpu_alloc needs at least one DPU")
+        self.dpus = [Dpu(self.dpu_config, dpu_id=i) for i in range(self.num_dpus)]
+        self.transfer = HostTransferEngine(self.transfer_config)
+        self._kernel: Optional[WfaDpuKernel] = None
+        self._layout: Optional[MramLayout] = None
+        self._batch_sizes: list[int] = [0] * self.num_dpus
+        self._freed = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "DpuSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.free()
+
+    def free(self) -> None:
+        """Release the set (further use raises, like the SDK's handle)."""
+        self._freed = True
+        self.dpus = []
+
+    def _check_alive(self) -> None:
+        if self._freed:
+            raise PimError("DPU set has been freed")
+
+    # -- SDK-ish phases --------------------------------------------------------
+
+    def load(self, kernel: WfaDpuKernel) -> None:
+        """Load a kernel 'binary' onto every DPU of the set."""
+        self._check_alive()
+        self._kernel = kernel
+
+    def copy_to(self, layout: MramLayout, batches: list[list[ReadPair]]) -> int:
+        """Push per-DPU input batches; returns total bytes moved."""
+        self._check_alive()
+        if len(batches) != self.num_dpus:
+            raise ConfigError(
+                f"need one batch per DPU ({self.num_dpus}), got {len(batches)}"
+            )
+        self._layout = layout
+        moved = 0
+        for dpu, batch in zip(self.dpus, batches):
+            moved += self.transfer.push_batch(dpu, layout, batch)
+            self._batch_sizes[dpu.dpu_id] = len(batch)
+        return moved
+
+    def launch(self, tasklets: int, metadata_policy: str = "mram") -> list[DpuKernelStats]:
+        """Run the loaded kernel on every DPU; returns per-DPU stats."""
+        self._check_alive()
+        if self._kernel is None:
+            raise PimError("no kernel loaded (call load() first)")
+        if self._layout is None:
+            raise PimError("no input data (call copy_to() first)")
+        stats = []
+        for dpu in self.dpus:
+            size = self._batch_sizes[dpu.dpu_id]
+            assignments = [list(range(t, size, tasklets)) for t in range(tasklets)]
+            tasklet_stats, _ = self._kernel.run(
+                dpu, self._layout, assignments, metadata_policy
+            )
+            stats.append(dpu.summarize(tasklet_stats))
+        return stats
+
+    def copy_from(self) -> list[list[tuple[int, Optional[Cigar]]]]:
+        """Gather every DPU's result records (per-DPU lists)."""
+        self._check_alive()
+        if self._layout is None:
+            raise PimError("nothing to gather (no layout)")
+        out = []
+        for dpu in self.dpus:
+            size = self._batch_sizes[dpu.dpu_id]
+            results, _ = self.transfer.pull_results(dpu, self._layout, size)
+            out.append(results)
+        return out
+
+
+def dpu_alloc(
+    num_dpus: int,
+    dpu_config: Optional[DpuConfig] = None,
+    transfer_config: Optional[HostTransferConfig] = None,
+) -> DpuSet:
+    """Allocate a simulated DPU set (use as a context manager)."""
+    return DpuSet(
+        num_dpus=num_dpus,
+        dpu_config=dpu_config if dpu_config is not None else DpuConfig(),
+        transfer_config=(
+            transfer_config if transfer_config is not None else HostTransferConfig()
+        ),
+    )

@@ -1,0 +1,597 @@
+"""The WFA DPU kernel: per-tasklet alignment loop on simulated hardware.
+
+This mirrors the paper's kernel exactly (§I, last two paragraphs):
+
+1. each tasklet owns a private slice of WRAM and a list of read pairs;
+2. per pair, it DMAs the input record MRAM->WRAM, aligns with WFA, and
+   DMAs the result record WRAM->MRAM;
+3. WFA's malloc is replaced by the custom two-level allocator
+   (:mod:`repro.pim.allocator`);
+4. under the paper's ``"mram"`` metadata policy, wavefronts are allocated
+   in MRAM and staged through small WRAM buffers on demand (so 64 KB of
+   shared WRAM never caps the tasklet count); under the ``"wram"``
+   ablation policy everything lives in WRAM and the supported tasklet
+   count collapses.
+
+Fidelity notes (see DESIGN.md §2):
+
+* Sequence and result bytes genuinely flow through the simulated
+  MRAM/WRAM/DMA path — the host packs records into MRAM, the kernel
+  parses them out of WRAM after a validated DMA, and results round-trip
+  the same way.
+* The WFA arithmetic itself runs on the host Python engine for speed;
+  its *allocation log* is then replayed against the allocator and the
+  DMA engine, transfer by transfer, so capacity, alignment, and traffic
+  volumes are enforced/charged exactly as the DPU code would incur them.
+  Staged metadata buffer *contents* are not semantically meaningful
+  (they are scratch), so the replay reuses the reserved regions without
+  re-packing offsets.
+* Instruction counts come from the operation counters via
+  :class:`~repro.perf.costs.DpuCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.core.aligner import AlignmentResult
+from repro.core.backtrace import backtrace
+from repro.core.heuristics import AdaptiveReduction
+from repro.core.span import AlignmentSpan
+from repro.core.penalties import (
+    AffinePenalties,
+    EditPenalties,
+    LinearPenalties,
+    Penalties,
+    TwoPieceAffinePenalties,
+)
+from repro.core.wfa import WfaEngine
+from repro.errors import AllocationError, AlignmentError, KernelError
+from repro.pim.allocator import TaskletAllocator
+from repro.pim.config import DpuConfig
+from repro.pim.dma import aligned_size
+from repro.pim.dpu import Dpu
+from repro.pim.layout import MramLayout
+from repro.pim.tasklet import TaskletContext, TaskletStats
+from repro.pim.trace import KernelTrace, TraceEvent
+from repro.perf.costs import DpuCostModel
+
+__all__ = ["KernelConfig", "WramPlan", "WfaDpuKernel", "max_supported_tasklets"]
+
+
+def per_edit_cost(penalties: Penalties) -> int:
+    """Worst-case penalty of one edit operation under ``penalties``."""
+    if isinstance(penalties, TwoPieceAffinePenalties):
+        return max(penalties.mismatch, penalties.gap_cost(1))
+    if isinstance(penalties, AffinePenalties):
+        return max(penalties.mismatch, penalties.gap_open + penalties.gap_extend)
+    if isinstance(penalties, LinearPenalties):
+        return max(penalties.mismatch, penalties.indel)
+    if isinstance(penalties, EditPenalties):
+        return 1
+    raise KernelError(f"unsupported penalty model: {penalties!r}")
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Compile-time parameters of the DPU kernel.
+
+    The kernel, like real DPU code, must size every buffer statically:
+    ``max_read_len`` and ``max_edits`` bound the score (hence wavefront
+    width, metadata footprint and CIGAR length) for admission planning.
+    """
+
+    penalties: Penalties = field(default_factory=AffinePenalties)
+    max_read_len: int = 100
+    max_edits: int = 4
+    traceback: bool = True
+    adaptive: bool = False
+    #: WRAM staging granularity for MRAM-resident metadata.  ``None``
+    #: stages whole wavefronts (buffers scale with the score bound, the
+    #: paper's baseline design); a fixed chunk size (multiple of 8, up to
+    #: 2048) decouples WRAM footprint from score at the price of more
+    #: DMA transfers — the engineering answer to the WRAM pressure that
+    #: long reads / high E create (see the staging-chunk ablation).
+    staging_chunk_bytes: Optional[int] = None
+    #: alignment span.  Defaults to global (the paper's mode).  Ends-free
+    #: spans must be *bounded* (free allowances widen the score-0
+    #: wavefront, hence every WRAM staging buffer) — unbounded semiglobal
+    #: mapping belongs on the host or needs windowed candidates.
+    span: AlignmentSpan = field(default_factory=AlignmentSpan)
+
+    def __post_init__(self) -> None:
+        if self.max_read_len < 1:
+            raise KernelError(f"max_read_len must be >= 1, got {self.max_read_len}")
+        if self.max_edits < 0:
+            raise KernelError(f"max_edits must be >= 0, got {self.max_edits}")
+        if self.staging_chunk_bytes is not None:
+            c = self.staging_chunk_bytes
+            if c < 8 or c > 2048 or c % 8 != 0:
+                raise KernelError(
+                    f"staging_chunk_bytes must be a multiple of 8 in [8, 2048], "
+                    f"got {c}"
+                )
+        span_width = self.span.pattern_begin_free + self.span.text_begin_free
+        if span_width > 4 * self.max_seq_len:
+            raise KernelError(
+                "ends-free allowances too large for a static kernel plan: "
+                f"begin-free width {span_width} exceeds 4x max_seq_len"
+            )
+
+    @property
+    def max_score(self) -> int:
+        """Upper bound on any in-budget pair's alignment penalty."""
+        return max(1, self.max_edits * per_edit_cost(self.penalties))
+
+    @property
+    def max_seq_len(self) -> int:
+        """Largest read either slot must hold: insertions lengthen reads."""
+        return self.max_read_len + self.max_edits
+
+    @property
+    def max_wavefront_width(self) -> int:
+        """Max diagonals per wavefront.
+
+        The range grows by 2 per score on top of the score-0 seed width
+        (1 for global; wider when begin-free spans seed extra diagonals).
+        """
+        seed_width = 1 + self.span.pattern_begin_free + self.span.text_begin_free
+        return 2 * self.max_score + 2 + seed_width
+
+    @property
+    def max_cigar_ops(self) -> int:
+        """Max RLE runs: d edits split match runs at most 2d+1 ways."""
+        return 2 * self.max_edits + 3
+
+    @property
+    def wavefront_components(self) -> int:
+        """Wavefront components per score (5/3/1 by metric)."""
+        if isinstance(self.penalties, TwoPieceAffinePenalties):
+            return 5
+        if isinstance(self.penalties, AffinePenalties):
+            return 3
+        return 1
+
+    def metadata_peak_bytes(self) -> int:
+        """Worst-case packed metadata for one alignment (full memory mode).
+
+        Score ``s`` allocates ``components`` wavefronts of at most
+        ``2s + 3`` offsets (4 bytes each, every block rounded up to the
+        8-byte DMA granularity); summing over all scores up to the bound
+        gives the arena size both policies must admit.
+        """
+        comps = self.wavefront_components
+        seed_width = 1 + self.span.pattern_begin_free + self.span.text_begin_free
+        return sum(
+            comps * aligned_size(4 * (2 * s + 2 + seed_width))
+            for s in range(self.max_score + 1)
+        )
+
+    def heuristic(self) -> Optional[Callable]:
+        return AdaptiveReduction() if self.adaptive else None
+
+
+@dataclass(frozen=True)
+class WramPlan:
+    """Static WRAM map for one tasklet's slice."""
+
+    slice_bytes: int
+    input_off: int
+    result_off: int
+    staging_off: int  # base of the staging area ("mram" policy only)
+    staging_buffers: int
+    staging_buffer_bytes: int
+    metadata_off: int  # base of the in-WRAM metadata arena ("wram" policy)
+    metadata_bytes: int
+
+    @property
+    def used_bytes(self) -> int:
+        return max(
+            self.staging_off + self.staging_buffers * self.staging_buffer_bytes,
+            self.metadata_off + self.metadata_bytes,
+        )
+
+
+#: staged wavefronts resident simultaneously under the "mram" policy, by
+#: component count: affine needs up to 4 sources (M_{s-x}, M_{s-o-e},
+#: I_{s-e}, D_{s-e}) + 3 destinations; two-piece affine 7 sources + 5
+#: destinations; single-component metrics 2 sources + 1 destination.
+STAGING_BUFFERS_BY_COMPONENTS = {1: 3, 3: 7, 5: 12}
+
+
+class WfaDpuKernel:
+    """Executes the WFA alignment loop on a simulated DPU."""
+
+    def __init__(
+        self,
+        config: KernelConfig,
+        cost_model: Optional[DpuCostModel] = None,
+    ) -> None:
+        self.config = config
+        self.cost_model = cost_model if cost_model is not None else DpuCostModel()
+
+    # -- static planning ------------------------------------------------------
+
+    def input_record_bytes(self) -> int:
+        return 8 + 2 * aligned_size(self.config.max_seq_len)
+
+    def result_record_bytes(self) -> int:
+        return 8 + aligned_size(4 * self.config.max_cigar_ops)
+
+    def plan_wram(
+        self, dpu_config: DpuConfig, tasklets: int, metadata_policy: str
+    ) -> WramPlan:
+        """Divide WRAM among ``tasklets`` and map one slice.
+
+        Raises :class:`KernelError` when the per-tasklet slice cannot hold
+        the kernel's buffers — the admission failure that caps the tasklet
+        count (the paper's central WRAM-pressure problem).
+        """
+        if not 1 <= tasklets <= dpu_config.max_tasklets:
+            raise KernelError(
+                f"tasklets must be in [1, {dpu_config.max_tasklets}], got {tasklets}"
+            )
+        if metadata_policy not in ("mram", "wram"):
+            raise KernelError(f"unknown metadata_policy {metadata_policy!r}")
+        slice_bytes = (dpu_config.wram_bytes // tasklets) // 8 * 8
+
+        input_off = 0
+        result_off = input_off + aligned_size(self.input_record_bytes())
+        after_result = result_off + aligned_size(self.result_record_bytes())
+        if metadata_policy == "mram":
+            if self.config.staging_chunk_bytes is not None:
+                staging_buffer_bytes = self.config.staging_chunk_bytes
+            else:
+                staging_buffer_bytes = aligned_size(
+                    4 * self.config.max_wavefront_width
+                )
+            staging = STAGING_BUFFERS_BY_COMPONENTS[self.config.wavefront_components]
+            plan = WramPlan(
+                slice_bytes=slice_bytes,
+                input_off=input_off,
+                result_off=result_off,
+                staging_off=after_result,
+                staging_buffers=staging,
+                staging_buffer_bytes=staging_buffer_bytes,
+                metadata_off=after_result,
+                metadata_bytes=0,
+            )
+        else:
+            metadata_bytes = aligned_size(self.config.metadata_peak_bytes())
+            plan = WramPlan(
+                slice_bytes=slice_bytes,
+                input_off=input_off,
+                result_off=result_off,
+                staging_off=after_result,
+                staging_buffers=0,
+                staging_buffer_bytes=0,
+                metadata_off=after_result,
+                metadata_bytes=metadata_bytes,
+            )
+        if plan.used_bytes > slice_bytes:
+            raise KernelError(
+                f"WRAM slice of {slice_bytes} B (64KB / {tasklets} tasklets) "
+                f"cannot hold kernel buffers ({plan.used_bytes} B needed, "
+                f"policy={metadata_policy!r}, max_score={self.config.max_score})"
+            )
+        return plan
+
+    # -- execution ------------------------------------------------------
+
+    def run(
+        self,
+        dpu: Dpu,
+        layout: MramLayout,
+        assignments: list[list[int]],
+        metadata_policy: str = "mram",
+        collect_results: bool = False,
+        trace: Optional[KernelTrace] = None,
+    ) -> tuple[list[TaskletStats], list[tuple[int, AlignmentResult]]]:
+        """Run the kernel on one DPU.
+
+        Args:
+            dpu: the target DPU (its MRAM must already hold the header
+                and input records).
+            layout: the MRAM layout used by the host.
+            assignments: ``assignments[t]`` lists the input-record indices
+                tasklet ``t`` processes.
+            metadata_policy: "mram" (paper) or "wram" (ablation).
+            collect_results: additionally return the in-Python alignment
+                results, for cross-checking against the MRAM records.
+            trace: optional :class:`~repro.pim.trace.KernelTrace` that
+                receives per-pair phase events (fetch/align/metadata/
+                writeback) with their cycle and byte costs.
+
+        Returns:
+            ``(tasklet_stats, results)`` where ``results`` is empty unless
+            ``collect_results``.
+        """
+        tasklets = len(assignments)
+        plan = self.plan_wram(dpu.config, tasklets, metadata_policy)
+        if layout.max_cigar_ops < self.config.max_cigar_ops and self.config.traceback:
+            raise KernelError(
+                "layout reserves fewer CIGAR runs than the kernel may emit"
+            )
+        contexts = []
+        for t in range(tasklets):
+            base = t * plan.slice_bytes
+            alloc = TaskletAllocator(
+                wram_base=base,
+                wram_capacity=plan.slice_bytes,
+                mram_base=layout.metadata_addr(t)
+                if layout.metadata_bytes_per_tasklet > 0
+                else layout.metadata_base,
+                mram_capacity=layout.metadata_bytes_per_tasklet,
+                metadata_policy=metadata_policy,
+            )
+            # Reserve the fixed buffers exactly as planned.
+            input_alloc = alloc.alloc_buffer(aligned_size(self.input_record_bytes()))
+            result_alloc = alloc.alloc_buffer(aligned_size(self.result_record_bytes()))
+            staging = []
+            for _ in range(plan.staging_buffers):
+                staging.append(alloc.alloc_buffer(plan.staging_buffer_bytes).addr)
+            ctx = TaskletContext(tasklet_id=t, allocator=alloc)
+            ctx.input_buffer = input_alloc.addr
+            ctx.result_buffer = result_alloc.addr
+            ctx.staging_buffers = tuple(staging)
+            contexts.append(ctx)
+
+        results: list[tuple[int, AlignmentResult]] = []
+        for ctx, indices in zip(contexts, assignments):
+            for index in indices:
+                result = self._align_one(
+                    dpu, layout, ctx, index, metadata_policy, trace
+                )
+                if collect_results:
+                    results.append((index, result))
+        return [ctx.stats for ctx in contexts], results
+
+    # -- one pair ------------------------------------------------------
+
+    def _align_one(
+        self,
+        dpu: Dpu,
+        layout: MramLayout,
+        ctx: TaskletContext,
+        index: int,
+        metadata_policy: str,
+        trace: Optional[KernelTrace] = None,
+    ) -> AlignmentResult:
+        cfg = self.config
+        stats = ctx.stats
+        # 1. Fetch the input record MRAM -> WRAM.
+        size = layout.input_record_size
+        cycles = dpu.dma.read_large(layout.input_addr(index), ctx.input_buffer, size)
+        stats.add_dma(cycles, size)
+        if trace is not None:
+            trace.record(
+                TraceEvent(
+                    tasklet_id=ctx.tasklet_id,
+                    pair_index=index,
+                    phase="fetch",
+                    cycles=cycles,
+                    dma_bytes=size,
+                )
+            )
+        record = dpu.wram.read(ctx.input_buffer, size)
+        pair = layout.unpack_pair(record)
+
+        # 2. Align (functional engine; counters drive the cost replay).
+        engine = WfaEngine(
+            pair.pattern,
+            pair.text,
+            cfg.penalties,
+            memory_mode="full" if cfg.traceback else "low",
+            heuristic=cfg.heuristic(),
+            max_score=cfg.max_score,
+            span=cfg.span,
+        )
+        try:
+            score = engine.run()
+        except AlignmentError as exc:
+            raise KernelError(
+                f"pair {index} exceeded the kernel score bound "
+                f"{cfg.max_score}: {exc}"
+            ) from exc
+        cigar = backtrace(engine) if cfg.traceback else None
+        counters = engine.counters
+
+        instructions = self.cost_model.instructions(counters, pairs=1)
+        stats.instructions += instructions
+        stats.cells_computed += counters.cells_computed
+        stats.extend_steps += counters.extend_steps
+        if trace is not None:
+            trace.record(
+                TraceEvent(
+                    tasklet_id=ctx.tasklet_id,
+                    pair_index=index,
+                    phase="align",
+                    cycles=instructions,  # 1 instr/cycle at full pipeline
+                    instructions=instructions,
+                    detail=f"score={score} cells={counters.cells_computed}",
+                )
+            )
+
+        # 3. Replay metadata allocation/staging against the allocator+DMA.
+        mark = ctx.allocator.wram_mark()
+        dma_before = (stats.dma_cycles, stats.dma_bytes)
+        try:
+            self._replay_metadata(dpu, ctx, counters, metadata_policy)
+        except AllocationError as exc:
+            raise KernelError(
+                f"metadata arena overflow on pair {index} "
+                f"(policy={metadata_policy!r}): {exc}"
+            ) from exc
+        finally:
+            ctx.allocator.reset_metadata()
+            ctx.allocator.wram_release(mark)
+        if trace is not None:
+            trace.record(
+                TraceEvent(
+                    tasklet_id=ctx.tasklet_id,
+                    pair_index=index,
+                    phase="metadata",
+                    cycles=stats.dma_cycles - dma_before[0],
+                    dma_bytes=stats.dma_bytes - dma_before[1],
+                    detail=metadata_policy,
+                )
+            )
+
+        # 4. Write the result record WRAM -> MRAM.
+        p_end = engine.end_offset - engine.end_k
+        t_end = engine.end_offset
+        p_start = p_end - cigar.pattern_length() if cigar is not None else 0
+        t_start = t_end - cigar.text_length() if cigar is not None else 0
+        record_out = layout.pack_result(score, cigar, p_start, t_start)
+        dpu.wram.write(ctx.result_buffer, record_out)
+        cycles = dpu.dma.write_large(
+            ctx.result_buffer, layout.result_addr(index), layout.result_record_size
+        )
+        stats.add_dma(cycles, layout.result_record_size)
+        if trace is not None:
+            trace.record(
+                TraceEvent(
+                    tasklet_id=ctx.tasklet_id,
+                    pair_index=index,
+                    phase="writeback",
+                    cycles=cycles,
+                    dma_bytes=layout.result_record_size,
+                )
+            )
+        stats.pairs_done += 1
+
+        return AlignmentResult(
+            score=score,
+            cigar=cigar,
+            counters=counters,
+            penalties=cfg.penalties,
+            pattern_len=len(pair.pattern),
+            text_len=len(pair.text),
+            exact=not cfg.adaptive,
+            pattern_start=p_start,
+            pattern_end=p_end,
+            text_start=t_start,
+            text_end=t_end,
+        )
+
+    def _replay_metadata(
+        self,
+        dpu: Dpu,
+        ctx: TaskletContext,
+        counters,
+        metadata_policy: str,
+    ) -> None:
+        """Replay the engine's wavefront allocations on the DPU memory.
+
+        ``"wram"`` policy: every wavefront is bump-allocated from the
+        tasklet's WRAM arena (overflow = the paper's thread-count
+        problem); cell accesses are plain WRAM load/stores already priced
+        into the instruction costs — no DMA.
+
+        ``"mram"`` policy: wavefronts are bump-allocated from the
+        tasklet's MRAM arena.  Each is DMA-written once at creation
+        (stage-out) and DMA-read back once per later score that uses it
+        as a recurrence source — M wavefronts twice under affine
+        penalties (mismatch source and gap-open source), I/D once —
+        plus once more during traceback.
+        """
+        log = counters.wavefront_log
+        if not log:
+            return
+        if metadata_policy == "wram":
+            for _score, _comp, lo, hi in log:
+                ctx.allocator.alloc_metadata(4 * (hi - lo + 1))
+            return
+
+        computed_scores = {score for score, _c, _l, _h in log}
+        pen = self.config.penalties
+        if isinstance(pen, TwoPieceAffinePenalties):
+
+            def reads_of(s: int, comp: str) -> int:
+                if comp == "M":
+                    return (
+                        int(s + pen.mismatch in computed_scores)
+                        + int(s + pen.gap_open1 + pen.gap_extend1 in computed_scores)
+                        + int(s + pen.gap_open2 + pen.gap_extend2 in computed_scores)
+                    )
+                if comp in ("I", "D"):
+                    return int(s + pen.gap_extend1 in computed_scores)
+                return int(s + pen.gap_extend2 in computed_scores)
+
+        elif isinstance(pen, AffinePenalties):
+            reads_of = lambda s, comp: (  # noqa: E731 - small local table
+                int(s + pen.mismatch in computed_scores)
+                + int(s + pen.gap_open + pen.gap_extend in computed_scores)
+                if comp == "M"
+                else int(s + pen.gap_extend in computed_scores)
+            )
+        elif isinstance(pen, LinearPenalties):
+            reads_of = lambda s, comp: int(  # noqa: E731
+                s + pen.mismatch in computed_scores
+            ) + int(s + pen.indel in computed_scores)
+        else:  # edit
+            reads_of = lambda s, comp: int(s + 1 in computed_scores)  # noqa: E731
+
+        stage = ctx.staging_buffers[0] if ctx.staging_buffers else ctx.input_buffer
+        chunk = self.config.staging_chunk_bytes
+        for score, comp, lo, hi in log:
+            nbytes = aligned_size(4 * (hi - lo + 1))
+            alloc = ctx.allocator.alloc_metadata(nbytes)
+            # Stage-out at creation.
+            cycles = self._stage(dpu, stage, alloc.addr, nbytes, chunk, write=True)
+            stats_reads = reads_of(score, comp)
+            if self.config.traceback:
+                stats_reads += 1
+            ctx.stats.add_dma(cycles, nbytes)
+            # Stage-in for each later use.
+            for _ in range(stats_reads):
+                cycles = self._stage(
+                    dpu, stage, alloc.addr, nbytes, chunk, write=False
+                )
+                ctx.stats.add_dma(cycles, nbytes)
+
+    @staticmethod
+    def _stage(
+        dpu: Dpu, stage: int, mram_addr: int, nbytes: int, chunk: Optional[int],
+        write: bool,
+    ) -> float:
+        """Move ``nbytes`` between the staging buffer and MRAM.
+
+        Whole-wavefront mode reuses the large staging buffer; chunked
+        mode loops a fixed-size buffer over the block (more transfers,
+        constant WRAM).
+        """
+        if chunk is None:
+            if write:
+                return dpu.dma.write_large(stage, mram_addr, nbytes)
+            return dpu.dma.read_large(mram_addr, stage, nbytes)
+        cycles = 0.0
+        done = 0
+        while done < nbytes:
+            piece = min(chunk, nbytes - done)
+            if write:
+                cycles += dpu.dma.write(stage, mram_addr + done, piece)
+            else:
+                cycles += dpu.dma.read(mram_addr + done, stage, piece)
+            done += piece
+        return cycles
+
+
+def max_supported_tasklets(
+    kernel: WfaDpuKernel, dpu_config: DpuConfig, metadata_policy: str
+) -> int:
+    """Largest tasklet count whose WRAM plan is admissible (0 if none).
+
+    This is the quantitative form of the paper's design argument: under
+    the ``"wram"`` policy the metadata arena eats the slice and few
+    tasklets fit; under the ``"mram"`` policy all 24 usually do.
+    """
+    best = 0
+    for t in range(1, dpu_config.max_tasklets + 1):
+        try:
+            kernel.plan_wram(dpu_config, t, metadata_policy)
+        except KernelError:
+            continue
+        best = t
+    return best

@@ -1,0 +1,266 @@
+"""MRAM data layout: how read pairs and results live in a DPU's bank.
+
+The host and the DPU kernel agree on a fixed-slot layout so that record
+addresses are computable (no pointer chasing through MRAM) and every
+record boundary is 8-byte aligned (DMA-able):
+
+::
+
+    0x00  header (64 B): magic, num_pairs, slot sizes, region bases
+    .     input region:  num_pairs fixed-size input records
+    .     output region: num_pairs fixed-size result records
+    .     metadata region: per-tasklet WFA-metadata arenas (paper's
+          "store the metadata in MRAM" design)
+
+Input record: ``u32 pattern_len | u32 text_len | pattern (padded to 8) |
+text (padded to 8)``.  Result record: ``i32 score | u32 n_ops |
+u32 pattern_start | u32 text_start | n_ops x u32 packed RLE CIGAR
+(padded to 8)`` where each op packs ``length << 8 | ascii(op)`` and the
+start fields give the aligned region's origin (0 for global alignment;
+meaningful under ends-free spans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cigar import Cigar, CigarOp
+from repro.data.generator import ReadPair
+from repro.errors import LayoutError
+from repro.pim.dma import aligned_size
+from repro.pim.memory import Mram
+
+__all__ = ["MramLayout", "HEADER_BYTES", "LAYOUT_MAGIC"]
+
+HEADER_BYTES = 64
+LAYOUT_MAGIC = 0x5746_4150_494D_0001  # "WFA PIM" v1
+
+
+@dataclass(frozen=True)
+class MramLayout:
+    """Computed layout of one DPU's MRAM bank for a batch of pairs."""
+
+    num_pairs: int
+    pattern_slot: int  # padded bytes reserved per pattern
+    text_slot: int
+    max_cigar_ops: int  # RLE runs reservable per result
+    metadata_bytes_per_tasklet: int
+    tasklets: int
+
+    @classmethod
+    def plan(
+        cls,
+        num_pairs: int,
+        max_pattern_len: int,
+        max_text_len: int,
+        max_cigar_ops: int,
+        tasklets: int,
+        metadata_bytes_per_tasklet: int = 0,
+        mram_capacity: int = 64 * 1024 * 1024,
+    ) -> "MramLayout":
+        """Size the regions and check the bank can hold them."""
+        if num_pairs < 0:
+            raise LayoutError(f"num_pairs must be >= 0, got {num_pairs}")
+        if max_pattern_len < 0 or max_text_len < 0:
+            raise LayoutError("sequence slot lengths must be >= 0")
+        if max_cigar_ops < 1:
+            raise LayoutError("max_cigar_ops must be >= 1")
+        if tasklets < 1:
+            raise LayoutError("tasklets must be >= 1")
+        layout = cls(
+            num_pairs=num_pairs,
+            pattern_slot=aligned_size(max(max_pattern_len, 1)),
+            text_slot=aligned_size(max(max_text_len, 1)),
+            max_cigar_ops=max_cigar_ops,
+            metadata_bytes_per_tasklet=aligned_size(metadata_bytes_per_tasklet),
+            tasklets=tasklets,
+        )
+        if layout.total_bytes > mram_capacity:
+            raise LayoutError(
+                f"layout needs {layout.total_bytes} bytes, MRAM bank holds "
+                f"{mram_capacity}"
+            )
+        return layout
+
+    # -- region geometry -----------------------------------------------------
+
+    @property
+    def input_record_size(self) -> int:
+        return 8 + self.pattern_slot + self.text_slot
+
+    @property
+    def result_record_size(self) -> int:
+        return 16 + aligned_size(4 * self.max_cigar_ops)
+
+    @property
+    def input_base(self) -> int:
+        return HEADER_BYTES
+
+    @property
+    def output_base(self) -> int:
+        return self.input_base + self.num_pairs * self.input_record_size
+
+    @property
+    def metadata_base(self) -> int:
+        return self.output_base + self.num_pairs * self.result_record_size
+
+    @property
+    def total_bytes(self) -> int:
+        return self.metadata_base + self.tasklets * self.metadata_bytes_per_tasklet
+
+    def input_addr(self, index: int) -> int:
+        self._check_index(index)
+        return self.input_base + index * self.input_record_size
+
+    def result_addr(self, index: int) -> int:
+        self._check_index(index)
+        return self.output_base + index * self.result_record_size
+
+    def metadata_addr(self, tasklet: int) -> int:
+        if not 0 <= tasklet < self.tasklets:
+            raise LayoutError(f"tasklet {tasklet} outside [0, {self.tasklets})")
+        return self.metadata_base + tasklet * self.metadata_bytes_per_tasklet
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_pairs:
+            raise LayoutError(f"pair index {index} outside [0, {self.num_pairs})")
+
+    # -- host-side serialization ---------------------------------------------
+
+    def write_header(self, mram: Mram) -> None:
+        """Write the layout header the DPU kernel parses at startup."""
+        words = [
+            LAYOUT_MAGIC,
+            self.num_pairs,
+            self.pattern_slot,
+            self.text_slot,
+            self.max_cigar_ops,
+            self.metadata_bytes_per_tasklet,
+            self.tasklets,
+            0,
+        ]
+        data = b"".join(w.to_bytes(8, "little") for w in words)
+        assert len(data) == HEADER_BYTES
+        mram.host_write(0, data)
+
+    @classmethod
+    def read_header(cls, mram: Mram) -> "MramLayout":
+        """Parse a header back into a layout (what the kernel does)."""
+        data = mram.read(0, HEADER_BYTES)
+        words = [
+            int.from_bytes(data[i : i + 8], "little") for i in range(0, HEADER_BYTES, 8)
+        ]
+        if words[0] != LAYOUT_MAGIC:
+            raise LayoutError(f"bad layout magic {words[0]:#x}")
+        return cls(
+            num_pairs=words[1],
+            pattern_slot=words[2],
+            text_slot=words[3],
+            max_cigar_ops=words[4],
+            metadata_bytes_per_tasklet=words[5],
+            tasklets=words[6],
+        )
+
+    def pack_pair(self, pair: ReadPair) -> bytes:
+        """Serialize one pair into its fixed-size input record."""
+        p = pair.pattern.encode("ascii")
+        t = pair.text.encode("ascii")
+        if len(p) > self.pattern_slot:
+            raise LayoutError(
+                f"pattern of {len(p)} bytes exceeds slot {self.pattern_slot}"
+            )
+        if len(t) > self.text_slot:
+            raise LayoutError(f"text of {len(t)} bytes exceeds slot {self.text_slot}")
+        record = (
+            len(p).to_bytes(4, "little")
+            + len(t).to_bytes(4, "little")
+            + p.ljust(self.pattern_slot, b"\x00")
+            + t.ljust(self.text_slot, b"\x00")
+        )
+        assert len(record) == self.input_record_size
+        return record
+
+    def unpack_pair(self, record: bytes) -> ReadPair:
+        """Deserialize an input record (the kernel-side view)."""
+        if len(record) != self.input_record_size:
+            raise LayoutError(
+                f"input record of {len(record)} bytes, expected "
+                f"{self.input_record_size}"
+            )
+        plen = int.from_bytes(record[0:4], "little")
+        tlen = int.from_bytes(record[4:8], "little")
+        if plen > self.pattern_slot or tlen > self.text_slot:
+            raise LayoutError("input record lengths exceed their slots")
+        pattern = record[8 : 8 + plen].decode("ascii")
+        text = record[8 + self.pattern_slot : 8 + self.pattern_slot + tlen].decode(
+            "ascii"
+        )
+        return ReadPair(pattern=pattern, text=text)
+
+    def pack_result(
+        self,
+        score: int,
+        cigar: Cigar | None,
+        pattern_start: int = 0,
+        text_start: int = 0,
+    ) -> bytes:
+        """Serialize a result record (what the kernel writes back)."""
+        ops = list(cigar.ops) if cigar is not None else []
+        if len(ops) > self.max_cigar_ops:
+            raise LayoutError(
+                f"CIGAR with {len(ops)} runs exceeds slot of {self.max_cigar_ops}"
+            )
+        if pattern_start < 0 or text_start < 0:
+            raise LayoutError("aligned-region starts must be >= 0")
+        # High bit of the op-count word distinguishes "CIGAR present" from
+        # score-only results (an empty CIGAR — empty vs empty pair — is a
+        # valid present CIGAR).
+        n_ops_field = len(ops) | (0x8000_0000 if cigar is not None else 0)
+        body = bytearray()
+        body += score.to_bytes(4, "little", signed=True)
+        body += n_ops_field.to_bytes(4, "little")
+        body += pattern_start.to_bytes(4, "little")
+        body += text_start.to_bytes(4, "little")
+        for op in ops:
+            if op.length >= 1 << 24:
+                raise LayoutError(f"CIGAR run of {op.length} too long to pack")
+            body += ((op.length << 8) | ord(op.op)).to_bytes(4, "little")
+        record = bytes(body).ljust(self.result_record_size, b"\x00")
+        assert len(record) == self.result_record_size
+        return record
+
+    def unpack_result(self, record: bytes) -> tuple[int, Cigar | None]:
+        """Deserialize a result record (the host-side gather view)."""
+        if len(record) != self.result_record_size:
+            raise LayoutError(
+                f"result record of {len(record)} bytes, expected "
+                f"{self.result_record_size}"
+            )
+        score = int.from_bytes(record[0:4], "little", signed=True)
+        n_ops_field = int.from_bytes(record[4:8], "little")
+        has_cigar = bool(n_ops_field & 0x8000_0000)
+        n_ops = n_ops_field & 0x7FFF_FFFF
+        if n_ops > self.max_cigar_ops:
+            raise LayoutError(f"result claims {n_ops} CIGAR runs > slot")
+        if not has_cigar:
+            return score, None
+        ops = []
+        for i in range(n_ops):
+            word = int.from_bytes(record[16 + 4 * i : 20 + 4 * i], "little")
+            ops.append(CigarOp(word >> 8, chr(word & 0xFF)))
+        return score, Cigar(ops)
+
+    def unpack_result_region(self, record: bytes) -> tuple[int, int]:
+        """The aligned region's ``(pattern_start, text_start)``.
+
+        Zero for global alignments; the clipped-prefix lengths under
+        ends-free spans.
+        """
+        if len(record) != self.result_record_size:
+            raise LayoutError(
+                f"result record of {len(record)} bytes, expected "
+                f"{self.result_record_size}"
+            )
+        pattern_start = int.from_bytes(record[8:12], "little")
+        text_start = int.from_bytes(record[12:16], "little")
+        return pattern_start, text_start

@@ -1,0 +1,133 @@
+"""Byte-accurate simulated DPU memories.
+
+Two memory spaces per DPU, as on real UPMEM hardware:
+
+* :class:`Wram` — the 64 KB SRAM scratchpad.  Load/store accessible by
+  tasklets (modelled with :meth:`read`/:meth:`write`); shared by all
+  tasklets of a DPU, which is why the paper cannot keep per-thread WFA
+  metadata there without sacrificing thread count.
+* :class:`Mram` — the 64 MB DRAM bank.  *Not* directly load/store
+  accessible: tasklets move data with DMA transfers (see
+  :mod:`repro.pim.dma`), and the host reads/writes it through
+  :meth:`host_read`/:meth:`host_write` (the CPU<->DPU transfer path).
+
+Both enforce bounds; MRAM backing storage grows lazily so that
+simulating a 64 MB bank that only ever holds a few hundred KB of reads
+costs a few hundred KB of host memory.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryFault
+
+__all__ = ["SimMemory", "Wram", "Mram"]
+
+
+class SimMemory:
+    """Bounds-checked byte-addressable memory with access accounting."""
+
+    def __init__(self, capacity: int, name: str = "mem") -> None:
+        if capacity <= 0:
+            raise MemoryFault(f"{name}: capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._data = bytearray()
+        # Accounting (bytes moved through this memory).
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+
+    # -- bounds / growth ----------------------------------------------------
+
+    def _check(self, addr: int, size: int) -> None:
+        if size < 0:
+            raise MemoryFault(f"{self.name}: negative access size {size}")
+        if addr < 0 or addr + size > self.capacity:
+            raise MemoryFault(
+                f"{self.name}: access [{addr}, {addr + size}) outside "
+                f"capacity {self.capacity}"
+            )
+
+    def _ensure(self, end: int) -> None:
+        if len(self._data) < end:
+            self._data.extend(b"\x00" * (end - len(self._data)))
+
+    # -- access ------------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``addr``; unwritten bytes read as zero."""
+        self._check(addr, size)
+        self._ensure(addr + size)
+        self.bytes_read += size
+        self.read_ops += 1
+        return bytes(self._data[addr : addr + size])
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` at ``addr``."""
+        self._check(addr, len(data))
+        self._ensure(addr + len(data))
+        self._data[addr : addr + len(data)] = data
+        self.bytes_written += len(data)
+        self.write_ops += 1
+
+    # -- small typed helpers (little-endian, as on the 32-bit DPU) ---------
+
+    def read_u32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def write_u32(self, addr: int, value: int) -> None:
+        if not 0 <= value < 2**32:
+            raise MemoryFault(f"{self.name}: u32 out of range: {value}")
+        self.write(addr, value.to_bytes(4, "little"))
+
+    def read_i32(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 4), "little", signed=True)
+
+    def write_i32(self, addr: int, value: int) -> None:
+        if not -(2**31) <= value < 2**31:
+            raise MemoryFault(f"{self.name}: i32 out of range: {value}")
+        self.write(addr, value.to_bytes(4, "little", signed=True))
+
+    def read_u64(self, addr: int) -> int:
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def write_u64(self, addr: int, value: int) -> None:
+        if not 0 <= value < 2**64:
+            raise MemoryFault(f"{self.name}: u64 out of range: {value}")
+        self.write(addr, value.to_bytes(8, "little"))
+
+    def reset_counters(self) -> None:
+        self.bytes_read = self.bytes_written = 0
+        self.read_ops = self.write_ops = 0
+
+
+class Wram(SimMemory):
+    """The 64 KB working RAM (SRAM scratchpad) of one DPU."""
+
+    def __init__(self, capacity: int = 64 * 1024) -> None:
+        super().__init__(capacity, name="WRAM")
+
+
+class Mram(SimMemory):
+    """The 64 MB main RAM (DRAM bank) of one DPU.
+
+    Host-side transfers use the ``host_*`` methods so that the transfer
+    engine can account host traffic separately from on-DPU DMA traffic.
+    """
+
+    def __init__(self, capacity: int = 64 * 1024 * 1024) -> None:
+        super().__init__(capacity, name="MRAM")
+        self.host_bytes_in = 0
+        self.host_bytes_out = 0
+
+    def host_write(self, addr: int, data: bytes) -> None:
+        """CPU -> MRAM copy (counted as host input traffic)."""
+        self.write(addr, data)
+        self.host_bytes_in += len(data)
+
+    def host_read(self, addr: int, size: int) -> bytes:
+        """MRAM -> CPU copy (counted as host output traffic)."""
+        data = self.read(addr, size)
+        self.host_bytes_out += size
+        return data

@@ -1,0 +1,76 @@
+"""Rank-level structure and summaries.
+
+A UPMEM *rank* is the transfer/launch granularity of the SDK: 64 DPUs
+sharing a DDR4 rank, loaded and copied to as a unit.  The system model
+mostly works at the two ends of the hierarchy (whole system for
+transfers, single DPU for kernels); this module provides the middle
+view — grouping per-DPU kernel statistics into per-rank summaries, which
+is how real UPMEM profiling tools report utilization and how load
+imbalance across the machine is diagnosed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.pim.dpu import DpuKernelStats
+
+__all__ = ["RankSummary", "group_by_rank", "imbalance"]
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """Aggregated kernel statistics for one rank."""
+
+    rank_id: int
+    dpus: int
+    pairs_done: int
+    instructions: float
+    dma_bytes: int
+    #: the rank finishes when its slowest DPU does
+    seconds: float
+    #: mean DPU busy time / rank time — 1.0 means perfectly balanced
+    utilization: float
+
+
+def group_by_rank(
+    per_dpu: list[DpuKernelStats], dpus_per_rank: int = 64
+) -> list[RankSummary]:
+    """Fold per-DPU stats into per-rank summaries (by DPU id)."""
+    if dpus_per_rank < 1:
+        raise ConfigError("dpus_per_rank must be >= 1")
+    ranks: dict[int, list[DpuKernelStats]] = {}
+    for stats in per_dpu:
+        ranks.setdefault(stats.dpu_id // dpus_per_rank, []).append(stats)
+    out = []
+    for rank_id in sorted(ranks):
+        members = ranks[rank_id]
+        slowest = max(s.seconds for s in members)
+        mean = sum(s.seconds for s in members) / len(members)
+        out.append(
+            RankSummary(
+                rank_id=rank_id,
+                dpus=len(members),
+                pairs_done=sum(s.pairs_done for s in members),
+                instructions=sum(s.instructions for s in members),
+                dma_bytes=sum(s.dma_bytes for s in members),
+                seconds=slowest,
+                utilization=(mean / slowest) if slowest > 0 else 1.0,
+            )
+        )
+    return out
+
+
+def imbalance(per_dpu: list[DpuKernelStats]) -> float:
+    """System-level load imbalance: slowest DPU / mean DPU time.
+
+    1.0 means perfect balance; the sampled-measurement methodology
+    reports this so extrapolations from few simulated DPUs carry their
+    own error bar.
+    """
+    if not per_dpu:
+        return 1.0
+    times = [s.seconds for s in per_dpu]
+    mean = sum(times) / len(times)
+    return (max(times) / mean) if mean > 0 else 1.0

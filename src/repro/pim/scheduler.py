@@ -1,0 +1,133 @@
+"""Host-side batch scheduler for workloads larger than one MRAM fill.
+
+The paper's experiment fits 5M pairs into one distribution round (~430 KB
+per DPU against 64 MB banks), but a production workload — or longer
+reads — can exceed what the input+output regions of a bank can hold.
+The scheduler splits such workloads into rounds sized to MRAM capacity
+and runs distribute → launch → gather per round, modeling both the
+serialized schedule the paper's host loop implies and an overlapped
+(double-buffered) schedule where round ``i+1``'s transfer proceeds while
+round ``i``'s kernel runs — the standard optimization the paper's
+"Total vs Kernel" gap begs for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.data.generator import ReadPair
+from repro.errors import ConfigError
+from repro.pim.system import PimRunResult, PimSystem
+
+__all__ = ["BatchSchedule", "ScheduledRun", "BatchScheduler"]
+
+
+@dataclass(frozen=True)
+class BatchSchedule:
+    """How a workload splits into MRAM-sized rounds."""
+
+    total_pairs: int
+    pairs_per_round: int
+
+    @property
+    def rounds(self) -> int:
+        return math.ceil(self.total_pairs / self.pairs_per_round)
+
+    def round_sizes(self) -> list[int]:
+        sizes = [self.pairs_per_round] * (self.rounds - 1)
+        sizes.append(self.total_pairs - self.pairs_per_round * (self.rounds - 1))
+        return sizes
+
+
+@dataclass
+class ScheduledRun:
+    """Aggregate timing of a multi-round run."""
+
+    schedule: BatchSchedule
+    per_round: list[PimRunResult] = field(default_factory=list)
+    overlapped: bool = False
+
+    @property
+    def kernel_seconds(self) -> float:
+        return sum(r.kernel_seconds for r in self.per_round)
+
+    @property
+    def transfer_seconds(self) -> float:
+        return sum(r.transfer_seconds for r in self.per_round)
+
+    @property
+    def total_seconds(self) -> float:
+        """Serialized: sum of round totals.  Overlapped: transfers of
+        round i+1 hide behind the kernel of round i (classic double
+        buffering), so each inner round costs max(kernel, transfer)."""
+        if not self.per_round:
+            return 0.0
+        launches = sum(r.launch_seconds for r in self.per_round)
+        if not self.overlapped:
+            return self.kernel_seconds + self.transfer_seconds + launches
+        # pipeline: first in-transfer exposed, last out-transfer exposed,
+        # middle stages bounded by the slower of kernel / transfer.
+        first_in = self.per_round[0].transfer_in_seconds
+        last_out = self.per_round[-1].transfer_out_seconds
+        middle = sum(
+            max(r.kernel_seconds, r.transfer_seconds) for r in self.per_round
+        )
+        return first_in + middle + last_out + launches
+
+    def throughput(self) -> float:
+        total = self.schedule.total_pairs
+        return total / self.total_seconds if self.total_seconds else 0.0
+
+
+class BatchScheduler:
+    """Runs workloads through a :class:`PimSystem` in MRAM-sized rounds."""
+
+    def __init__(self, system: PimSystem, overlapped: bool = False) -> None:
+        self.system = system
+        self.overlapped = overlapped
+
+    def max_pairs_per_round(self, mram_budget_fraction: float = 0.9) -> int:
+        """Pairs per DPU batch that fit the MRAM input+output regions."""
+        if not 0 < mram_budget_fraction <= 1:
+            raise ConfigError("mram_budget_fraction must be in (0, 1]")
+        probe = self.system.plan_layout(1)
+        per_pair = probe.input_record_size + probe.result_record_size
+        fixed = 64 + self.system.config.tasklets * probe.metadata_bytes_per_tasklet
+        budget = int(self.system.config.dpu.mram_bytes * mram_budget_fraction) - fixed
+        per_dpu_pairs = max(1, budget // per_pair)
+        return per_dpu_pairs * self.system.config.num_dpus
+
+    def plan(self, total_pairs: int, pairs_per_round: Optional[int] = None) -> BatchSchedule:
+        """Split ``total_pairs`` into rounds (capacity-sized by default)."""
+        if total_pairs < 1:
+            raise ConfigError("total_pairs must be >= 1")
+        cap = self.max_pairs_per_round()
+        if pairs_per_round is None:
+            pairs_per_round = cap
+        if pairs_per_round < 1:
+            raise ConfigError("pairs_per_round must be >= 1")
+        if pairs_per_round > cap:
+            raise ConfigError(
+                f"pairs_per_round {pairs_per_round} exceeds MRAM capacity {cap}"
+            )
+        return BatchSchedule(total_pairs=total_pairs, pairs_per_round=pairs_per_round)
+
+    def run(
+        self,
+        pairs: list[ReadPair],
+        pairs_per_round: Optional[int] = None,
+        collect_results: bool = False,
+    ) -> ScheduledRun:
+        """Align a concrete batch in rounds."""
+        schedule = self.plan(len(pairs), pairs_per_round)
+        out = ScheduledRun(schedule=schedule, overlapped=self.overlapped)
+        start = 0
+        for size in schedule.round_sizes():
+            chunk = pairs[start : start + size]
+            out.per_round.append(
+                self.system.align(chunk, collect_results=collect_results)
+            )
+            start += size
+        return out

@@ -1,0 +1,333 @@
+"""The full PIM system: distribution, launch, collection, timing.
+
+Reproduces the paper's execution structure end to end:
+
+1. the host distributes read pairs evenly across DPU MRAM banks
+   (:meth:`PimSystem.align` / :meth:`PimSystem.model_run`);
+2. every DPU runs the WFA kernel over its private batch, tasklets
+   working independently;
+3. the host gathers result records from MRAM.
+
+Two entry points:
+
+* :meth:`PimSystem.align` — align a concrete list of pairs.  All logical
+  DPUs receive work round-robin; the first ``num_simulated_dpus`` are
+  byte-accurately simulated and their slowest kernel time stands for the
+  system (exact when ``num_simulated_dpus == num_dpus``).
+* :meth:`PimSystem.model_run` — the paper-scale methodology: per-DPU
+  load is ``ceil(num_pairs / num_dpus)`` (1954 pairs for 5M over 2560
+  DPUs); each simulated DPU aligns an i.i.d. sample of ``k`` pairs and
+  its kernel time is scaled by ``load / k``.  Transfer time always uses
+  exact full-system byte counts (they are computable without simulation
+  because records are fixed-size).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cigar import Cigar
+from repro.data.datasets import DatasetSpec
+from repro.data.generator import ReadPair, ReadPairGenerator
+from repro.errors import ConfigError
+from repro.pim.config import PimSystemConfig
+from repro.pim.dpu import Dpu, DpuKernelStats
+from repro.pim.kernel import KernelConfig, WfaDpuKernel
+from repro.pim.layout import HEADER_BYTES, MramLayout
+from repro.pim.transfer import HostTransferEngine
+
+__all__ = ["PimRunResult", "PimSystem"]
+
+
+@dataclass
+class PimRunResult:
+    """Timing and functional outcome of one PIM run.
+
+    ``kernel_seconds`` is the paper's "Kernel" series;
+    ``total_seconds`` (kernel + both transfers + launch overhead) is the
+    paper's "Total".
+    """
+
+    num_pairs: int  # modeled workload size
+    pairs_simulated: int  # functionally aligned pairs
+    tasklets: int
+    metadata_policy: str
+    kernel_seconds: float
+    transfer_in_seconds: float
+    transfer_out_seconds: float
+    launch_seconds: float
+    bytes_in: int
+    bytes_out: int
+    per_dpu: list[DpuKernelStats] = field(default_factory=list)
+    #: functional results: (global pair index, score, cigar)
+    results: list[tuple[int, int, Optional[Cigar]]] = field(default_factory=list)
+    #: aligned-region starts per gathered pair index: (pattern_start,
+    #: text_start) — zeros for global alignment, clipping under ends-free.
+    regions: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: kernel-time scale factor applied for sampled runs (1.0 = exact)
+    scale_factor: float = 1.0
+
+    @property
+    def transfer_seconds(self) -> float:
+        return self.transfer_in_seconds + self.transfer_out_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.kernel_seconds
+            + self.transfer_seconds
+            + self.launch_seconds
+        )
+
+    def throughput(self) -> float:
+        """End-to-end pairs aligned per second (the paper's Total)."""
+        return self.num_pairs / self.total_seconds if self.total_seconds else 0.0
+
+    def kernel_throughput(self) -> float:
+        """Pairs per second counting kernel time only (the paper's Kernel)."""
+        return self.num_pairs / self.kernel_seconds if self.kernel_seconds else 0.0
+
+    def dominant_bound(self) -> str:
+        """Which DPU pipeline bound dominated across simulated DPUs."""
+        if not self.per_dpu:
+            return "none"
+        counts: dict[str, int] = {}
+        for s in self.per_dpu:
+            counts[s.bound] = counts.get(s.bound, 0) + 1
+        return max(counts, key=counts.__getitem__)
+
+
+class PimSystem:
+    """A configured UPMEM system ready to align read-pair workloads."""
+
+    def __init__(
+        self,
+        config: PimSystemConfig,
+        kernel_config: Optional[KernelConfig] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.kernel_config = (
+            kernel_config if kernel_config is not None else KernelConfig()
+        )
+        self.kernel = WfaDpuKernel(self.kernel_config)
+        self.transfer = HostTransferEngine(config.transfer)
+        # Admission check: the WRAM plan must hold at this tasklet count.
+        self.kernel.plan_wram(
+            config.dpu, config.tasklets, config.metadata_policy
+        )
+
+    # -- layout -----------------------------------------------------------
+
+    def plan_layout(self, pairs_per_dpu: int) -> MramLayout:
+        """MRAM layout for a per-DPU batch of ``pairs_per_dpu`` pairs."""
+        kc = self.kernel_config
+        metadata = (
+            kc.metadata_peak_bytes() if self.config.metadata_policy == "mram" else 0
+        )
+        return MramLayout.plan(
+            num_pairs=pairs_per_dpu,
+            max_pattern_len=kc.max_seq_len,
+            max_text_len=kc.max_seq_len,
+            max_cigar_ops=kc.max_cigar_ops,
+            tasklets=self.config.tasklets,
+            metadata_bytes_per_tasklet=metadata,
+            mram_capacity=self.config.dpu.mram_bytes,
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _tasklet_assignments(self, batch_size: int) -> list[list[int]]:
+        """Round-robin local indices over the configured tasklets."""
+        t = self.config.tasklets
+        return [list(range(tid, batch_size, t)) for tid in range(t)]
+
+    def _system_bytes(self, num_pairs: int, layout: MramLayout) -> tuple[int, int]:
+        """Full-system (all logical DPUs) transfer byte counts."""
+        bytes_in = (
+            num_pairs * layout.input_record_size
+            + self.config.num_dpus * HEADER_BYTES
+        )
+        bytes_out = num_pairs * layout.result_record_size
+        return bytes_in, bytes_out
+
+    # -- concrete batch alignment ------------------------------------------------
+
+    def align(
+        self,
+        pairs: list[ReadPair],
+        collect_results: bool = True,
+        verify: bool = False,
+    ) -> PimRunResult:
+        """Align a concrete batch, distributed over all logical DPUs.
+
+        With ``verify=True`` every gathered result is re-checked on the
+        host: the CIGAR is validated against its pair and re-scored
+        under the kernel's penalty model (raises
+        :class:`~repro.errors.KernelError` on any inconsistency) — the
+        simulated-hardware analogue of WFA's verification mode.
+        """
+        n = len(pairs)
+        num_dpus = self.config.num_dpus
+        batches = [pairs[d::num_dpus] for d in range(min(num_dpus, max(n, 1)))]
+        max_batch = max((len(b) for b in batches), default=0)
+        layout = self.plan_layout(max(max_batch, 1))
+
+        per_dpu: list[DpuKernelStats] = []
+        results: list[tuple[int, int, Optional[Cigar]]] = []
+        regions: dict[int, tuple[int, int]] = {}
+        simulated = 0
+        for d in range(min(self.config.num_simulated_dpus, len(batches))):
+            batch = batches[d]
+            if not batch:
+                continue
+            dpu = Dpu(self.config.dpu, dpu_id=d)
+            self.transfer.push_batch(dpu, layout, batch)
+            assignments = self._tasklet_assignments(len(batch))
+            stats, _ = self.kernel.run(
+                dpu, layout, assignments, self.config.metadata_policy
+            )
+            per_dpu.append(dpu.summarize(stats))
+            simulated += len(batch)
+            if collect_results or verify:
+                pulled, _ = self.transfer.pull_results_full(dpu, layout, len(batch))
+                for local, (score, cigar, p_start, t_start) in enumerate(pulled):
+                    index = d + local * num_dpus
+                    results.append((index, score, cigar))
+                    regions[index] = (p_start, t_start)
+
+        if verify:
+            self._verify_results(pairs, results, regions)
+            if not collect_results:
+                results = []
+                regions = {}
+        kernel_seconds = max((s.seconds for s in per_dpu), default=0.0)
+        bytes_in, bytes_out = self._system_bytes(n, layout)
+        return PimRunResult(
+            num_pairs=n,
+            pairs_simulated=simulated,
+            tasklets=self.config.tasklets,
+            metadata_policy=self.config.metadata_policy,
+            kernel_seconds=kernel_seconds,
+            transfer_in_seconds=self.transfer.to_dpu_seconds(
+                bytes_in, self.config.num_ranks
+            ),
+            transfer_out_seconds=self.transfer.from_dpu_seconds(
+                bytes_out, self.config.num_ranks
+            ),
+            launch_seconds=self.transfer.launch_seconds(),
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            per_dpu=per_dpu,
+            results=results,
+            regions=regions,
+        )
+
+    def _verify_results(
+        self,
+        pairs: list[ReadPair],
+        results: list[tuple[int, int, Optional[Cigar]]],
+        regions: Optional[dict[int, tuple[int, int]]] = None,
+    ) -> None:
+        """Host-side re-validation of gathered results."""
+        from repro.errors import KernelError
+
+        pen = self.kernel_config.penalties
+        for index, score, cigar in results:
+            pair = pairs[index]
+            if cigar is None:
+                continue
+            p_start, t_start = (regions or {}).get(index, (0, 0))
+            try:
+                cigar.validate(
+                    pair.pattern[p_start : p_start + cigar.pattern_length()],
+                    pair.text[t_start : t_start + cigar.text_length()],
+                )
+            except Exception as exc:  # CigarError carries the detail
+                raise KernelError(
+                    f"pair {index}: gathered CIGAR invalid: {exc}"
+                ) from exc
+            rescored = cigar.score(pen)
+            if rescored != score:
+                raise KernelError(
+                    f"pair {index}: gathered score {score} != CIGAR rescoring "
+                    f"{rescored}"
+                )
+
+    # -- paper-scale modeled run ---------------------------------------------------
+
+    def model_run(
+        self,
+        spec: DatasetSpec,
+        sample_pairs_per_dpu: int = 256,
+        collect_results: bool = False,
+    ) -> PimRunResult:
+        """Model a full-scale run of ``spec`` (e.g. the paper's 5M pairs).
+
+        Each simulated DPU aligns ``min(sample_pairs_per_dpu, load)``
+        i.i.d. pairs drawn from the spec's distribution (seeded per DPU);
+        kernel time is scaled to the true per-DPU load.
+        """
+        if sample_pairs_per_dpu < 1:
+            raise ConfigError("sample_pairs_per_dpu must be >= 1")
+        load = math.ceil(spec.num_pairs / self.config.num_dpus)
+        if load == 0:
+            raise ConfigError("empty dataset spec")
+        # A sample smaller than ~2 pairs/tasklet leaves tasklets idle and
+        # inflates the pipeline's latency bound in a way the full (large,
+        # balanced) load would not; round the sample up to keep the
+        # measured throughput/latency mix representative.
+        k = min(max(sample_pairs_per_dpu, 2 * self.config.tasklets), load)
+        scale = load / k
+        layout = self.plan_layout(k)
+
+        per_dpu: list[DpuKernelStats] = []
+        results: list[tuple[int, int, Optional[Cigar]]] = []
+        simulated = 0
+        for d in range(self.config.num_simulated_dpus):
+            gen = ReadPairGenerator(
+                length=spec.length,
+                error_rate=spec.error_rate,
+                seed=spec.seed + 7919 * d + 1,
+                error_model=spec.error_model,
+            )
+            batch = gen.pairs(k)
+            dpu = Dpu(self.config.dpu, dpu_id=d)
+            self.transfer.push_batch(dpu, layout, batch)
+            assignments = self._tasklet_assignments(len(batch))
+            stats, _ = self.kernel.run(
+                dpu, layout, assignments, self.config.metadata_policy
+            )
+            summary = dpu.summarize(stats)
+            summary.seconds *= scale
+            summary.cycles *= scale
+            per_dpu.append(summary)
+            simulated += len(batch)
+            if collect_results:
+                pulled, _ = self.transfer.pull_results(dpu, layout, len(batch))
+                for local, (score, cigar) in enumerate(pulled):
+                    results.append((d * k + local, score, cigar))
+
+        kernel_seconds = max((s.seconds for s in per_dpu), default=0.0)
+        bytes_in, bytes_out = self._system_bytes(spec.num_pairs, layout)
+        return PimRunResult(
+            num_pairs=spec.num_pairs,
+            pairs_simulated=simulated,
+            tasklets=self.config.tasklets,
+            metadata_policy=self.config.metadata_policy,
+            kernel_seconds=kernel_seconds,
+            transfer_in_seconds=self.transfer.to_dpu_seconds(
+                bytes_in, self.config.num_ranks
+            ),
+            transfer_out_seconds=self.transfer.from_dpu_seconds(
+                bytes_out, self.config.num_ranks
+            ),
+            launch_seconds=self.transfer.launch_seconds(),
+            bytes_in=bytes_in,
+            bytes_out=bytes_out,
+            per_dpu=per_dpu,
+            results=results,
+            scale_factor=scale,
+        )

@@ -1,0 +1,112 @@
+"""DPU kernel event tracing.
+
+An optional recorder the WFA kernel feeds per-pair phase events into
+(fetch / align / metadata / writeback, with their cycle costs and byte
+volumes).  Useful for debugging kernel behaviour, teaching the cost
+structure, and sanity-checking the timing model's attribution — the
+trace's per-phase totals must reconcile with the tasklet statistics,
+which a test asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.perf.report import format_table
+
+__all__ = ["TraceEvent", "KernelTrace"]
+
+PHASES = ("fetch", "align", "metadata", "writeback")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel phase execution on one tasklet."""
+
+    tasklet_id: int
+    pair_index: int
+    phase: str
+    cycles: float = 0.0
+    dma_bytes: int = 0
+    instructions: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class KernelTrace:
+    """Ordered event log of one kernel launch."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def for_tasklet(self, tasklet_id: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.tasklet_id == tasklet_id]
+
+    def for_pair(self, pair_index: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.pair_index == pair_index]
+
+    def phase_totals(self) -> dict[str, dict[str, float]]:
+        """Per-phase sums of cycles / bytes / instructions."""
+        out: dict[str, dict[str, float]] = {
+            p: {"cycles": 0.0, "dma_bytes": 0.0, "instructions": 0.0}
+            for p in PHASES
+        }
+        for e in self.events:
+            bucket = out.setdefault(
+                e.phase, {"cycles": 0.0, "dma_bytes": 0.0, "instructions": 0.0}
+            )
+            bucket["cycles"] += e.cycles
+            bucket["dma_bytes"] += e.dma_bytes
+            bucket["instructions"] += e.instructions
+        return out
+
+    def pairs_traced(self) -> int:
+        return len({(e.tasklet_id, e.pair_index) for e in self.events})
+
+    # -- rendering -----------------------------------------------------------
+
+    def report(self) -> str:
+        totals = self.phase_totals()
+        grand_cycles = sum(t["cycles"] for t in totals.values()) or 1.0
+        rows = [
+            (
+                phase,
+                f"{vals['cycles']:.0f}",
+                f"{vals['cycles'] / grand_cycles:.0%}",
+                f"{int(vals['dma_bytes'])}",
+                f"{vals['instructions']:.0f}",
+            )
+            for phase, vals in totals.items()
+            if vals["cycles"] or vals["instructions"] or vals["dma_bytes"]
+        ]
+        return format_table(
+            ["phase", "cycles", "share", "dma bytes", "instructions"],
+            rows,
+            title=f"kernel trace ({self.pairs_traced()} pair executions)",
+        )
+
+    def timeline(self, tasklet_id: int, width: int = 60) -> str:
+        """Proportional text timeline of one tasklet's phases."""
+        events = self.for_tasklet(tasklet_id)
+        total = sum(e.cycles for e in events)
+        if total <= 0:
+            return f"tasklet {tasklet_id}: (no cycles recorded)"
+        glyph = {"fetch": "f", "align": "A", "metadata": "m", "writeback": "w"}
+        bar = []
+        for e in events:
+            cells = max(1, round(e.cycles / total * width)) if e.cycles else 0
+            bar.append(glyph.get(e.phase, "?") * cells)
+        return f"tasklet {tasklet_id}: [{''.join(bar)}]"
+
+
+def merge(traces: Iterable[KernelTrace]) -> KernelTrace:
+    """Combine traces from several DPUs into one log."""
+    merged = KernelTrace()
+    for t in traces:
+        merged.events.extend(t.events)
+    return merged

@@ -1,0 +1,145 @@
+"""Host<->DPU transfer engine.
+
+Models the paper's host loop: "one CPU thread distributes read pairs
+evenly across DPU MRAMs using parallel data transfers ... when the DPUs
+complete, the CPU thread transfers the results back from the DPU MRAMs."
+
+Functionally, :meth:`HostTransferEngine.push_batch` packs pair records and
+writes them (plus the layout header) into a simulated DPU's MRAM, and
+:meth:`HostTransferEngine.pull_results` parses result records back out —
+so the integration tests can verify that scores/CIGARs survive the full
+round trip through the memory system.
+
+For timing, transfers to/from *all* DPUs proceed in parallel across
+ranks; the model divides total bytes by the configured effective
+aggregate bandwidth (see :class:`~repro.pim.config.HostTransferConfig`
+for why "effective" != PrIM's peak).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cigar import Cigar
+from repro.data.generator import ReadPair
+from repro.errors import LayoutError
+from repro.pim.config import HostTransferConfig
+from repro.pim.dpu import Dpu
+from repro.pim.layout import MramLayout
+
+__all__ = ["HostTransferEngine", "TransferStats"]
+
+
+@dataclass
+class TransferStats:
+    """Bytes actually moved to/from the simulated DPUs."""
+
+    bytes_to_dpu: int = 0
+    bytes_from_dpu: int = 0
+    pushes: int = 0
+    pulls: int = 0
+
+
+class HostTransferEngine:
+    """Functional copies + aggregate-bandwidth timing."""
+
+    def __init__(self, config: HostTransferConfig) -> None:
+        config.validate()
+        self.config = config
+        self.stats = TransferStats()
+
+    # -- functional ------------------------------------------------------
+
+    def push_batch(
+        self, dpu: Dpu, layout: MramLayout, pairs: list[ReadPair]
+    ) -> int:
+        """Write header + input records into ``dpu``'s MRAM; returns bytes."""
+        if len(pairs) > layout.num_pairs:
+            raise LayoutError(
+                f"batch of {len(pairs)} pairs exceeds layout capacity "
+                f"{layout.num_pairs}"
+            )
+        layout.write_header(dpu.mram)
+        moved = 64  # header
+        for i, pair in enumerate(pairs):
+            record = layout.pack_pair(pair)
+            dpu.mram.host_write(layout.input_addr(i), record)
+            moved += len(record)
+        self.stats.bytes_to_dpu += moved
+        self.stats.pushes += 1
+        return moved
+
+    def pull_results(
+        self, dpu: Dpu, layout: MramLayout, count: int
+    ) -> tuple[list[tuple[int, Cigar | None]], int]:
+        """Read ``count`` result records from ``dpu``'s MRAM.
+
+        Returns ``(results, bytes_moved)`` with results in record order.
+        """
+        if count > layout.num_pairs:
+            raise LayoutError(
+                f"cannot pull {count} results from a layout of {layout.num_pairs}"
+            )
+        results = []
+        moved = 0
+        for i in range(count):
+            record = dpu.mram.host_read(
+                layout.result_addr(i), layout.result_record_size
+            )
+            results.append(layout.unpack_result(record))
+            moved += len(record)
+        self.stats.bytes_from_dpu += moved
+        self.stats.pulls += 1
+        return results, moved
+
+    def pull_results_full(
+        self, dpu: Dpu, layout: MramLayout, count: int
+    ) -> tuple[list[tuple[int, Cigar | None, int, int]], int]:
+        """Like :meth:`pull_results`, also decoding the aligned-region
+        starts: ``(score, cigar, pattern_start, text_start)`` per pair."""
+        if count > layout.num_pairs:
+            raise LayoutError(
+                f"cannot pull {count} results from a layout of {layout.num_pairs}"
+            )
+        results = []
+        moved = 0
+        for i in range(count):
+            record = dpu.mram.host_read(
+                layout.result_addr(i), layout.result_record_size
+            )
+            score, cigar = layout.unpack_result(record)
+            p_start, t_start = layout.unpack_result_region(record)
+            results.append((score, cigar, p_start, t_start))
+            moved += len(record)
+        self.stats.bytes_from_dpu += moved
+        self.stats.pulls += 1
+        return results, moved
+
+    # -- timing ------------------------------------------------------------
+
+    def to_dpu_seconds(self, total_bytes: int, num_ranks: int = 0) -> float:
+        """Modeled wall time for a parallel CPU->DPU push of ``total_bytes``.
+
+        Bound by the larger of the aggregate-bandwidth time and (when
+        ``num_ranks`` is given) the per-rank time — few-rank systems are
+        rank-bandwidth-bound, full systems aggregate-bound.
+        """
+        aggregate = total_bytes / self.config.effective_to_dpu_bytes_per_s
+        if num_ranks <= 0:
+            return aggregate
+        per_rank = (total_bytes / num_ranks) / self.config.per_rank_to_dpu_bytes_per_s
+        return max(aggregate, per_rank)
+
+    def from_dpu_seconds(self, total_bytes: int, num_ranks: int = 0) -> float:
+        """Modeled wall time for a parallel DPU->CPU pull of ``total_bytes``."""
+        aggregate = total_bytes / self.config.effective_from_dpu_bytes_per_s
+        if num_ranks <= 0:
+            return aggregate
+        per_rank = (
+            total_bytes / num_ranks
+        ) / self.config.per_rank_from_dpu_bytes_per_s
+        return max(aggregate, per_rank)
+
+    def launch_seconds(self) -> float:
+        """Fixed software launch overhead per kernel invocation."""
+        return self.config.launch_overhead_s

@@ -1,0 +1,9 @@
+"""Composed pipelines: pre-alignment filtering in front of PIM alignment."""
+
+from repro.pipeline.filter_align import (
+    FilterAlignPipeline,
+    FilterAlignResult,
+    FilterStats,
+)
+
+__all__ = ["FilterAlignPipeline", "FilterAlignResult", "FilterStats"]

@@ -1,0 +1,142 @@
+"""Filter-then-align: pre-alignment filtering composed with PIM alignment.
+
+A standard genomics systems pattern (and the research line of this
+paper's co-authors — pre-alignment filters like Shouji/SneakySnake):
+before paying for full gap-affine alignment, reject candidate pairs
+whose edit distance provably exceeds a threshold with a much cheaper
+bounded check.  Here:
+
+* **stage 1 (host)** — Ukkonen's banded bounded-edit-distance filter
+  (:func:`repro.baselines.bounded.bounded_edit_distance`) marks each
+  pair accept/reject;
+* **stage 2 (PIM)** — accepted pairs go to the simulated UPMEM system
+  for full WFA alignment; rejected pairs are reported unaligned.
+
+The value proposition is workload-dependent: on clean datasets (all
+pairs within E) the filter is pure overhead; on contaminated candidate
+sets (seed-and-extend false positives) it removes most of the PIM work
+and shrinks the host->DPU transfers too.  ``bench_filter_pipeline``
+quantifies the crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.bounded import bounded_edit_distance
+from repro.core.cigar import Cigar
+from repro.data.generator import ReadPair
+from repro.errors import ConfigError
+from repro.pim.system import PimRunResult, PimSystem
+
+__all__ = ["FilterStats", "FilterAlignResult", "FilterAlignPipeline"]
+
+
+@dataclass
+class FilterStats:
+    """Stage-1 outcome."""
+
+    total: int = 0
+    accepted: int = 0
+    #: modeled host filter time (bounded DP cells / filter rate)
+    seconds: float = 0.0
+    cells: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.total - self.accepted
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.total if self.total else 1.0
+
+
+@dataclass
+class FilterAlignResult:
+    """End-to-end outcome of the two-stage pipeline."""
+
+    filter_stats: FilterStats
+    pim: Optional[PimRunResult]
+    #: per input pair: (accepted, score-or-None, cigar-or-None)
+    outcomes: list[tuple[bool, Optional[int], Optional[Cigar]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def total_seconds(self) -> float:
+        pim_s = self.pim.total_seconds if self.pim is not None else 0.0
+        return self.filter_stats.seconds + pim_s
+
+    def throughput(self) -> float:
+        return (
+            self.filter_stats.total / self.total_seconds
+            if self.total_seconds
+            else 0.0
+        )
+
+
+class FilterAlignPipeline:
+    """Bounded-edit filter (host) in front of a :class:`PimSystem`."""
+
+    #: modeled host filter speed: banded-DP cells per second per thread,
+    #: times the thread count of the paper's CPU running the filter.
+    FILTER_CELLS_PER_SECOND = 2.0e9 * 56
+
+    def __init__(
+        self,
+        system: PimSystem,
+        max_edits: int,
+        filter_cells_per_second: Optional[float] = None,
+    ) -> None:
+        if max_edits < 0:
+            raise ConfigError("max_edits must be >= 0")
+        self.system = system
+        self.max_edits = max_edits
+        self.filter_rate = (
+            filter_cells_per_second
+            if filter_cells_per_second is not None
+            else self.FILTER_CELLS_PER_SECOND
+        )
+        if self.filter_rate <= 0:
+            raise ConfigError("filter_cells_per_second must be positive")
+
+    def _filter(self, pairs: list[ReadPair]) -> tuple[list[bool], FilterStats]:
+        stats = FilterStats(total=len(pairs))
+        mask = []
+        k = self.max_edits
+        for pair in pairs:
+            verdict = bounded_edit_distance(pair.pattern, pair.text, k)
+            accepted = verdict is not None
+            mask.append(accepted)
+            stats.accepted += int(accepted)
+            # band cells actually touched (worst case if it ran to the end)
+            stats.cells += (2 * k + 1) * min(len(pair.pattern), len(pair.text))
+        stats.seconds = stats.cells / self.filter_rate
+        return mask, stats
+
+    def run(self, pairs: list[ReadPair]) -> FilterAlignResult:
+        """Filter, align survivors on the PIM system, merge outcomes."""
+        if not pairs:
+            raise ConfigError("pipeline needs at least one pair")
+        mask, stats = self._filter(pairs)
+        survivors = [p for p, ok in zip(pairs, mask) if ok]
+        pim_run = self.system.align(survivors) if survivors else None
+
+        by_survivor: dict[int, tuple[int, Optional[Cigar]]] = {}
+        if pim_run is not None:
+            for idx, score, cigar in pim_run.results:
+                by_survivor[idx] = (score, cigar)
+
+        outcomes: list[tuple[bool, Optional[int], Optional[Cigar]]] = []
+        cursor = 0
+        for ok in mask:
+            if not ok:
+                outcomes.append((False, None, None))
+                continue
+            score, cigar = by_survivor.get(cursor, (None, None))
+            outcomes.append((True, score, cigar))
+            cursor += 1
+        return FilterAlignResult(
+            filter_stats=stats, pim=pim_run, outcomes=outcomes
+        )

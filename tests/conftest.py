@@ -1,0 +1,86 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.penalties import AffinePenalties, EditPenalties, LinearPenalties
+
+DNA = "ACGT"
+
+
+def make_rng(seed: int = 0) -> random.Random:
+    return random.Random(seed)
+
+
+def random_dna(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(DNA) for _ in range(length))
+
+
+def mutate(rng: random.Random, seq: str, rate: float) -> str:
+    """Cheap per-position mutator for fuzz inputs (not the library's)."""
+    out = []
+    for ch in seq:
+        r = rng.random()
+        if r < rate / 3:
+            continue
+        if r < 2 * rate / 3:
+            out.append(rng.choice(DNA))
+            out.append(ch)
+        elif r < rate:
+            out.append(rng.choice(DNA))
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+# -- hypothesis strategies ---------------------------------------------------
+
+dna_seq = st.text(alphabet=DNA, min_size=0, max_size=40)
+dna_seq_nonempty = st.text(alphabet=DNA, min_size=1, max_size=40)
+
+
+@st.composite
+def similar_pair(draw, max_len: int = 48, max_edits: int = 6):
+    """A (pattern, text) pair where text is pattern with a few edits."""
+    pattern = draw(st.text(alphabet=DNA, min_size=0, max_size=max_len))
+    n_edits = draw(st.integers(min_value=0, max_value=max_edits))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    rng = random.Random(seed)
+    text = list(pattern)
+    for _ in range(n_edits):
+        kind = rng.randrange(3)
+        if kind == 0 and text:
+            pos = rng.randrange(len(text))
+            text[pos] = rng.choice(DNA)
+        elif kind == 1:
+            text.insert(rng.randrange(len(text) + 1), rng.choice(DNA))
+        elif text:
+            del text[rng.randrange(len(text))]
+    return pattern, "".join(text)
+
+
+affine_penalties = st.builds(
+    AffinePenalties,
+    mismatch=st.integers(min_value=1, max_value=8),
+    gap_open=st.integers(min_value=0, max_value=10),
+    gap_extend=st.integers(min_value=1, max_value=5),
+)
+
+linear_penalties = st.builds(
+    LinearPenalties,
+    mismatch=st.integers(min_value=1, max_value=8),
+    indel=st.integers(min_value=1, max_value=5),
+)
+
+any_penalties = st.one_of(
+    affine_penalties, linear_penalties, st.just(EditPenalties())
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return make_rng(1234)

@@ -1,0 +1,85 @@
+"""Tests for the public WavefrontAligner API."""
+
+import pytest
+
+from repro.core.aligner import AlignmentResult, WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.errors import AlignmentError, PenaltyError
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestApi:
+    def test_docstring_example(self):
+        aligner = WavefrontAligner(AffinePenalties(mismatch=4, gap_open=6, gap_extend=2))
+        result = aligner.align("GATTACA", "GATCACA")
+        assert result.score == 4
+        assert str(result.cigar) == "3M1X3M"
+
+    def test_default_penalties_are_affine(self):
+        al = WavefrontAligner()
+        assert isinstance(al.penalties, AffinePenalties)
+
+    def test_bytes_input_accepted(self):
+        r = WavefrontAligner(PEN).align(b"ACGT", b"ACGT")
+        assert r.score == 0
+
+    def test_mixed_input_accepted(self):
+        assert WavefrontAligner(PEN).align(b"ACGT", "ACGT").score == 0
+
+    def test_non_sequence_rejected(self):
+        with pytest.raises(AlignmentError):
+            WavefrontAligner(PEN).align(123, "ACGT")
+        with pytest.raises(AlignmentError):
+            WavefrontAligner(PEN).align("ACGT", ["A"])
+
+    def test_score_only_has_no_cigar(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACTT", score_only=True)
+        assert r.cigar is None
+        assert r.score == 4
+
+    def test_score_convenience(self):
+        assert WavefrontAligner(PEN).score("ACGT", "ACTT") == 4
+
+    def test_result_metadata(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACGGT")
+        assert r.pattern_len == 4
+        assert r.text_len == 5
+        assert r.penalties == PEN
+        assert r.exact
+
+    def test_max_score_cap_propagates(self):
+        al = WavefrontAligner(PEN, max_score=2)
+        with pytest.raises(AlignmentError):
+            al.align("AAAA", "TTTT")
+
+    def test_validate_mode(self):
+        al = WavefrontAligner(PEN, validate=True)
+        r = al.align("ACGTACGTAC", "ACGTTACGAC")
+        assert r.cigar.score(PEN) == r.score
+
+    def test_reusable_across_pairs(self):
+        al = WavefrontAligner(EditPenalties())
+        assert al.score("AC", "AC") == 0
+        assert al.score("AC", "AG") == 1
+        assert al.score("", "AG") == 2
+
+
+class TestAlignmentResult:
+    def test_identity(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACTT")
+        assert r.identity() == pytest.approx(3 / 4)
+
+    def test_identity_empty(self):
+        r = WavefrontAligner(PEN).align("", "")
+        assert r.identity() == 1.0
+
+    def test_identity_requires_cigar(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACTT", score_only=True)
+        with pytest.raises(AlignmentError):
+            r.identity()
+
+    def test_counters_attached(self):
+        r = WavefrontAligner(PEN).align("ACGTACGT", "ACTTACGT")
+        assert r.counters.cells_computed > 0
+        assert r.counters.backtrace_ops == r.cigar.columns()

@@ -1,0 +1,110 @@
+"""Stateful property test of the two-level allocator.
+
+A hypothesis rule-based machine drives the allocator through random
+sequences of buffer allocations, metadata allocations, mark/release and
+resets, checking the invariants the DPU kernel depends on after every
+step: 8-byte alignment of every block, no overlap among live blocks,
+cursor/high-water consistency, and correct scoped release.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import AllocationError
+from repro.pim.allocator import TaskletAllocator
+
+WRAM_CAP = 2048
+MRAM_CAP = 8192
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.alloc = TaskletAllocator(
+            wram_base=0,
+            wram_capacity=WRAM_CAP,
+            mram_base=1 << 16,
+            mram_capacity=MRAM_CAP,
+            metadata_policy="mram",
+        )
+        self.live_wram: list[tuple[int, int]] = []
+        self.live_mram: list[tuple[int, int]] = []
+        self.marks: list[int] = []
+
+    # -- rules --------------------------------------------------------
+
+    @rule(nbytes=st.integers(min_value=0, max_value=256))
+    def alloc_buffer(self, nbytes):
+        try:
+            a = self.alloc.alloc_buffer(nbytes)
+        except AllocationError:
+            # arena genuinely full: verify the claim
+            need = max(nbytes, 1)
+            need = (need + 7) // 8 * 8
+            assert self.alloc.wram.free < need
+            return
+        self.live_wram.append((a.addr, a.size))
+
+    @rule(nbytes=st.integers(min_value=0, max_value=512))
+    def alloc_metadata(self, nbytes):
+        try:
+            a = self.alloc.alloc_metadata(nbytes)
+        except AllocationError:
+            need = (max(nbytes, 1) + 7) // 8 * 8
+            assert self.alloc.mram.free < need
+            return
+        self.live_mram.append((a.addr, a.size))
+
+    @rule()
+    def take_mark(self):
+        self.marks.append(self.alloc.wram_mark())
+
+    @precondition(lambda self: self.marks)
+    @rule()
+    def release_to_mark(self):
+        mark = self.marks.pop()
+        self.alloc.wram_release(mark)
+        self.live_wram = [
+            (addr, size) for addr, size in self.live_wram if addr + size <= mark
+        ]
+        # any marks taken after this point are now invalid
+        self.marks = [m for m in self.marks if m <= mark]
+
+    @rule()
+    def reset_metadata(self):
+        self.alloc.reset_metadata()
+        self.live_mram.clear()
+
+    # -- invariants --------------------------------------------------------
+
+    @invariant()
+    def all_blocks_aligned(self):
+        for addr, size in self.live_wram + self.live_mram:
+            assert addr % 8 == 0
+            assert size % 8 == 0
+
+    @invariant()
+    def no_overlap(self):
+        for blocks in (self.live_wram, self.live_mram):
+            spans = sorted(blocks)
+            for (a1, s1), (a2, _s2) in zip(spans, spans[1:]):
+                assert a1 + s1 <= a2
+
+    @invariant()
+    def cursor_consistent(self):
+        used = sum(size for _a, size in self.live_wram)
+        assert self.alloc.wram.used == used
+        assert self.alloc.wram.high_water >= self.alloc.wram.used
+        assert sum(size for _a, size in self.live_mram) == self.alloc.mram.used
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.alloc.wram.used <= WRAM_CAP
+        assert self.alloc.mram.used <= MRAM_CAP
+
+
+TestAllocatorStateful = AllocatorMachine.TestCase
+TestAllocatorStateful.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

@@ -1,0 +1,124 @@
+"""Tests for the analysis package (stats + comparison)."""
+
+import pytest
+
+from repro.analysis import (
+    ComparisonReport,
+    Distribution,
+    compare_alignments,
+    compare_scores,
+    summarize_results,
+)
+from repro.core.aligner import WavefrontAligner
+from repro.core.cigar import Cigar
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.errors import ConfigError
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+@pytest.fixture(scope="module")
+def results():
+    pairs = ReadPairGenerator(length=80, error_rate=0.04, seed=20).pairs(40)
+    aligner = WavefrontAligner(PEN)
+    return [aligner.align(p.pattern, p.text) for p in pairs]
+
+
+class TestDistribution:
+    def test_basic(self):
+        d = Distribution.of([1, 2, 3, 4, 5])
+        assert d.count == 5
+        assert d.mean == 3
+        assert d.median == 3
+        assert d.minimum == 1 and d.maximum == 5
+
+    def test_single_value(self):
+        d = Distribution.of([7])
+        assert d.mean == d.median == d.minimum == d.maximum == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            Distribution.of([])
+
+    def test_describe(self):
+        assert "n=3" in Distribution.of([1, 2, 3]).describe()
+
+
+class TestBatchStats:
+    def test_summarize(self, results):
+        stats = summarize_results(results)
+        assert stats.scores.count == 40
+        assert 0 <= stats.scores.mean <= 4 * 8  # <= budget * per-edit cost
+        assert 0.8 < stats.identities.mean <= 1.0
+        assert stats.op_totals["M"] > 0
+        assert stats.exact_fraction == 1.0
+        assert sum(stats.score_histogram.values()) == 40
+
+    def test_rates(self, results):
+        stats = summarize_results(results)
+        assert 0 <= stats.mismatch_rate < 0.1
+        assert 0 <= stats.gap_rate < 0.1
+
+    def test_report_renders(self, results):
+        text = summarize_results(results).report()
+        assert "scores" in text and "identities" in text
+
+    def test_score_only_batch(self):
+        pairs = ReadPairGenerator(length=40, error_rate=0.02, seed=21).pairs(5)
+        aligner = WavefrontAligner(PEN)
+        res = [aligner.align(p.pattern, p.text, score_only=True) for p in pairs]
+        stats = summarize_results(res)
+        assert stats.scores.count == 5
+        assert stats.op_totals == {"M": 0, "X": 0, "I": 0, "D": 0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize_results([])
+
+
+class TestCompareScores:
+    def test_agreement(self):
+        r = compare_scores([1, 2, 3], [1, 2, 3])
+        assert r.scores_agree
+        assert r.score_agreement == 1.0
+        assert not r.disagreements
+
+    def test_disagreement_recorded(self):
+        r = compare_scores([1, 2, 3], [1, 9, 3])
+        assert not r.scores_agree
+        assert r.score_matches == 2
+        assert r.disagreements[0].index == 1
+        assert "1/3" not in r.report()  # sanity: report renders counts
+        assert "2/3" in r.report()
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_scores([1], [1, 2])
+        with pytest.raises(ConfigError):
+            compare_scores([], [])
+
+
+class TestCompareAlignments:
+    def test_identical(self):
+        c = Cigar.from_string("3M")
+        r = compare_alignments([(0, c)], [(0, c)])
+        assert r.cigar_matches == 1 and r.cigars_compared == 1
+
+    def test_cooptimal_paths_differ(self):
+        a = Cigar.from_string("1M1X1M")
+        b = Cigar.from_string("1X2M")
+        r = compare_alignments([(4, a)], [(4, b)])
+        assert r.scores_agree
+        assert r.cigar_matches == 0
+        assert any(d.kind == "cigar" for d in r.disagreements)
+
+    def test_score_only_entries_skipped(self):
+        r = compare_alignments([(4, None)], [(4, Cigar.from_string("1M"))])
+        assert r.cigars_compared == 0
+
+    def test_many_disagreements_truncated_in_report(self):
+        left = [(i, None) for i in range(20)]
+        right = [(i + 1, None) for i in range(20)]
+        text = compare_alignments(left, right).report()
+        assert "and 10 more" in text

@@ -1,0 +1,97 @@
+"""Traceback tests: CIGAR validity, score consistency, error paths."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.backtrace import backtrace
+from repro.core.penalties import AffinePenalties, EditPenalties, LinearPenalties
+from repro.core.wfa import WfaEngine
+from repro.errors import AlignmentError
+
+from conftest import any_penalties, similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestBacktraceUnits:
+    def test_identical_sequences_all_match(self):
+        r = WavefrontAligner(PEN).align("ACGTACGT", "ACGTACGT")
+        assert str(r.cigar) == "8M"
+
+    def test_single_mismatch(self):
+        r = WavefrontAligner(PEN).align("GATTACA", "GATCACA")
+        assert str(r.cigar) == "3M1X3M"
+
+    def test_insertion_and_deletion(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACGGT")
+        assert r.cigar.counts()["I"] == 1
+        r2 = WavefrontAligner(PEN).align("ACGGT", "ACGT")
+        assert r2.cigar.counts()["D"] == 1
+
+    def test_empty_vs_empty(self):
+        r = WavefrontAligner(PEN).align("", "")
+        assert r.cigar.columns() == 0
+
+    def test_empty_pattern(self):
+        r = WavefrontAligner(PEN).align("", "ACG")
+        assert str(r.cigar) == "3I"
+
+    def test_empty_text(self):
+        r = WavefrontAligner(PEN).align("ACG", "")
+        assert str(r.cigar) == "3D"
+
+    def test_requires_run_first(self):
+        eng = WfaEngine("A", "A", PEN)
+        with pytest.raises(AlignmentError):
+            backtrace(eng)
+
+    def test_requires_full_memory_mode(self):
+        eng = WfaEngine("ACGT", "ACTT", PEN, memory_mode="low")
+        eng.run()
+        with pytest.raises(AlignmentError):
+            backtrace(eng)
+
+    def test_gap_run_is_contiguous(self):
+        # A 3-long insertion should come out as one run (one gap opening),
+        # because WFA found a score-16 path, not three score-8 openings.
+        r = WavefrontAligner(PEN).align("AACC", "AATTTCC")
+        assert r.score == PEN.gap_cost(3)
+        assert r.cigar.counts()["I"] == 3
+        runs = [op for op in r.cigar if op.op == "I"]
+        assert len(runs) == 1
+
+
+class TestBacktraceProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(pair=similar_pair())
+    def test_cigar_validates_and_rescosres_affine(self, pair):
+        p, t = pair
+        r = WavefrontAligner(PEN).align(p, t)
+        r.cigar.validate(p, t)
+        assert r.cigar.score(PEN) == r.score
+
+    @settings(max_examples=80, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=8), pen=any_penalties)
+    def test_cigar_validates_all_metrics(self, pair, pen):
+        p, t = pair
+        r = WavefrontAligner(pen).align(p, t)
+        r.cigar.validate(p, t)
+        assert r.cigar.score(pen) == r.score
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair())
+    def test_cigar_consumes_exact_lengths(self, pair):
+        p, t = pair
+        r = WavefrontAligner(EditPenalties()).align(p, t)
+        assert r.cigar.pattern_length() == len(p)
+        assert r.cigar.text_length() == len(t)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair())
+    def test_linear_cigar_consistent(self, pair):
+        p, t = pair
+        pen = LinearPenalties(mismatch=3, indel=2)
+        r = WavefrontAligner(pen).align(p, t)
+        r.cigar.validate(p, t)
+        assert r.cigar.score(pen) == r.score

@@ -1,0 +1,82 @@
+"""Tests for banded Gotoh DP."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.banded import (
+    band_for_error_rate,
+    banded_gotoh_align,
+    banded_gotoh_score,
+)
+from repro.baselines.gotoh import gotoh_score
+from repro.core.penalties import AffinePenalties
+from repro.errors import AlignmentError
+
+from conftest import similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestBandSizing:
+    def test_band_for_error_rate(self):
+        assert band_for_error_rate(100, 0.02) == 4  # ceil(2) + 2
+        assert band_for_error_rate(100, 0.04) == 6
+        assert band_for_error_rate(100, 0.0) == 2
+
+    def test_invalid_band(self):
+        with pytest.raises(AlignmentError):
+            banded_gotoh_score("AC", "AC", PEN, 0)
+
+    def test_band_too_narrow_for_length_difference(self):
+        with pytest.raises(AlignmentError):
+            banded_gotoh_score("A", "AAAAAA", PEN, 2)
+
+
+class TestExactWithinBand:
+    def test_identical(self):
+        assert banded_gotoh_score("ACGTACGT", "ACGTACGT", PEN, 1) == 0
+
+    def test_matches_full_dp_with_wide_band(self):
+        p, t = "GATTACA", "GATCACA"
+        assert banded_gotoh_score(p, t, PEN, 7) == gotoh_score(p, t, PEN)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=4))
+    def test_wide_band_equals_full_dp(self, pair):
+        p, t = pair
+        band = max(abs(len(p) - len(t)), len(p), len(t), 1)
+        assert banded_gotoh_score(p, t, PEN, band) == gotoh_score(p, t, PEN)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=3))
+    def test_narrow_band_is_upper_bound(self, pair):
+        p, t = pair
+        band = abs(len(p) - len(t)) + 2
+        try:
+            banded = banded_gotoh_score(p, t, PEN, band)
+        except AlignmentError:
+            return
+        assert banded >= gotoh_score(p, t, PEN)
+
+
+class TestBandedTraceback:
+    def test_traceback_valid_and_scores(self):
+        p, t = "GATTACAGATTACA", "GATCACAGATTACA"
+        s, c = banded_gotoh_align(p, t, PEN, 5)
+        c.validate(p, t)
+        assert c.score(PEN) == s
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=similar_pair(max_len=25, max_edits=4))
+    def test_traceback_property(self, pair):
+        p, t = pair
+        band = max(abs(len(p) - len(t)) + 2, 3)
+        s, c = banded_gotoh_align(p, t, PEN, band)
+        c.validate(p, t)
+        assert c.score(PEN) == s
+
+    def test_empty_inputs(self):
+        s, c = banded_gotoh_align("", "", PEN, 1)
+        assert s == 0 and c.columns() == 0
+        s, c = banded_gotoh_align("A", "", PEN, 1)
+        assert s == PEN.gap_cost(1) and str(c) == "1D"

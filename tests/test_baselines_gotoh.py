@@ -1,0 +1,89 @@
+"""Tests for the Gotoh gap-affine DP baseline (the oracle itself)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.gotoh import gotoh_align, gotoh_score
+from repro.core.penalties import AffinePenalties, EditPenalties, LinearPenalties
+
+from conftest import affine_penalties, similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestKnownCases:
+    def test_identical(self):
+        assert gotoh_score("ACGT", "ACGT", PEN) == 0
+
+    def test_empty(self):
+        assert gotoh_score("", "", PEN) == 0
+        assert gotoh_score("", "AC", PEN) == 10
+        assert gotoh_score("AC", "", PEN) == 10
+
+    def test_mismatch(self):
+        assert gotoh_score("GATTACA", "GATCACA", PEN) == 4
+
+    def test_gap(self):
+        assert gotoh_score("AAAA", "AAAAA", PEN) == 8
+        assert gotoh_score("AAAA", "AAAATT", PEN) == 10
+
+    def test_affine_prefers_one_long_gap(self):
+        # one 2-gap (10) beats two 1-gaps (16)
+        assert gotoh_score("AACC", "AATTCC", PEN) == 10
+
+    def test_edit_params(self):
+        assert gotoh_score("ACGT", "AGT", EditPenalties()) == 1
+
+    def test_linear_params(self):
+        assert gotoh_score("ACGT", "AGT", LinearPenalties(4, 2)) == 2
+
+
+class TestAlignVersion:
+    def test_score_agreement(self):
+        s, c = gotoh_align("GATTACA", "GATCACA", PEN)
+        assert s == 4
+        assert c.score(PEN) == 4
+        c.validate("GATTACA", "GATCACA")
+
+    def test_empty_cases(self):
+        s, c = gotoh_align("", "ACG", PEN)
+        assert s == 12 and str(c) == "3I"
+        s, c = gotoh_align("ACG", "", PEN)
+        assert s == 12 and str(c) == "3D"
+        s, c = gotoh_align("", "", PEN)
+        assert s == 0 and c.columns() == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=8))
+    def test_align_matches_score_and_validates(self, pair):
+        p, t = pair
+        s = gotoh_score(p, t, PEN)
+        s2, c = gotoh_align(p, t, PEN)
+        assert s == s2
+        c.validate(p, t)
+        assert c.score(PEN) == s
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=similar_pair(max_len=20, max_edits=8), pen=affine_penalties)
+    def test_random_penalties_consistent(self, pair, pen):
+        p, t = pair
+        s, c = gotoh_align(p, t, pen)
+        c.validate(p, t)
+        assert c.score(pen) == s == gotoh_score(p, t, pen)
+
+
+class TestSymmetry:
+    @settings(max_examples=40, deadline=None)
+    @given(pair=similar_pair(max_len=25, max_edits=6))
+    def test_score_symmetric_under_swap(self, pair):
+        # gap-affine global alignment cost is symmetric in its arguments
+        p, t = pair
+        assert gotoh_score(p, t, PEN) == gotoh_score(t, p, PEN)
+
+    def test_triangle_like_bound(self):
+        # aligning via an intermediate can't beat direct alignment
+        a, b = "ACGTACGT", "ACTTACGG"
+        direct = gotoh_score(a, b, PEN)
+        assert direct <= gotoh_score(a, "ACTTACGT", PEN) + gotoh_score(
+            "ACTTACGT", b, PEN
+        )

@@ -1,0 +1,132 @@
+"""Tests for bidirectional (BiWFA-style) scoring."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.bidirectional import BiWfaScorer, biwfa_score
+from repro.core.penalties import (
+    AffinePenalties,
+    EditPenalties,
+    LinearPenalties,
+    TwoPieceAffinePenalties,
+)
+from repro.core.wfa import WfaEngine
+from repro.errors import AlignmentError
+
+from conftest import affine_penalties, similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestSteppingApi:
+    """The engine API the bidirectional driver is built on."""
+
+    def test_seed_then_advance_matches_run(self):
+        p, t = "ACGTACGTA", "ACTTACGTA"
+        ref = WfaEngine(p, t, PEN).run()
+        eng = WfaEngine(p, t, PEN, memory_mode="low")
+        ws = eng.seed()
+        while ws is None or ws.m is None or not eng._check_end(ws.m):
+            ws = eng.advance()
+        assert eng.score == ref
+
+    def test_score_attribute_tracks(self):
+        eng = WfaEngine("ACGT", "ACGT", PEN)
+        assert eng.score == -1
+        eng.seed()
+        assert eng.score == 0
+        eng.advance()
+        assert eng.score == 1
+
+    def test_advance_respects_cap(self):
+        eng = WfaEngine("AAAA", "TTTT", PEN, max_score=2)
+        eng.seed()
+        eng.advance()
+        eng.advance()
+        with pytest.raises(AlignmentError):
+            eng.advance()
+
+
+class TestKnownCases:
+    def test_identical(self):
+        assert biwfa_score("ACGTACGT", "ACGTACGT", PEN) == 0
+
+    def test_single_char_sequences(self):
+        assert biwfa_score("A", "A", PEN) == 0
+        assert biwfa_score("A", "C", PEN) == 4
+
+    def test_empty_handling(self):
+        assert biwfa_score("", "", PEN) == 0
+        assert biwfa_score("", "ACG", PEN) == PEN.gap_cost(3)
+        assert biwfa_score("ACG", "", PEN) == PEN.gap_cost(3)
+
+    def test_mismatch(self):
+        assert biwfa_score("GATTACA", "GATCACA", PEN) == 4
+
+    def test_meet_inside_a_long_gap(self):
+        """The gap-open correction case: both halves meet mid-gap."""
+        p = "ACGTACGTACGT"
+        t = p[:6] + "T" * 20 + p[6:]
+        assert biwfa_score(p, t, PEN) == PEN.gap_cost(20)
+
+    def test_gap_at_sequence_start(self):
+        p = "ACGTACGT"
+        t = "TTTTTTTT" + p
+        assert biwfa_score(p, t, PEN) == WavefrontAligner(PEN).score(p, t)
+
+    def test_affine2p_rejected(self):
+        with pytest.raises(AlignmentError):
+            BiWfaScorer(TwoPieceAffinePenalties())
+
+
+class TestAgainstStandardWfa:
+    @settings(max_examples=100, deadline=None)
+    @given(pair=similar_pair(max_len=40, max_edits=10))
+    def test_affine_default(self, pair):
+        p, t = pair
+        assert biwfa_score(p, t, PEN) == WavefrontAligner(PEN).score(p, t)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=similar_pair(max_len=25, max_edits=8), pen=affine_penalties)
+    def test_affine_random_penalties(self, pair, pen):
+        p, t = pair
+        assert biwfa_score(p, t, pen) == WavefrontAligner(pen).score(p, t)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=similar_pair(max_len=35, max_edits=8))
+    def test_edit(self, pair):
+        p, t = pair
+        pen = EditPenalties()
+        assert biwfa_score(p, t, pen) == WavefrontAligner(pen).score(p, t)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=similar_pair(max_len=35, max_edits=8))
+    def test_linear(self, pair):
+        p, t = pair
+        pen = LinearPenalties(4, 2)
+        assert biwfa_score(p, t, pen) == WavefrontAligner(pen).score(p, t)
+
+
+class TestMemoryAdvantage:
+    def test_peak_memory_below_full_traceback_engine(self):
+        """The point of BiWFA: O(s) live metadata instead of O(s^2)."""
+        import random
+
+        rng = random.Random(17)
+        p = "".join(rng.choice("ACGT") for _ in range(300))
+        t = "".join(rng.choice("ACGT") for _ in range(300))
+
+        full = WfaEngine(p, t, PEN, memory_mode="full")
+        full.run()
+
+        fwd = WfaEngine(p, t, PEN, memory_mode="low")
+        scorer = BiWfaScorer(PEN)
+        score = scorer.score(p, t)
+        assert score == full.final_score
+
+        # A single low-memory engine's peak is already far below the full
+        # engine's total; bidirectional peak is two such windows.
+        low = WfaEngine(p, t, PEN, memory_mode="low")
+        low.run()
+        assert low.counters.peak_live_bytes * 5 < full.counters.peak_live_bytes

@@ -1,0 +1,55 @@
+"""Tests for the bounded edit-distance filter primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bitparallel import levenshtein_dp
+from repro.baselines.bounded import bounded_edit_distance
+from repro.errors import AlignmentError
+
+from conftest import dna_seq, similar_pair
+
+
+class TestKnownCases:
+    def test_classic(self):
+        assert bounded_edit_distance("kitten", "sitting", 3) == 3
+        assert bounded_edit_distance("kitten", "sitting", 5) == 3
+        assert bounded_edit_distance("kitten", "sitting", 2) is None
+
+    def test_identical(self):
+        assert bounded_edit_distance("ACGT", "ACGT", 0) == 0
+
+    def test_empty(self):
+        assert bounded_edit_distance("", "", 0) == 0
+        assert bounded_edit_distance("", "AC", 2) == 2
+        assert bounded_edit_distance("", "AC", 1) is None
+
+    def test_length_difference_shortcut(self):
+        # |n - m| > k rejects without any DP work
+        assert bounded_edit_distance("A" * 10, "A" * 20, 5) is None
+
+    def test_negative_threshold(self):
+        with pytest.raises(AlignmentError):
+            bounded_edit_distance("A", "A", -1)
+
+
+class TestOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(a=dna_seq, b=dna_seq, k=st.integers(0, 12))
+    def test_matches_levenshtein(self, a, b, k):
+        truth = levenshtein_dp(a, b)
+        got = bounded_edit_distance(a, b, k)
+        if truth <= k:
+            assert got == truth
+        else:
+            assert got is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair(max_len=40, max_edits=6))
+    def test_similar_pairs_pass_their_budget(self, pair):
+        p, t = pair
+        truth = levenshtein_dp(p, t)
+        assert bounded_edit_distance(p, t, truth) == truth
+        if truth > 0:
+            assert bounded_edit_distance(p, t, truth - 1) is None

@@ -1,0 +1,247 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.seqio import read_seq
+
+
+@pytest.fixture
+def workload(tmp_path):
+    path = tmp_path / "reads.seq"
+    rc = main(
+        [
+            "generate",
+            "--pairs",
+            "12",
+            "--length",
+            "60",
+            "--error-rate",
+            "0.04",
+            "--seed",
+            "3",
+            "-o",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_metric_choices(self):
+        args = build_parser().parse_args(["align", "-i", "x", "--metric", "affine2p"])
+        assert args.metric == "affine2p"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["align", "-i", "x", "--metric", "hamming"])
+
+
+class TestGenerate:
+    def test_writes_seq(self, workload):
+        pairs = read_seq(workload)
+        assert len(pairs) == 12
+        assert all(len(p.pattern) == 60 for p in pairs)
+
+    def test_writes_fasta(self, tmp_path, capsys):
+        path = tmp_path / "reads.fa"
+        rc = main(
+            ["generate", "--pairs", "3", "--length", "20", "--format", "fasta",
+             "-o", str(path)]
+        )
+        assert rc == 0
+        assert path.read_text().startswith(">pair0/1")
+        assert "wrote 3 pairs" in capsys.readouterr().out
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.seq"
+        b = tmp_path / "b.seq"
+        for p in (a, b):
+            main(["generate", "--pairs", "5", "--seed", "9", "-o", str(p)])
+        assert a.read_text() == b.read_text()
+
+
+class TestAlign:
+    def test_stdout_tsv(self, workload, capsys):
+        rc = main(["align", "-i", str(workload)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "pair\tscore\tcigar"
+        assert len(lines) == 13
+        idx, score, cigar = lines[1].split("\t")
+        assert idx == "0" and int(score) >= 0 and cigar != "."
+
+    def test_score_only(self, workload, capsys):
+        rc = main(["align", "-i", str(workload), "--score-only"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(line.split("\t")[2] == "." for line in lines[1:])
+
+    def test_output_file(self, workload, tmp_path, capsys):
+        out = tmp_path / "result.tsv"
+        rc = main(["align", "-i", str(workload), "-o", str(out)])
+        assert rc == 0
+        assert out.read_text().startswith("pair\tscore")
+        assert "aligned 12 pairs" in capsys.readouterr().out
+
+    def test_edit_metric_scores(self, workload, capsys):
+        rc = main(["align", "-i", str(workload), "--metric", "edit"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()[1:]
+        # edit budget is 0.04 * 60 ~ 2 edits per pair
+        assert all(int(line.split("\t")[1]) <= 3 for line in lines)
+
+    def test_linear_space_matches_default(self, workload, capsys):
+        rc = main(["align", "-i", str(workload)])
+        assert rc == 0
+        default_scores = [
+            line.split("\t")[1]
+            for line in capsys.readouterr().out.strip().splitlines()[1:]
+        ]
+        rc = main(["align", "-i", str(workload), "--linear-space"])
+        assert rc == 0
+        linear_scores = [
+            line.split("\t")[1]
+            for line in capsys.readouterr().out.strip().splitlines()[1:]
+        ]
+        assert linear_scores == default_scores
+
+    def test_linear_space_rejects_affine2p(self, workload, capsys):
+        rc = main(
+            ["align", "-i", str(workload), "--linear-space", "--metric", "affine2p"]
+        )
+        assert rc == 1
+        assert "linear-space" in capsys.readouterr().err
+
+    def test_missing_input_is_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope.seq"
+        with pytest.raises(FileNotFoundError):
+            main(["align", "-i", str(missing)])
+
+
+class TestPimAlign:
+    def test_runs_and_reports(self, workload, capsys):
+        rc = main(
+            ["pim-align", "-i", str(workload), "--dpus", "4", "--tasklets", "4",
+             "--max-edits", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "simulated PIM run" in out
+        assert "kernel" in out
+        assert "throughput" in out
+
+    def test_wram_policy(self, workload, capsys):
+        rc = main(
+            ["pim-align", "-i", str(workload), "--dpus", "2", "--tasklets", "2",
+             "--policy", "wram", "--max-edits", "3"]
+        )
+        assert rc == 0
+        assert "wram" in capsys.readouterr().out
+
+    def test_reproerror_becomes_exit_code(self, workload, capsys):
+        # 24 tasklets under the wram policy cannot be admitted -> clean error
+        rc = main(
+            ["pim-align", "-i", str(workload), "--dpus", "2", "--tasklets", "24",
+             "--policy", "wram", "--max-edits", "6"]
+        )
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_input(self, tmp_path, capsys):
+        empty = tmp_path / "empty.seq"
+        empty.write_text("")
+        rc = main(["pim-align", "-i", str(empty)])
+        assert rc == 1
+
+
+class TestMap:
+    @pytest.fixture
+    def mapping_files(self, tmp_path):
+        from repro.data.simulator import ReferenceSampler
+        from repro.data.seqio import write_fasta
+
+        sampler = ReferenceSampler(
+            seed=13, reference_length=3000, read_length=60, error_rate=0.02
+        )
+        ref = tmp_path / "ref.fa"
+        write_fasta(ref, [("contig1", sampler.reference)])
+        reads = sampler.reads(6)
+        reads_fa = tmp_path / "reads.fa"
+        write_fasta(
+            reads_fa,
+            [(f"read{i}", r.sequence) for i, r in enumerate(reads)],
+        )
+        return ref, reads_fa, sampler, reads
+
+    def test_maps_reads_to_paf(self, mapping_files, tmp_path, capsys):
+        from repro.data.paf import read_paf
+
+        ref, reads_fa, sampler, reads = mapping_files
+        out = tmp_path / "out.paf"
+        rc = main(
+            ["map", "--reference", str(ref), "--reads", str(reads_fa),
+             "--both-strands", "-o", str(out)]
+        )
+        assert rc == 0
+        records = read_paf(out)
+        assert len(records) == 6
+        hits = 0
+        for rec, read in zip(records, reads):
+            assert rec.target_name == "contig1"
+            if abs(rec.target_start - read.position) <= sampler.edit_budget + 1:
+                hits += 1
+            assert (rec.strand == "-") == read.reverse
+        assert hits == 6
+
+    def test_multi_record_reference_rejected(self, mapping_files, tmp_path, capsys):
+        from repro.data.seqio import write_fasta
+
+        _ref, reads_fa, _sampler, _reads = mapping_files
+        bad_ref = tmp_path / "multi.fa"
+        write_fasta(bad_ref, [("a", "ACGT"), ("b", "ACGT")])
+        rc = main(
+            ["map", "--reference", str(bad_ref), "--reads", str(reads_fa),
+             "-o", str(tmp_path / "x.paf")]
+        )
+        assert rc == 1
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_empty_reads_rejected(self, mapping_files, tmp_path, capsys):
+        ref, _reads, _sampler, _r = mapping_files
+        empty = tmp_path / "none.fa"
+        empty.write_text("")
+        rc = main(
+            ["map", "--reference", str(ref), "--reads", str(empty),
+             "-o", str(tmp_path / "x.paf")]
+        )
+        assert rc == 1
+
+
+class TestStats:
+    def test_stats_report(self, workload, capsys):
+        rc = main(["stats", "-i", str(workload)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scores" in out and "identities" in out
+
+    def test_stats_empty_input(self, tmp_path, capsys):
+        empty = tmp_path / "none.seq"
+        empty.write_text("")
+        rc = main(["stats", "-i", str(empty)])
+        assert rc == 1
+
+
+class TestSweep:
+    def test_allocator_sweep_runs(self, capsys):
+        rc = main(["sweep", "allocator"])
+        assert rc == 0
+        assert "allocator policy ablation" in capsys.readouterr().out

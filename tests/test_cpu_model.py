@@ -1,0 +1,127 @@
+"""Tests for the CPU config and roofline model."""
+
+import pytest
+
+from repro.core.wavefront import WfaCounters
+from repro.cpu.config import CpuConfig, xeon_gold_5120_dual
+from repro.cpu.model import CpuModel, CpuTrafficModel
+from repro.errors import ConfigError
+
+
+class TestCpuConfig:
+    def test_paper_preset_topology(self):
+        cfg = xeon_gold_5120_dual()
+        assert cfg.physical_cores == 28
+        assert cfg.max_threads == 56
+        assert cfg.frequency_hz == 2.2e9
+
+    def test_effective_cores(self):
+        cfg = xeon_gold_5120_dual()
+        assert cfg.effective_cores(1) == 1
+        assert cfg.effective_cores(28) == 28
+        assert cfg.effective_cores(56) == pytest.approx(28 + 28 * cfg.smt_yield)
+
+    def test_effective_cores_bounds(self):
+        cfg = xeon_gold_5120_dual()
+        with pytest.raises(ConfigError):
+            cfg.effective_cores(0)
+        with pytest.raises(ConfigError):
+            cfg.effective_cores(57)
+
+    def test_compute_rate_monotone(self):
+        cfg = xeon_gold_5120_dual()
+        rates = [cfg.compute_rate(t) for t in (1, 2, 8, 28, 56)]
+        assert rates == sorted(rates)
+
+    def test_bandwidth_saturates(self):
+        cfg = xeon_gold_5120_dual()
+        b1 = cfg.memory_bandwidth(1)
+        b8 = cfg.memory_bandwidth(8)
+        b56 = cfg.memory_bandwidth(56)
+        assert b1 < b8 < b56 < cfg.mem_bandwidth_bytes_per_s
+        # saturation: going 8 -> 56 threads gains far less than 1 -> 8
+        assert (b56 - b8) < (b8 - b1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(sockets=0)
+        with pytest.raises(ConfigError):
+            CpuConfig(ipc=0)
+        with pytest.raises(ConfigError):
+            CpuConfig(smt_yield=1.5)
+        with pytest.raises(ConfigError):
+            CpuConfig(bw_saturation_threads=0)
+
+    def test_with_helper(self):
+        cfg = xeon_gold_5120_dual().with_(ipc=2.0)
+        assert cfg.ipc == 2.0
+
+
+def sample_counters(pairs: int = 100) -> WfaCounters:
+    c = WfaCounters()
+    c.cells_computed = 140 * pairs
+    c.extend_steps = 120 * pairs
+    c.score_iterations = 14 * pairs
+    c.backtrace_ops = 100 * pairs
+    c.offsets_allocated = 140 * pairs
+    return c
+
+
+class TestRoofline:
+    def test_compute_bound_at_one_thread(self):
+        model = CpuModel(xeon_gold_5120_dual())
+        b = model.time_for(sample_counters(), 100, 200.0, 5_000_000, threads=1)
+        assert b.bound == "compute"
+        assert b.seconds == b.compute_seconds
+
+    def test_memory_bound_at_many_threads(self):
+        model = CpuModel(xeon_gold_5120_dual())
+        b = model.time_for(sample_counters(), 100, 200.0, 5_000_000, threads=56)
+        assert b.bound == "memory"
+
+    def test_scaling_flattens(self):
+        """The paper's Observation 1: poor scaling at high thread counts."""
+        model = CpuModel(xeon_gold_5120_dual())
+        curve = model.scaling_curve(
+            sample_counters(), 100, 200.0, 5_000_000, [1, 2, 4, 8, 16, 32, 56]
+        )
+        times = [b.seconds for b in curve]
+        assert times == sorted(times, reverse=True)  # monotone improvement
+        early_gain = times[0] / times[3]  # 1 -> 8 threads
+        late_gain = times[3] / times[6]  # 8 -> 56 threads
+        assert early_gain > 4.0
+        assert late_gain < 2.0
+
+    def test_extrapolation_linear_in_pairs(self):
+        model = CpuModel(xeon_gold_5120_dual())
+        t1 = model.time_for(sample_counters(), 100, 200.0, 1_000_000, 56).seconds
+        t5 = model.time_for(sample_counters(), 100, 200.0, 5_000_000, 56).seconds
+        assert t5 == pytest.approx(5 * t1)
+
+    def test_sample_size_invariance(self):
+        """Counters for 2x the sample pairs give the same projection."""
+        model = CpuModel(xeon_gold_5120_dual())
+        a = model.time_for(sample_counters(100), 100, 200.0, 10**6, 16).seconds
+        b = model.time_for(sample_counters(200), 200, 200.0, 10**6, 16).seconds
+        assert a == pytest.approx(b)
+
+    def test_validation(self):
+        model = CpuModel(xeon_gold_5120_dual())
+        with pytest.raises(ConfigError):
+            model.time_for(sample_counters(), 0, 200.0, 10, 1)
+        with pytest.raises(ConfigError):
+            model.time_for(sample_counters(), 10, 200.0, -1, 1)
+
+
+class TestTrafficModel:
+    def test_components(self):
+        tm = CpuTrafficModel(
+            fixed_overhead_bytes=100, sequence_factor=2, metadata_spill_fraction=0.5
+        )
+        assert tm.bytes_per_pair(metadata_bytes_per_pair=40, seq_bytes=200) == (
+            100 + 400 + 20
+        )
+
+    def test_higher_error_rate_means_more_traffic(self):
+        tm = CpuTrafficModel()
+        assert tm.bytes_per_pair(2000, 200) > tm.bytes_per_pair(500, 200)

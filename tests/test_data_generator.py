@@ -1,0 +1,130 @@
+"""Tests for the synthetic read-pair generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bitparallel import levenshtein_dp
+from repro.data.generator import (
+    ReadPair,
+    ReadPairGenerator,
+    mutate_sequence,
+    random_sequence,
+    total_bases,
+)
+from repro.errors import DataError
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        rng = random.Random(0)
+        s = random_sequence(500, rng)
+        assert len(s) == 500
+        assert set(s) <= set("ACGT")
+
+    def test_zero_length(self):
+        assert random_sequence(0, random.Random(0)) == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            random_sequence(-1, random.Random(0))
+
+    def test_deterministic_given_seed(self):
+        a = random_sequence(100, random.Random(42))
+        b = random_sequence(100, random.Random(42))
+        assert a == b
+
+
+class TestMutateSequence:
+    def test_zero_errors_is_identity(self):
+        assert mutate_sequence("ACGT", 0, random.Random(0)) == "ACGT"
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            mutate_sequence("ACGT", -1, random.Random(0))
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        length=st.integers(0, 60),
+        errors=st.integers(0, 10),
+    )
+    def test_edit_distance_bounded_by_budget(self, seed, length, errors):
+        """THE generator guarantee: distance(orig, mutated) <= edits applied."""
+        rng = random.Random(seed)
+        seq = random_sequence(length, rng)
+        mutated = mutate_sequence(seq, errors, rng)
+        assert levenshtein_dp(seq, mutated) <= errors
+
+    def test_substitution_changes_character(self):
+        # with a 2-letter alphabet a substitution must flip the char
+        rng = random.Random(5)
+        for _ in range(50):
+            out = mutate_sequence("A" * 10, 1, rng, alphabet="AT")
+            assert levenshtein_dp("A" * 10, out) <= 1
+
+
+class TestReadPairGenerator:
+    def test_defaults_match_paper(self):
+        gen = ReadPairGenerator()
+        assert gen.length == 100
+        assert gen.error_rate == 0.02
+        assert gen.edit_budget == 2
+
+    def test_exact_model_edit_budget(self):
+        gen = ReadPairGenerator(length=100, error_rate=0.04, seed=3)
+        for pair in gen.pairs(30):
+            assert pair.requested_errors == 4
+            assert levenshtein_dp(pair.pattern, pair.text) <= 4
+
+    def test_uniform_model_within_budget(self):
+        gen = ReadPairGenerator(
+            length=100, error_rate=0.04, seed=3, error_model="uniform"
+        )
+        seen = set()
+        for pair in gen.pairs(60):
+            assert 0 <= pair.requested_errors <= 4
+            seen.add(pair.requested_errors)
+        assert len(seen) > 1  # actually varies
+
+    def test_binomial_model(self):
+        gen = ReadPairGenerator(
+            length=100, error_rate=0.05, seed=3, error_model="binomial"
+        )
+        counts = [p.requested_errors for p in gen.pairs(100)]
+        mean = sum(counts) / len(counts)
+        assert 2.0 < mean < 9.0  # ~Binomial(100, .05), loose bounds
+
+    def test_deterministic_stream(self):
+        a = ReadPairGenerator(seed=9).pairs(10)
+        b = ReadPairGenerator(seed=9).pairs(10)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = ReadPairGenerator(seed=1).pairs(5)
+        b = ReadPairGenerator(seed=2).pairs(5)
+        assert a != b
+
+    def test_stream_matches_pairs(self):
+        gen1 = ReadPairGenerator(seed=4)
+        gen2 = ReadPairGenerator(seed=4)
+        assert list(gen2.stream(7)) == gen1.pairs(7)
+
+    def test_invalid_configs(self):
+        with pytest.raises(DataError):
+            ReadPairGenerator(length=0)
+        with pytest.raises(DataError):
+            ReadPairGenerator(error_rate=1.5)
+        with pytest.raises(DataError):
+            ReadPairGenerator(error_model="weird")
+        with pytest.raises(DataError):
+            ReadPairGenerator(alphabet="A")
+        with pytest.raises(DataError):
+            ReadPairGenerator().pairs(-1)
+
+    def test_read_pair_helpers(self):
+        pair = ReadPair(pattern="ACGT", text="ACGTT")
+        assert pair.max_length() == 5
+        assert total_bases([pair, pair]) == 18

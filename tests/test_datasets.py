@@ -1,0 +1,63 @@
+"""Tests for dataset specs and the paper presets."""
+
+import pytest
+
+from repro.data.datasets import (
+    PAPER_NUM_PAIRS,
+    PAPER_READ_LENGTH,
+    DatasetSpec,
+    paper_dataset,
+)
+from repro.errors import DataError
+
+
+class TestPaperPreset:
+    def test_constants(self):
+        assert PAPER_NUM_PAIRS == 5_000_000
+        assert PAPER_READ_LENGTH == 100
+
+    def test_paper_dataset(self):
+        spec = paper_dataset(0.02)
+        assert spec.num_pairs == 5_000_000
+        assert spec.length == 100
+        assert spec.edit_budget == 2
+        assert paper_dataset(0.04).edit_budget == 4
+
+    def test_describe(self):
+        d = paper_dataset(0.02).describe()
+        assert "5,000,000" in d
+        assert "2%" in d
+
+
+class TestDatasetSpec:
+    def test_sample_is_prefix_of_stream(self):
+        spec = DatasetSpec(num_pairs=100, length=30, error_rate=0.05, seed=3)
+        sample = spec.sample(10)
+        stream = list(spec.stream())
+        assert stream[:10] == sample
+        assert len(stream) == 100
+
+    def test_sample_clamps_to_num_pairs(self):
+        spec = DatasetSpec(num_pairs=5, length=10, error_rate=0.0)
+        assert len(spec.sample(50)) == 5
+
+    def test_scaled_keeps_distribution(self):
+        spec = DatasetSpec(num_pairs=1000, length=30, error_rate=0.05, seed=3)
+        mini = spec.scaled(10)
+        assert mini.num_pairs == 10
+        assert mini.length == spec.length
+        assert mini.sample(10) == spec.sample(10)
+
+    def test_determinism(self):
+        a = DatasetSpec(num_pairs=10, length=50, error_rate=0.02, seed=7)
+        b = DatasetSpec(num_pairs=10, length=50, error_rate=0.02, seed=7)
+        assert a.sample(10) == b.sample(10)
+
+    def test_negative_pairs_rejected(self):
+        with pytest.raises(DataError):
+            DatasetSpec(num_pairs=-1, length=10, error_rate=0.0)
+
+    def test_edit_budget_rounding(self):
+        assert DatasetSpec(1, 100, 0.025).edit_budget == 2  # banker's rounding of 2.5
+        assert DatasetSpec(1, 100, 0.035).edit_budget == 4
+        assert DatasetSpec(1, 150, 0.02).edit_budget == 3

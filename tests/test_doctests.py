@@ -1,0 +1,16 @@
+"""Run the doctests embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.aligner
+
+MODULES = [repro.core.aligner]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the docstring example actually ran

@@ -1,0 +1,94 @@
+"""Unit + property tests for greedy extension."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.extend import (
+    extend_diagonal,
+    extend_diagonal_blocked,
+    extend_wavefront,
+)
+from repro.core.wavefront import OFFSET_NULL, Wavefront
+
+DNA = "ACGT"
+
+
+class TestExtendDiagonal:
+    def test_full_match_on_main_diagonal(self):
+        off, comps = extend_diagonal("ACGT", "ACGT", 0, 0)
+        assert off == 4
+        assert comps == 4  # no mismatching probe at the boundary
+
+    def test_stops_at_mismatch(self):
+        off, comps = extend_diagonal("ACGT", "ACTT", 0, 0)
+        assert off == 2
+        assert comps == 3  # 2 matches + the failing probe
+
+    def test_off_diagonal(self):
+        # k=1: text offset h, pattern index v = h - 1
+        off, _ = extend_diagonal("CGT", "ACGT", 1, 1)
+        assert off == 4
+
+    def test_starts_midway(self):
+        off, comps = extend_diagonal("AAAA", "AAAA", 0, 2)
+        assert off == 4
+        assert comps == 2
+
+    def test_empty_sequences(self):
+        assert extend_diagonal("", "", 0, 0) == (0, 0)
+        assert extend_diagonal("A", "", 0, 0) == (0, 0)
+
+    def test_boundary_clamps(self):
+        # offset already at text end: nothing to do
+        off, comps = extend_diagonal("AAAA", "AA", 0, 2)
+        assert off == 2
+        assert comps == 0
+
+
+class TestBlockedEquivalence:
+    @given(
+        seed=st.integers(0, 10**6),
+        n=st.integers(0, 80),
+        k=st.integers(-5, 5),
+    )
+    def test_blocked_matches_scalar(self, seed, n, k):
+        import random
+
+        rng = random.Random(seed)
+        pattern = "".join(rng.choice(DNA) for _ in range(n))
+        text = "".join(rng.choice(DNA) for _ in range(rng.randint(0, 80)))
+        # pick a legal starting offset on diagonal k
+        lo = max(0, k)
+        hi = min(len(text), len(pattern) + k)
+        if hi < lo:
+            return
+        offset = rng.randint(lo, hi)
+        scalar_off, _ = extend_diagonal(pattern, text, k, offset)
+        blocked_off, _ = extend_diagonal_blocked(
+            pattern.encode(), text.encode(), k, offset
+        )
+        assert scalar_off == blocked_off
+
+    def test_blocked_counts_probes_not_chars(self):
+        p = b"A" * 32
+        _, probes = extend_diagonal_blocked(p, p, 0, 0)
+        assert probes == 4  # four 8-byte blocks
+
+
+class TestExtendWavefront:
+    def test_extends_all_reached_diagonals(self):
+        # pattern CGT: diagonal 0 stalls immediately (C vs A), diagonal 1
+        # (v = h - 1) matches CGT against text[1:] fully.
+        wf = Wavefront(-1, 1)
+        wf[0] = 0
+        wf[1] = 1
+        comps = extend_wavefront("CGT", "ACGT", wf)
+        assert wf[0] == 0
+        assert wf[1] == 4
+        assert wf[-1] == OFFSET_NULL
+        assert comps > 0
+
+    def test_null_offsets_untouched(self):
+        wf = Wavefront(0, 0)
+        extend_wavefront("AAA", "AAA", wf)
+        assert wf[0] == OFFSET_NULL

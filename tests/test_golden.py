@@ -1,0 +1,57 @@
+"""Golden regression tests: pinned outputs for fixed seeds.
+
+These freeze the observable behaviour of the generator and the aligners
+on a small fixed workload.  If an intentional algorithm change breaks
+them, update the constants alongside the change — any *unintentional*
+diff here is a regression in determinism or scoring.
+"""
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.data.generator import ReadPairGenerator
+
+PEN = AffinePenalties(4, 6, 2)
+
+# First 3 pairs of ReadPairGenerator(length=20, error_rate=0.1, seed=42).
+GOLDEN_PAIRS = [
+    ("AAGCCCAATAAACCACTCTG", "AAGCCTAATAGAACCACTCTG"),
+    ("CCGAATAGGGATATAGGCAA", "CCCGAATAGGATATAGGCAA"),
+    ("ATGTGCGGCGACCCTTGCGA", "ACGTGCGGACGACCCTTGCGA"),
+]
+
+# Affine (4, 6, 2) scores and CIGARs for those pairs.
+GOLDEN_AFFINE = [
+    (12, "5M1X4M1I10M"),
+    (16, "2M1I7M1D10M"),
+    (12, "1M1X6M1I12M"),
+]
+GOLDEN_EDIT = [2, 2, 2]
+
+
+def test_generator_stream_is_pinned():
+    gen = ReadPairGenerator(length=20, error_rate=0.1, seed=42)
+    got = [(p.pattern, p.text) for p in gen.pairs(3)]
+    assert got == GOLDEN_PAIRS
+
+
+def test_affine_scores_and_cigars_pinned():
+    aligner = WavefrontAligner(PEN)
+    for (p, t), (score, cigar) in zip(GOLDEN_PAIRS, GOLDEN_AFFINE):
+        r = aligner.align(p, t)
+        assert r.score == score
+        assert str(r.cigar) == cigar
+
+
+def test_edit_scores_pinned():
+    aligner = WavefrontAligner(EditPenalties())
+    for (p, t), score in zip(GOLDEN_PAIRS, GOLDEN_EDIT):
+        assert aligner.score(p, t) == score
+
+
+def test_counter_determinism_pinned():
+    """Operation counts are part of the measurement contract."""
+    r = WavefrontAligner(PEN).align(*GOLDEN_PAIRS[1])
+    again = WavefrontAligner(PEN).align(*GOLDEN_PAIRS[1])
+    assert r.counters.cells_computed == again.counters.cells_computed
+    assert r.counters.extend_steps == again.counters.extend_steps
+    assert r.counters.wavefront_log == again.counters.wavefront_log

@@ -1,0 +1,146 @@
+"""Tests for the adaptive wavefront reduction (WFA-Adapt)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.heuristics import AdaptiveReduction, StaticBand
+from repro.core.penalties import AffinePenalties
+from repro.errors import ConfigError
+
+from conftest import make_rng, mutate, random_dna, similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestConfig:
+    def test_defaults_are_wfa_defaults(self):
+        h = AdaptiveReduction()
+        assert h.min_wavefront_length == 10
+        assert h.max_distance_threshold == 50
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            AdaptiveReduction(min_wavefront_length=0)
+        with pytest.raises(ConfigError):
+            AdaptiveReduction(max_distance_threshold=0)
+
+    def test_aligner_accepts_string_and_rejects_unknown(self):
+        WavefrontAligner(PEN, heuristic="adaptive")
+        with pytest.raises(Exception):
+            WavefrontAligner(PEN, heuristic="nope")
+
+
+class TestBehaviour:
+    def test_exact_on_similar_sequences(self):
+        rng = make_rng(7)
+        for _ in range(20):
+            p = random_dna(rng, 120)
+            t = mutate(rng, p, 0.03)
+            exact = WavefrontAligner(PEN).score(p, t)
+            adapt = WavefrontAligner(PEN, heuristic="adaptive").align(p, t)
+            assert adapt.score == exact
+            adapt.cigar.validate(p, t)
+
+    def test_trims_on_dissimilar_sequences(self):
+        rng = make_rng(11)
+        p = random_dna(rng, 200)
+        t = random_dna(rng, 200)
+        aggressive = AdaptiveReduction(
+            min_wavefront_length=5, max_distance_threshold=10
+        )
+        r = WavefrontAligner(PEN, heuristic=aggressive).align(p, t)
+        assert r.counters.heuristic_trims > 0
+        assert not r.exact
+
+    def test_reduces_work_on_dissimilar_sequences(self):
+        rng = make_rng(13)
+        p = random_dna(rng, 150)
+        t = random_dna(rng, 150)
+        exact = WavefrontAligner(PEN).align(p, t)
+        adapt = WavefrontAligner(
+            PEN,
+            heuristic=AdaptiveReduction(
+                min_wavefront_length=10, max_distance_threshold=25
+            ),
+        ).align(p, t)
+        assert adapt.counters.cells_computed < exact.counters.cells_computed
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair(max_len=40, max_edits=8))
+    def test_score_is_upper_bound_and_cigar_valid(self, pair):
+        p, t = pair
+        exact = WavefrontAligner(PEN).score(p, t)
+        r = WavefrontAligner(
+            PEN,
+            heuristic=AdaptiveReduction(
+                min_wavefront_length=4, max_distance_threshold=8
+            ),
+        ).align(p, t)
+        assert r.score >= exact
+        r.cigar.validate(p, t)
+        assert r.cigar.score(PEN) == r.score
+
+    def test_exactness_flag(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACGT")
+        assert r.exact
+        r2 = WavefrontAligner(PEN, heuristic="adaptive").align("ACGT", "ACGT")
+        assert not r2.exact
+
+
+class TestStaticBand:
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            StaticBand(band_lo=-1)
+
+    def test_exact_within_band(self):
+        rng = make_rng(21)
+        for _ in range(10):
+            p = random_dna(rng, 60)
+            t = mutate(rng, p, 0.03)
+            exact = WavefrontAligner(PEN).score(p, t)
+            banded = WavefrontAligner(PEN, heuristic=StaticBand(15, 15)).score(p, t)
+            assert banded == exact
+
+    def test_upper_bound_outside_band(self):
+        rng = make_rng(22)
+        p = random_dna(rng, 80)
+        # move a block: optimal path strays far off-diagonal
+        t = p[30:] + p[:30]
+        exact = WavefrontAligner(PEN).score(p, t)
+        banded = WavefrontAligner(PEN, heuristic=StaticBand(3, 3)).align(p, t)
+        assert banded.score >= exact
+        banded.cigar.validate(p, t)
+
+    def test_reduces_work(self):
+        rng = make_rng(23)
+        p = random_dna(rng, 150)
+        t = random_dna(rng, 150)
+        full = WavefrontAligner(PEN).align(p, t)
+        band = WavefrontAligner(PEN, heuristic=StaticBand(5, 5)).align(p, t)
+        assert band.counters.cells_computed < full.counters.cells_computed
+        assert band.counters.heuristic_trims > 0
+
+    def test_never_beats_banded_dp(self):
+        from repro.baselines import banded_gotoh_score
+
+        rng = make_rng(24)
+        for _ in range(10):
+            p = random_dna(rng, 40)
+            t = mutate(rng, p, 0.1)
+            band = abs(len(p) - len(t)) + 4
+            wfa_banded = WavefrontAligner(
+                PEN, heuristic=StaticBand(band, band)
+            ).score(p, t)
+            dp_banded = banded_gotoh_score(p, t, PEN, band)
+            assert wfa_banded <= dp_banded
+
+    def test_asymmetric_band(self):
+        # band only above the main diagonal still aligns when the optimal
+        # path needs only insertions (text longer)
+        p = "ACGT" * 5
+        t = p + "TTTT"
+        r = WavefrontAligner(PEN, heuristic=StaticBand(0, 6)).align(p, t)
+        assert r.score == PEN.gap_cost(4)

@@ -1,0 +1,39 @@
+"""Import-completeness: every module imports cleanly, every __all__ resolves.
+
+Guards against circular imports and stale re-export lists anywhere in
+the package tree (a failure mode the energy/pim cycle demonstrated).
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULES = sorted(set(iter_modules()))
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+def test_module_count_sanity():
+    # the package tree should stay substantial; catches packaging regressions
+    assert len(MODULES) > 45, MODULES

@@ -1,0 +1,107 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These exercise the full pipelines a user would run: dataset -> file ->
+PIM system -> results -> verification against independent baselines, and
+CPU-vs-PIM consistency.
+"""
+
+import pytest
+
+from repro.baselines.bitparallel import levenshtein_dp
+from repro.baselines.gotoh import gotoh_align
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.cpu.runner import CpuRunner
+from repro.data.datasets import DatasetSpec
+from repro.data.generator import ReadPairGenerator
+from repro.data.seqio import read_seq, write_seq
+from repro.pim.config import PimSystemConfig
+from repro.pim.kernel import KernelConfig
+from repro.pim.system import PimSystem
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestFileToPimPipeline:
+    def test_seq_file_through_pim_system(self, tmp_path):
+        """Generate -> write .seq -> read back -> PIM align -> verify."""
+        spec = DatasetSpec(num_pairs=40, length=80, error_rate=0.04, seed=11)
+        path = tmp_path / "workload.seq"
+        write_seq(path, spec.stream())
+        pairs = read_seq(path)
+        assert len(pairs) == 40
+
+        cfg = PimSystemConfig(
+            num_dpus=8, num_ranks=1, tasklets=4, num_simulated_dpus=8
+        )
+        kc = KernelConfig(penalties=PEN, max_read_len=80, max_edits=4)
+        res = PimSystem(cfg, kc).align(pairs)
+        assert res.pairs_simulated == 40
+
+        for idx, score, cigar in res.results:
+            pair = pairs[idx]
+            g_score, _ = gotoh_align(pair.pattern, pair.text, PEN)
+            assert score == g_score
+            cigar.validate(pair.pattern, pair.text)
+            assert cigar.score(PEN) == score
+
+
+class TestCpuPimConsistency:
+    def test_same_scores_on_both_platforms(self):
+        """Functional equivalence: the PIM port changes nothing semantic
+        (the paper: 'we apply no optimizations to the WFA PIM
+        implementation compared to the original')."""
+        pairs = ReadPairGenerator(length=70, error_rate=0.05, seed=12).pairs(20)
+        cpu_results = CpuRunner(PEN).align_all(pairs)
+
+        cfg = PimSystemConfig(num_dpus=4, num_ranks=1, tasklets=2, num_simulated_dpus=4)
+        kc = KernelConfig(penalties=PEN, max_read_len=70, max_edits=4)
+        pim = PimSystem(cfg, kc).align(pairs)
+
+        pim_scores = {idx: score for idx, score, _ in pim.results}
+        for i, cpu_res in enumerate(cpu_results):
+            assert pim_scores[i] == cpu_res.score
+
+    def test_edit_metric_cross_platform_and_oracle(self):
+        pairs = ReadPairGenerator(length=60, error_rate=0.05, seed=13).pairs(12)
+        cfg = PimSystemConfig(num_dpus=2, num_ranks=1, tasklets=2, num_simulated_dpus=2)
+        kc = KernelConfig(penalties=EditPenalties(), max_read_len=60, max_edits=3)
+        res = PimSystem(cfg, kc).align(pairs)
+        for idx, score, _ in res.results:
+            assert score == levenshtein_dp(pairs[idx].pattern, pairs[idx].text)
+
+
+class TestWorkloadBudgets:
+    def test_whole_dataset_within_kernel_budget(self):
+        """Every generated pair must fit the kernel's static score bound —
+        the admission contract between generator and kernel."""
+        spec = DatasetSpec(num_pairs=200, length=100, error_rate=0.04, seed=14)
+        kc = KernelConfig(penalties=PEN, max_read_len=100, max_edits=4)
+        aligner = WavefrontAligner(PEN)
+        for pair in spec.stream():
+            assert aligner.score(pair.pattern, pair.text) <= kc.max_score
+            assert max(len(pair.pattern), len(pair.text)) <= kc.max_seq_len
+
+
+class TestDeterminism:
+    def test_pim_run_fully_deterministic(self):
+        spec = DatasetSpec(num_pairs=500, length=60, error_rate=0.03, seed=15)
+
+        def run():
+            cfg = PimSystemConfig(
+                num_dpus=16, num_ranks=1, tasklets=4, num_simulated_dpus=2
+            )
+            kc = KernelConfig(penalties=PEN, max_read_len=60, max_edits=2)
+            return PimSystem(cfg, kc).model_run(spec, sample_pairs_per_dpu=8)
+
+        a, b = run(), run()
+        assert a.kernel_seconds == b.kernel_seconds
+        assert a.total_seconds == b.total_seconds
+        assert a.bytes_in == b.bytes_in
+
+    def test_cpu_measurement_deterministic(self):
+        spec = DatasetSpec(num_pairs=30, length=60, error_rate=0.03, seed=16)
+        m1 = CpuRunner(PEN).measure(spec.sample(30))
+        m2 = CpuRunner(PEN).measure(spec.sample(30))
+        assert m1.counters.cells_computed == m2.counters.cells_computed
+        assert m1.scores == m2.scores

@@ -1,0 +1,121 @@
+"""Tests for Myers-Miller linear-space alignment."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.gotoh import gotoh_align, gotoh_score
+from repro.baselines.linear_space import myers_miller_align
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties, LinearPenalties
+
+from conftest import affine_penalties, similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestKnownCases:
+    def test_identical(self):
+        score, cigar = myers_miller_align("ACGTACGT", "ACGTACGT", PEN)
+        assert score == 0
+        assert str(cigar) == "8M"
+
+    def test_empty_cases(self):
+        assert myers_miller_align("", "", PEN)[0] == 0
+        score, cigar = myers_miller_align("", "ACG", PEN)
+        assert score == PEN.gap_cost(3) and str(cigar) == "3I"
+        score, cigar = myers_miller_align("ACG", "", PEN)
+        assert score == PEN.gap_cost(3) and str(cigar) == "3D"
+
+    def test_single_char_pattern(self):
+        score, cigar = myers_miller_align("A", "TTATT", PEN)
+        cigar.validate("A", "TTATT")
+        assert score == gotoh_score("A", "TTATT", PEN)
+
+    def test_single_char_deletion_shape(self):
+        # pattern char matches nothing cheaply: deletion + insertions wins
+        pen = AffinePenalties(mismatch=50, gap_open=1, gap_extend=1)
+        score, cigar = myers_miller_align("A", "TT", pen)
+        cigar.validate("A", "TT")
+        assert score == gotoh_score("A", "TT", pen)
+
+    def test_mismatch(self):
+        score, cigar = myers_miller_align("GATTACA", "GATCACA", PEN)
+        assert score == 4
+        cigar.validate("GATTACA", "GATCACA")
+
+    def test_gap_crossing_the_middle_row(self):
+        """The Myers-Miller special case: a long deletion spanning i*."""
+        p = "ACGT" + "T" * 10 + "ACGT"
+        t = "ACGTACGT"
+        score, cigar = myers_miller_align(p, t, PEN)
+        assert score == gotoh_score(p, t, PEN) == PEN.gap_cost(10)
+        cigar.validate(p, t)
+        # the 10 deletions must form a single run (one opening)
+        assert cigar.counts()["D"] == 10
+        assert sum(1 for op in cigar if op.op == "D") == 1
+
+
+class TestOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(pair=similar_pair(max_len=40, max_edits=10))
+    def test_matches_gotoh_default(self, pair):
+        p, t = pair
+        score, cigar = myers_miller_align(p, t, PEN)
+        cigar.validate(p, t)
+        assert cigar.score(PEN) == score == gotoh_score(p, t, PEN)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=similar_pair(max_len=25, max_edits=8), pen=affine_penalties)
+    def test_matches_gotoh_random_penalties(self, pair, pen):
+        p, t = pair
+        score, cigar = myers_miller_align(p, t, pen)
+        cigar.validate(p, t)
+        assert score == gotoh_score(p, t, pen)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=6))
+    def test_matches_wfa(self, pair):
+        p, t = pair
+        assert myers_miller_align(p, t, PEN)[0] == WavefrontAligner(PEN).score(p, t)
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=6))
+    def test_edit_and_linear_params(self, pair):
+        p, t = pair
+        for pen in (EditPenalties(), LinearPenalties(3, 2)):
+            score, cigar = myers_miller_align(p, t, pen)
+            cigar.validate(p, t)
+            assert score == gotoh_score(p, t, pen)
+
+
+class TestScale:
+    def test_long_sequences(self):
+        """2kb pair: full-matrix Gotoh traceback would hold ~12M cells;
+        the linear-space version recurses with O(m) rows."""
+        rng = random.Random(77)
+        p = "".join(rng.choice("ACGT") for _ in range(2000))
+        t = list(p)
+        for _ in range(60):
+            op = rng.randrange(3)
+            if op == 0:
+                t[rng.randrange(len(t))] = rng.choice("ACGT")
+            elif op == 1:
+                t.insert(rng.randrange(len(t) + 1), rng.choice("ACGT"))
+            else:
+                del t[rng.randrange(len(t))]
+        t = "".join(t)
+        score, cigar = myers_miller_align(p, t, PEN)
+        cigar.validate(p, t)
+        assert cigar.score(PEN) == score
+        # cross-check the score against WFA (cheap for similar pairs)
+        assert score == WavefrontAligner(PEN).score(p, t)
+
+    def test_cooptimal_with_gotoh_traceback(self):
+        p, t = "ACGTACGTAC", "ACGGTACGAC"
+        mm_score, mm_cigar = myers_miller_align(p, t, PEN)
+        g_score, g_cigar = gotoh_align(p, t, PEN)
+        assert mm_score == g_score
+        # paths may differ (co-optimal) but both must rescore identically
+        assert mm_cigar.score(PEN) == g_cigar.score(PEN)

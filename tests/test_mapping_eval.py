@@ -1,0 +1,97 @@
+"""Tests for mapping-accuracy evaluation."""
+
+import pytest
+
+from repro.analysis.mapping_eval import evaluate_mappings
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties
+from repro.core.span import AlignmentSpan
+from repro.data.paf import PafRecord, from_alignment
+from repro.data.simulator import ReferenceSampler, SampledRead
+from repro.errors import ConfigError
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def record(target_start: int, strand: str = "+") -> PafRecord:
+    return PafRecord(
+        query_name="r",
+        query_len=50,
+        query_start=0,
+        query_end=50,
+        strand=strand,
+        target_name="ref",
+        target_len=1000,
+        target_start=target_start,
+        target_end=target_start + 50,
+        matches=50,
+        alignment_len=50,
+    )
+
+
+def read(position: int, reverse: bool = False) -> SampledRead:
+    return SampledRead(sequence="A" * 50, position=position, reverse=reverse, errors=0)
+
+
+class TestScoring:
+    def test_exact_position(self):
+        ev = evaluate_mappings([record(100)], [read(100)])
+        assert ev.correct == 1 and ev.accuracy == 1.0
+
+    def test_within_tolerance(self):
+        ev = evaluate_mappings([record(103)], [read(100)], tolerance=5)
+        assert ev.correct == 1
+
+    def test_wrong_position(self):
+        ev = evaluate_mappings([record(200)], [read(100)], tolerance=5)
+        assert ev.wrong_position == 1 and ev.correct == 0
+
+    def test_wrong_strand(self):
+        ev = evaluate_mappings([record(100, "-")], [read(100, reverse=False)])
+        assert ev.wrong_strand == 1
+
+    def test_window_offsets_translate_coordinates(self):
+        # read at reference position 500; window started at 480; the
+        # aligner reports target_start 20 within the window
+        ev = evaluate_mappings(
+            [record(20)], [read(500)], window_offsets=[480]
+        )
+        assert ev.correct == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            evaluate_mappings([record(0)], [])
+        with pytest.raises(ConfigError):
+            evaluate_mappings([record(0)], [read(0)], tolerance=-1)
+        with pytest.raises(ConfigError):
+            evaluate_mappings([record(0)], [read(0)], window_offsets=[1, 2])
+
+    def test_report(self):
+        text = evaluate_mappings([record(100)], [read(100)]).report()
+        assert "100.0%" in text
+
+
+class TestEndToEnd:
+    def test_simulated_mapping_accuracy(self):
+        sampler = ReferenceSampler(
+            seed=44, reference_length=6000, read_length=64, error_rate=0.03
+        )
+        aligner = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal())
+        reads = sampler.reads(30)
+        records = []
+        window_starts = []
+        for i, rd in enumerate(reads):
+            query = sampler.oriented_query(rd)
+            window, offset = rd.window(sampler.reference, flank=20)
+            res = aligner.align(query, window)
+            records.append(
+                from_alignment(
+                    res, f"read{i}", "ref", strand="-" if rd.reverse else "+"
+                )
+            )
+            window_starts.append(rd.position - offset)
+        ev = evaluate_mappings(
+            records, reads, tolerance=sampler.edit_budget, window_offsets=window_starts
+        )
+        assert ev.accuracy >= 0.9
+        assert ev.wrong_strand == 0

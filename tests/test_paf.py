@@ -1,0 +1,101 @@
+"""Tests for PAF mapping output."""
+
+import pytest
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties
+from repro.core.span import AlignmentSpan
+from repro.data.paf import PafRecord, from_alignment, read_paf, write_paf
+from repro.data.simulator import ReferenceSampler
+from repro.errors import DataError
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestRecord:
+    def test_line_format(self):
+        rec = PafRecord(
+            query_name="r1",
+            query_len=100,
+            query_start=0,
+            query_end=100,
+            strand="+",
+            target_name="chr1",
+            target_len=500,
+            target_start=40,
+            target_end=140,
+            matches=98,
+            alignment_len=100,
+            cigar="100M",
+        )
+        fields = rec.line().split("\t")
+        assert fields[0] == "r1"
+        assert fields[4] == "+"
+        assert fields[12] == "cg:Z:100M"
+        assert len(fields) == 13
+
+    def test_no_cigar_tag_when_empty(self):
+        rec = PafRecord("r", 10, 0, 10, "+", "t", 20, 0, 10, 10, 10)
+        assert len(rec.line().split("\t")) == 12
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            PafRecord("r", 10, 0, 11, "+", "t", 20, 0, 10, 10, 10)
+        with pytest.raises(DataError):
+            PafRecord("r", 10, 0, 10, "*", "t", 20, 0, 10, 10, 10)
+        with pytest.raises(DataError):
+            PafRecord("r", 10, 0, 10, "+", "t", 20, 15, 10, 10, 10)
+
+
+class TestFromAlignment:
+    def test_semiglobal_alignment_to_paf(self):
+        pattern = "ACGTACGTAC"
+        text = "TTTT" + pattern + "GGGG"
+        res = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal()).align(
+            pattern, text
+        )
+        rec = from_alignment(res, "read0", "contig0")
+        assert rec.target_start == 4
+        assert rec.target_end == 14
+        assert rec.query_start == 0 and rec.query_end == 10
+        assert rec.matches == 10
+        assert rec.cigar == "10M"
+
+    def test_score_only_rejected(self):
+        res = WavefrontAligner(PEN).align("AC", "AC", score_only=True)
+        with pytest.raises(DataError):
+            from_alignment(res, "q", "t")
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path):
+        sampler = ReferenceSampler(
+            seed=12, reference_length=4000, read_length=60, error_rate=0.02
+        )
+        aligner = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal())
+        records = []
+        for i, read in enumerate(sampler.reads(10)):
+            query = sampler.oriented_query(read)
+            window, _offset = read.window(sampler.reference, flank=15)
+            res = aligner.align(query, window)
+            records.append(
+                from_alignment(
+                    res, f"read{i}", "ref", strand="-" if read.reverse else "+"
+                )
+            )
+        path = tmp_path / "mappings.paf"
+        assert write_paf(path, records) == 10
+        loaded = read_paf(path)
+        assert loaded == records
+
+    def test_read_rejects_short_lines(self, tmp_path):
+        path = tmp_path / "bad.paf"
+        path.write_text("a\tb\tc\n")
+        with pytest.raises(DataError):
+            read_paf(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        rec = PafRecord("r", 10, 0, 10, "+", "t", 20, 0, 10, 10, 10)
+        path = tmp_path / "pad.paf"
+        path.write_text(rec.line() + "\n\n")
+        assert read_paf(path) == [rec]

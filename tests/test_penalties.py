@@ -1,0 +1,111 @@
+"""Unit tests for the penalty models."""
+
+import pytest
+
+from repro.core.penalties import (
+    AffinePenalties,
+    EditPenalties,
+    LinearPenalties,
+    replace,
+)
+from repro.errors import PenaltyError
+
+
+class TestEditPenalties:
+    def test_costs(self):
+        pen = EditPenalties()
+        assert pen.mismatch_cost() == 1
+        assert pen.gap_cost(0) == 0
+        assert pen.gap_cost(5) == 5
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(PenaltyError):
+            EditPenalties().gap_cost(-1)
+
+    def test_worst_case(self):
+        assert EditPenalties().worst_case_score(10, 7) == 10
+        assert EditPenalties().worst_case_score(0, 0) == 0
+
+    def test_hashable(self):
+        assert hash(EditPenalties()) == hash(EditPenalties())
+
+
+class TestLinearPenalties:
+    def test_defaults(self):
+        pen = LinearPenalties()
+        assert pen.mismatch == 4
+        assert pen.indel == 2
+
+    def test_gap_cost_linear(self):
+        pen = LinearPenalties(mismatch=3, indel=2)
+        assert pen.gap_cost(0) == 0
+        assert pen.gap_cost(1) == 2
+        assert pen.gap_cost(7) == 14
+
+    def test_invalid(self):
+        with pytest.raises(PenaltyError):
+            LinearPenalties(mismatch=0, indel=2)
+        with pytest.raises(PenaltyError):
+            LinearPenalties(mismatch=4, indel=0)
+        with pytest.raises(PenaltyError):
+            LinearPenalties(mismatch=-4, indel=2)
+
+    def test_worst_case_is_reachable_bound(self):
+        pen = LinearPenalties(mismatch=4, indel=2)
+        # delete 3 + insert 5 is a legal alignment of (3, 5)
+        assert pen.worst_case_score(3, 5) >= pen.gap_cost(3) + pen.gap_cost(5)
+
+    def test_as_tuple(self):
+        assert LinearPenalties(5, 3).as_tuple() == (5, 3)
+
+
+class TestAffinePenalties:
+    def test_defaults_are_wfa_defaults(self):
+        pen = AffinePenalties()
+        assert pen.as_tuple() == (4, 6, 2)
+
+    def test_gap_cost_first_char_pays_open_and_extend(self):
+        pen = AffinePenalties(mismatch=4, gap_open=6, gap_extend=2)
+        assert pen.gap_cost(0) == 0
+        assert pen.gap_cost(1) == 8
+        assert pen.gap_cost(3) == 12
+
+    def test_zero_open_allowed(self):
+        pen = AffinePenalties(mismatch=2, gap_open=0, gap_extend=1)
+        assert pen.gap_cost(4) == 4
+
+    def test_invalid(self):
+        with pytest.raises(PenaltyError):
+            AffinePenalties(mismatch=0)
+        with pytest.raises(PenaltyError):
+            AffinePenalties(gap_open=-1)
+        with pytest.raises(PenaltyError):
+            AffinePenalties(gap_extend=0)
+
+    def test_to_linear_drops_opening(self):
+        lin = AffinePenalties(4, 6, 2).to_linear()
+        assert lin.mismatch == 4
+        assert lin.indel == 2
+
+    def test_worst_case_bounds_full_indel_alignment(self):
+        pen = AffinePenalties(4, 6, 2)
+        assert pen.worst_case_score(10, 12) >= pen.gap_cost(10) + pen.gap_cost(12)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(PenaltyError):
+            AffinePenalties().gap_cost(-2)
+
+
+class TestCigarScoreHelper:
+    def test_cigar_score_affine(self):
+        pen = AffinePenalties(4, 6, 2)
+        # 3 matches, 1 mismatch, gap of 2: 0 + 4 + (6 + 2*2) = 14
+        assert pen.cigar_score("3M1X2I") == 14
+
+    def test_cigar_score_expanded_form(self):
+        pen = EditPenalties()
+        assert pen.cigar_score("MMXID") == 3
+
+    def test_replace_helper(self):
+        pen = replace(AffinePenalties(4, 6, 2), mismatch=5)
+        assert pen.as_tuple() == (5, 6, 2)

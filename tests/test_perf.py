@@ -1,0 +1,93 @@
+"""Tests for cost tables, calibration record, and report formatting."""
+
+import pytest
+
+from repro.core.wavefront import WfaCounters
+from repro.perf.calibration import PAPER_TARGETS
+from repro.perf.costs import CpuCostModel, DpuCostModel
+from repro.perf.report import (
+    format_comparison,
+    format_series,
+    format_table,
+    human_time,
+)
+
+
+def counters(cells=100, ext=50, iters=10, bt=20) -> WfaCounters:
+    c = WfaCounters()
+    c.cells_computed = cells
+    c.extend_steps = ext
+    c.score_iterations = iters
+    c.backtrace_ops = bt
+    return c
+
+
+class TestCostModels:
+    def test_dpu_instruction_estimate(self):
+        m = DpuCostModel()
+        got = m.instructions(counters(), pairs=1)
+        expect = (
+            100 * m.per_cell
+            + 50 * m.per_extend_step
+            + 10 * m.per_score_iteration
+            + 20 * m.per_backtrace_op
+            + m.per_pair_overhead
+        )
+        assert got == pytest.approx(expect)
+
+    def test_cpu_cheaper_per_cell_than_dpu(self):
+        """Vectorized CPU beats the scalar DPU per cell (paper §I)."""
+        assert CpuCostModel().per_cell < DpuCostModel().per_cell
+
+    def test_linear_in_counts(self):
+        m = DpuCostModel()
+        one = m.instructions(counters(), pairs=1)
+        c2 = counters(cells=200, ext=100, iters=20, bt=40)
+        two = m.instructions(c2, pairs=2)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_work(self):
+        assert DpuCostModel().instructions(WfaCounters(), pairs=0) == 0.0
+
+
+class TestCalibration:
+    def test_paper_targets(self):
+        assert PAPER_TARGETS.total_speedup_e2 == 4.87
+        assert PAPER_TARGETS.total_speedup_e4 == 4.05
+        assert PAPER_TARGETS.kernel_speedup_e2 == 37.4
+        assert PAPER_TARGETS.kernel_speedup_e4 == 12.3
+        assert PAPER_TARGETS.num_pairs == 5_000_000
+
+    def test_rows(self):
+        rows = dict(PAPER_TARGETS.as_rows())
+        assert rows["kernel_speedup_E2%"] == 37.4
+        assert len(rows) == 4
+
+
+class TestReport:
+    def test_human_time(self):
+        assert human_time(2.5) == "2.5 s"
+        assert human_time(0.0025) == "2.5 ms"
+        assert human_time(2.5e-6) == "2.5 us"
+        assert human_time(2.5e-10) == "0.25 ns"
+
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_format_series(self):
+        out = format_series("s", [1, 2], [0.5, 0.25])
+        assert out == "s: 1=0.5, 2=0.25"
+
+    def test_format_comparison_ratio(self):
+        out = format_comparison([("m", 2.0, 1.0)])
+        assert "0.50x" in out
+        assert "m" in out

@@ -1,0 +1,84 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.cpu.model import CpuTimeBreakdown
+from repro.errors import ConfigError
+from repro.perf.energy import EnergyModel
+from repro.pim.system import PimRunResult
+
+
+def cpu_breakdown(seconds: float, threads: int = 56) -> CpuTimeBreakdown:
+    return CpuTimeBreakdown(
+        threads=threads, compute_seconds=seconds / 2, memory_seconds=seconds
+    )
+
+
+def pim_run(kernel_s: float, xfer_s: float) -> PimRunResult:
+    return PimRunResult(
+        num_pairs=5_000_000,
+        pairs_simulated=100,
+        tasklets=16,
+        metadata_policy="mram",
+        kernel_seconds=kernel_s,
+        transfer_in_seconds=xfer_s * 0.7,
+        transfer_out_seconds=xfer_s * 0.3,
+        launch_seconds=0.0,
+        bytes_in=0,
+        bytes_out=0,
+    )
+
+
+class TestCpuEnergy:
+    def test_power_times_time(self):
+        model = EnergyModel(cpu_busy_watts=200)
+        e = model.cpu_energy(cpu_breakdown(2.0))
+        assert e.total_joules == pytest.approx(400.0)
+
+    def test_label(self):
+        assert EnergyModel().cpu_energy(cpu_breakdown(1.0)).label == "cpu-56T"
+
+
+class TestPimEnergy:
+    def test_phases_sum(self):
+        model = EnergyModel()
+        e = model.pim_energy(pim_run(kernel_s=0.1, xfer_s=0.2))
+        assert e.total_joules == pytest.approx(sum(e.phases.values()))
+        assert set(e.phases) == {
+            "kernel (DIMMs busy)",
+            "kernel (host orchestrating)",
+            "transfers (host busy)",
+            "transfers (DIMMs idle)",
+        }
+
+    def test_kernel_phase_dominated_by_dimm_power(self):
+        model = EnergyModel()
+        e = model.pim_energy(pim_run(kernel_s=1.0, xfer_s=0.0))
+        assert e.phases["kernel (DIMMs busy)"] == pytest.approx(23.22 * 20)
+
+    def test_longer_kernel_more_energy(self):
+        model = EnergyModel()
+        e1 = model.pim_energy(pim_run(0.1, 0.2)).total_joules
+        e2 = model.pim_energy(pim_run(0.2, 0.2)).total_joules
+        assert e2 > e1
+
+
+class TestEfficiency:
+    def test_gain_direction(self):
+        """PIM at Fig. 1's operating point should win on energy."""
+        model = EnergyModel()
+        gain = model.efficiency_gain(
+            cpu_breakdown(1.2), pim_run(kernel_s=0.033, xfer_s=0.21), 5_000_000
+        )
+        assert gain > 4.0
+
+    def test_pairs_per_joule(self):
+        model = EnergyModel(cpu_busy_watts=100)
+        e = model.cpu_energy(cpu_breakdown(1.0))
+        assert e.pairs_per_joule(1000) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(cpu_busy_watts=0).validate()
+        with pytest.raises(ConfigError):
+            EnergyModel(num_dimms=0).validate()

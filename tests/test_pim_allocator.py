@@ -1,0 +1,129 @@
+"""Tests for the custom two-level allocator (the paper's contribution)."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.pim.allocator import BumpAllocator, TaskletAllocator
+
+
+class TestBumpAllocator:
+    def test_blocks_are_8_byte_aligned(self):
+        arena = BumpAllocator(0, 1024, "wram")
+        a = arena.alloc(5)
+        b = arena.alloc(3)
+        assert a.addr % 8 == 0 and b.addr % 8 == 0
+        assert a.size == 8 and b.size == 8
+        assert b.addr == a.addr + 8
+
+    def test_base_offset_respected(self):
+        arena = BumpAllocator(4096, 64, "mram")
+        assert arena.alloc(8).addr == 4096
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(4, 64, "wram")
+
+    def test_exhaustion(self):
+        arena = BumpAllocator(0, 16, "wram")
+        arena.alloc(8)
+        arena.alloc(8)
+        with pytest.raises(AllocationError, match="exhausted"):
+            arena.alloc(1)
+
+    def test_reset_frees_everything(self):
+        arena = BumpAllocator(0, 16, "wram")
+        arena.alloc(16)
+        arena.reset()
+        assert arena.alloc(16).addr == 0
+
+    def test_high_water_tracks_peak(self):
+        arena = BumpAllocator(0, 64, "wram")
+        arena.alloc(32)
+        arena.reset()
+        arena.alloc(8)
+        assert arena.high_water == 32
+        assert arena.used == 8
+        assert arena.free == 56
+
+    def test_zero_byte_alloc_takes_one_granule(self):
+        arena = BumpAllocator(0, 16, "wram")
+        assert arena.alloc(0).size == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(0, 16, "wram").alloc(-8)
+        with pytest.raises(AllocationError):
+            BumpAllocator(0, -1, "wram")
+
+
+class TestTaskletAllocator:
+    def make(self, policy: str = "mram") -> TaskletAllocator:
+        return TaskletAllocator(
+            wram_base=0,
+            wram_capacity=256,
+            mram_base=1 << 16,
+            mram_capacity=4096,
+            metadata_policy=policy,
+        )
+
+    def test_buffers_always_in_wram(self):
+        alloc = self.make("mram")
+        a = alloc.alloc_buffer(16)
+        assert a.space == "wram"
+        assert a.addr < 256
+
+    def test_metadata_placement_follows_policy(self):
+        assert self.make("mram").alloc_metadata(64).space == "mram"
+        assert self.make("wram").alloc_metadata(64).space == "wram"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(AllocationError):
+            self.make("cache")
+
+    def test_wram_policy_shares_arena_with_buffers(self):
+        alloc = self.make("wram")
+        alloc.alloc_buffer(128)
+        alloc.alloc_metadata(120)
+        with pytest.raises(AllocationError):
+            alloc.alloc_metadata(64)
+
+    def test_mram_policy_keeps_wram_free(self):
+        alloc = self.make("mram")
+        alloc.alloc_buffer(128)
+        for _ in range(16):
+            alloc.alloc_metadata(128)  # 2048 bytes of MRAM
+        assert alloc.wram.used == 128
+
+    def test_reset_metadata_only_touches_mram(self):
+        alloc = self.make("mram")
+        alloc.alloc_buffer(64)
+        alloc.alloc_metadata(256)
+        alloc.reset_metadata()
+        assert alloc.mram.used == 0
+        assert alloc.wram.used == 64
+
+    def test_mark_release_scoped_frees(self):
+        alloc = self.make("wram")
+        alloc.alloc_buffer(64)
+        mark = alloc.wram_mark()
+        alloc.alloc_metadata(64)
+        alloc.alloc_metadata(64)
+        alloc.wram_release(mark)
+        assert alloc.wram.used == 64
+
+    def test_invalid_release_mark(self):
+        alloc = self.make("wram")
+        with pytest.raises(AllocationError):
+            alloc.wram_release(8)  # beyond cursor
+        alloc.alloc_buffer(16)
+        with pytest.raises(AllocationError):
+            alloc.wram_release(-1)
+
+    def test_all_metadata_blocks_are_dmaable(self):
+        """Every metadata block must satisfy the DMA alignment contract."""
+        alloc = self.make("mram")
+        for nbytes in (1, 4, 7, 12, 100):
+            a = alloc.alloc_metadata(nbytes)
+            assert a.addr % 8 == 0
+            assert a.size % 8 == 0
+            assert a.size >= nbytes

@@ -1,0 +1,99 @@
+"""Tests for PIM architecture configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pim.config import (
+    DpuConfig,
+    DpuTimingConfig,
+    HostTransferConfig,
+    PimSystemConfig,
+    upmem_paper_system,
+    upmem_single_rank,
+)
+
+
+class TestTiming:
+    def test_paper_clock(self):
+        assert DpuTimingConfig().frequency_hz == 425e6
+
+    def test_seconds_conversion(self):
+        t = DpuTimingConfig(frequency_hz=425e6)
+        assert t.seconds(425e6) == pytest.approx(1.0)
+
+    def test_dma_cycles_affine_in_beats(self):
+        t = DpuTimingConfig()
+        assert t.dma_cycles(8) == pytest.approx(t.dma_setup_cycles + t.dma_cycles_per_8b)
+        assert t.dma_cycles(16) == pytest.approx(
+            t.dma_setup_cycles + 2 * t.dma_cycles_per_8b
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DpuTimingConfig(frequency_hz=0).validate()
+        with pytest.raises(ConfigError):
+            DpuTimingConfig(pipeline_period=0).validate()
+        with pytest.raises(ConfigError):
+            DpuTimingConfig(dma_cycles_per_8b=0).validate()
+
+
+class TestDpuConfig:
+    def test_upmem_capacities(self):
+        d = DpuConfig()
+        assert d.mram_bytes == 64 * 1024 * 1024
+        assert d.wram_bytes == 64 * 1024
+        assert d.max_tasklets == 24
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DpuConfig(max_tasklets=25).validate()
+        with pytest.raises(ConfigError):
+            DpuConfig(mram_bytes=0).validate()
+
+
+class TestTransferConfig:
+    def test_effective_below_peak(self):
+        t = HostTransferConfig()
+        assert t.effective_to_dpu_bytes_per_s <= t.peak_to_dpu_bytes_per_s
+        assert t.effective_from_dpu_bytes_per_s <= t.peak_from_dpu_bytes_per_s
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HostTransferConfig(effective_to_dpu_bytes_per_s=0).validate()
+        with pytest.raises(ConfigError):
+            HostTransferConfig(launch_overhead_s=-1).validate()
+
+
+class TestSystemConfig:
+    def test_paper_preset(self):
+        cfg = upmem_paper_system()
+        assert cfg.num_dpus == 2560
+        assert cfg.num_ranks == 40
+        assert cfg.dpus_per_rank == 64
+        assert cfg.metadata_policy == "mram"
+
+    def test_single_rank_preset_fully_simulated(self):
+        cfg = upmem_single_rank()
+        assert cfg.num_dpus == 64
+        assert cfg.num_simulated_dpus == 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PimSystemConfig(num_dpus=0).validate()
+        with pytest.raises(ConfigError):
+            PimSystemConfig(num_dpus=100, num_ranks=3).validate()
+        with pytest.raises(ConfigError):
+            PimSystemConfig(tasklets=0).validate()
+        with pytest.raises(ConfigError):
+            PimSystemConfig(tasklets=25).validate()
+        with pytest.raises(ConfigError):
+            PimSystemConfig(num_simulated_dpus=0).validate()
+        with pytest.raises(ConfigError):
+            PimSystemConfig(num_simulated_dpus=4000).validate()
+        with pytest.raises(ConfigError):
+            PimSystemConfig(metadata_policy="flash").validate()
+
+    def test_with_helper(self):
+        cfg = upmem_paper_system().with_(tasklets=8)
+        assert cfg.tasklets == 8
+        assert cfg.num_dpus == 2560

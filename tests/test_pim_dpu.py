@@ -1,0 +1,106 @@
+"""Tests for the DPU pipeline timing model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.pim.config import DpuConfig, DpuTimingConfig
+from repro.pim.dpu import Dpu
+from repro.pim.tasklet import TaskletStats
+
+
+def stats(tid: int, instr: float, dma: float = 0.0) -> TaskletStats:
+    s = TaskletStats(tasklet_id=tid)
+    s.instructions = instr
+    s.dma_cycles = dma
+    return s
+
+
+@pytest.fixture
+def dpu():
+    return Dpu(DpuConfig())
+
+
+class TestPipelineModel:
+    def test_single_tasklet_is_latency_bound(self, dpu):
+        cycles, bound = dpu.kernel_cycles([stats(0, 1000)])
+        assert cycles == 11 * 1000
+        assert bound == "latency"
+
+    def test_eleven_balanced_tasklets_reach_throughput(self, dpu):
+        ts = [stats(i, 1000) for i in range(11)]
+        cycles, bound = dpu.kernel_cycles(ts)
+        assert cycles == 11_000  # sum == 11 * max: one instruction/cycle
+        assert bound in ("throughput", "latency")  # equal at the knee
+
+    def test_sixteen_tasklets_throughput_bound(self, dpu):
+        ts = [stats(i, 1000) for i in range(16)]
+        cycles, bound = dpu.kernel_cycles(ts)
+        assert cycles == 16_000
+        assert bound == "throughput"
+
+    def test_imbalance_penalized_below_knee(self, dpu):
+        ts = [stats(0, 1000), stats(1, 10)]
+        cycles, bound = dpu.kernel_cycles(ts)
+        assert cycles == 11 * 1000
+        assert bound == "latency"
+
+    def test_dma_bound(self, dpu):
+        ts = [stats(i, 100, dma=50_000) for i in range(16)]
+        cycles, bound = dpu.kernel_cycles(ts)
+        assert cycles == 16 * 50_000
+        assert bound == "dma"
+
+    def test_no_tasklets(self, dpu):
+        assert dpu.kernel_cycles([]) == (0.0, "throughput")
+
+    def test_too_many_tasklets_rejected(self, dpu):
+        ts = [stats(i, 1) for i in range(25)]
+        with pytest.raises(ConfigError):
+            dpu.kernel_cycles(ts)
+
+    def test_scaling_saturates_at_pipeline_depth(self, dpu):
+        """Adding tasklets helps until ~11, then stops (PrIM behaviour)."""
+        total_work = 110_000
+        times = {}
+        for t in (1, 2, 4, 8, 11, 16, 22):
+            ts = [stats(i, total_work / t) for i in range(t)]
+            times[t], _ = dpu.kernel_cycles(ts)
+        assert times[1] > times[2] > times[4] > times[8] > times[11] * 0.999
+        assert times[16] == pytest.approx(times[11])
+        assert times[11] == pytest.approx(total_work)
+
+
+class TestSummaries:
+    def test_summarize_aggregates(self, dpu):
+        ts = [stats(0, 500, dma=100), stats(1, 700, dma=50)]
+        ts[0].pairs_done = 3
+        ts[1].pairs_done = 4
+        ts[0].dma_bytes = 64
+        summary = dpu.summarize(ts)
+        assert summary.pairs_done == 7
+        assert summary.instructions == 1200
+        assert summary.dma_cycles == 150
+        assert summary.dma_bytes == 64
+        assert summary.cycles == 11 * 700
+        assert summary.seconds == pytest.approx(11 * 700 / 425e6)
+        assert summary.tasklets == 2
+
+    def test_seconds_follow_clock(self):
+        fast = Dpu(DpuConfig(timing=DpuTimingConfig(frequency_hz=850e6)))
+        slow = Dpu(DpuConfig(timing=DpuTimingConfig(frequency_hz=425e6)))
+        ts = [stats(0, 1000)]
+        assert fast.summarize(ts).seconds == pytest.approx(
+            slow.summarize(ts).seconds / 2
+        )
+
+
+class TestDpuConstruction:
+    def test_memories_sized_from_config(self, dpu):
+        assert dpu.mram.capacity == 64 * 1024 * 1024
+        assert dpu.wram.capacity == 64 * 1024
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            Dpu(DpuConfig(max_tasklets=0))
+        with pytest.raises(ConfigError):
+            Dpu(DpuConfig(wram_bytes=0))

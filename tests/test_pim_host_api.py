@@ -1,0 +1,96 @@
+"""Tests for the SDK-style host API facade."""
+
+import pytest
+
+from repro.baselines.gotoh import gotoh_score
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.errors import ConfigError, PimError
+from repro.pim.host_api import dpu_alloc
+from repro.pim.kernel import KernelConfig, WfaDpuKernel
+from repro.pim.layout import MramLayout
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def make_layout(kc: KernelConfig, per_dpu: int, tasklets: int) -> MramLayout:
+    return MramLayout.plan(
+        num_pairs=per_dpu,
+        max_pattern_len=kc.max_seq_len,
+        max_text_len=kc.max_seq_len,
+        max_cigar_ops=kc.max_cigar_ops,
+        tasklets=tasklets,
+        metadata_bytes_per_tasklet=kc.metadata_peak_bytes(),
+    )
+
+
+class TestSdkFlow:
+    def test_full_cycle(self):
+        kc = KernelConfig(penalties=PEN, max_read_len=60, max_edits=2)
+        gen = ReadPairGenerator(length=60, error_rate=0.03, seed=40)
+        batches = [gen.pairs(6) for _ in range(4)]
+        layout = make_layout(kc, 6, tasklets=2)
+
+        with dpu_alloc(4) as dpu_set:
+            dpu_set.load(WfaDpuKernel(kc))
+            moved = dpu_set.copy_to(layout, batches)
+            assert moved > 0
+            stats = dpu_set.launch(tasklets=2)
+            assert len(stats) == 4
+            assert all(s.pairs_done == 6 for s in stats)
+            gathered = dpu_set.copy_from()
+
+        for batch, results in zip(batches, gathered):
+            for pair, (score, cigar) in zip(batch, results):
+                assert score == gotoh_score(pair.pattern, pair.text, PEN)
+                cigar.validate(pair.pattern, pair.text)
+
+    def test_uneven_batches(self):
+        kc = KernelConfig(penalties=PEN, max_read_len=40, max_edits=1)
+        gen = ReadPairGenerator(length=40, error_rate=0.02, seed=41)
+        batches = [gen.pairs(3), gen.pairs(1), gen.pairs(0)]
+        layout = make_layout(kc, 3, tasklets=1)
+        with dpu_alloc(3) as dpu_set:
+            dpu_set.load(WfaDpuKernel(kc))
+            dpu_set.copy_to(layout, batches)
+            stats = dpu_set.launch(tasklets=1)
+            assert [s.pairs_done for s in stats] == [3, 1, 0]
+            gathered = dpu_set.copy_from()
+            assert [len(g) for g in gathered] == [3, 1, 0]
+
+
+class TestErrorPaths:
+    def test_launch_without_load(self):
+        with dpu_alloc(1) as dpu_set:
+            with pytest.raises(PimError, match="kernel"):
+                dpu_set.launch(tasklets=1)
+
+    def test_launch_without_data(self):
+        kc = KernelConfig(penalties=PEN, max_read_len=40, max_edits=1)
+        with dpu_alloc(1) as dpu_set:
+            dpu_set.load(WfaDpuKernel(kc))
+            with pytest.raises(PimError, match="input"):
+                dpu_set.launch(tasklets=1)
+
+    def test_copy_from_without_layout(self):
+        with dpu_alloc(1) as dpu_set:
+            with pytest.raises(PimError):
+                dpu_set.copy_from()
+
+    def test_batch_count_mismatch(self):
+        kc = KernelConfig(penalties=PEN, max_read_len=40, max_edits=1)
+        layout = make_layout(kc, 1, tasklets=1)
+        with dpu_alloc(2) as dpu_set:
+            dpu_set.load(WfaDpuKernel(kc))
+            with pytest.raises(ConfigError, match="one batch per DPU"):
+                dpu_set.copy_to(layout, [[]])
+
+    def test_use_after_free(self):
+        dpu_set = dpu_alloc(1)
+        dpu_set.free()
+        with pytest.raises(PimError, match="freed"):
+            dpu_set.load(WfaDpuKernel(KernelConfig()))
+
+    def test_zero_dpus_rejected(self):
+        with pytest.raises(ConfigError):
+            dpu_alloc(0)

@@ -1,0 +1,145 @@
+"""Ends-free alignment on the DPU kernel (bounded-overhang mapping)."""
+
+import pytest
+
+from repro.baselines.gotoh_endsfree import gotoh_endsfree_score
+from repro.core.penalties import AffinePenalties
+from repro.core.span import AlignmentSpan
+from repro.data.generator import ReadPair, ReadPairGenerator, random_sequence
+from repro.errors import KernelError
+from repro.pim.config import DpuConfig, HostTransferConfig
+from repro.pim.dpu import Dpu
+from repro.pim.kernel import KernelConfig, WfaDpuKernel
+from repro.pim.layout import MramLayout
+from repro.pim.transfer import HostTransferEngine
+
+import random
+
+PEN = AffinePenalties(4, 6, 2)
+SPAN = AlignmentSpan(text_begin_free=12, text_end_free=12)
+
+
+def mapping_pairs(n: int, seed: int = 70) -> list[ReadPair]:
+    """Reads embedded in slightly longer windows (bounded overhang)."""
+    rng = random.Random(seed)
+    pairs = []
+    for _ in range(n):
+        read = random_sequence(50, rng)
+        left = random_sequence(rng.randint(0, 10), rng)
+        right = random_sequence(rng.randint(0, 10), rng)
+        pairs.append(ReadPair(pattern=read, text=left + read + right))
+    return pairs
+
+
+def run_kernel(pairs, kc: KernelConfig, tasklets: int = 2):
+    kernel = WfaDpuKernel(kc)
+    dpu = Dpu(DpuConfig())
+    layout = MramLayout.plan(
+        num_pairs=len(pairs),
+        max_pattern_len=max(len(p.pattern) for p in pairs),
+        max_text_len=max(len(p.text) for p in pairs),
+        max_cigar_ops=kc.max_cigar_ops,
+        tasklets=tasklets,
+        metadata_bytes_per_tasklet=kc.metadata_peak_bytes(),
+    )
+    HostTransferEngine(HostTransferConfig()).push_batch(dpu, layout, pairs)
+    assignments = [list(range(t, len(pairs), tasklets)) for t in range(tasklets)]
+    stats, results = kernel.run(
+        dpu, layout, assignments, "mram", collect_results=True
+    )
+    return dpu, layout, stats, results
+
+
+class TestEndsFreeKernel:
+    def test_scores_match_host_oracle(self):
+        pairs = mapping_pairs(10)
+        kc = KernelConfig(penalties=PEN, max_read_len=72, max_edits=2, span=SPAN)
+        _dpu, _layout, _stats, results = run_kernel(pairs, kc)
+        for index, res in results:
+            pair = pairs[index]
+            oracle = gotoh_endsfree_score(pair.pattern, pair.text, PEN, SPAN)
+            assert res.score == oracle == 0  # exact embeddings
+
+    def test_region_coordinates_through_mram(self):
+        pairs = mapping_pairs(6, seed=71)
+        kc = KernelConfig(penalties=PEN, max_read_len=72, max_edits=2, span=SPAN)
+        dpu, layout, _stats, results = run_kernel(pairs, kc)
+        for i, pair in enumerate(pairs):
+            record = dpu.mram.read(layout.result_addr(i), layout.result_record_size)
+            score, cigar = layout.unpack_result(record)
+            p_start, t_start = layout.unpack_result_region(record)
+            overhang_left = len(pair.text) - 50  # total overhang
+            assert 0 <= t_start <= overhang_left
+            assert p_start == 0  # pattern is anchored
+            cigar.validate(
+                pair.pattern[p_start:],
+                pair.text[t_start : t_start + cigar.text_length()],
+            )
+            assert cigar.score(PEN) == score
+
+    def test_noisy_mapping(self):
+        rng = random.Random(72)
+        pairs = []
+        for _ in range(8):
+            read = random_sequence(50, rng)
+            noisy = list(read)
+            noisy[10] = "A" if noisy[10] != "A" else "C"
+            pairs.append(
+                ReadPair(
+                    pattern="".join(noisy),
+                    text=random_sequence(8, rng) + read + random_sequence(8, rng),
+                )
+            )
+        kc = KernelConfig(penalties=PEN, max_read_len=70, max_edits=3, span=SPAN)
+        _d, _l, _s, results = run_kernel(pairs, kc)
+        for index, res in results:
+            pair = pairs[index]
+            assert res.score == gotoh_endsfree_score(pair.pattern, pair.text, PEN, SPAN)
+
+    def test_unbounded_span_rejected(self):
+        with pytest.raises(KernelError, match="ends-free"):
+            KernelConfig(
+                penalties=PEN,
+                max_read_len=50,
+                span=AlignmentSpan.semiglobal(),
+            )
+
+    def test_span_widens_wram_plan(self):
+        base = KernelConfig(penalties=PEN, max_read_len=60, max_edits=2)
+        spanned = KernelConfig(
+            penalties=PEN, max_read_len=60, max_edits=2, span=SPAN
+        )
+        assert spanned.max_wavefront_width > base.max_wavefront_width
+        assert spanned.metadata_peak_bytes() > base.metadata_peak_bytes()
+
+    def test_regions_through_the_system(self):
+        """PimSystem surfaces the clipping coordinates gathered from MRAM."""
+        from repro.pim.config import PimSystemConfig
+        from repro.pim.system import PimSystem
+
+        pairs = mapping_pairs(8, seed=73)
+        cfg = PimSystemConfig(
+            num_dpus=2, num_ranks=1, tasklets=2, num_simulated_dpus=2
+        )
+        kc = KernelConfig(penalties=PEN, max_read_len=72, max_edits=2, span=SPAN)
+        run = PimSystem(cfg, kc).align(pairs, verify=True)
+        assert set(run.regions) == set(range(8))
+        for idx, score, cigar in run.results:
+            p_start, t_start = run.regions[idx]
+            pair = pairs[idx]
+            cigar.validate(
+                pair.pattern[p_start : p_start + cigar.pattern_length()],
+                pair.text[t_start : t_start + cigar.text_length()],
+            )
+            # at least one gathered window has a nonzero clip
+        assert any(t != 0 for _p, t in run.regions.values())
+
+    def test_global_span_unchanged(self):
+        base = KernelConfig(penalties=PEN, max_read_len=60, max_edits=2)
+        explicit = KernelConfig(
+            penalties=PEN,
+            max_read_len=60,
+            max_edits=2,
+            span=AlignmentSpan.global_(),
+        )
+        assert base.max_wavefront_width == explicit.max_wavefront_width

@@ -1,0 +1,94 @@
+"""Tests for simulated MRAM/WRAM memories."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.pim.memory import Mram, SimMemory, Wram
+
+
+class TestSimMemory:
+    def test_write_read_roundtrip(self):
+        mem = SimMemory(1024)
+        mem.write(8, b"hello")
+        assert mem.read(8, 5) == b"hello"
+
+    def test_unwritten_reads_zero(self):
+        mem = SimMemory(64)
+        assert mem.read(0, 8) == b"\x00" * 8
+
+    def test_bounds_enforced(self):
+        mem = SimMemory(16)
+        with pytest.raises(MemoryFault):
+            mem.read(8, 9)
+        with pytest.raises(MemoryFault):
+            mem.write(16, b"x")
+        with pytest.raises(MemoryFault):
+            mem.read(-1, 4)
+        with pytest.raises(MemoryFault):
+            mem.read(0, -4)
+
+    def test_capacity_validation(self):
+        with pytest.raises(MemoryFault):
+            SimMemory(0)
+
+    def test_lazy_backing_growth(self):
+        mem = SimMemory(64 * 1024 * 1024)
+        assert len(mem._data) == 0
+        mem.write(1024, b"x")
+        assert len(mem._data) <= 2048  # grew only to what was touched
+
+    def test_access_accounting(self):
+        mem = SimMemory(64)
+        mem.write(0, b"abcd")
+        mem.read(0, 2)
+        mem.read(2, 2)
+        assert mem.bytes_written == 4
+        assert mem.bytes_read == 4
+        assert mem.write_ops == 1
+        assert mem.read_ops == 2
+        mem.reset_counters()
+        assert mem.bytes_read == 0
+
+    def test_typed_helpers(self):
+        mem = SimMemory(64)
+        mem.write_u32(0, 0xDEADBEEF)
+        assert mem.read_u32(0) == 0xDEADBEEF
+        mem.write_i32(4, -12345)
+        assert mem.read_i32(4) == -12345
+        mem.write_u64(8, 2**40 + 7)
+        assert mem.read_u64(8) == 2**40 + 7
+
+    def test_typed_range_checks(self):
+        mem = SimMemory(64)
+        with pytest.raises(MemoryFault):
+            mem.write_u32(0, 2**32)
+        with pytest.raises(MemoryFault):
+            mem.write_i32(0, 2**31)
+        with pytest.raises(MemoryFault):
+            mem.write_u64(0, -1)
+
+    def test_little_endian_layout(self):
+        mem = SimMemory(16)
+        mem.write_u32(0, 1)
+        assert mem.read(0, 4) == b"\x01\x00\x00\x00"
+
+
+class TestDpuMemories:
+    def test_default_capacities(self):
+        assert Wram().capacity == 64 * 1024
+        assert Mram().capacity == 64 * 1024 * 1024
+
+    def test_host_traffic_accounting(self):
+        mram = Mram()
+        mram.host_write(0, b"abcdefgh")
+        data = mram.host_read(0, 8)
+        assert data == b"abcdefgh"
+        assert mram.host_bytes_in == 8
+        assert mram.host_bytes_out == 8
+
+    def test_host_and_dpu_traffic_separate(self):
+        mram = Mram()
+        mram.host_write(0, b"ab")
+        mram.write(8, b"cd")  # DPU-side write
+        assert mram.host_bytes_in == 2
+        assert mram.bytes_written == 4  # both paths hit the array

@@ -1,0 +1,81 @@
+"""Tests for rank grouping and imbalance metrics."""
+
+import pytest
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.errors import ConfigError
+from repro.pim.config import PimSystemConfig
+from repro.pim.dpu import DpuKernelStats
+from repro.pim.kernel import KernelConfig
+from repro.pim.rank import group_by_rank, imbalance
+from repro.pim.system import PimSystem
+
+
+def stats(dpu_id: int, seconds: float, pairs: int = 10) -> DpuKernelStats:
+    return DpuKernelStats(
+        dpu_id=dpu_id,
+        tasklets=4,
+        pairs_done=pairs,
+        instructions=1000.0,
+        dma_cycles=100.0,
+        dma_bytes=64,
+        cycles=seconds * 425e6,
+        seconds=seconds,
+        bound="throughput",
+    )
+
+
+class TestGrouping:
+    def test_groups_by_dpu_id(self):
+        per_dpu = [stats(i, 0.1) for i in range(130)]
+        ranks = group_by_rank(per_dpu, dpus_per_rank=64)
+        assert [r.rank_id for r in ranks] == [0, 1, 2]
+        assert [r.dpus for r in ranks] == [64, 64, 2]
+        assert sum(r.pairs_done for r in ranks) == 1300
+
+    def test_rank_time_is_slowest_member(self):
+        per_dpu = [stats(0, 0.1), stats(1, 0.4), stats(64, 0.2)]
+        ranks = group_by_rank(per_dpu)
+        assert ranks[0].seconds == 0.4
+        assert ranks[1].seconds == 0.2
+
+    def test_utilization(self):
+        per_dpu = [stats(0, 0.1), stats(1, 0.3)]
+        rank = group_by_rank(per_dpu)[0]
+        assert rank.utilization == pytest.approx(0.2 / 0.3)
+        balanced = group_by_rank([stats(0, 0.3), stats(1, 0.3)])[0]
+        assert balanced.utilization == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            group_by_rank([], dpus_per_rank=0)
+
+    def test_empty(self):
+        assert group_by_rank([]) == []
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert imbalance([stats(0, 0.2), stats(1, 0.2)]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert imbalance([stats(0, 0.1), stats(1, 0.3)]) == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert imbalance([]) == 1.0
+
+
+class TestWithRealRun:
+    def test_rank_summary_from_system_run(self):
+        cfg = PimSystemConfig(
+            num_dpus=8, num_ranks=2, tasklets=4, num_simulated_dpus=8
+        )
+        kc = KernelConfig(penalties=AffinePenalties(), max_read_len=50, max_edits=2)
+        system = PimSystem(cfg, kc)
+        pairs = ReadPairGenerator(length=50, error_rate=0.03, seed=15).pairs(64)
+        run = system.align(pairs)
+        ranks = group_by_rank(run.per_dpu, dpus_per_rank=cfg.dpus_per_rank)
+        assert len(ranks) == 2
+        assert sum(r.pairs_done for r in ranks) == 64
+        assert 1.0 <= imbalance(run.per_dpu) < 2.0

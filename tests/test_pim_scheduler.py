@@ -1,0 +1,106 @@
+"""Tests for the multi-round batch scheduler."""
+
+import pytest
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.errors import ConfigError
+from repro.pim.config import PimSystemConfig
+from repro.pim.kernel import KernelConfig
+from repro.pim.scheduler import BatchSchedule, BatchScheduler
+from repro.pim.system import PimSystem
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def small_system() -> PimSystem:
+    cfg = PimSystemConfig(num_dpus=4, num_ranks=1, tasklets=2, num_simulated_dpus=4)
+    kc = KernelConfig(penalties=PEN, max_read_len=50, max_edits=2)
+    return PimSystem(cfg, kc)
+
+
+class TestSchedule:
+    def test_round_sizes_cover_everything(self):
+        s = BatchSchedule(total_pairs=100, pairs_per_round=30)
+        assert s.rounds == 4
+        assert s.round_sizes() == [30, 30, 30, 10]
+        assert sum(s.round_sizes()) == 100
+
+    def test_single_round(self):
+        s = BatchSchedule(total_pairs=10, pairs_per_round=100)
+        assert s.rounds == 1
+        assert s.round_sizes() == [10]
+
+
+class TestCapacity:
+    def test_capacity_scales_with_dpus(self):
+        sched = BatchScheduler(small_system())
+        cap = sched.max_pairs_per_round()
+        assert cap > 100_000  # 64 MB banks hold a lot of 50bp records
+        assert cap % 4 == 0  # whole per-DPU batches
+
+    def test_budget_fraction_validated(self):
+        sched = BatchScheduler(small_system())
+        with pytest.raises(ConfigError):
+            sched.max_pairs_per_round(0)
+        with pytest.raises(ConfigError):
+            sched.max_pairs_per_round(1.5)
+
+    def test_plan_validation(self):
+        sched = BatchScheduler(small_system())
+        with pytest.raises(ConfigError):
+            sched.plan(0)
+        with pytest.raises(ConfigError):
+            sched.plan(10, pairs_per_round=0)
+        with pytest.raises(ConfigError):
+            sched.plan(10, pairs_per_round=10**12)
+
+
+class TestExecution:
+    @pytest.fixture
+    def pairs(self):
+        return ReadPairGenerator(length=50, error_rate=0.02, seed=8).pairs(60)
+
+    def test_multi_round_aligns_everything(self, pairs):
+        sched = BatchScheduler(small_system())
+        run = sched.run(pairs, pairs_per_round=25, collect_results=True)
+        assert run.schedule.rounds == 3
+        assert sum(len(r.results) for r in run.per_round) == 60
+        assert sum(r.pairs_simulated for r in run.per_round) == 60
+
+    def test_serialized_time_is_sum_of_rounds(self, pairs):
+        sched = BatchScheduler(small_system())
+        run = sched.run(pairs, pairs_per_round=20)
+        expect = sum(r.total_seconds for r in run.per_round)
+        assert run.total_seconds == pytest.approx(expect)
+
+    def test_overlap_beats_serialized(self, pairs):
+        serial = BatchScheduler(small_system(), overlapped=False).run(
+            pairs, pairs_per_round=20
+        )
+        overlap = BatchScheduler(small_system(), overlapped=True).run(
+            pairs, pairs_per_round=20
+        )
+        assert overlap.total_seconds < serial.total_seconds
+        assert overlap.kernel_seconds == pytest.approx(serial.kernel_seconds)
+        assert overlap.throughput() > serial.throughput()
+
+    def test_single_round_equivalent_to_direct_align(self, pairs):
+        system = small_system()
+        direct = system.align(pairs)
+        run = BatchScheduler(system).run(pairs)
+        assert run.schedule.rounds == 1
+        assert run.total_seconds == pytest.approx(direct.total_seconds)
+
+    def test_results_partition_by_round(self, pairs):
+        sched = BatchScheduler(small_system())
+        run = sched.run(pairs, pairs_per_round=25, collect_results=True)
+        # scores across rounds match a flat alignment
+        flat = small_system().align(pairs).results
+        flat_scores = [s for _i, s, _c in sorted(flat)]
+        chunked_scores = []
+        start = 0
+        for r, size in zip(run.per_round, run.schedule.round_sizes()):
+            chunked_scores.extend(s for _i, s, _c in sorted(r.results))
+            start += size
+        assert chunked_scores == flat_scores

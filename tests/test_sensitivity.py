@@ -1,0 +1,54 @@
+"""Unit tests for the calibration sensitivity analysis."""
+
+import pytest
+
+from repro.experiments.sensitivity import SensitivityPoint, sensitivity_analysis
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sensitivity_analysis(factor=1.5, cpu_sample=60, pim_sample=16)
+
+
+class TestStructure:
+    def test_baseline_plus_eight_points(self, result):
+        # 4 knobs x 2 directions
+        assert len(result.points) == 8
+        labels = {p.label for p in result.points}
+        assert "DMA setup cycles x1.5" in labels
+        assert "CPU effective bandwidth /1.5" in labels
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "baseline" in text
+        assert "sensitivity" in text
+
+    def test_all_points_positive(self, result):
+        for p in [result.baseline] + result.points:
+            assert p.total_speedup > 0
+            assert p.kernel_speedup > p.total_speedup  # transfers always cost
+
+
+class TestDirections:
+    def test_pim_always_wins_at_modest_perturbation(self, result):
+        assert result.all_pim_wins()
+
+    def test_cpu_bandwidth_moves_both_ratios(self, result):
+        by = {p.label: p for p in result.points}
+        up = by["CPU effective bandwidth x1.5"]
+        down = by["CPU effective bandwidth /1.5"]
+        # faster CPU -> smaller PIM advantage, and vice versa
+        assert up.total_speedup < result.baseline.total_speedup < down.total_speedup
+        assert up.kernel_speedup < result.baseline.kernel_speedup < down.kernel_speedup
+
+    def test_transfer_bandwidth_only_moves_total(self, result):
+        by = {p.label: p for p in result.points}
+        up = by["host transfer bandwidth x1.5"]
+        assert up.total_speedup > result.baseline.total_speedup
+        assert up.kernel_speedup == pytest.approx(
+            result.baseline.kernel_speedup, rel=0.01
+        )
+
+    def test_point_dataclass(self):
+        p = SensitivityPoint("x", 2.0, 10.0)
+        assert p.total_speedup == 2.0

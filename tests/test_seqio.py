@@ -1,0 +1,152 @@
+"""Tests for .seq / FASTA pair I/O."""
+
+import pytest
+
+from repro.data.generator import ReadPair, ReadPairGenerator
+from repro.data.seqio import (
+    iter_seq,
+    read_fasta_pairs,
+    read_seq,
+    write_fasta_pairs,
+    write_seq,
+)
+from repro.errors import DataError
+
+
+@pytest.fixture
+def pairs():
+    return ReadPairGenerator(length=20, error_rate=0.1, seed=5).pairs(8)
+
+
+class TestSeqFormat:
+    def test_roundtrip(self, tmp_path, pairs):
+        path = tmp_path / "pairs.seq"
+        assert write_seq(path, pairs) == 8
+        loaded = read_seq(path)
+        assert [(p.pattern, p.text) for p in loaded] == [
+            (p.pattern, p.text) for p in pairs
+        ]
+
+    def test_wfa2lib_format_exactly(self, tmp_path):
+        path = tmp_path / "one.seq"
+        write_seq(path, [ReadPair(pattern="ACGT", text="ACCT")])
+        assert path.read_text() == ">ACGT\n<ACCT\n"
+
+    def test_iter_matches_read(self, tmp_path, pairs):
+        path = tmp_path / "pairs.seq"
+        write_seq(path, pairs)
+        assert list(iter_seq(path)) == read_seq(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.seq"
+        path.write_text("")
+        assert read_seq(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.seq"
+        path.write_text(">AC\n\n<AG\n\n")
+        assert read_seq(path) == [ReadPair(pattern="AC", text="AG")]
+
+    def test_consecutive_patterns_rejected(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text(">AC\n>AG\n<AT\n")
+        with pytest.raises(DataError):
+            read_seq(path)
+
+    def test_text_without_pattern_rejected(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text("<AT\n")
+        with pytest.raises(DataError):
+            read_seq(path)
+
+    def test_trailing_pattern_rejected(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text(">AC\n<AG\n>AT\n")
+        with pytest.raises(DataError):
+            read_seq(path)
+
+    def test_garbage_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text("ACGT\n")
+        with pytest.raises(DataError):
+            read_seq(path)
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.seq"
+        path.write_text(">AC\n<AG\nXX\n")
+        with pytest.raises(DataError, match=":3"):
+            read_seq(path)
+
+    def test_empty_sequences_roundtrip(self, tmp_path):
+        path = tmp_path / "e.seq"
+        write_seq(path, [ReadPair(pattern="", text="")])
+        assert read_seq(path) == [ReadPair(pattern="", text="")]
+
+
+class TestGenericFasta:
+    def test_roundtrip(self, tmp_path):
+        from repro.data.seqio import read_fasta, write_fasta
+
+        records = [("chr1", "ACGT" * 30), ("chr2", ""), ("plasmid", "GGCC")]
+        path = tmp_path / "ref.fa"
+        assert write_fasta(path, records) == 3
+        assert read_fasta(path) == records
+
+    def test_name_truncated_at_whitespace(self, tmp_path):
+        from repro.data.seqio import read_fasta
+
+        path = tmp_path / "desc.fa"
+        path.write_text(">chr1 some description here\nACGT\n")
+        assert read_fasta(path) == [("chr1", "ACGT")]
+
+    def test_multiline_sequences_joined(self, tmp_path):
+        from repro.data.seqio import read_fasta
+
+        path = tmp_path / "wrap.fa"
+        path.write_text(">s\nACGT\nACGT\nAC\n")
+        assert read_fasta(path) == [("s", "ACGTACGTAC")]
+
+    def test_data_before_header_rejected(self, tmp_path):
+        from repro.data.seqio import read_fasta
+
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n>s\nAC\n")
+        with pytest.raises(DataError):
+            read_fasta(path)
+
+    def test_empty_file(self, tmp_path):
+        from repro.data.seqio import read_fasta
+
+        path = tmp_path / "empty.fa"
+        path.write_text("")
+        assert read_fasta(path) == []
+
+
+class TestFastaFormat:
+    def test_roundtrip(self, tmp_path, pairs):
+        path = tmp_path / "pairs.fa"
+        assert write_fasta_pairs(path, pairs) == 8
+        loaded = read_fasta_pairs(path)
+        assert [(p.pattern, p.text) for p in loaded] == [
+            (p.pattern, p.text) for p in pairs
+        ]
+
+    def test_line_wrapping(self, tmp_path):
+        path = tmp_path / "wrap.fa"
+        long = ReadPair(pattern="A" * 200, text="C" * 200)
+        write_fasta_pairs(path, [long], width=60)
+        text = path.read_text()
+        assert max(len(line) for line in text.splitlines()) <= 61
+        assert read_fasta_pairs(path)[0] == ReadPair(pattern="A" * 200, text="C" * 200)
+
+    def test_odd_record_count_rejected(self, tmp_path):
+        path = tmp_path / "odd.fa"
+        path.write_text(">only/1\nACGT\n")
+        with pytest.raises(DataError):
+            read_fasta_pairs(path)
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n>x/1\nAC\n>x/2\nAG\n")
+        with pytest.raises(DataError):
+            read_fasta_pairs(path)

@@ -1,0 +1,92 @@
+"""Tests for sequence utilities."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.seqtools import (
+    gc_content,
+    hamming_distance,
+    kmer_counts,
+    reverse_complement,
+    validate_alphabet,
+)
+from repro.errors import DataError
+
+from conftest import dna_seq
+
+
+class TestReverseComplement:
+    def test_known(self):
+        assert reverse_complement("ACGT") == "ACGT"  # palindrome
+        assert reverse_complement("AAGG") == "CCTT"
+        assert reverse_complement("") == ""
+        assert reverse_complement("ACGN") == "NCGT"
+
+    def test_case_preserved(self):
+        assert reverse_complement("acGT") == "ACgt"
+
+    @settings(max_examples=50, deadline=None)
+    @given(s=dna_seq)
+    def test_involution(self, s):
+        assert reverse_complement(reverse_complement(s)) == s
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=dna_seq)
+    def test_length_preserved(self, s):
+        assert len(reverse_complement(s)) == len(s)
+
+
+class TestGcContent:
+    def test_known(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("AATT") == 0.0
+        assert gc_content("ACGT") == 0.5
+        assert gc_content("") == 0.0
+        assert gc_content("acgt") == 0.5
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=dna_seq)
+    def test_bounds(self, s):
+        assert 0.0 <= gc_content(s) <= 1.0
+
+
+class TestHamming:
+    def test_known(self):
+        assert hamming_distance("ACGT", "ACGT") == 0
+        assert hamming_distance("ACGT", "AGGA") == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            hamming_distance("AC", "ACG")
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=dna_seq)
+    def test_self_distance_zero(self, s):
+        assert hamming_distance(s, s) == 0
+
+
+class TestKmers:
+    def test_known(self):
+        counts = kmer_counts("ACACA", 2)
+        assert counts["AC"] == 2
+        assert counts["CA"] == 2
+        assert sum(counts.values()) == 4
+
+    def test_k_longer_than_sequence(self):
+        assert kmer_counts("AC", 5) == {}
+
+    def test_invalid_k(self):
+        with pytest.raises(DataError):
+            kmer_counts("ACGT", 0)
+
+
+class TestValidateAlphabet:
+    def test_accepts_clean(self):
+        validate_alphabet("ACGTACGT")
+
+    def test_rejects_foreign(self):
+        with pytest.raises(DataError, match="X"):
+            validate_alphabet("ACXGT")
+
+    def test_custom_alphabet(self):
+        validate_alphabet("0110", alphabet="01")

@@ -1,0 +1,87 @@
+"""Tests for the reference-based read simulator."""
+
+import pytest
+
+from repro.baselines.bitparallel import levenshtein_dp
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties
+from repro.core.span import AlignmentSpan
+from repro.data.simulator import ReferenceSampler
+from repro.data.seqtools import reverse_complement
+from repro.errors import DataError
+
+
+class TestSampling:
+    def test_deterministic(self):
+        a = ReferenceSampler(seed=5, reference_length=2000).reads(5)
+        b = ReferenceSampler(seed=5, reference_length=2000).reads(5)
+        assert a == b
+
+    def test_read_provenance(self):
+        sampler = ReferenceSampler(
+            seed=6, reference_length=5000, read_length=80, error_rate=0.05
+        )
+        for read in sampler.reads(20):
+            assert 0 <= read.position <= 5000 - 80
+            assert read.errors == 4
+            fragment = sampler.reference[read.position : read.position + 80]
+            query = sampler.oriented_query(read)
+            assert levenshtein_dp(fragment, query) <= read.errors
+
+    def test_forward_only(self):
+        sampler = ReferenceSampler(
+            seed=7, reference_length=1000, reverse_strand_fraction=0.0
+        )
+        assert all(not r.reverse for r in sampler.reads(10))
+
+    def test_reverse_only_roundtrip(self):
+        sampler = ReferenceSampler(
+            seed=8,
+            reference_length=1000,
+            reverse_strand_fraction=1.0,
+            error_rate=0.0,
+        )
+        read = sampler.read()
+        assert read.reverse
+        fragment = sampler.reference[read.position : read.position + 100]
+        assert reverse_complement(read.sequence) == fragment
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            ReferenceSampler(reference="ACGT", read_length=10)
+        with pytest.raises(DataError):
+            ReferenceSampler(read_length=0)
+        with pytest.raises(DataError):
+            ReferenceSampler(error_rate=2.0)
+        with pytest.raises(DataError):
+            ReferenceSampler(reverse_strand_fraction=-0.1)
+        with pytest.raises(DataError):
+            ReferenceSampler(reference_length=500).reads(-1)
+
+    def test_window_extraction(self):
+        sampler = ReferenceSampler(seed=9, reference_length=3000, read_length=60)
+        read = sampler.read()
+        window, offset = read.window(sampler.reference, flank=20)
+        assert window in sampler.reference
+        assert (
+            sampler.reference[read.position : read.position + 60]
+            == window[offset : offset + 60]
+        )
+
+
+class TestEndToEndMapping:
+    def test_semiglobal_alignment_recovers_positions(self):
+        """The full mapping loop: sample, window, ends-free align."""
+        pen = AffinePenalties()
+        sampler = ReferenceSampler(
+            seed=10, reference_length=8000, read_length=70, error_rate=0.03
+        )
+        aligner = WavefrontAligner(pen, span=AlignmentSpan.semiglobal())
+        hits = 0
+        for read in sampler.reads(25):
+            query = sampler.oriented_query(read)
+            window, offset = read.window(sampler.reference, flank=25)
+            res = aligner.align(query, window)
+            if abs(res.text_start - offset) <= sampler.edit_budget:
+                hits += 1
+        assert hits >= 23  # allow a couple of repetitive-context misses

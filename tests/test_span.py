@@ -1,0 +1,201 @@
+"""Tests for alignment spans (global / semi-global / ends-free)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gotoh_endsfree import gotoh_endsfree_score
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.core.span import AlignmentSpan
+from repro.errors import AlignmentError
+
+from conftest import dna_seq
+
+PEN = AffinePenalties(4, 6, 2)
+
+spans = st.builds(
+    AlignmentSpan,
+    pattern_begin_free=st.sampled_from([0, 2, 5, 100]),
+    pattern_end_free=st.sampled_from([0, 2, 5, 100]),
+    text_begin_free=st.sampled_from([0, 3, 10, 100]),
+    text_end_free=st.sampled_from([0, 3, 10, 100]),
+)
+
+
+class TestSpanModel:
+    def test_global_default(self):
+        assert AlignmentSpan().is_global
+        assert AlignmentSpan.global_().is_global
+
+    def test_semiglobal_preset(self):
+        s = AlignmentSpan.semiglobal()
+        assert s.text_begin_free > 10**6 and s.text_end_free > 10**6
+        assert s.pattern_begin_free == 0 and s.pattern_end_free == 0
+        assert not s.is_global
+
+    def test_ends_free_preset(self):
+        s = AlignmentSpan.ends_free(pattern_free=3, text_free=7)
+        assert s.pattern_begin_free == s.pattern_end_free == 3
+        assert s.text_begin_free == s.text_end_free == 7
+
+    def test_clamped(self):
+        s = AlignmentSpan.semiglobal().clamped(10, 20)
+        assert s.text_begin_free == 20
+        assert s.pattern_begin_free == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(AlignmentError):
+            AlignmentSpan(pattern_begin_free=-1)
+
+
+class TestSemiglobalMapping:
+    """The read-mapping use case: find the pattern inside a longer text."""
+
+    def test_exact_substring_scores_zero(self):
+        pattern = "ACGTACGTGG"
+        text = "TTTT" + pattern + "CCCC"
+        al = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal())
+        r = al.align(pattern, text)
+        assert r.score == 0
+        assert r.text_start == 4
+        assert r.text_end == 4 + len(pattern)
+        assert r.pattern_start == 0 and r.pattern_end == len(pattern)
+        assert str(r.cigar) == f"{len(pattern)}M"
+
+    def test_substring_with_one_mismatch(self):
+        pattern = "ACGTACGTGG"
+        inner = pattern[:4] + "T" + pattern[5:]
+        text = "GG" + inner + "AAA"
+        al = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal())
+        r = al.align(pattern, text)
+        assert r.score == 4
+        assert r.cigar.counts()["X"] == 1
+
+    def test_global_would_be_much_worse(self):
+        pattern = "ACGTACGTGG"
+        text = "TTTT" + pattern + "CCCC"
+        semi = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal()).score(
+            pattern, text
+        )
+        glob = WavefrontAligner(PEN).score(pattern, text)
+        assert semi == 0
+        assert glob >= PEN.gap_cost(4)
+
+    def test_pattern_at_text_start(self):
+        pattern = "ACGTAC"
+        text = pattern + "GGGG"
+        r = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal()).align(pattern, text)
+        assert r.score == 0 and r.text_start == 0
+
+
+class TestEndsFree:
+    def test_free_pattern_prefix(self):
+        # pattern has 3 extra leading chars the span forgives
+        span = AlignmentSpan(pattern_begin_free=3)
+        r = WavefrontAligner(PEN, span=span).align("TTTACGTACGT", "ACGTACGT")
+        assert r.score == 0
+        assert r.pattern_start == 3
+
+    def test_free_pattern_suffix(self):
+        span = AlignmentSpan(pattern_end_free=3)
+        r = WavefrontAligner(PEN, span=span).align("ACGTACGTTTT", "ACGTACGT")
+        assert r.score == 0
+        assert r.pattern_end == 8
+
+    def test_allowance_is_a_hard_limit(self):
+        # 4 extra chars, only 3 free: must pay for at least one
+        span = AlignmentSpan(pattern_begin_free=3)
+        r = WavefrontAligner(PEN, span=span).align("TTTTACGTACGT", "ACGTACGT")
+        assert r.score > 0
+
+    def test_score_only_mode(self):
+        span = AlignmentSpan.semiglobal()
+        al = WavefrontAligner(PEN, span=span)
+        p, t = "ACGTAC", "GGACGTACGG"
+        assert al.align(p, t, score_only=True).score == al.align(p, t).score == 0
+
+    def test_empty_pattern_semiglobal(self):
+        r = WavefrontAligner(PEN, span=AlignmentSpan.semiglobal()).align("", "ACGT")
+        assert r.score == 0
+        assert r.cigar.columns() == 0
+
+
+class TestSpanWithHeuristics:
+    def test_semiglobal_with_adaptive_reduction(self):
+        import random
+
+        from repro.core.heuristics import AdaptiveReduction
+
+        rng = random.Random(60)
+        for _ in range(10):
+            pattern = "".join(rng.choice("ACGT") for _ in range(60))
+            text = (
+                "".join(rng.choice("ACGT") for _ in range(30))
+                + pattern
+                + "".join(rng.choice("ACGT") for _ in range(30))
+            )
+            span = AlignmentSpan.semiglobal()
+            exact = WavefrontAligner(PEN, span=span).score(pattern, text)
+            heur = WavefrontAligner(
+                PEN, span=span, heuristic=AdaptiveReduction()
+            ).align(pattern, text)
+            assert heur.score >= exact
+            heur.cigar.validate(
+                pattern[heur.pattern_start : heur.pattern_end],
+                text[heur.text_start : heur.text_end],
+            )
+
+    def test_semiglobal_score_only_low_memory(self):
+        span = AlignmentSpan.semiglobal()
+        al = WavefrontAligner(PEN, span=span)
+        p = "ACGTACGTAC"
+        t = "TT" + p + "GG"
+        r = al.align(p, t, score_only=True)
+        assert r.score == 0
+        assert r.cigar is None
+
+
+class TestOracle:
+    @settings(max_examples=80, deadline=None)
+    @given(p=dna_seq, t=dna_seq, span=spans)
+    def test_matches_endsfree_dp_affine(self, p, t, span):
+        wfa = WavefrontAligner(PEN, span=span).score(p, t)
+        assert wfa == gotoh_endsfree_score(p, t, PEN, span)
+
+    @settings(max_examples=50, deadline=None)
+    @given(p=dna_seq, t=dna_seq, span=spans)
+    def test_matches_endsfree_dp_edit(self, p, t, span):
+        pen = EditPenalties()
+        wfa = WavefrontAligner(pen, span=span).score(p, t)
+        assert wfa == gotoh_endsfree_score(p, t, pen, span)
+
+    @settings(max_examples=60, deadline=None)
+    @given(p=dna_seq, t=dna_seq, span=spans)
+    def test_cigar_valid_on_aligned_region(self, p, t, span):
+        r = WavefrontAligner(PEN, span=span).align(p, t)
+        r.cigar.validate(
+            p[r.pattern_start : r.pattern_end], t[r.text_start : r.text_end]
+        )
+        assert r.cigar.score(PEN) == r.score
+        clamped = span.clamped(len(p), len(t))
+        assert r.pattern_start <= clamped.pattern_begin_free
+        assert len(p) - r.pattern_end <= clamped.pattern_end_free
+        assert r.text_start <= clamped.text_begin_free
+        assert len(t) - r.text_end <= clamped.text_end_free
+
+    @settings(max_examples=40, deadline=None)
+    @given(p=dna_seq, t=dna_seq, span=spans)
+    def test_freer_spans_never_hurt(self, p, t, span):
+        free = WavefrontAligner(PEN, span=span).score(p, t)
+        glob = WavefrontAligner(PEN).score(p, t)
+        assert free <= glob
+
+    @settings(max_examples=40, deadline=None)
+    @given(p=dna_seq, t=dna_seq)
+    def test_global_span_identical_to_default(self, p, t):
+        r1 = WavefrontAligner(PEN).align(p, t)
+        r2 = WavefrontAligner(PEN, span=AlignmentSpan.global_()).align(p, t)
+        assert r1.score == r2.score
+        assert r1.cigar == r2.cigar
+        assert r2.aligned_region() == (0, len(p), 0, len(t))

@@ -1,0 +1,101 @@
+"""Tests for the text visualizations."""
+
+import pytest
+
+from repro.core.aligner import WavefrontAligner
+from repro.core.cigar import Cigar
+from repro.core.penalties import AffinePenalties
+from repro.core.viz import (
+    render_alignment_matrix,
+    render_score_histogram,
+    render_wavefront_progress,
+)
+from repro.core.wfa import WfaEngine
+from repro.errors import AlignmentError
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestWavefrontProgress:
+    def test_renders_all_scores(self):
+        eng = WfaEngine("ACGTACGT", "ACTTACGT", PEN)
+        eng.run()
+        out = render_wavefront_progress(eng)
+        assert "final score 4" in out
+        assert "s=0" in out and "s=4" in out
+        assert "*" in out
+
+    def test_requires_finished_engine(self):
+        eng = WfaEngine("AC", "AC", PEN)
+        with pytest.raises(AlignmentError):
+            render_wavefront_progress(eng)
+
+    def test_wider_wavefronts_for_dissimilar_pairs(self):
+        import random
+
+        rng = random.Random(3)
+        p = "".join(rng.choice("ACGT") for _ in range(30))
+        t = "".join(rng.choice("ACGT") for _ in range(30))
+        eng = WfaEngine(p, t, PEN)
+        eng.run()
+        out = render_wavefront_progress(eng)
+        assert out.count("\n") > 5  # many score lines
+
+
+class TestAlignmentMatrix:
+    def test_diagonal_path(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACGT")
+        out = render_alignment_matrix("ACGT", "ACGT", r.cigar)
+        assert out.count("\\") == 4
+        assert "o" in out
+
+    def test_mismatch_marked(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACTT")
+        out = render_alignment_matrix("ACGT", "ACTT", r.cigar)
+        assert "x" in out
+
+    def test_gaps_marked(self):
+        r = WavefrontAligner(PEN).align("ACGT", "ACGGT")
+        out = render_alignment_matrix("ACGT", "ACGGT", r.cigar)
+        assert ">" in out
+        r2 = WavefrontAligner(PEN).align("ACGGT", "ACGT")
+        out2 = render_alignment_matrix("ACGGT", "ACGT", r2.cigar)
+        assert "v" in out2
+
+    def test_size_limit(self):
+        p = "A" * 50
+        with pytest.raises(AlignmentError, match="limited"):
+            render_alignment_matrix(p, p, Cigar.from_string("50M"))
+
+    def test_invalid_cigar_rejected(self):
+        with pytest.raises(Exception):
+            render_alignment_matrix("ACGT", "ACGT", Cigar.from_string("3M"))
+
+    def test_empty_text(self):
+        r = WavefrontAligner(PEN).align("AC", "")
+        out = render_alignment_matrix("AC", "", r.cigar)
+        assert "empty text" in out
+
+
+class TestHistogram:
+    def test_bars_scale(self):
+        out = render_score_histogram({0: 10, 4: 5, 8: 1})
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0].count("#") > lines[1].count("#") > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError):
+            render_score_histogram({})
+
+    def test_integrates_with_stats(self):
+        from repro.analysis import summarize_results
+        from repro.data.generator import ReadPairGenerator
+
+        pairs = ReadPairGenerator(length=40, error_rate=0.05, seed=8).pairs(15)
+        aligner = WavefrontAligner(PEN)
+        stats = summarize_results(
+            [aligner.align(p.pattern, p.text) for p in pairs]
+        )
+        out = render_score_histogram(stats.score_histogram)
+        assert "score" in out

@@ -1,0 +1,102 @@
+"""Unit tests for wavefront containers and counters."""
+
+import pytest
+
+from repro.core.wavefront import OFFSET_NULL, Wavefront, WavefrontSet, WfaCounters
+
+
+class TestWavefront:
+    def test_basic_indexing(self):
+        wf = Wavefront(-2, 3)
+        assert len(wf) == 6
+        wf[-2] = 4
+        wf[3] = 7
+        assert wf[-2] == 4
+        assert wf[3] == 7
+
+    def test_out_of_range_reads_null(self):
+        wf = Wavefront(0, 2)
+        assert wf[-1] == OFFSET_NULL
+        assert wf[3] == OFFSET_NULL
+
+    def test_out_of_range_write_raises(self):
+        wf = Wavefront(0, 2)
+        with pytest.raises(IndexError):
+            wf[3] = 1
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Wavefront(2, 1)
+
+    def test_reached(self):
+        wf = Wavefront(0, 1)
+        assert not wf.reached(0)
+        wf[0] = 0
+        assert wf.reached(0)
+        assert not wf.reached(1)
+        assert not wf.reached(99)  # out of range
+
+    def test_diagonals_order(self):
+        wf = Wavefront(-1, 1)
+        assert list(wf.diagonals()) == [-1, 0, 1]
+
+    def test_max_offset(self):
+        wf = Wavefront(0, 2)
+        wf[1] = 5
+        assert wf.max_offset() == 5
+
+    def test_trim(self):
+        wf = Wavefront(-3, 3)
+        for k in wf.diagonals():
+            wf[k] = k + 10
+        wf.trim(-1, 2)
+        assert wf.lo == -1 and wf.hi == 2
+        assert wf[-1] == 9
+        assert wf[2] == 12
+        assert wf[-2] == OFFSET_NULL  # now out of range
+
+    def test_trim_invalid(self):
+        wf = Wavefront(0, 3)
+        with pytest.raises(ValueError):
+            wf.trim(-1, 3)
+        with pytest.raises(ValueError):
+            wf.trim(2, 1)
+
+    def test_nbytes_packed(self):
+        assert Wavefront(0, 9).nbytes() == 40
+        assert Wavefront(0, 0).nbytes(bytes_per_offset=2) == 2
+
+    def test_repr_marks_unreached(self):
+        wf = Wavefront(0, 1)
+        wf[0] = 3
+        assert "·" in repr(wf)
+        assert "3" in repr(wf)
+
+
+class TestWavefrontSet:
+    def test_empty_detection(self):
+        assert WavefrontSet().is_empty()
+        wf = Wavefront(0, 0)
+        ws = WavefrontSet(m=wf)
+        assert ws.is_empty()
+        wf[0] = 1
+        assert not ws.is_empty()
+
+    def test_nbytes_sums_components(self):
+        ws = WavefrontSet(m=Wavefront(0, 1), i=Wavefront(0, 0), d=None)
+        assert ws.nbytes() == 8 + 4
+
+
+class TestWfaCounters:
+    def test_add_accumulates(self):
+        a = WfaCounters(cells_computed=10, extend_steps=5, peak_live_bytes=100)
+        b = WfaCounters(cells_computed=3, extend_steps=2, peak_live_bytes=200)
+        a.add(b)
+        assert a.cells_computed == 13
+        assert a.extend_steps == 7
+        assert a.peak_live_bytes == 200  # max, not sum
+
+    def test_metadata_bytes(self):
+        c = WfaCounters(offsets_allocated=25)
+        assert c.metadata_bytes() == 100
+        assert c.metadata_bytes(bytes_per_offset=2) == 50

@@ -1,0 +1,152 @@
+"""Tests for the two-piece gap-affine metric (WFA2-lib's affine-2p)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gotoh import gotoh_score
+from repro.baselines.gotoh2p import gotoh2p_score
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, TwoPieceAffinePenalties
+from repro.errors import AlignmentError, PenaltyError
+
+from conftest import similar_pair
+
+PEN2P = TwoPieceAffinePenalties()  # (4, 6/2, 24/1)
+
+two_piece_penalties = st.builds(
+    TwoPieceAffinePenalties,
+    mismatch=st.integers(1, 6),
+    gap_open1=st.integers(0, 8),
+    gap_extend1=st.integers(1, 4),
+    gap_open2=st.integers(0, 30),
+    gap_extend2=st.integers(1, 4),
+)
+
+
+class TestPenaltyModel:
+    def test_defaults(self):
+        assert PEN2P.as_tuple() == (4, 6, 2, 24, 1)
+
+    def test_gap_cost_takes_cheaper_piece(self):
+        # piece1: 6 + 2l, piece2: 24 + l; crossover at l = 18
+        assert PEN2P.gap_cost(1) == 8
+        assert PEN2P.gap_cost(18) == min(6 + 36, 24 + 18) == 42
+        assert PEN2P.gap_cost(30) == 54  # piece2 wins
+        assert PEN2P.gap_cost(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(PenaltyError):
+            TwoPieceAffinePenalties(mismatch=0)
+        with pytest.raises(PenaltyError):
+            TwoPieceAffinePenalties(gap_extend1=0)
+        with pytest.raises(PenaltyError):
+            TwoPieceAffinePenalties(gap_open2=-1)
+        with pytest.raises(PenaltyError):
+            PEN2P.gap_cost(-1)
+
+    def test_pieces(self):
+        assert PEN2P.piece1() == AffinePenalties(4, 6, 2)
+        assert PEN2P.piece2() == AffinePenalties(4, 24, 1)
+
+
+class TestKnownScores:
+    def test_identical(self):
+        assert WavefrontAligner(PEN2P).score("ACGTACGT", "ACGTACGT") == 0
+
+    def test_mismatch(self):
+        assert WavefrontAligner(PEN2P).score("GATTACA", "GATCACA") == 4
+
+    def test_short_gap_uses_piece1(self):
+        # 2-gap: piece1 = 6+4 = 10, piece2 = 24+2 = 26
+        assert WavefrontAligner(PEN2P).score("AACC", "AATTCC") == 10
+
+    def test_long_gap_uses_piece2(self):
+        gap = 30
+        p = "ACGT" * 5
+        t = p[:10] + "T" * gap + p[10:]
+        expected = PEN2P.gap_cost(gap)
+        assert expected == 24 + gap  # piece2
+        assert WavefrontAligner(PEN2P).score(p, t) == expected
+
+    def test_empty_cases(self):
+        al = WavefrontAligner(PEN2P)
+        assert al.score("", "") == 0
+        assert al.score("", "ACGT") == PEN2P.gap_cost(4)
+        assert al.score("ACGT", "") == PEN2P.gap_cost(4)
+
+
+class TestOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(pair=similar_pair(max_len=35, max_edits=8))
+    def test_matches_dp_default_penalties(self, pair):
+        p, t = pair
+        assert WavefrontAligner(PEN2P).score(p, t) == gotoh2p_score(p, t, PEN2P)
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=similar_pair(max_len=22, max_edits=8), pen=two_piece_penalties)
+    def test_matches_dp_random_penalties(self, pair, pen):
+        p, t = pair
+        assert WavefrontAligner(pen).score(p, t) == gotoh2p_score(p, t, pen)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=6))
+    def test_cigar_validates_and_rescores(self, pair):
+        p, t = pair
+        r = WavefrontAligner(PEN2P).align(p, t)
+        r.cigar.validate(p, t)
+        assert r.cigar.score(PEN2P) == r.score
+
+    @settings(max_examples=50, deadline=None)
+    @given(pair=similar_pair(max_len=30, max_edits=6))
+    def test_never_worse_than_either_piece(self, pair):
+        """min over both pieces can only improve on each alone."""
+        p, t = pair
+        two = WavefrontAligner(PEN2P).score(p, t)
+        assert two <= gotoh_score(p, t, PEN2P.piece1())
+        assert two <= gotoh_score(p, t, PEN2P.piece2())
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=similar_pair(max_len=25, max_edits=5))
+    def test_equal_pieces_collapse_to_affine(self, pair):
+        """With identical pieces, affine-2p == plain affine."""
+        p, t = pair
+        pen = TwoPieceAffinePenalties(4, 6, 2, 6, 2)
+        assert WavefrontAligner(pen).score(p, t) == gotoh_score(
+            p, t, AffinePenalties(4, 6, 2)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(pair=similar_pair(max_len=25, max_edits=5))
+    def test_score_only_matches(self, pair):
+        p, t = pair
+        al = WavefrontAligner(PEN2P)
+        assert al.align(p, t, score_only=True).score == al.align(p, t).score
+
+
+class TestKernelIntegration:
+    def test_pim_kernel_supports_affine2p(self):
+        from repro.data.generator import ReadPairGenerator
+        from repro.pim.config import PimSystemConfig
+        from repro.pim.kernel import KernelConfig
+        from repro.pim.system import PimSystem
+
+        cfg = PimSystemConfig(num_dpus=2, num_ranks=1, tasklets=2, num_simulated_dpus=2)
+        kc = KernelConfig(penalties=PEN2P, max_read_len=60, max_edits=3)
+        assert kc.wavefront_components == 5
+        system = PimSystem(cfg, kc)
+        pairs = ReadPairGenerator(length=60, error_rate=0.04, seed=31).pairs(8)
+        res = system.align(pairs)
+        for idx, score, cigar in res.results:
+            assert score == gotoh2p_score(pairs[idx].pattern, pairs[idx].text, PEN2P)
+            cigar.validate(pairs[idx].pattern, pairs[idx].text)
+
+    def test_wram_admission_tighter_than_affine(self):
+        from repro.pim.config import DpuConfig
+        from repro.pim.kernel import KernelConfig, WfaDpuKernel, max_supported_tasklets
+
+        k3 = WfaDpuKernel(KernelConfig(penalties=AffinePenalties(), max_edits=4))
+        k5 = WfaDpuKernel(KernelConfig(penalties=PEN2P, max_edits=4))
+        assert max_supported_tasklets(k5, DpuConfig(), "wram") <= max_supported_tasklets(
+            k3, DpuConfig(), "wram"
+        )

@@ -1,0 +1,142 @@
+"""Core WFA engine tests: known cases, invariants, and the Gotoh oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bitparallel import levenshtein_dp
+from repro.baselines.gotoh import gotoh_score
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties, LinearPenalties
+from repro.core.wfa import WfaEngine
+from repro.errors import AlignmentError
+
+from conftest import affine_penalties, similar_pair
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestKnownScores:
+    def test_identical(self):
+        assert WavefrontAligner(PEN).score("ACGTACGT", "ACGTACGT") == 0
+
+    def test_empty_both(self):
+        assert WavefrontAligner(PEN).score("", "") == 0
+
+    def test_empty_pattern_is_pure_insertion(self):
+        # gap of length 4: 6 + 4*2 = 14
+        assert WavefrontAligner(PEN).score("", "ACGT") == 14
+
+    def test_empty_text_is_pure_deletion(self):
+        assert WavefrontAligner(PEN).score("ACG", "") == 12
+
+    def test_single_mismatch(self):
+        assert WavefrontAligner(PEN).score("GATTACA", "GATCACA") == 4
+
+    def test_single_insertion(self):
+        assert WavefrontAligner(PEN).score("GATTACA", "GATTTACA") == 8
+
+    def test_mismatch_cheaper_than_double_gap(self):
+        # A vs C: mismatch 4 < del+ins 16
+        assert WavefrontAligner(PEN).score("A", "C") == 4
+
+    def test_long_gap_amortizes_opening(self):
+        # 5-gap: 6 + 5*2 = 16, vs 5 separate nothing
+        assert WavefrontAligner(PEN).score("AAAAA", "AAAAATTTTT") == 16
+
+    def test_edit_metric(self):
+        al = WavefrontAligner(EditPenalties())
+        assert al.score("KITTEN".replace("K", "A"), "AITTEN") == 0
+        assert al.score("ACGT", "AGT") == 1
+        assert al.score("ACGT", "TGCA") == levenshtein_dp("ACGT", "TGCA")
+
+    def test_linear_metric(self):
+        al = WavefrontAligner(LinearPenalties(mismatch=4, indel=2))
+        assert al.score("ACGT", "AGT") == 2
+        assert al.score("ACGT", "ACTT") == 4
+
+
+class TestEngineBehaviour:
+    def test_final_score_recorded(self):
+        eng = WfaEngine("ACGT", "ACTT", PEN)
+        s = eng.run()
+        assert eng.final_score == s == 4
+
+    def test_counters_populate(self):
+        eng = WfaEngine("ACGTACGT", "ACTTACGT", PEN)
+        eng.run()
+        c = eng.counters
+        assert c.cells_computed > 0
+        assert c.extend_steps >= 8
+        assert c.score_iterations >= 1
+        assert c.wavefronts_allocated == len(c.wavefront_log)
+        assert c.offsets_allocated >= c.wavefronts_allocated
+
+    def test_score_zero_fast_path_allocates_one_wavefront(self):
+        eng = WfaEngine("AAAA", "AAAA", PEN)
+        assert eng.run() == 0
+        assert eng.counters.wavefronts_allocated == 1
+
+    def test_low_memory_mode_expires_wavefronts(self):
+        eng_full = WfaEngine("ACGTAC" * 6, "AGGTAC" * 6, PEN, memory_mode="full")
+        eng_low = WfaEngine("ACGTAC" * 6, "AGGTAC" * 6, PEN, memory_mode="low")
+        s_full = eng_full.run()
+        s_low = eng_low.run()
+        assert s_full == s_low
+        assert len(eng_low.wavefronts) < len(eng_full.wavefronts)
+        assert eng_low.counters.peak_live_bytes <= eng_full.counters.peak_live_bytes
+
+    def test_max_score_cap_raises(self):
+        with pytest.raises(AlignmentError):
+            WfaEngine("AAAA", "TTTT", PEN, max_score=3).run()
+
+    def test_unknown_memory_mode(self):
+        with pytest.raises(AlignmentError):
+            WfaEngine("A", "A", PEN, memory_mode="weird")
+
+    def test_wavefront_log_scores_are_monotone(self):
+        eng = WfaEngine("ACGTACGTAC", "ACGGACGTTC", PEN)
+        eng.run()
+        scores = [s for s, _c, _l, _h in eng.counters.wavefront_log]
+        assert scores == sorted(scores)
+
+    def test_wavefront_widths_bounded_by_score(self):
+        eng = WfaEngine("ACGTACGTAC", "ACGGACGTTC", PEN)
+        eng.run()
+        for s, _c, lo, hi in eng.counters.wavefront_log:
+            assert hi - lo + 1 <= 2 * s + 3
+
+
+class TestGotohOracle:
+    """The central correctness invariant: WFA score == Gotoh score."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(pair=similar_pair())
+    def test_affine_default_penalties(self, pair):
+        p, t = pair
+        assert WavefrontAligner(PEN).score(p, t) == gotoh_score(p, t, PEN)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair(max_len=24, max_edits=10), pen=affine_penalties)
+    def test_affine_random_penalties(self, pair, pen):
+        p, t = pair
+        assert WavefrontAligner(pen).score(p, t) == gotoh_score(p, t, pen)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair())
+    def test_edit_vs_levenshtein(self, pair):
+        p, t = pair
+        assert WavefrontAligner(EditPenalties()).score(p, t) == levenshtein_dp(p, t)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair())
+    def test_linear_vs_gotoh(self, pair):
+        p, t = pair
+        pen = LinearPenalties(mismatch=4, indel=2)
+        assert WavefrontAligner(pen).score(p, t) == gotoh_score(p, t, pen)
+
+    @settings(max_examples=60, deadline=None)
+    @given(pair=similar_pair())
+    def test_score_only_equals_traceback_score(self, pair):
+        p, t = pair
+        al = WavefrontAligner(PEN)
+        assert al.align(p, t, score_only=True).score == al.align(p, t).score

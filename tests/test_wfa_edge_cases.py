@@ -1,0 +1,132 @@
+"""Edge-case batteries for the WFA core.
+
+Inputs chosen to stress specific mechanisms: homopolymers (massive
+extension runs and ambiguous gap placement), periodic sequences (many
+co-optimal paths), extreme length asymmetry (one-sided gap handling),
+single-symbol alphabets, and protein-style alphabets (nothing in the
+engine is DNA-specific).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gotoh import gotoh_score
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties
+
+PEN = AffinePenalties(4, 6, 2)
+
+
+class TestHomopolymers:
+    def test_pure_homopolymer_gap(self):
+        r = WavefrontAligner(PEN).align("A" * 50, "A" * 60)
+        assert r.score == PEN.gap_cost(10)
+        assert r.cigar.counts() == {"M": 50, "X": 0, "I": 10, "D": 0}
+
+    def test_homopolymer_vs_other_base(self):
+        # 20 mismatches (80) vs del+ins (2*(6+40)=92): mismatches win
+        r = WavefrontAligner(PEN).align("A" * 20, "T" * 20)
+        assert r.score == 20 * 4
+        assert r.cigar.counts()["X"] == 20
+
+    def test_interrupted_homopolymer(self):
+        p = "A" * 30
+        t = "A" * 15 + "T" + "A" * 14  # same length, one foreign base
+        r = WavefrontAligner(PEN).align(p, t)
+        assert r.score == 4  # one mismatch beats del+ins (16)
+        assert r.score == gotoh_score(p, t, PEN)
+        # a longer interruption must be inserted instead
+        t2 = "A" * 15 + "T" + "A" * 15
+        assert WavefrontAligner(PEN).score(p, t2) == PEN.gap_cost(1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 60), m=st.integers(1, 60))
+    def test_homopolymer_pairs_analytic(self, n, m):
+        """Same-base homopolymers: score is exactly gap_cost(|n-m|)."""
+        score = WavefrontAligner(PEN).score("G" * n, "G" * m)
+        assert score == PEN.gap_cost(abs(n - m))
+
+
+class TestPeriodicSequences:
+    def test_tandem_repeat_shift(self):
+        p = "ACGT" * 10
+        t = p[2:] + p[:2]  # rotated by 2
+        r = WavefrontAligner(PEN).align(p, t)
+        assert r.score == gotoh_score(p, t, PEN)
+        r.cigar.validate(p, t)
+
+    def test_repeat_expansion(self):
+        p = "CAG" * 10
+        t = "CAG" * 14
+        r = WavefrontAligner(PEN).align(p, t)
+        assert r.score == PEN.gap_cost(12)
+        # the 12 inserted bases must form one run (one opening)
+        gap_runs = [op for op in r.cigar if op.op == "I"]
+        assert len(gap_runs) == 1 and gap_runs[0].length == 12
+
+
+class TestAsymmetricLengths:
+    def test_tiny_vs_huge(self):
+        p = "ACGT"
+        t = "ACGT" + "T" * 200
+        r = WavefrontAligner(PEN).align(p, t)
+        assert r.score == PEN.gap_cost(200)
+
+    def test_one_char_each_side(self):
+        assert WavefrontAligner(PEN).score("A", "ACGTACGTAC") == PEN.gap_cost(9)
+        assert WavefrontAligner(PEN).score("ACGTACGTAC", "A") == PEN.gap_cost(9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        prefix=st.text(alphabet="ACGT", min_size=0, max_size=20),
+        gap=st.integers(1, 100),
+    )
+    def test_pure_suffix_insertion(self, prefix, gap):
+        t = prefix + "T" * gap
+        score = WavefrontAligner(PEN).score(prefix, t)
+        # inserting the suffix is one option; the optimum can only be <=
+        assert score <= PEN.gap_cost(gap)
+        assert score == gotoh_score(prefix, t, PEN)
+
+
+class TestAlphabets:
+    def test_single_symbol_alphabet(self):
+        assert WavefrontAligner(EditPenalties()).score("aaaa", "aaa") == 1
+
+    def test_protein_alphabet(self):
+        p = "MKVLAARW"
+        t = "MKVLDARW"
+        r = WavefrontAligner(PEN).align(p, t)
+        assert r.score == 4
+        assert r.cigar.counts()["X"] == 1
+
+    def test_case_sensitivity(self):
+        # 'a' != 'A' by design (no normalization in the engine)
+        assert WavefrontAligner(EditPenalties()).score("ACGT", "acgt") == 4
+
+    def test_digits_and_punctuation(self):
+        assert WavefrontAligner(EditPenalties()).score("1.2.3", "1.2.4") == 1
+
+
+class TestPathologicalPenalties:
+    def test_huge_mismatch_forces_gaps(self):
+        pen = AffinePenalties(mismatch=1000, gap_open=1, gap_extend=1)
+        r = WavefrontAligner(pen).align("AT", "AC")
+        assert r.cigar.counts()["X"] == 0  # never substitutes
+        assert r.score == gotoh_score("AT", "AC", pen)
+
+    def test_huge_gap_forces_mismatches(self):
+        pen = AffinePenalties(mismatch=1, gap_open=500, gap_extend=500)
+        p, t = "ACGTACGT", "AGGTACGT"
+        r = WavefrontAligner(pen).align(p, t)
+        assert r.cigar.counts()["I"] == 0 and r.cigar.counts()["D"] == 0
+        assert r.score == gotoh_score(p, t, pen)
+
+    def test_zero_open_behaves_linearly(self):
+        pen = AffinePenalties(mismatch=3, gap_open=0, gap_extend=2)
+        from repro.core.penalties import LinearPenalties
+
+        lin = LinearPenalties(mismatch=3, indel=2)
+        p, t = "ACGTACGTA", "ACGACGTTA"
+        assert WavefrontAligner(pen).score(p, t) == WavefrontAligner(lin).score(p, t)
