@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast bench examples fig1 outputs clean
+.PHONY: install test test-fast bench bench-parallel examples fig1 outputs clean
 
 install:
 	pip install -e .
@@ -13,6 +13,9 @@ test-fast:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-parallel:
+	PYTHONPATH=src python benchmarks/bench_host_parallel.py
 
 examples:
 	for ex in examples/*.py; do \

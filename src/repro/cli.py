@@ -113,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     pim.add_argument("--policy", choices=("mram", "wram"), default="mram")
     pim.add_argument("--max-edits", type=int, default=None,
                      help="kernel edit budget (default: inferred from data)")
+    pim.add_argument("--workers", type=int, default=1,
+                     help="host processes simulating DPUs in parallel "
+                          "(1 = sequential, 0 = one per CPU core; "
+                          "results are identical either way)")
     _add_penalty_args(pim)
 
     # map ---------------------------------------------------------------
@@ -227,6 +231,7 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
         tasklets=args.tasklets,
         num_simulated_dpus=args.dpus,
         metadata_policy=args.policy,
+        workers=args.workers,
     )
     kernel_config = KernelConfig(
         penalties=penalties, max_read_len=max_len, max_edits=max_edits
@@ -236,6 +241,7 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
     rows = [
         ("pairs", f"{run.num_pairs:,}"),
         ("DPUs / tasklets / policy", f"{args.dpus} / {args.tasklets} / {args.policy}"),
+        ("host workers", str(args.workers)),
         ("kernel", human_time(run.kernel_seconds)),
         ("transfers", human_time(run.transfer_seconds)),
         ("total", human_time(run.total_seconds)),

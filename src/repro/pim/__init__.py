@@ -27,6 +27,14 @@ from repro.pim.kernel import (
 from repro.pim.layout import MramLayout
 from repro.pim.memory import Mram, SimMemory, Wram
 from repro.pim.host_api import DpuSet, dpu_alloc
+from repro.pim.parallel import (
+    DpuJob,
+    DpuJobResult,
+    GeneratorSpec,
+    execute_jobs,
+    resolve_workers,
+    run_dpu_job,
+)
 from repro.pim.rank import RankSummary, group_by_rank, imbalance
 from repro.pim.scheduler import BatchSchedule, BatchScheduler, ScheduledRun
 from repro.pim.system import PimRunResult, PimSystem
@@ -66,6 +74,12 @@ __all__ = [
     "ScheduledRun",
     "DpuSet",
     "dpu_alloc",
+    "DpuJob",
+    "DpuJobResult",
+    "GeneratorSpec",
+    "execute_jobs",
+    "resolve_workers",
+    "run_dpu_job",
     "RankSummary",
     "group_by_rank",
     "imbalance",

@@ -156,6 +156,12 @@ class PimSystemConfig:
     #: wavefronts live in MRAM, staged through WRAM on demand) or "wram"
     #: (everything in WRAM; caps the usable tasklet count).
     metadata_policy: str = "mram"
+    #: host worker processes for the per-DPU simulations: 1 = sequential
+    #: (in-process), N > 1 = a process pool of N, 0 = one per CPU core.
+    #: Parallel runs are result-identical to sequential runs (see
+    #: ``repro.pim.parallel``), so this only trades host wall clock for
+    #: cores when ``num_simulated_dpus`` is raised for fidelity.
+    workers: int = 1
 
     def validate(self) -> None:
         if self.num_dpus < 1:
@@ -170,6 +176,8 @@ class PimSystemConfig:
             raise ConfigError("num_simulated_dpus must be in [1, num_dpus]")
         if self.metadata_policy not in ("mram", "wram"):
             raise ConfigError(f"unknown metadata_policy {self.metadata_policy!r}")
+        if self.workers < 0:
+            raise ConfigError(f"workers must be >= 0, got {self.workers}")
         self.dpu.validate()
         self.transfer.validate()
 

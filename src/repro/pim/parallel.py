@@ -1,0 +1,191 @@
+"""Host-parallel execution of independent per-DPU simulations.
+
+The simulator's cost center is the per-DPU functional kernel: every
+simulated DPU runs push -> kernel -> pull over its private batch, and no
+DPU ever touches another DPU's state.  That makes the per-DPU loop in
+:class:`~repro.pim.system.PimSystem` embarrassingly parallel on the
+*host* — exactly the fan-out the real UPMEM runtime performs across
+ranks, and the structure the authors' follow-up framework paper builds
+its host orchestration around.
+
+This module packages one simulated DPU's work as a picklable
+:class:`DpuJob`, executes jobs either in-process or over a
+``concurrent.futures.ProcessPoolExecutor``, and returns picklable
+:class:`DpuJobResult` records.  Determinism guarantee: a job's outcome
+depends only on the job description (never on which worker ran it or
+in what order), and callers merge records sorted by ``dpu_id`` — so a
+parallel run is result-identical to a sequential run, including the
+modeled timings and the :class:`~repro.pim.transfer.TransferStats`
+accounting.
+
+The sequential path is the fallback, engaged when
+
+* ``workers`` resolves to one, or there is at most one job; or
+* the process pool cannot be started or dies underneath us
+  (``OSError`` on fork/spawn, ``BrokenProcessPool``) — e.g. in
+  sandboxes that forbid subprocesses.
+
+Genuine simulation errors (:class:`~repro.errors.ReproError` subclasses
+raised inside a worker) propagate to the caller unchanged, as they
+would sequentially.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.cigar import Cigar
+from repro.data.generator import ReadPair, ReadPairGenerator
+from repro.errors import ConfigError
+from repro.pim.config import DpuConfig, HostTransferConfig
+from repro.pim.dpu import Dpu, DpuKernelStats
+from repro.pim.kernel import KernelConfig, WfaDpuKernel
+from repro.pim.layout import MramLayout
+from repro.pim.transfer import HostTransferEngine, TransferStats
+
+__all__ = [
+    "GeneratorSpec",
+    "DpuJob",
+    "DpuJobResult",
+    "run_dpu_job",
+    "execute_jobs",
+    "resolve_workers",
+]
+
+
+@dataclass(frozen=True)
+class GeneratorSpec:
+    """Recipe for a worker to synthesize its own batch (``model_run``).
+
+    Shipping the seed instead of the pairs keeps the job payload tiny
+    and reproduces the exact per-DPU sample stream the sequential path
+    draws: the seed is derived from the DPU id alone, never from the
+    execution schedule.
+    """
+
+    length: int
+    error_rate: float
+    seed: int
+    error_model: str
+    count: int
+
+    def pairs(self) -> list[ReadPair]:
+        gen = ReadPairGenerator(
+            length=self.length,
+            error_rate=self.error_rate,
+            seed=self.seed,
+            error_model=self.error_model,
+        )
+        return gen.pairs(self.count)
+
+
+@dataclass(frozen=True)
+class DpuJob:
+    """A self-contained description of one simulated DPU's work.
+
+    Everything a worker process needs — configs, layout, and either a
+    concrete batch or a generator recipe — travels in the job; the
+    worker builds its own :class:`Dpu`, kernel, and transfer engine.
+    """
+
+    dpu_id: int
+    layout: MramLayout
+    dpu_config: DpuConfig
+    transfer_config: HostTransferConfig
+    kernel_config: KernelConfig
+    metadata_policy: str
+    tasklets: int
+    #: concrete batch (``align`` path); mutually exclusive with ``generator``
+    pairs: Optional[tuple[ReadPair, ...]] = None
+    #: batch recipe (``model_run`` path)
+    generator: Optional[GeneratorSpec] = None
+    #: gather result records (full pull: score, CIGAR, region starts)
+    pull: bool = True
+
+    def batch(self) -> list[ReadPair]:
+        if self.pairs is not None:
+            return list(self.pairs)
+        if self.generator is not None:
+            return self.generator.pairs()
+        raise ConfigError("DpuJob needs either pairs or a generator spec")
+
+
+@dataclass
+class DpuJobResult:
+    """What one DPU simulation sends back to the host.
+
+    ``results`` holds *local* record indices; the host converts them to
+    global pair indices during the deterministic merge (see
+    :attr:`~repro.pim.system.PimRunResult.results` for the contract).
+    """
+
+    dpu_id: int
+    num_pairs: int
+    stats: DpuKernelStats
+    #: (local index, score, cigar, pattern_start, text_start)
+    results: list[tuple[int, int, Optional[Cigar], int, int]] = field(
+        default_factory=list
+    )
+    transfer_stats: TransferStats = field(default_factory=TransferStats)
+
+
+def run_dpu_job(job: DpuJob) -> DpuJobResult:
+    """Run one DPU's push -> kernel -> pull cycle; picklable in and out."""
+    batch = job.batch()
+    transfer = HostTransferEngine(job.transfer_config)
+    kernel = WfaDpuKernel(job.kernel_config)
+    dpu = Dpu(job.dpu_config, dpu_id=job.dpu_id)
+    transfer.push_batch(dpu, job.layout, batch)
+    assignments = [
+        list(range(t, len(batch), job.tasklets)) for t in range(job.tasklets)
+    ]
+    tasklet_stats, _ = kernel.run(
+        dpu, job.layout, assignments, job.metadata_policy
+    )
+    results: list[tuple[int, int, Optional[Cigar], int, int]] = []
+    if job.pull:
+        pulled, _ = transfer.pull_results_full(dpu, job.layout, len(batch))
+        for local, (score, cigar, p_start, t_start) in enumerate(pulled):
+            results.append((local, score, cigar, p_start, t_start))
+    return DpuJobResult(
+        dpu_id=job.dpu_id,
+        num_pairs=len(batch),
+        stats=dpu.summarize(tasklet_stats),
+        results=results,
+        transfer_stats=transfer.stats,
+    )
+
+
+def resolve_workers(workers: int, num_jobs: int) -> int:
+    """Effective worker count: ``0`` means all cores, capped at the jobs."""
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, min(workers, num_jobs))
+
+
+def execute_jobs(jobs: Iterable[DpuJob], workers: int = 1) -> list[DpuJobResult]:
+    """Execute DPU jobs, in-process or over a process pool.
+
+    Returns records sorted by ``dpu_id`` regardless of completion order,
+    so callers can merge without re-deriving the schedule.
+    """
+    jobs = list(jobs)
+    n = resolve_workers(workers, len(jobs))
+    if n <= 1 or len(jobs) <= 1:
+        records = [run_dpu_job(job) for job in jobs]
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=n) as pool:
+                records = list(pool.map(run_dpu_job, jobs))
+        except (OSError, BrokenProcessPool):
+            # Pool infrastructure failure (fork forbidden, worker killed):
+            # fall back to the sequential path, which is result-identical.
+            records = [run_dpu_job(job) for job in jobs]
+    records.sort(key=lambda r: r.dpu_id)
+    return records

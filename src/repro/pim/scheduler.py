@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.data.generator import ReadPair
 from repro.errors import ConfigError
+from repro.pim.layout import HEADER_BYTES
 from repro.pim.system import PimRunResult, PimSystem
 
 __all__ = ["BatchSchedule", "ScheduledRun", "BatchScheduler"]
@@ -64,17 +65,23 @@ class ScheduledRun:
         buffering), so each inner round costs max(kernel, transfer)."""
         if not self.per_round:
             return 0.0
-        launches = sum(r.launch_seconds for r in self.per_round)
         if not self.overlapped:
+            launches = sum(r.launch_seconds for r in self.per_round)
             return self.kernel_seconds + self.transfer_seconds + launches
         # pipeline: first in-transfer exposed, last out-transfer exposed,
         # middle stages bounded by the slower of kernel / transfer.
+        # Launch overhead is host-side software work; while round i's
+        # kernel occupies the DPUs the host is idle and preps round
+        # i+1's launch, so inner launches pipeline behind the
+        # max(kernel, transfer) stages — only the first round's launch
+        # (nothing to hide behind yet) is exposed.
         first_in = self.per_round[0].transfer_in_seconds
         last_out = self.per_round[-1].transfer_out_seconds
+        exposed_launch = self.per_round[0].launch_seconds
         middle = sum(
             max(r.kernel_seconds, r.transfer_seconds) for r in self.per_round
         )
-        return first_in + middle + last_out + launches
+        return first_in + exposed_launch + middle + last_out
 
     def throughput(self) -> float:
         total = self.schedule.total_pairs
@@ -84,9 +91,16 @@ class ScheduledRun:
 class BatchScheduler:
     """Runs workloads through a :class:`PimSystem` in MRAM-sized rounds."""
 
-    def __init__(self, system: PimSystem, overlapped: bool = False) -> None:
+    def __init__(
+        self,
+        system: PimSystem,
+        overlapped: bool = False,
+        workers: Optional[int] = None,
+    ) -> None:
         self.system = system
         self.overlapped = overlapped
+        #: host worker processes per round (None = the system's config).
+        self.workers = workers
 
     def max_pairs_per_round(self, mram_budget_fraction: float = 0.9) -> int:
         """Pairs per DPU batch that fit the MRAM input+output regions."""
@@ -94,7 +108,10 @@ class BatchScheduler:
             raise ConfigError("mram_budget_fraction must be in (0, 1]")
         probe = self.system.plan_layout(1)
         per_pair = probe.input_record_size + probe.result_record_size
-        fixed = 64 + self.system.config.tasklets * probe.metadata_bytes_per_tasklet
+        fixed = (
+            HEADER_BYTES
+            + self.system.config.tasklets * probe.metadata_bytes_per_tasklet
+        )
         budget = int(self.system.config.dpu.mram_bytes * mram_budget_fraction) - fixed
         per_dpu_pairs = max(1, budget // per_pair)
         return per_dpu_pairs * self.system.config.num_dpus
@@ -127,7 +144,11 @@ class BatchScheduler:
         for size in schedule.round_sizes():
             chunk = pairs[start : start + size]
             out.per_round.append(
-                self.system.align(chunk, collect_results=collect_results)
+                self.system.align(
+                    chunk,
+                    collect_results=collect_results,
+                    workers=self.workers,
+                )
             )
             start += size
         return out

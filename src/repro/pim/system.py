@@ -20,6 +20,12 @@ Two entry points:
   its kernel time is scaled by ``load / k``.  Transfer time always uses
   exact full-system byte counts (they are computable without simulation
   because records are fixed-size).
+
+Both entry points express each simulated DPU's work as a
+:class:`~repro.pim.parallel.DpuJob` and hand the batch to
+:func:`~repro.pim.parallel.execute_jobs`, which runs jobs sequentially
+or over a process pool (``PimSystemConfig.workers``); records merge
+deterministically by ``dpu_id``, so the two modes are result-identical.
 """
 
 from __future__ import annotations
@@ -30,12 +36,18 @@ from typing import Optional
 
 from repro.core.cigar import Cigar
 from repro.data.datasets import DatasetSpec
-from repro.data.generator import ReadPair, ReadPairGenerator
+from repro.data.generator import ReadPair
 from repro.errors import ConfigError
 from repro.pim.config import PimSystemConfig
-from repro.pim.dpu import Dpu, DpuKernelStats
+from repro.pim.dpu import DpuKernelStats
 from repro.pim.kernel import KernelConfig, WfaDpuKernel
 from repro.pim.layout import HEADER_BYTES, MramLayout
+from repro.pim.parallel import (
+    DpuJob,
+    DpuJobResult,
+    GeneratorSpec,
+    execute_jobs,
+)
 from repro.pim.transfer import HostTransferEngine
 
 __all__ = ["PimRunResult", "PimSystem"]
@@ -61,7 +73,11 @@ class PimRunResult:
     bytes_in: int
     bytes_out: int
     per_dpu: list[DpuKernelStats] = field(default_factory=list)
-    #: functional results: (global pair index, score, cigar)
+    #: functional results: (global pair index, score, cigar).  The global
+    #: index follows the round-robin distribution contract shared by
+    #: :meth:`PimSystem.align` and :meth:`PimSystem.model_run`: the
+    #: ``local``-th record gathered from DPU ``d`` is pair
+    #: ``d + local * num_dpus``.
     results: list[tuple[int, int, Optional[Cigar]]] = field(default_factory=list)
     #: aligned-region starts per gathered pair index: (pattern_start,
     #: text_start) — zeros for global alignment, clipping under ends-free.
@@ -144,6 +160,60 @@ class PimSystem:
         t = self.config.tasklets
         return [list(range(tid, batch_size, t)) for tid in range(t)]
 
+    def _make_job(
+        self,
+        dpu_id: int,
+        layout: MramLayout,
+        pairs: Optional[tuple[ReadPair, ...]] = None,
+        generator: Optional[GeneratorSpec] = None,
+        pull: bool = True,
+    ) -> DpuJob:
+        """Package one simulated DPU's work for (possibly remote) execution."""
+        return DpuJob(
+            dpu_id=dpu_id,
+            layout=layout,
+            dpu_config=self.config.dpu,
+            transfer_config=self.config.transfer,
+            kernel_config=self.kernel_config,
+            metadata_policy=self.config.metadata_policy,
+            tasklets=self.config.tasklets,
+            pairs=pairs,
+            generator=generator,
+            pull=pull,
+        )
+
+    def _merge_records(
+        self, records: list[DpuJobResult]
+    ) -> tuple[
+        list[DpuKernelStats],
+        list[tuple[int, int, Optional[Cigar]]],
+        dict[int, tuple[int, int]],
+        int,
+    ]:
+        """Deterministic merge: records arrive sorted by ``dpu_id``.
+
+        Folds each worker's transfer accounting into this system's
+        engine and converts local record indices to global pair indices
+        under the round-robin contract (``d + local * num_dpus``).
+        """
+        per_dpu: list[DpuKernelStats] = []
+        results: list[tuple[int, int, Optional[Cigar]]] = []
+        regions: dict[int, tuple[int, int]] = {}
+        simulated = 0
+        num_dpus = self.config.num_dpus
+        for rec in records:
+            per_dpu.append(rec.stats)
+            simulated += rec.num_pairs
+            self.transfer.stats.merge(rec.transfer_stats)
+            for local, score, cigar, p_start, t_start in rec.results:
+                index = rec.dpu_id + local * num_dpus
+                results.append((index, score, cigar))
+                regions[index] = (p_start, t_start)
+        return per_dpu, results, regions, simulated
+
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        return self.config.workers if workers is None else workers
+
     def _system_bytes(self, num_pairs: int, layout: MramLayout) -> tuple[int, int]:
         """Full-system (all logical DPUs) transfer byte counts."""
         bytes_in = (
@@ -160,6 +230,7 @@ class PimSystem:
         pairs: list[ReadPair],
         collect_results: bool = True,
         verify: bool = False,
+        workers: Optional[int] = None,
     ) -> PimRunResult:
         """Align a concrete batch, distributed over all logical DPUs.
 
@@ -168,6 +239,8 @@ class PimSystem:
         under the kernel's penalty model (raises
         :class:`~repro.errors.KernelError` on any inconsistency) — the
         simulated-hardware analogue of WFA's verification mode.
+
+        ``workers`` overrides ``config.workers`` for this run.
         """
         n = len(pairs)
         num_dpus = self.config.num_dpus
@@ -175,28 +248,14 @@ class PimSystem:
         max_batch = max((len(b) for b in batches), default=0)
         layout = self.plan_layout(max(max_batch, 1))
 
-        per_dpu: list[DpuKernelStats] = []
-        results: list[tuple[int, int, Optional[Cigar]]] = []
-        regions: dict[int, tuple[int, int]] = {}
-        simulated = 0
-        for d in range(min(self.config.num_simulated_dpus, len(batches))):
-            batch = batches[d]
-            if not batch:
-                continue
-            dpu = Dpu(self.config.dpu, dpu_id=d)
-            self.transfer.push_batch(dpu, layout, batch)
-            assignments = self._tasklet_assignments(len(batch))
-            stats, _ = self.kernel.run(
-                dpu, layout, assignments, self.config.metadata_policy
-            )
-            per_dpu.append(dpu.summarize(stats))
-            simulated += len(batch)
-            if collect_results or verify:
-                pulled, _ = self.transfer.pull_results_full(dpu, layout, len(batch))
-                for local, (score, cigar, p_start, t_start) in enumerate(pulled):
-                    index = d + local * num_dpus
-                    results.append((index, score, cigar))
-                    regions[index] = (p_start, t_start)
+        pull = collect_results or verify
+        jobs = [
+            self._make_job(d, layout, pairs=tuple(batch), pull=pull)
+            for d, batch in enumerate(batches[: self.config.num_simulated_dpus])
+            if batch
+        ]
+        records = execute_jobs(jobs, self._resolve_workers(workers))
+        per_dpu, results, regions, simulated = self._merge_records(records)
 
         if verify:
             self._verify_results(pairs, results, regions)
@@ -263,12 +322,16 @@ class PimSystem:
         spec: DatasetSpec,
         sample_pairs_per_dpu: int = 256,
         collect_results: bool = False,
+        workers: Optional[int] = None,
     ) -> PimRunResult:
         """Model a full-scale run of ``spec`` (e.g. the paper's 5M pairs).
 
         Each simulated DPU aligns ``min(sample_pairs_per_dpu, load)``
         i.i.d. pairs drawn from the spec's distribution (seeded per DPU);
-        kernel time is scaled to the true per-DPU load.
+        kernel time is scaled to the true per-DPU load.  With
+        ``collect_results=True`` the gathered records carry global
+        indices under the same round-robin contract as :meth:`align`
+        (``d + local * num_dpus``) and populate ``regions``.
         """
         if sample_pairs_per_dpu < 1:
             raise ConfigError("sample_pairs_per_dpu must be >= 1")
@@ -283,32 +346,26 @@ class PimSystem:
         scale = load / k
         layout = self.plan_layout(k)
 
-        per_dpu: list[DpuKernelStats] = []
-        results: list[tuple[int, int, Optional[Cigar]]] = []
-        simulated = 0
-        for d in range(self.config.num_simulated_dpus):
-            gen = ReadPairGenerator(
-                length=spec.length,
-                error_rate=spec.error_rate,
-                seed=spec.seed + 7919 * d + 1,
-                error_model=spec.error_model,
+        jobs = [
+            self._make_job(
+                d,
+                layout,
+                generator=GeneratorSpec(
+                    length=spec.length,
+                    error_rate=spec.error_rate,
+                    seed=spec.seed + 7919 * d + 1,
+                    error_model=spec.error_model,
+                    count=k,
+                ),
+                pull=collect_results,
             )
-            batch = gen.pairs(k)
-            dpu = Dpu(self.config.dpu, dpu_id=d)
-            self.transfer.push_batch(dpu, layout, batch)
-            assignments = self._tasklet_assignments(len(batch))
-            stats, _ = self.kernel.run(
-                dpu, layout, assignments, self.config.metadata_policy
-            )
-            summary = dpu.summarize(stats)
+            for d in range(self.config.num_simulated_dpus)
+        ]
+        records = execute_jobs(jobs, self._resolve_workers(workers))
+        per_dpu, results, regions, simulated = self._merge_records(records)
+        for summary in per_dpu:
             summary.seconds *= scale
             summary.cycles *= scale
-            per_dpu.append(summary)
-            simulated += len(batch)
-            if collect_results:
-                pulled, _ = self.transfer.pull_results(dpu, layout, len(batch))
-                for local, (score, cigar) in enumerate(pulled):
-                    results.append((d * k + local, score, cigar))
 
         kernel_seconds = max((s.seconds for s in per_dpu), default=0.0)
         bytes_in, bytes_out = self._system_bytes(spec.num_pairs, layout)
@@ -329,5 +386,6 @@ class PimSystem:
             bytes_out=bytes_out,
             per_dpu=per_dpu,
             results=results,
+            regions=regions,
             scale_factor=scale,
         )

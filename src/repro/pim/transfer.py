@@ -25,7 +25,7 @@ from repro.data.generator import ReadPair
 from repro.errors import LayoutError
 from repro.pim.config import HostTransferConfig
 from repro.pim.dpu import Dpu
-from repro.pim.layout import MramLayout
+from repro.pim.layout import HEADER_BYTES, MramLayout
 
 __all__ = ["HostTransferEngine", "TransferStats"]
 
@@ -38,6 +38,13 @@ class TransferStats:
     bytes_from_dpu: int = 0
     pushes: int = 0
     pulls: int = 0
+
+    def merge(self, other: "TransferStats") -> None:
+        """Fold another engine's counters in (parallel-run merge path)."""
+        self.bytes_to_dpu += other.bytes_to_dpu
+        self.bytes_from_dpu += other.bytes_from_dpu
+        self.pushes += other.pushes
+        self.pulls += other.pulls
 
 
 class HostTransferEngine:
@@ -60,7 +67,7 @@ class HostTransferEngine:
                 f"{layout.num_pairs}"
             )
         layout.write_header(dpu.mram)
-        moved = 64  # header
+        moved = HEADER_BYTES
         for i, pair in enumerate(pairs):
             record = layout.pack_pair(pair)
             dpu.mram.host_write(layout.input_addr(i), record)

@@ -7,8 +7,8 @@ from repro.data.generator import ReadPairGenerator
 from repro.errors import ConfigError
 from repro.pim.config import PimSystemConfig
 from repro.pim.kernel import KernelConfig
-from repro.pim.scheduler import BatchSchedule, BatchScheduler
-from repro.pim.system import PimSystem
+from repro.pim.scheduler import BatchSchedule, BatchScheduler, ScheduledRun
+from repro.pim.system import PimRunResult, PimSystem
 
 PEN = AffinePenalties(4, 6, 2)
 
@@ -54,6 +54,88 @@ class TestCapacity:
             sched.plan(10, pairs_per_round=0)
         with pytest.raises(ConfigError):
             sched.plan(10, pairs_per_round=10**12)
+
+
+class TestHeaderConstant:
+    def test_capacity_uses_layout_header_constant(self, monkeypatch):
+        """Regression: the fixed-overhead term must track
+        ``layout.HEADER_BYTES``, not a hardcoded 64."""
+        import repro.pim.scheduler as scheduler_mod
+
+        sched = BatchScheduler(small_system())
+        default_cap = sched.max_pairs_per_round()
+        monkeypatch.setattr(scheduler_mod, "HEADER_BYTES", 8 * 1024 * 1024)
+        assert sched.max_pairs_per_round() < default_cap
+
+
+def _round(kernel, t_in, t_out, launch) -> PimRunResult:
+    return PimRunResult(
+        num_pairs=1,
+        pairs_simulated=1,
+        tasklets=1,
+        metadata_policy="mram",
+        kernel_seconds=kernel,
+        transfer_in_seconds=t_in,
+        transfer_out_seconds=t_out,
+        launch_seconds=launch,
+        bytes_in=0,
+        bytes_out=0,
+    )
+
+
+class TestOverlappedLaunchAccounting:
+    """Regression for the overlapped timing model: inner-round launches
+    pipeline behind max(kernel, transfer); only the first is exposed."""
+
+    ROUNDS = [
+        _round(1.0, 0.2, 0.1, 0.01),
+        _round(2.0, 0.3, 0.2, 0.01),
+        _round(0.5, 0.1, 0.4, 0.01),
+    ]
+
+    def test_serialized_total_pinned(self):
+        run = ScheduledRun(
+            schedule=BatchSchedule(total_pairs=3, pairs_per_round=1),
+            per_round=list(self.ROUNDS),
+            overlapped=False,
+        )
+        # kernels 3.5 + transfers 1.3 + all three launches 0.03
+        assert run.total_seconds == pytest.approx(3.5 + 1.3 + 0.03)
+
+    def test_overlapped_total_pinned(self):
+        run = ScheduledRun(
+            schedule=BatchSchedule(total_pairs=3, pairs_per_round=1),
+            per_round=list(self.ROUNDS),
+            overlapped=True,
+        )
+        # first_in 0.2 + exposed launch 0.01
+        #   + max(1.0, 0.3) + max(2.0, 0.5) + max(0.5, 0.5) = 3.5
+        #   + last_out 0.4
+        assert run.total_seconds == pytest.approx(0.2 + 0.01 + 3.5 + 0.4)
+
+    def test_only_one_launch_charged(self):
+        serial = ScheduledRun(
+            schedule=BatchSchedule(total_pairs=3, pairs_per_round=1),
+            per_round=list(self.ROUNDS),
+            overlapped=False,
+        )
+        overlap = ScheduledRun(
+            schedule=BatchSchedule(total_pairs=3, pairs_per_round=1),
+            per_round=list(self.ROUNDS),
+            overlapped=True,
+        )
+        # zeroing the launch overhead must shrink the serialized total by
+        # 3 launches but the overlapped total by only the exposed one
+        free = [_round(r.kernel_seconds, r.transfer_in_seconds,
+                       r.transfer_out_seconds, 0.0) for r in self.ROUNDS]
+        serial_free = ScheduledRun(
+            schedule=serial.schedule, per_round=free, overlapped=False
+        )
+        overlap_free = ScheduledRun(
+            schedule=serial.schedule, per_round=free, overlapped=True
+        )
+        assert serial.total_seconds - serial_free.total_seconds == pytest.approx(0.03)
+        assert overlap.total_seconds - overlap_free.total_seconds == pytest.approx(0.01)
 
 
 class TestExecution:

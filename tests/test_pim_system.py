@@ -143,6 +143,24 @@ class TestModelRun:
             assert cigar is not None
             assert score >= 0
 
+    def test_collect_results_follows_round_robin_index_contract(self):
+        """Regression: model_run must label results ``d + local * num_dpus``
+        (the contract align uses) and populate ``regions`` — it used to
+        emit ``d * k + local`` and leave regions empty."""
+        cfg = PimSystemConfig(num_dpus=8, num_ranks=1, tasklets=2, num_simulated_dpus=2)
+        kc = KernelConfig(penalties=PEN, max_read_len=50, max_edits=2)
+        system = PimSystem(cfg, kc)
+        spec = DatasetSpec(num_pairs=64, length=50, error_rate=0.04)
+        res = system.model_run(spec, sample_pairs_per_dpu=4, collect_results=True)
+        # k = 4 sample pairs on each of 2 simulated DPUs
+        indices = [i for i, _s, _c in res.results]
+        assert sorted(indices) == sorted(
+            d + local * 8 for d in range(2) for local in range(4)
+        )
+        assert set(res.regions) == set(indices)
+        for start in res.regions.values():
+            assert start == (0, 0)  # global alignment: no clipping
+
     def test_invalid_sample_size(self):
         system = small_system()
         with pytest.raises(ConfigError):

@@ -57,6 +57,28 @@ class TestFunctionalPath:
         with pytest.raises(LayoutError):
             engine.pull_results(Dpu(DpuConfig()), layout, 9)
 
+    def test_push_accounting_uses_layout_header_constant(self, layout, monkeypatch):
+        """Regression: push accounting must track ``layout.HEADER_BYTES``,
+        not a hardcoded 64, or it silently diverges from
+        ``PimSystem._system_bytes`` if the header ever changes."""
+        import repro.pim.transfer as transfer_mod
+
+        monkeypatch.setattr(transfer_mod, "HEADER_BYTES", 128)
+        engine = HostTransferEngine(HostTransferConfig())
+        pairs = ReadPairGenerator(length=30, error_rate=0.0, seed=1).pairs(3)
+        moved = engine.push_batch(Dpu(DpuConfig()), layout, pairs)
+        assert moved == 128 + 3 * layout.input_record_size
+        assert engine.stats.bytes_to_dpu == moved
+
+    def test_stats_merge(self, layout, engine):
+        from repro.pim.transfer import TransferStats
+
+        a = TransferStats(bytes_to_dpu=10, bytes_from_dpu=20, pushes=1, pulls=2)
+        a.merge(TransferStats(bytes_to_dpu=5, bytes_from_dpu=7, pushes=3, pulls=4))
+        assert a == TransferStats(
+            bytes_to_dpu=15, bytes_from_dpu=27, pushes=4, pulls=6
+        )
+
     def test_stats_accumulate(self, layout, engine):
         pairs = ReadPairGenerator(length=30, error_rate=0.0, seed=1).pairs(2)
         dpu = Dpu(DpuConfig())
