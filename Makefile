@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast bench bench-parallel examples fig1 outputs clean
+.PHONY: install test test-fast bench bench-parallel examples fig1 outputs trace-demo clean
 
 install:
 	pip install -e .
@@ -30,6 +30,19 @@ outputs:
 	pytest tests/ 2>&1 | tee test_output.txt
 	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
+trace-demo:
+	mkdir -p out/trace-demo
+	PYTHONPATH=src python -m repro.cli generate --pairs 64 --length 80 \
+		--error-rate 0.03 --seed 7 -o out/trace-demo/reads.seq
+	PYTHONPATH=src python -m repro.cli pim-align -i out/trace-demo/reads.seq \
+		--dpus 8 --tasklets 4 --workers 2 \
+		--metrics-out out/trace-demo/metrics.prom \
+		--trace-out out/trace-demo/trace.json
+	PYTHONPATH=src python -c "import json; \
+		from repro.obs.export import validate_chrome_trace; \
+		n = validate_chrome_trace(json.load(open('out/trace-demo/trace.json'))); \
+		print(f'trace OK: {n} duration events -> open out/trace-demo/trace.json in chrome://tracing')"
+
 clean:
-	rm -rf .pytest_cache .hypothesis benchmarks/out build src/*.egg-info
+	rm -rf .pytest_cache .hypothesis benchmarks/out out build src/*.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -117,6 +117,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="host processes simulating DPUs in parallel "
                           "(1 = sequential, 0 = one per CPU core; "
                           "results are identical either way)")
+    pim.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write run metrics: Prometheus text for "
+                          ".prom/.txt, JSONL run manifest for .jsonl, "
+                          "full JSON document otherwise")
+    pim.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write a Chrome trace_event JSON of the run "
+                          "(open in chrome://tracing or ui.perfetto.dev)")
     _add_penalty_args(pim)
 
     # map ---------------------------------------------------------------
@@ -208,6 +215,37 @@ def _cmd_align(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Reconcile and export the run's telemetry per the CLI flags."""
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_manifest_jsonl,
+        write_metrics_json,
+        write_prometheus,
+    )
+
+    summary = telemetry.reconcile()
+    if args.metrics_out:
+        path = args.metrics_out
+        if path.endswith((".prom", ".txt")):
+            write_prometheus(path, telemetry.registry)
+        elif path.endswith(".jsonl"):
+            write_manifest_jsonl(path, telemetry)
+        else:
+            write_metrics_json(path, telemetry)
+        print(f"wrote metrics to {path}")
+    if args.trace_out:
+        doc = write_chrome_trace(args.trace_out, telemetry)
+        print(
+            f"wrote Chrome trace to {args.trace_out} "
+            f"({len(doc['traceEvents'])} events; open in chrome://tracing)"
+        )
+    print(
+        f"telemetry reconciled: {summary['runs']} run(s), "
+        f"{human_time(summary['model_seconds'])} of model time"
+    )
+
+
 def _cmd_pim_align(args: argparse.Namespace) -> int:
     from repro.pim.config import PimSystemConfig
     from repro.pim.kernel import KernelConfig
@@ -236,7 +274,12 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
     kernel_config = KernelConfig(
         penalties=penalties, max_read_len=max_len, max_edits=max_edits
     )
-    system = PimSystem(config, kernel_config)
+    telemetry = None
+    if args.metrics_out or args.trace_out:
+        from repro.obs import RunTelemetry
+
+        telemetry = RunTelemetry()
+    system = PimSystem(config, kernel_config, telemetry=telemetry)
     run = system.align(pairs)
     rows = [
         ("pairs", f"{run.num_pairs:,}"),
@@ -250,6 +293,8 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
         ("DPU bound", run.dominant_bound()),
     ]
     print(format_table(["metric", "value"], rows, title="simulated PIM run"))
+    if telemetry is not None:
+        _write_telemetry(args, telemetry)
     return 0
 
 

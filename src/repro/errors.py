@@ -57,3 +57,13 @@ class KernelError(PimError):
 
 class ConfigError(ReproError):
     """Invalid platform / experiment configuration."""
+
+
+class TelemetryError(ReproError):
+    """Metrics/profiling misuse or a failed telemetry invariant.
+
+    Raised by :mod:`repro.obs` for registry misuse (re-registering a
+    metric under a different kind, malformed snapshots), invalid Chrome
+    trace documents, and reconciliation failures between the profiler's
+    span totals and the timing model's reported seconds.
+    """

@@ -1,0 +1,63 @@
+"""Unified telemetry for the PIM stack: metrics, profiling, exporters.
+
+The paper's headline numbers are *attribution* claims — how much of a
+run is kernel vs transfer vs launch, and how each kernel splits across
+fetch/align/metadata/writeback.  ``repro.obs`` makes that attribution a
+first-class, exportable artifact instead of something recomputed by
+hand:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters / gauges
+  / histograms with labels, deterministic Prometheus-text and JSON
+  rendering, and picklable snapshots that merge deterministically
+  (workers on the host-parallel path report through these);
+* :class:`~repro.obs.profiler.Profiler` — nested spans over both host
+  wall time and modeled time;
+* :class:`~repro.obs.telemetry.RunTelemetry` — binds both to a
+  :class:`~repro.pim.system.PimSystem`, collects per-run kernel traces,
+  and enforces the reconciliation invariant (span totals == the timing
+  model's ``total_seconds``);
+* :mod:`~repro.obs.export` — Prometheus text, JSONL run manifests, and
+  Chrome ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
+
+See ``docs/observability.md`` for the metrics catalog and a worked
+example.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_manifest_jsonl,
+    write_metrics_json,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.profiler import Profiler, SpanRecord
+from repro.obs.telemetry import SECTIONS, RunSegment, RunTelemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "Profiler",
+    "SpanRecord",
+    "RunSegment",
+    "RunTelemetry",
+    "SECTIONS",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_manifest_jsonl",
+    "write_metrics_json",
+    "write_prometheus",
+]

@@ -1,0 +1,208 @@
+"""Span-based profiler over two clocks: host wall time and model time.
+
+The simulator lives in two time domains at once:
+
+* **wall time** — how long the *host* spends simulating (what
+  ``workers=N`` speeds up); measured with a monotonic clock;
+* **model time** — the seconds the *timing model* attributes to the
+  simulated hardware (what the paper's figures report); computed, never
+  measured, and therefore identical between sequential and parallel
+  runs.
+
+A :class:`Profiler` records both as nested spans.  ``with
+profiler.span("push", dpu=3): ...`` measures wall time around a code
+block; :meth:`Profiler.add_model_span` / :meth:`Profiler.model_span`
+place a span on the *model* timeline with an explicit start and
+duration.  Spans nest via an explicit stack, and
+:meth:`Profiler.totals` aggregates per span name.
+
+Reconciliation — the invariant that per-section model spans sum to the
+timing model's ``total_seconds`` — lives in
+:meth:`repro.obs.telemetry.RunTelemetry.reconcile`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+__all__ = ["SpanRecord", "Profiler"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or open) span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    #: wall-clock times, relative to the profiler's epoch (first span).
+    wall_start: Optional[float] = None
+    wall_seconds: Optional[float] = None
+    #: model-timeline placement (absolute seconds on the run timeline).
+    model_start: Optional[float] = None
+    model_seconds: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        """Plain data for JSONL manifests (stable key order)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "labels": dict(sorted(self.labels.items())),
+            "wall_start": self.wall_start,
+            "wall_seconds": self.wall_seconds,
+            "model_start": self.model_start,
+            "model_seconds": self.model_seconds,
+        }
+
+
+class Profiler:
+    """Nested span recorder with per-name aggregation."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch: Optional[float] = None
+        self.records: list[SpanRecord] = []
+        self._stack: list[int] = []
+
+    # -- internals -----------------------------------------------------------
+
+    def _now(self) -> float:
+        t = self._clock()
+        if self._epoch is None:
+            self._epoch = t
+        return t - self._epoch
+
+    def _open(
+        self,
+        name: str,
+        labels: dict,
+        wall_start: Optional[float],
+        model_start: Optional[float],
+        model_seconds: Optional[float],
+    ) -> SpanRecord:
+        rec = SpanRecord(
+            span_id=len(self.records),
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            labels={str(k): str(v) for k, v in labels.items()},
+            wall_start=wall_start,
+            model_start=model_start,
+            model_seconds=model_seconds,
+        )
+        self.records.append(rec)
+        return rec
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **labels: object) -> Iterator[SpanRecord]:
+        """Measure wall time around a code block; nests under the
+        enclosing span.  The yielded record can be annotated with model
+        time via :meth:`annotate_model`."""
+        start = self._now()
+        rec = self._open(name, labels, start, None, None)
+        self._stack.append(rec.span_id)
+        try:
+            yield rec
+        finally:
+            rec.wall_seconds = self._now() - start
+            self._stack.pop()
+
+    def add_model_span(
+        self,
+        name: str,
+        model_start: float,
+        model_seconds: float,
+        **labels: object,
+    ) -> SpanRecord:
+        """Record a leaf span on the model timeline (no wall clock)."""
+        return self._open(name, labels, None, model_start, model_seconds)
+
+    @contextmanager
+    def model_span(
+        self,
+        name: str,
+        model_start: float,
+        model_seconds: float,
+        **labels: object,
+    ) -> Iterator[SpanRecord]:
+        """Like :meth:`add_model_span` but children recorded inside the
+        ``with`` block nest under it."""
+        rec = self._open(name, labels, None, model_start, model_seconds)
+        self._stack.append(rec.span_id)
+        try:
+            yield rec
+        finally:
+            self._stack.pop()
+
+    @staticmethod
+    def annotate_model(
+        rec: SpanRecord, model_start: float, model_seconds: float
+    ) -> None:
+        rec.model_start = model_start
+        rec.model_seconds = model_seconds
+
+    # -- queries -------------------------------------------------------------
+
+    def children(self, span_id: int) -> list[SpanRecord]:
+        return [r for r in self.records if r.parent_id == span_id]
+
+    def spans(self, name: str, **labels: object) -> list[SpanRecord]:
+        """Spans with this name whose labels include ``labels``."""
+        want = {str(k): str(v) for k, v in labels.items()}
+        return [
+            r
+            for r in self.records
+            if r.name == name and all(r.labels.get(k) == v for k, v in want.items())
+        ]
+
+    def model_seconds(self, name: str, **labels: object) -> float:
+        """Sum of model durations across matching spans."""
+        return sum(
+            r.model_seconds for r in self.spans(name, **labels)
+            if r.model_seconds is not None
+        )
+
+    def wall_seconds(self, name: str, **labels: object) -> float:
+        return sum(
+            r.wall_seconds for r in self.spans(name, **labels)
+            if r.wall_seconds is not None
+        )
+
+    def totals(self) -> dict[str, dict[str, float]]:
+        """Per-name aggregates: span count, wall and model second sums."""
+        out: dict[str, dict[str, float]] = {}
+        for r in self.records:
+            agg = out.setdefault(
+                r.name, {"count": 0, "wall_seconds": 0.0, "model_seconds": 0.0}
+            )
+            agg["count"] += 1
+            if r.wall_seconds is not None:
+                agg["wall_seconds"] += r.wall_seconds
+            if r.model_seconds is not None:
+                agg["model_seconds"] += r.model_seconds
+        return {name: out[name] for name in sorted(out)}
+
+    # -- rendering -----------------------------------------------------------
+
+    def report(self) -> str:
+        """Deterministic text table of the per-name aggregates."""
+        from repro.perf.report import format_table, human_time
+
+        rows = [
+            (
+                name,
+                str(int(agg["count"])),
+                human_time(agg["wall_seconds"]) if agg["wall_seconds"] else "-",
+                human_time(agg["model_seconds"]) if agg["model_seconds"] else "-",
+            )
+            for name, agg in self.totals().items()
+        ]
+        return format_table(
+            ["span", "count", "wall", "model"], rows, title="profile"
+        )

@@ -1,0 +1,250 @@
+"""Run telemetry: ties the metrics registry, profiler, and kernel traces
+to the PIM execution path.
+
+One :class:`RunTelemetry` accompanies a :class:`~repro.pim.system.PimSystem`
+(and any :class:`~repro.pim.scheduler.BatchScheduler` above it) for the
+lifetime of a workload.  The system calls back into it:
+
+* :meth:`absorb_worker` — after the deterministic ``dpu_id``-ordered
+  merge, each worker's picklable metrics snapshot is folded into the
+  host registry (parallel ≡ sequential: snapshots are produced by the
+  same per-DPU code on both paths and merged in the same order);
+* :meth:`on_run` — after each ``align``/``model_run``, the run's
+  sections are laid out on the **model timeline** (transfer_in →
+  launch → kernel (per-DPU children) → transfer_out), counters and
+  histograms are updated, and the run's merged
+  :class:`~repro.pim.trace.KernelTrace` is kept as a
+  :class:`RunSegment` for the Chrome-trace exporter.
+
+Successive runs (e.g. scheduler rounds) stack serially on the model
+timeline, so a multi-round workload opens in Perfetto as one
+contiguous picture.
+
+The **reconciliation invariant** (:meth:`RunTelemetry.reconcile`): for
+every run, the profiler's per-section model spans must sum to the
+timing model's ``total_seconds``, and the kernel span must equal
+``kernel_seconds`` — the spans are the attribution the paper's
+Total-vs-Kernel claims rest on, so they must never drift from the
+numbers the model reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import Profiler
+from repro.pim.trace import KernelTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pim.system import PimRunResult
+
+__all__ = ["RunSegment", "RunTelemetry", "SECTIONS"]
+
+#: the model-timeline sections of one run, in execution order.
+SECTIONS = ("transfer_in", "launch", "kernel", "transfer_out")
+
+
+@dataclass
+class RunSegment:
+    """One run's placement on the model timeline plus its kernel trace."""
+
+    index: int
+    kind: str  # "align" | "model_run"
+    result: "PimRunResult"
+    trace: KernelTrace
+    model_start: float
+    #: seconds per DPU cycle (converts trace event cycles to seconds).
+    seconds_per_cycle: float
+
+    @property
+    def kernel_start(self) -> float:
+        r = self.result
+        return self.model_start + r.transfer_in_seconds + r.launch_seconds
+
+
+class RunTelemetry:
+    """Metrics + profiler + trace segments for one workload."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.profiler = Profiler()
+        self.segments: list[RunSegment] = []
+        self._cursor = 0.0  # model-time offset of the next run
+
+        reg = self.registry
+        self._runs = reg.counter("pim_runs_total", "kernel launches by entry point")
+        self._pairs = reg.counter("pim_pairs_total", "modeled workload pairs")
+        self._pairs_sim = reg.counter(
+            "pim_pairs_simulated_total", "functionally simulated pairs"
+        )
+        self._model_seconds = reg.counter(
+            "pim_model_seconds_total", "modeled seconds by run section"
+        )
+        self._model_bytes = reg.counter(
+            "pim_model_bytes_total", "modeled full-system host transfer bytes"
+        )
+        self._dpu_kernel_seconds = reg.histogram(
+            "pim_dpu_kernel_seconds", "per-DPU modeled kernel seconds"
+        )
+
+    # -- ingest --------------------------------------------------------------
+
+    def absorb_worker(self, snapshot: Optional[dict]) -> None:
+        """Merge one worker's picklable metrics snapshot (may be None)."""
+        if snapshot is not None:
+            self.registry.merge_snapshot(snapshot)
+
+    def on_run(
+        self,
+        kind: str,
+        result: "PimRunResult",
+        trace: Optional[KernelTrace] = None,
+        seconds_per_cycle: float = 0.0,
+    ) -> RunSegment:
+        """Account one completed run and advance the model timeline."""
+        index = len(self.segments)
+        start = self._cursor
+        prof = self.profiler
+        durations = {
+            "transfer_in": result.transfer_in_seconds,
+            "launch": result.launch_seconds,
+            "kernel": result.kernel_seconds,
+            "transfer_out": result.transfer_out_seconds,
+        }
+        with prof.model_span(
+            "run", start, result.total_seconds, kind=kind, run=index
+        ):
+            t = start
+            for section in SECTIONS:
+                dur = durations[section]
+                if section == "kernel":
+                    with prof.model_span(section, t, dur, run=index):
+                        for stats in result.per_dpu:
+                            prof.add_model_span(
+                                "dpu_kernel",
+                                t,
+                                stats.seconds,
+                                run=index,
+                                dpu=stats.dpu_id,
+                            )
+                else:
+                    prof.add_model_span(section, t, dur, run=index)
+                t += dur
+
+        self._runs.inc(kind=kind)
+        self._pairs.inc(result.num_pairs, kind=kind)
+        self._pairs_sim.inc(result.pairs_simulated, kind=kind)
+        for section in SECTIONS:
+            self._model_seconds.inc(durations[section], section=section)
+        self._model_bytes.inc(result.bytes_in, direction="to_dpu")
+        self._model_bytes.inc(result.bytes_out, direction="from_dpu")
+        for stats in result.per_dpu:
+            self._dpu_kernel_seconds.observe(stats.seconds)
+
+        segment = RunSegment(
+            index=index,
+            kind=kind,
+            result=result,
+            trace=trace if trace is not None else KernelTrace(),
+            model_start=start,
+            seconds_per_cycle=seconds_per_cycle,
+        )
+        self.segments.append(segment)
+        self._cursor += result.total_seconds
+        return segment
+
+    # -- invariants ----------------------------------------------------------
+
+    @property
+    def model_seconds_total(self) -> float:
+        """Model time covered by all recorded runs."""
+        return self._cursor
+
+    def reconcile(self, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> dict:
+        """Check span totals against the timing model; raise on drift.
+
+        For every run: the four section spans must sum to the run's
+        ``total_seconds``, and the kernel span must equal
+        ``kernel_seconds``.  Across runs, the ``run`` spans must sum to
+        the timeline cursor.  Returns a summary dict on success.
+        """
+        problems: list[str] = []
+        prof = self.profiler
+        for seg in self.segments:
+            sections = sum(
+                prof.model_seconds(name, run=seg.index) for name in SECTIONS
+            )
+            total = seg.result.total_seconds
+            if not math.isclose(sections, total, rel_tol=rel_tol, abs_tol=abs_tol):
+                problems.append(
+                    f"run {seg.index}: section spans sum to {sections!r} but "
+                    f"the timing model reports total_seconds={total!r}"
+                )
+            kernel = prof.model_seconds("kernel", run=seg.index)
+            if not math.isclose(
+                kernel, seg.result.kernel_seconds, rel_tol=rel_tol, abs_tol=abs_tol
+            ):
+                problems.append(
+                    f"run {seg.index}: kernel span {kernel!r} != "
+                    f"kernel_seconds {seg.result.kernel_seconds!r}"
+                )
+        run_total = prof.model_seconds("run")
+        if not math.isclose(
+            run_total, self._cursor, rel_tol=rel_tol, abs_tol=abs_tol
+        ):
+            problems.append(
+                f"run spans sum to {run_total!r} but the model timeline "
+                f"cursor is {self._cursor!r}"
+            )
+        if problems:
+            raise TelemetryError(
+                "telemetry reconciliation failed:\n  " + "\n  ".join(problems)
+            )
+        return {
+            "runs": len(self.segments),
+            "model_seconds": self._cursor,
+        }
+
+    # -- documents -----------------------------------------------------------
+
+    def run_rows(self) -> list[dict]:
+        """One flat dict per run (JSONL manifest rows)."""
+        rows = []
+        for seg in self.segments:
+            r = seg.result
+            rows.append(
+                {
+                    "type": "run",
+                    "index": seg.index,
+                    "kind": seg.kind,
+                    "model_start": seg.model_start,
+                    "num_pairs": r.num_pairs,
+                    "pairs_simulated": r.pairs_simulated,
+                    "tasklets": r.tasklets,
+                    "metadata_policy": r.metadata_policy,
+                    "kernel_seconds": r.kernel_seconds,
+                    "transfer_in_seconds": r.transfer_in_seconds,
+                    "transfer_out_seconds": r.transfer_out_seconds,
+                    "launch_seconds": r.launch_seconds,
+                    "total_seconds": r.total_seconds,
+                    "bytes_in": r.bytes_in,
+                    "bytes_out": r.bytes_out,
+                    "scale_factor": r.scale_factor,
+                    "trace_events": len(seg.trace.events),
+                }
+            )
+        return rows
+
+    def metrics_document(self) -> dict:
+        """JSON-ready document: metrics + profile totals + run manifest."""
+        return {
+            "schema": "repro.obs/v1",
+            "model_seconds_total": self.model_seconds_total,
+            "runs": self.run_rows(),
+            "profile": self.profiler.totals(),
+            "metrics": self.registry.to_dict(),
+        }

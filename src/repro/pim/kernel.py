@@ -372,6 +372,7 @@ class WfaDpuKernel:
                     phase="fetch",
                     cycles=cycles,
                     dma_bytes=size,
+                    dpu_id=dpu.dpu_id,
                 )
             )
         record = dpu.wram.read(ctx.input_buffer, size)
@@ -410,6 +411,7 @@ class WfaDpuKernel:
                     cycles=instructions,  # 1 instr/cycle at full pipeline
                     instructions=instructions,
                     detail=f"score={score} cells={counters.cells_computed}",
+                    dpu_id=dpu.dpu_id,
                 )
             )
 
@@ -435,6 +437,7 @@ class WfaDpuKernel:
                     cycles=stats.dma_cycles - dma_before[0],
                     dma_bytes=stats.dma_bytes - dma_before[1],
                     detail=metadata_policy,
+                    dpu_id=dpu.dpu_id,
                 )
             )
 
@@ -457,6 +460,7 @@ class WfaDpuKernel:
                     phase="writeback",
                     cycles=cycles,
                     dma_bytes=layout.result_record_size,
+                    dpu_id=dpu.dpu_id,
                 )
             )
         stats.pairs_done += 1

@@ -41,10 +41,12 @@ from typing import Iterable, Optional
 from repro.core.cigar import Cigar
 from repro.data.generator import ReadPair, ReadPairGenerator
 from repro.errors import ConfigError
+from repro.obs.metrics import MetricsRegistry
 from repro.pim.config import DpuConfig, HostTransferConfig
 from repro.pim.dpu import Dpu, DpuKernelStats
 from repro.pim.kernel import KernelConfig, WfaDpuKernel
 from repro.pim.layout import MramLayout
+from repro.pim.trace import KernelTrace
 from repro.pim.transfer import HostTransferEngine, TransferStats
 
 __all__ = [
@@ -105,6 +107,10 @@ class DpuJob:
     generator: Optional[GeneratorSpec] = None
     #: gather result records (full pull: score, CIGAR, region starts)
     pull: bool = True
+    #: record per-pair kernel phase events and ship the trace home
+    collect_trace: bool = False
+    #: count per-DPU metrics into a worker registry and ship its snapshot
+    collect_metrics: bool = False
 
     def batch(self) -> list[ReadPair]:
         if self.pairs is not None:
@@ -131,32 +137,67 @@ class DpuJobResult:
         default_factory=list
     )
     transfer_stats: TransferStats = field(default_factory=TransferStats)
+    #: per-pair kernel phase events (``collect_trace`` jobs only);
+    #: events carry this DPU's ``dpu_id``, so host-side merges keep
+    #: attribution.
+    trace: Optional[KernelTrace] = None
+    #: picklable :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    #: (``collect_metrics`` jobs only); merges deterministically on the
+    #: host regardless of completion order.
+    metrics: Optional[dict] = None
 
 
 def run_dpu_job(job: DpuJob) -> DpuJobResult:
-    """Run one DPU's push -> kernel -> pull cycle; picklable in and out."""
+    """Run one DPU's push -> kernel -> pull cycle; picklable in and out.
+
+    With ``collect_metrics`` the worker counts its own activity into a
+    private :class:`~repro.obs.metrics.MetricsRegistry` (transfer bytes
+    via the engine's hooks, kernel work from the summarized stats) and
+    ships the snapshot home; with ``collect_trace`` the kernel's phase
+    events ride along.  Both are pure functions of the job description,
+    preserving the parallel ≡ sequential guarantee.
+    """
     batch = job.batch()
-    transfer = HostTransferEngine(job.transfer_config)
+    registry = MetricsRegistry() if job.collect_metrics else None
+    transfer = HostTransferEngine(job.transfer_config, registry=registry)
     kernel = WfaDpuKernel(job.kernel_config)
     dpu = Dpu(job.dpu_config, dpu_id=job.dpu_id)
+    trace = KernelTrace() if job.collect_trace else None
     transfer.push_batch(dpu, job.layout, batch)
     assignments = [
         list(range(t, len(batch), job.tasklets)) for t in range(job.tasklets)
     ]
     tasklet_stats, _ = kernel.run(
-        dpu, job.layout, assignments, job.metadata_policy
+        dpu, job.layout, assignments, job.metadata_policy, trace=trace
     )
     results: list[tuple[int, int, Optional[Cigar], int, int]] = []
     if job.pull:
         pulled, _ = transfer.pull_results_full(dpu, job.layout, len(batch))
         for local, (score, cigar, p_start, t_start) in enumerate(pulled):
             results.append((local, score, cigar, p_start, t_start))
+    stats = dpu.summarize(tasklet_stats)
+    if registry is not None:
+        dpu_label = str(job.dpu_id)
+        registry.counter(
+            "pim_dpu_pairs_total", "pairs aligned per simulated DPU"
+        ).inc(stats.pairs_done, dpu=dpu_label)
+        registry.counter(
+            "pim_dpu_instructions_total", "kernel instructions per simulated DPU"
+        ).inc(stats.instructions, dpu=dpu_label)
+        registry.counter(
+            "pim_dpu_dma_bytes_total", "kernel MRAM<->WRAM DMA bytes per DPU"
+        ).inc(stats.dma_bytes, dpu=dpu_label)
+        registry.gauge(
+            "pim_dpu_kernel_cycles", "modeled kernel cycles per simulated DPU"
+        ).set(stats.cycles, dpu=dpu_label)
     return DpuJobResult(
         dpu_id=job.dpu_id,
         num_pairs=len(batch),
-        stats=dpu.summarize(tasklet_stats),
+        stats=stats,
         results=results,
         transfer_stats=transfer.stats,
+        trace=trace,
+        metrics=registry.snapshot() if registry is not None else None,
     )
 
 

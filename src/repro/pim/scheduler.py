@@ -137,18 +137,45 @@ class BatchScheduler:
         pairs_per_round: Optional[int] = None,
         collect_results: bool = False,
     ) -> ScheduledRun:
-        """Align a concrete batch in rounds."""
+        """Align a concrete batch in rounds.
+
+        With telemetry attached to the system, each round records a
+        wall-time ``scheduler_round`` span and bumps
+        ``pim_scheduler_rounds_total``; the rounds' model-time sections
+        stack serially on the telemetry timeline (the serialized
+        schedule — the overlapped aggregate stays available via
+        :attr:`ScheduledRun.total_seconds`).
+        """
         schedule = self.plan(len(pairs), pairs_per_round)
         out = ScheduledRun(schedule=schedule, overlapped=self.overlapped)
+        telemetry = self.system.telemetry
+        if telemetry is not None:
+            telemetry.registry.gauge(
+                "pim_scheduler_pairs_per_round",
+                "pairs per MRAM-sized distribution round",
+            ).set(schedule.pairs_per_round)
         start = 0
-        for size in schedule.round_sizes():
+        for index, size in enumerate(schedule.round_sizes()):
             chunk = pairs[start : start + size]
-            out.per_round.append(
-                self.system.align(
+            if telemetry is not None:
+                telemetry.registry.counter(
+                    "pim_scheduler_rounds_total",
+                    "distribute->launch->gather rounds executed",
+                ).inc()
+                with telemetry.profiler.span(
+                    "scheduler_round", round=index, pairs=size
+                ):
+                    result = self.system.align(
+                        chunk,
+                        collect_results=collect_results,
+                        workers=self.workers,
+                    )
+            else:
+                result = self.system.align(
                     chunk,
                     collect_results=collect_results,
                     workers=self.workers,
                 )
-            )
+            out.per_round.append(result)
             start += size
         return out

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.cigar import Cigar
 from repro.data.datasets import DatasetSpec
@@ -48,7 +48,12 @@ from repro.pim.parallel import (
     GeneratorSpec,
     execute_jobs,
 )
+from repro.pim.trace import KernelTrace
+from repro.pim.trace import merge as merge_traces
 from repro.pim.transfer import HostTransferEngine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import RunTelemetry
 
 __all__ = ["PimRunResult", "PimSystem"]
 
@@ -122,14 +127,22 @@ class PimSystem:
         self,
         config: PimSystemConfig,
         kernel_config: Optional[KernelConfig] = None,
+        telemetry: Optional["RunTelemetry"] = None,
     ) -> None:
         config.validate()
         self.config = config
         self.kernel_config = (
             kernel_config if kernel_config is not None else KernelConfig()
         )
+        #: optional :class:`~repro.obs.telemetry.RunTelemetry` — when
+        #: attached, every run collects kernel traces and worker metric
+        #: snapshots and lays its sections on the model timeline.
+        self.telemetry = telemetry
         self.kernel = WfaDpuKernel(self.kernel_config)
-        self.transfer = HostTransferEngine(config.transfer)
+        self.transfer = HostTransferEngine(
+            config.transfer,
+            registry=telemetry.registry if telemetry is not None else None,
+        )
         # Admission check: the WRAM plan must hold at this tasklet count.
         self.kernel.plan_wram(
             config.dpu, config.tasklets, config.metadata_policy
@@ -169,6 +182,7 @@ class PimSystem:
         pull: bool = True,
     ) -> DpuJob:
         """Package one simulated DPU's work for (possibly remote) execution."""
+        collect = self.telemetry is not None
         return DpuJob(
             dpu_id=dpu_id,
             layout=layout,
@@ -180,6 +194,8 @@ class PimSystem:
             pairs=pairs,
             generator=generator,
             pull=pull,
+            collect_trace=collect,
+            collect_metrics=collect,
         )
 
     def _merge_records(
@@ -189,12 +205,16 @@ class PimSystem:
         list[tuple[int, int, Optional[Cigar]]],
         dict[int, tuple[int, int]],
         int,
+        KernelTrace,
     ]:
         """Deterministic merge: records arrive sorted by ``dpu_id``.
 
         Folds each worker's transfer accounting into this system's
-        engine and converts local record indices to global pair indices
-        under the round-robin contract (``d + local * num_dpus``).
+        engine, absorbs worker metric snapshots / kernel traces into
+        the attached telemetry (in the same ``dpu_id`` order on both
+        the sequential and parallel paths), and converts local record
+        indices to global pair indices under the round-robin contract
+        (``d + local * num_dpus``).
         """
         per_dpu: list[DpuKernelStats] = []
         results: list[tuple[int, int, Optional[Cigar]]] = []
@@ -205,11 +225,26 @@ class PimSystem:
             per_dpu.append(rec.stats)
             simulated += rec.num_pairs
             self.transfer.stats.merge(rec.transfer_stats)
+            if self.telemetry is not None:
+                self.telemetry.absorb_worker(rec.metrics)
             for local, score, cigar, p_start, t_start in rec.results:
                 index = rec.dpu_id + local * num_dpus
                 results.append((index, score, cigar))
                 regions[index] = (p_start, t_start)
-        return per_dpu, results, regions, simulated
+        run_trace = merge_traces(
+            rec.trace for rec in records if rec.trace is not None
+        )
+        return per_dpu, results, regions, simulated, run_trace
+
+    def _execute(self, jobs: list[DpuJob], workers: Optional[int], kind: str):
+        """Run jobs, under a wall-time profiler span when telemetry is on."""
+        n = self._resolve_workers(workers)
+        if self.telemetry is None:
+            return execute_jobs(jobs, n)
+        with self.telemetry.profiler.span(
+            "host_execute", kind=kind, jobs=len(jobs), workers=n
+        ):
+            return execute_jobs(jobs, n)
 
     def _resolve_workers(self, workers: Optional[int]) -> int:
         return self.config.workers if workers is None else workers
@@ -254,8 +289,10 @@ class PimSystem:
             for d, batch in enumerate(batches[: self.config.num_simulated_dpus])
             if batch
         ]
-        records = execute_jobs(jobs, self._resolve_workers(workers))
-        per_dpu, results, regions, simulated = self._merge_records(records)
+        records = self._execute(jobs, workers, "align")
+        per_dpu, results, regions, simulated, run_trace = self._merge_records(
+            records
+        )
 
         if verify:
             self._verify_results(pairs, results, regions)
@@ -264,7 +301,7 @@ class PimSystem:
                 regions = {}
         kernel_seconds = max((s.seconds for s in per_dpu), default=0.0)
         bytes_in, bytes_out = self._system_bytes(n, layout)
-        return PimRunResult(
+        run = PimRunResult(
             num_pairs=n,
             pairs_simulated=simulated,
             tasklets=self.config.tasklets,
@@ -283,6 +320,19 @@ class PimSystem:
             results=results,
             regions=regions,
         )
+        self._record_run("align", run, run_trace)
+        return run
+
+    def _record_run(
+        self, kind: str, run: PimRunResult, trace: KernelTrace
+    ) -> None:
+        if self.telemetry is not None:
+            self.telemetry.on_run(
+                kind,
+                run,
+                trace,
+                seconds_per_cycle=self.config.dpu.timing.seconds(1.0),
+            )
 
     def _verify_results(
         self,
@@ -361,15 +411,17 @@ class PimSystem:
             )
             for d in range(self.config.num_simulated_dpus)
         ]
-        records = execute_jobs(jobs, self._resolve_workers(workers))
-        per_dpu, results, regions, simulated = self._merge_records(records)
+        records = self._execute(jobs, workers, "model_run")
+        per_dpu, results, regions, simulated, run_trace = self._merge_records(
+            records
+        )
         for summary in per_dpu:
             summary.seconds *= scale
             summary.cycles *= scale
 
         kernel_seconds = max((s.seconds for s in per_dpu), default=0.0)
         bytes_in, bytes_out = self._system_bytes(spec.num_pairs, layout)
-        return PimRunResult(
+        run = PimRunResult(
             num_pairs=spec.num_pairs,
             pairs_simulated=simulated,
             tasklets=self.config.tasklets,
@@ -389,3 +441,5 @@ class PimSystem:
             regions=regions,
             scale_factor=scale,
         )
+        self._record_run("model_run", run, run_trace)
+        return run

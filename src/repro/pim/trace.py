@@ -6,16 +6,24 @@ volumes).  Useful for debugging kernel behaviour, teaching the cost
 structure, and sanity-checking the timing model's attribution — the
 trace's per-phase totals must reconcile with the tasklet statistics,
 which a test asserts.
+
+Every event carries the ``dpu_id`` of the DPU it executed on, so traces
+merged across DPUs (:func:`merge`) keep full attribution: filter with
+:meth:`KernelTrace.for_dpu` or pass ``dpu_id`` to
+:meth:`KernelTrace.for_tasklet` / :meth:`KernelTrace.timeline` when
+tasklet ids alone are ambiguous.  The span-based profiler and the
+Chrome-trace exporter (:mod:`repro.obs`) consume these events to lay
+per-tasklet phase spans on the model timeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional
 
 from repro.perf.report import format_table
 
-__all__ = ["TraceEvent", "KernelTrace"]
+__all__ = ["TraceEvent", "KernelTrace", "merge"]
 
 PHASES = ("fetch", "align", "metadata", "writeback")
 
@@ -31,6 +39,8 @@ class TraceEvent:
     dma_bytes: int = 0
     instructions: float = 0.0
     detail: str = ""
+    #: which DPU the event executed on (kept through :func:`merge`).
+    dpu_id: int = 0
 
 
 @dataclass
@@ -44,14 +54,37 @@ class KernelTrace:
 
     # -- queries -----------------------------------------------------------
 
-    def for_tasklet(self, tasklet_id: int) -> list[TraceEvent]:
-        return [e for e in self.events if e.tasklet_id == tasklet_id]
+    def for_tasklet(
+        self, tasklet_id: int, dpu_id: Optional[int] = None
+    ) -> list[TraceEvent]:
+        """Events of one tasklet; pass ``dpu_id`` to disambiguate merged
+        multi-DPU traces (tasklet ids repeat across DPUs)."""
+        return [
+            e
+            for e in self.events
+            if e.tasklet_id == tasklet_id
+            and (dpu_id is None or e.dpu_id == dpu_id)
+        ]
 
     def for_pair(self, pair_index: int) -> list[TraceEvent]:
         return [e for e in self.events if e.pair_index == pair_index]
 
+    def for_dpu(self, dpu_id: int) -> "KernelTrace":
+        """The sub-trace of one DPU (events keep their order)."""
+        return KernelTrace(events=[e for e in self.events if e.dpu_id == dpu_id])
+
+    def dpus_traced(self) -> list[int]:
+        """Sorted distinct DPU ids appearing in the trace."""
+        return sorted({e.dpu_id for e in self.events})
+
     def phase_totals(self) -> dict[str, dict[str, float]]:
-        """Per-phase sums of cycles / bytes / instructions."""
+        """Per-phase sums of cycles / bytes / instructions.
+
+        Ordering contract: the known :data:`PHASES` come first (always
+        present, zeroed if unseen), then any custom phases in the order
+        their first event was recorded — so reports and downstream
+        exporters render unknown phases deterministically.
+        """
         out: dict[str, dict[str, float]] = {
             p: {"cycles": 0.0, "dma_bytes": 0.0, "instructions": 0.0}
             for p in PHASES
@@ -66,11 +99,14 @@ class KernelTrace:
         return out
 
     def pairs_traced(self) -> int:
-        return len({(e.tasklet_id, e.pair_index) for e in self.events})
+        return len({(e.dpu_id, e.tasklet_id, e.pair_index) for e in self.events})
 
     # -- rendering -----------------------------------------------------------
 
     def report(self) -> str:
+        """Per-phase totals table; covers custom phases after the known
+        ones, in first-recorded order (zero-activity phases are
+        omitted)."""
         totals = self.phase_totals()
         grand_cycles = sum(t["cycles"] for t in totals.values()) or 1.0
         rows = [
@@ -90,22 +126,39 @@ class KernelTrace:
             title=f"kernel trace ({self.pairs_traced()} pair executions)",
         )
 
-    def timeline(self, tasklet_id: int, width: int = 60) -> str:
-        """Proportional text timeline of one tasklet's phases."""
-        events = self.for_tasklet(tasklet_id)
+    def timeline(
+        self, tasklet_id: int, width: int = 60, dpu_id: Optional[int] = None
+    ) -> str:
+        """Proportional text timeline of one tasklet's phases.
+
+        Zero-cycle events occupy no cells; any event of at least one
+        cycle gets at least one cell; unknown phases render as ``?``.
+        """
+        events = self.for_tasklet(tasklet_id, dpu_id=dpu_id)
         total = sum(e.cycles for e in events)
+        label = (
+            f"dpu {dpu_id} tasklet {tasklet_id}"
+            if dpu_id is not None
+            else f"tasklet {tasklet_id}"
+        )
         if total <= 0:
-            return f"tasklet {tasklet_id}: (no cycles recorded)"
+            return f"{label}: (no cycles recorded)"
         glyph = {"fetch": "f", "align": "A", "metadata": "m", "writeback": "w"}
         bar = []
         for e in events:
             cells = max(1, round(e.cycles / total * width)) if e.cycles else 0
             bar.append(glyph.get(e.phase, "?") * cells)
-        return f"tasklet {tasklet_id}: [{''.join(bar)}]"
+        return f"{label}: [{''.join(bar)}]"
 
 
 def merge(traces: Iterable[KernelTrace]) -> KernelTrace:
-    """Combine traces from several DPUs into one log."""
+    """Combine traces from several DPUs into one log.
+
+    Events keep their per-trace order (and their ``dpu_id``
+    attribution); traces are concatenated in the order given, so
+    callers that iterate DPUs in ``dpu_id`` order get a deterministic
+    merged log.
+    """
     merged = KernelTrace()
     for t in traces:
         merged.events.extend(t.events)

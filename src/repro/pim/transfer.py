@@ -19,6 +19,7 @@ for why "effective" != PrIM's peak).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.cigar import Cigar
 from repro.data.generator import ReadPair
@@ -26,6 +27,9 @@ from repro.errors import LayoutError
 from repro.pim.config import HostTransferConfig
 from repro.pim.dpu import Dpu
 from repro.pim.layout import HEADER_BYTES, MramLayout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["HostTransferEngine", "TransferStats"]
 
@@ -48,12 +52,42 @@ class TransferStats:
 
 
 class HostTransferEngine:
-    """Functional copies + aggregate-bandwidth timing."""
+    """Functional copies + aggregate-bandwidth timing.
 
-    def __init__(self, config: HostTransferConfig) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, every
+    functional push/pull also counts into ``pim_transfer_bytes_total``
+    (by direction) and ``pim_transfer_ops_total`` (by op) — the
+    engine-level view the telemetry layer aggregates across workers.
+    """
+
+    def __init__(
+        self,
+        config: HostTransferConfig,
+        registry: Optional["MetricsRegistry"] = None,
+    ) -> None:
         config.validate()
         self.config = config
         self.stats = TransferStats()
+        self._bytes_metric = (
+            registry.counter(
+                "pim_transfer_bytes_total",
+                "host<->DPU record bytes actually copied",
+            )
+            if registry is not None
+            else None
+        )
+        self._ops_metric = (
+            registry.counter(
+                "pim_transfer_ops_total", "host<->DPU batch copy operations"
+            )
+            if registry is not None
+            else None
+        )
+
+    def _observe(self, direction: str, op: str, nbytes: int) -> None:
+        if self._bytes_metric is not None:
+            self._bytes_metric.inc(nbytes, direction=direction)
+            self._ops_metric.inc(op=op)
 
     # -- functional ------------------------------------------------------
 
@@ -74,6 +108,7 @@ class HostTransferEngine:
             moved += len(record)
         self.stats.bytes_to_dpu += moved
         self.stats.pushes += 1
+        self._observe("to_dpu", "push", moved)
         return moved
 
     def pull_results(
@@ -97,6 +132,7 @@ class HostTransferEngine:
             moved += len(record)
         self.stats.bytes_from_dpu += moved
         self.stats.pulls += 1
+        self._observe("from_dpu", "pull", moved)
         return results, moved
 
     def pull_results_full(
@@ -120,6 +156,7 @@ class HostTransferEngine:
             moved += len(record)
         self.stats.bytes_from_dpu += moved
         self.stats.pulls += 1
+        self._observe("from_dpu", "pull", moved)
         return results, moved
 
     # -- timing ------------------------------------------------------------

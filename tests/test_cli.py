@@ -163,6 +163,80 @@ class TestPimAlign:
         assert rc == 1
 
 
+class TestPimAlignTelemetry:
+    def _run(self, workload, tmp_path, *extra):
+        return main(
+            ["pim-align", "-i", str(workload), "--dpus", "4", "--tasklets", "2",
+             "--max-edits", "3", *extra]
+        )
+
+    def test_trace_out_is_valid_chrome_trace(self, workload, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        rc = self._run(workload, tmp_path, "--trace-out", str(trace))
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        assert validate_chrome_trace(doc) > 0
+        # per-DPU processes and tasklet lanes made it into the export
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1, 2, 3, 4}  # host + 4 DPUs
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out
+        assert "telemetry reconciled" in out
+
+    def test_metrics_out_json(self, workload, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        rc = self._run(workload, tmp_path, "--metrics-out", str(path))
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.obs/v1"
+        assert doc["runs"][0]["num_pairs"] == 12
+        assert "wrote metrics" in capsys.readouterr().out
+
+    def test_metrics_out_prometheus(self, workload, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        rc = self._run(workload, tmp_path, "--metrics-out", str(path))
+        assert rc == 0
+        text = path.read_text()
+        assert "# TYPE pim_runs_total counter" in text
+        assert 'pim_pairs_total{kind="align"} 12' in text
+
+    def test_metrics_out_jsonl_manifest(self, workload, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "runs.jsonl"
+        rc = self._run(workload, tmp_path, "--metrics-out", str(path))
+        assert rc == 0
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "run"
+        assert lines[-1]["type"] == "summary"
+
+    def test_both_flags_with_workers(self, workload, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        rc = self._run(
+            workload, tmp_path, "--workers", "2",
+            "--metrics-out", str(metrics), "--trace-out", str(trace),
+        )
+        assert rc == 0
+        assert validate_chrome_trace(json.loads(trace.read_text())) > 0
+        assert json.loads(metrics.read_text())["schema"] == "repro.obs/v1"
+
+    def test_no_flags_no_telemetry_output(self, workload, tmp_path, capsys):
+        rc = self._run(workload, tmp_path)
+        assert rc == 0
+        assert "telemetry" not in capsys.readouterr().out
+
+
 class TestMap:
     @pytest.fixture
     def mapping_files(self, tmp_path):

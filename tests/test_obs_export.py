@@ -1,0 +1,197 @@
+"""Tests for the telemetry exporters (Chrome trace, Prometheus, JSONL)."""
+
+import json
+
+import pytest
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.errors import TelemetryError
+from repro.obs import RunTelemetry
+from repro.obs.export import (
+    DPU_PID_BASE,
+    DPU_TOTAL_TID,
+    HOST_PID,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_manifest_jsonl,
+    write_metrics_json,
+    write_prometheus,
+)
+from repro.pim.config import PimSystemConfig
+from repro.pim.kernel import KernelConfig
+from repro.pim.system import PimSystem
+
+PEN = AffinePenalties(4, 6, 2)
+NUM_DPUS = 3
+TASKLETS = 2
+
+
+@pytest.fixture(scope="module")
+def telemetry():
+    tel = RunTelemetry()
+    cfg = PimSystemConfig(
+        num_dpus=NUM_DPUS,
+        num_ranks=1,
+        tasklets=TASKLETS,
+        num_simulated_dpus=NUM_DPUS,
+        workers=1,
+    )
+    kc = KernelConfig(penalties=PEN, max_read_len=50, max_edits=2)
+    system = PimSystem(cfg, kc, telemetry=tel)
+    pairs = ReadPairGenerator(length=50, error_rate=0.04, seed=4).pairs(9)
+    system.align(pairs)
+    tel.reconcile()
+    return tel
+
+
+@pytest.fixture(scope="module")
+def trace_doc(telemetry):
+    return to_chrome_trace(telemetry)
+
+
+class TestChromeTrace:
+    def test_validates(self, trace_doc):
+        assert validate_chrome_trace(trace_doc) > 0
+
+    def test_host_lane_sections(self, trace_doc):
+        host = [
+            e
+            for e in trace_doc["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == HOST_PID
+        ]
+        names = {e["name"] for e in host}
+        assert names == {"run", "transfer_in", "launch", "kernel", "transfer_out"}
+        run = next(e for e in host if e["name"] == "run")
+        sections = [e for e in host if e["name"] != "run"]
+        assert sum(e["dur"] for e in sections) == pytest.approx(run["dur"])
+
+    def test_per_dpu_processes(self, trace_doc):
+        pids = {
+            e["pid"]
+            for e in trace_doc["traceEvents"]
+            if e["ph"] == "X" and e["pid"] != HOST_PID
+        }
+        assert pids == {DPU_PID_BASE + d for d in range(NUM_DPUS)}
+
+    def test_kernel_total_lane(self, trace_doc):
+        totals = [
+            e
+            for e in trace_doc["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == DPU_TOTAL_TID
+        ]
+        assert len(totals) == NUM_DPUS
+        assert all(e["name"] == "dpu_kernel" for e in totals)
+        assert all("bound" in e["args"] for e in totals)
+
+    def test_tasklet_phase_lanes(self, trace_doc):
+        phases = [
+            e
+            for e in trace_doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "tasklet"
+        ]
+        assert {e["tid"] for e in phases} == set(range(TASKLETS))
+        assert {e["name"] for e in phases} == {
+            "fetch", "align", "metadata", "writeback"
+        }
+        # per-lane events tile back to back: each starts where the last ended
+        by_lane = {}
+        for e in sorted(phases, key=lambda e: (e["pid"], e["tid"], e["ts"])):
+            key = (e["pid"], e["tid"])
+            if key in by_lane:
+                assert e["ts"] == pytest.approx(by_lane[key])
+            by_lane[key] = e["ts"] + e["dur"]
+
+    def test_metadata_names_processes_and_threads(self, trace_doc):
+        meta = [e for e in trace_doc["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["pid"], e["tid"], e["args"]["name"])
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        assert (HOST_PID, 0, "model timeline") in names
+        assert (DPU_PID_BASE, DPU_TOTAL_TID, "kernel total") in names
+        procs = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert procs == {"host"} | {f"dpu {d}" for d in range(NUM_DPUS)}
+
+    def test_deterministic(self, telemetry):
+        a = json.dumps(to_chrome_trace(telemetry), sort_keys=True)
+        b = json.dumps(to_chrome_trace(telemetry), sort_keys=True)
+        assert a == b
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(TelemetryError):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_event_list(self):
+        with pytest.raises(TelemetryError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    @pytest.mark.parametrize(
+        "event",
+        [
+            {"ph": "Z", "name": "x", "pid": 0, "tid": 0},  # unknown phase
+            {"ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1},  # no name
+            {"ph": "X", "name": "x", "pid": "0", "tid": 0, "ts": 0, "dur": 1},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": -1, "dur": 1},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0, "dur": -1},
+            {"ph": "M", "name": "weird_meta", "pid": 0, "tid": 0},
+            {"ph": "M", "name": "process_name", "pid": 0, "tid": 0, "args": {}},
+            {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0, "dur": 1,
+             "args": "nope"},
+        ],
+    )
+    def test_rejects_malformed_event(self, event):
+        with pytest.raises(TelemetryError, match="invalid Chrome trace"):
+            validate_chrome_trace({"traceEvents": [event]})
+
+    def test_counts_duration_events_only(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+                 "args": {"name": "host"}},
+                {"ph": "X", "name": "a", "pid": 0, "tid": 0, "ts": 0.0, "dur": 2.0},
+            ]
+        }
+        assert validate_chrome_trace(doc) == 1
+
+
+class TestFileExports:
+    def test_write_chrome_trace(self, telemetry, tmp_path):
+        path = tmp_path / "trace.json"
+        doc = write_chrome_trace(str(path), telemetry)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(doc))
+        assert validate_chrome_trace(on_disk) > 0
+
+    def test_write_prometheus(self, telemetry, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), telemetry.registry)
+        text = path.read_text()
+        assert "# TYPE pim_runs_total counter" in text
+        assert 'pim_runs_total{kind="align"} 1' in text
+        assert "pim_dpu_kernel_seconds_bucket" in text
+
+    def test_write_manifest_jsonl(self, telemetry, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        write_manifest_jsonl(str(path), telemetry)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2  # one run + summary
+        assert lines[0]["type"] == "run"
+        assert lines[-1]["type"] == "summary"
+        assert lines[-1]["runs"] == 1
+        assert lines[-1]["metrics"]["schema"] == "repro.obs.metrics/v1"
+
+    def test_write_metrics_json(self, telemetry, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics_json(str(path), telemetry)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.obs/v1"
+        assert doc["model_seconds_total"] == pytest.approx(
+            telemetry.model_seconds_total
+        )

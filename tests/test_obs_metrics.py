@@ -1,0 +1,191 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestRegistration:
+    def test_idempotent_by_name(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", "hits")
+        b = reg.counter("hits_total")
+        assert a is b
+        assert a.help == "hits"  # first registration wins
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x_total")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "9lives", "has space", "CamelCase", "dash-ed", "unicode_é"]
+    )
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().counter(bad)
+
+    def test_good_names_accepted(self):
+        reg = MetricsRegistry()
+        reg.counter("ok_name_2")
+        reg.counter("ns:sub_total")
+
+    def test_families_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zzz")
+        reg.gauge("aaa")
+        assert [f.name for f in reg.families()] == ["aaa", "zzz"]
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        fam = MetricsRegistry().counter("n_total")
+        fam.inc()
+        fam.inc(2.5)
+        assert fam.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        fam = MetricsRegistry().counter("n_total")
+        with pytest.raises(TelemetryError):
+            fam.inc(-1)
+
+    def test_labeled_series_independent(self):
+        fam = MetricsRegistry().counter("n_total")
+        fam.inc(1, dpu="0")
+        fam.inc(4, dpu="1")
+        assert fam.value(dpu="0") == 1
+        assert fam.value(dpu="1") == 4
+        assert fam.value(dpu="7") == 0  # never-touched series reads 0
+
+    def test_label_values_stringified(self):
+        fam = MetricsRegistry().counter("n_total")
+        fam.inc(2, dpu=3)
+        assert fam.value(dpu="3") == 2  # int and str label keys coincide
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        fam = MetricsRegistry().gauge("level")
+        fam.set(10)
+        fam.labels().add(-3)
+        assert fam.value() == 7
+
+
+class TestHistogram:
+    def test_observe_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0, 0.2):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # (<=1, <=10, +Inf)
+        assert h.cumulative() == [2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.7)
+
+    def test_boundary_lands_in_bucket(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(1.0)  # le is inclusive, Prometheus-style
+        assert h.counts == [1, 0]
+
+    def test_registry_default_buckets(self):
+        fam = MetricsRegistry().histogram("t_seconds")
+        fam.observe(0.05)
+        assert fam.labels().buckets == DEFAULT_SECONDS_BUCKETS
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.counter("pairs_total", "pairs").inc(5, kind="align")
+        reg.gauge("cycles").set(100, dpu="0")
+        reg.histogram("t_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        return reg
+
+    def test_snapshot_stable(self):
+        a, b = self._populated(), self._populated()
+        assert a.snapshot() == b.snapshot()
+        assert a.snapshot()["schema"] == "repro.obs.metrics/v1"
+
+    def test_merge_sums_counters_and_histograms(self):
+        host = self._populated()
+        host.merge_snapshot(self._populated().snapshot())
+        assert host.get("pairs_total").value(kind="align") == 10
+        series = host.get("t_seconds").labels()
+        assert series.count == 2
+        assert series.sum == pytest.approx(1.0)
+
+    def test_merge_gauges_take_max(self):
+        host = MetricsRegistry()
+        host.gauge("cycles").set(100)
+        other = MetricsRegistry()
+        other.gauge("cycles").set(40)
+        host.merge_snapshot(other.snapshot())
+        assert host.get("cycles").value() == 100
+        bigger = MetricsRegistry()
+        bigger.gauge("cycles").set(250)
+        host.merge_snapshot(bigger.snapshot())
+        assert host.get("cycles").value() == 250
+
+    def test_merge_order_independent(self):
+        snaps = []
+        for i in range(3):
+            reg = MetricsRegistry()
+            reg.counter("n_total").inc(i + 1, dpu=str(i))
+            reg.gauge("peak").set(10 * (i + 1))
+            snaps.append(reg.snapshot())
+        fwd, rev = MetricsRegistry(), MetricsRegistry()
+        for s in snaps:
+            fwd.merge_snapshot(s)
+        for s in reversed(snaps):
+            rev.merge_snapshot(s)
+        assert fwd.snapshot() == rev.snapshot()
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry().merge_snapshot({"schema": "bogus/v0"})
+
+    def test_bucket_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = a.snapshot()
+        snap["families"][0]["buckets"] = [1.0, 2.0]
+        snap["families"][0]["series"][0]["counts"] = [1, 0, 0]
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0,)).observe(0.5)
+        with pytest.raises(TelemetryError):
+            b.merge_snapshot(snap)
+
+
+class TestPrometheusRendering:
+    def test_golden_output(self):
+        reg = MetricsRegistry()
+        reg.counter("pairs_total", "pairs aligned").inc(5, kind="align")
+        reg.gauge("level").set(2.5)
+        reg.histogram("t_seconds", "section time", buckets=(0.1, 1.0)).observe(0.5)
+        assert reg.render_prometheus() == (
+            "# TYPE level gauge\n"
+            "level 2.5\n"
+            "# HELP pairs_total pairs aligned\n"
+            "# TYPE pairs_total counter\n"
+            'pairs_total{kind="align"} 5\n'
+            "# HELP t_seconds section time\n"
+            "# TYPE t_seconds histogram\n"
+            't_seconds_bucket{le="0.1"} 0\n'
+            't_seconds_bucket{le="1"} 1\n'
+            't_seconds_bucket{le="+Inf"} 1\n'
+            "t_seconds_sum 0.5\n"
+            "t_seconds_count 1\n"
+        )
+
+    def test_integer_values_render_without_decimal(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc(3)
+        assert "n_total 3\n" in reg.render_prometheus()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

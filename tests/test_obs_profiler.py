@@ -1,0 +1,138 @@
+"""Tests for the two-clock span profiler."""
+
+import pytest
+
+from repro.obs.profiler import Profiler
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by the test."""
+
+    def __init__(self):
+        self.t = 100.0  # non-zero epoch: relative times must subtract it
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestWallSpans:
+    def test_span_measures_wall_time(self, clock):
+        prof = Profiler(clock=clock)
+        with prof.span("push"):
+            clock.tick(2.0)
+        (rec,) = prof.spans("push")
+        assert rec.wall_start == 0.0  # epoch-relative
+        assert rec.wall_seconds == pytest.approx(2.0)
+        assert rec.model_seconds is None
+
+    def test_nesting_sets_parent(self, clock):
+        prof = Profiler(clock=clock)
+        with prof.span("outer") as outer:
+            with prof.span("inner") as inner:
+                clock.tick(1.0)
+            assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert prof.children(outer.span_id) == [inner]
+
+    def test_span_closed_on_exception(self, clock):
+        prof = Profiler(clock=clock)
+        with pytest.raises(RuntimeError):
+            with prof.span("boom"):
+                clock.tick(1.0)
+                raise RuntimeError("x")
+        (rec,) = prof.spans("boom")
+        assert rec.wall_seconds == pytest.approx(1.0)
+        # the stack unwound: a new span is a root again
+        with prof.span("next") as nxt:
+            pass
+        assert nxt.parent_id is None
+
+    def test_labels_stringified(self, clock):
+        prof = Profiler(clock=clock)
+        with prof.span("push", dpu=3):
+            pass
+        assert prof.spans("push")[0].labels == {"dpu": "3"}
+
+
+class TestModelSpans:
+    def test_add_model_span_is_leaf(self):
+        prof = Profiler()
+        rec = prof.add_model_span("kernel", 1.5, 0.25, run=0)
+        assert rec.model_start == 1.5
+        assert rec.model_seconds == 0.25
+        assert rec.wall_seconds is None
+
+    def test_model_span_nests_children(self):
+        prof = Profiler()
+        with prof.model_span("run", 0.0, 1.0) as run:
+            child = prof.add_model_span("kernel", 0.2, 0.5)
+        assert child.parent_id == run.span_id
+
+    def test_annotate_model_on_wall_span(self, clock):
+        prof = Profiler(clock=clock)
+        with prof.span("mixed") as rec:
+            clock.tick(0.5)
+        prof.annotate_model(rec, 0.0, 2.0)
+        assert rec.wall_seconds == pytest.approx(0.5)
+        assert rec.model_seconds == 2.0
+
+
+class TestQueries:
+    def _populated(self):
+        prof = Profiler()
+        prof.add_model_span("kernel", 0.0, 1.0, run=0)
+        prof.add_model_span("kernel", 1.0, 2.0, run=1)
+        prof.add_model_span("launch", 0.0, 0.5, run=0)
+        return prof
+
+    def test_label_subset_match(self):
+        prof = self._populated()
+        assert len(prof.spans("kernel")) == 2
+        assert len(prof.spans("kernel", run=1)) == 1
+        assert prof.spans("kernel", run=9) == []
+
+    def test_model_seconds_sums_matches(self):
+        prof = self._populated()
+        assert prof.model_seconds("kernel") == pytest.approx(3.0)
+        assert prof.model_seconds("kernel", run=0) == pytest.approx(1.0)
+
+    def test_totals_sorted_and_aggregated(self, clock):
+        prof = Profiler(clock=clock)
+        with prof.span("zeta"):
+            clock.tick(1.0)
+        prof.add_model_span("alpha", 0.0, 2.0)
+        totals = prof.totals()
+        assert list(totals) == ["alpha", "zeta"]
+        assert totals["alpha"]["model_seconds"] == pytest.approx(2.0)
+        assert totals["zeta"]["wall_seconds"] == pytest.approx(1.0)
+        assert totals["zeta"]["count"] == 1
+
+
+class TestRendering:
+    def test_report_lists_names(self):
+        prof = self._prof()
+        text = prof.report()
+        assert "profile" in text
+        assert "kernel" in text and "launch" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        prof = self._prof()
+        doc = [r.to_dict() for r in prof.records]
+        assert json.loads(json.dumps(doc)) == doc
+
+    @staticmethod
+    def _prof():
+        prof = Profiler()
+        prof.add_model_span("kernel", 0.0, 1.0, run=0)
+        prof.add_model_span("launch", 1.0, 0.5, run=0)
+        return prof

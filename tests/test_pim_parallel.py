@@ -6,7 +6,7 @@ stats, modeled timings, and transfer accounting all match exactly.
 """
 
 import pickle
-from dataclasses import astuple
+from dataclasses import astuple, replace
 
 import pytest
 
@@ -119,6 +119,75 @@ class TestEquivalence:
         seq = system.align(pairs)
         par = system.align(pairs, workers=2)
         assert run_signature(par) == run_signature(seq)
+
+
+class TestTelemetryEquivalence:
+    """Traces and metric snapshots shipped home by workers must match the
+    sequential path event for event and sample for sample."""
+
+    def _run(self, workers):
+        from repro.obs import RunTelemetry
+
+        tel = RunTelemetry()
+        cfg = PimSystemConfig(
+            num_dpus=4,
+            num_ranks=1,
+            tasklets=2,
+            num_simulated_dpus=4,
+            workers=workers,
+        )
+        kc = KernelConfig(penalties=PEN, max_read_len=50, max_edits=2)
+        system = PimSystem(cfg, kc, telemetry=tel)
+        pairs = ReadPairGenerator(length=50, error_rate=0.04, seed=6).pairs(12)
+        system.align(pairs)
+        return tel
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_trace_events_identical(self, workers):
+        seq, par = self._run(1), self._run(workers)
+        assert seq.segments[0].trace.events == par.segments[0].trace.events
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_metric_snapshots_identical(self, workers):
+        seq, par = self._run(1), self._run(workers)
+        assert seq.registry.snapshot() == par.registry.snapshot()
+
+    def test_collect_flags_off_ship_nothing(self):
+        system = make_system()
+        pairs = ReadPairGenerator(length=50, error_rate=0.02, seed=3).pairs(4)
+        layout = system.plan_layout(len(pairs))
+        job = system._make_job(0, layout, pairs=tuple(pairs))
+        rec = run_dpu_job(job)
+        assert rec.trace is None
+        assert rec.metrics is None
+
+    def test_collecting_job_round_trips_through_pickle(self):
+        system = make_system()
+        pairs = ReadPairGenerator(length=50, error_rate=0.02, seed=3).pairs(4)
+        layout = system.plan_layout(len(pairs))
+        job = replace(
+            system._make_job(0, layout, pairs=tuple(pairs)),
+            collect_trace=True,
+            collect_metrics=True,
+        )
+        rec = pickle.loads(pickle.dumps(run_dpu_job(pickle.loads(pickle.dumps(job)))))
+        assert rec.trace is not None and len(rec.trace.events) == 16  # 4 pairs x 4
+        assert all(e.dpu_id == 0 for e in rec.trace.events)
+        assert rec.metrics is not None
+        assert rec.metrics["schema"] == "repro.obs.metrics/v1"
+
+    def test_collection_does_not_change_results(self):
+        """Turning telemetry on must not perturb the simulation."""
+        from repro.obs import RunTelemetry
+
+        pairs = ReadPairGenerator(length=50, error_rate=0.04, seed=10).pairs(10)
+        plain = make_system().align(pairs)
+        cfg = PimSystemConfig(
+            num_dpus=4, num_ranks=1, tasklets=2, num_simulated_dpus=4, workers=1
+        )
+        kc = KernelConfig(penalties=PEN, max_read_len=50, max_edits=2)
+        observed = PimSystem(cfg, kc, telemetry=RunTelemetry()).align(pairs)
+        assert run_signature(observed) == run_signature(plain)
 
 
 class TestEngine:

@@ -106,6 +106,126 @@ class TestRendering:
         assert len(combined.events) == len(trace.events) + 1
 
 
+class TestDpuAttribution:
+    def _dpu_trace(self, dpu_id, cycles=5.0):
+        return KernelTrace(
+            events=[
+                TraceEvent(
+                    tasklet_id=0,
+                    pair_index=0,
+                    phase="align",
+                    cycles=cycles,
+                    dpu_id=dpu_id,
+                )
+            ]
+        )
+
+    def test_kernel_stamps_dpu_id(self):
+        pairs = ReadPairGenerator(length=60, error_rate=0.04, seed=32).pairs(4)
+        kc = KernelConfig(penalties=PEN, max_read_len=60, max_edits=3)
+        kernel = WfaDpuKernel(kc)
+        dpu = Dpu(DpuConfig(), dpu_id=7)
+        layout = MramLayout.plan(
+            num_pairs=len(pairs),
+            max_pattern_len=kc.max_seq_len,
+            max_text_len=kc.max_seq_len,
+            max_cigar_ops=kc.max_cigar_ops,
+            tasklets=2,
+            metadata_bytes_per_tasklet=kc.metadata_peak_bytes(),
+        )
+        HostTransferEngine(HostTransferConfig()).push_batch(dpu, layout, pairs)
+        trace = KernelTrace()
+        kernel.run(dpu, layout, [[0, 2], [1, 3]], "mram", trace=trace)
+        assert trace.dpus_traced() == [7]
+        assert all(e.dpu_id == 7 for e in trace.events)
+
+    def test_merge_keeps_attribution(self):
+        merged = merge([self._dpu_trace(0), self._dpu_trace(2)])
+        assert merged.dpus_traced() == [0, 2]
+        assert len(merged.for_dpu(2).events) == 1
+        assert merged.for_dpu(1).events == []
+
+    def test_for_tasklet_dpu_filter(self):
+        merged = merge([self._dpu_trace(0), self._dpu_trace(2)])
+        assert len(merged.for_tasklet(0)) == 2  # tasklet 0 on both DPUs
+        assert len(merged.for_tasklet(0, dpu_id=2)) == 1
+
+    def test_pairs_traced_distinguishes_dpus(self):
+        # same (tasklet, pair) on two DPUs = two distinct pair executions
+        merged = merge([self._dpu_trace(0), self._dpu_trace(1)])
+        assert merged.pairs_traced() == 2
+
+
+class TestPhaseTotalsOrdering:
+    def _custom_trace(self):
+        return KernelTrace(
+            events=[
+                TraceEvent(tasklet_id=0, pair_index=0, phase="teardown", cycles=2),
+                TraceEvent(tasklet_id=0, pair_index=0, phase="align", cycles=8),
+                TraceEvent(tasklet_id=0, pair_index=0, phase="setup", cycles=1),
+                TraceEvent(tasklet_id=0, pair_index=1, phase="teardown", cycles=2),
+            ]
+        )
+
+    def test_known_phases_first_then_first_encounter(self):
+        totals = self._custom_trace().phase_totals()
+        assert list(totals) == [
+            "fetch", "align", "metadata", "writeback", "teardown", "setup"
+        ]
+        assert totals["teardown"]["cycles"] == 4
+        assert totals["fetch"]["cycles"] == 0  # pre-seeded, zeroed
+
+    def test_report_covers_unknown_phases(self):
+        text = self._custom_trace().report()
+        assert "teardown" in text and "setup" in text
+        assert "fetch" not in text  # zero-activity known phase omitted
+        # unknown phases keep first-encounter order in the table
+        assert text.index("teardown") < text.index("setup")
+
+
+class TestTimelineEdgeCases:
+    def test_zero_cycle_events_occupy_no_cells(self):
+        trace = KernelTrace(
+            events=[
+                TraceEvent(tasklet_id=0, pair_index=0, phase="fetch", cycles=0),
+                TraceEvent(tasklet_id=0, pair_index=0, phase="align", cycles=10),
+            ]
+        )
+        line = trace.timeline(0, width=10)
+        assert "f" not in line.split("[")[1]
+        assert "A" * 10 in line
+
+    def test_small_events_round_up_to_one_cell(self):
+        trace = KernelTrace(
+            events=[
+                TraceEvent(tasklet_id=0, pair_index=0, phase="fetch", cycles=1),
+                TraceEvent(tasklet_id=0, pair_index=0, phase="align", cycles=999),
+            ]
+        )
+        bar = trace.timeline(0, width=10).split("[")[1]
+        assert bar.count("f") == 1  # not rounded away
+
+    def test_unknown_phase_renders_question_mark(self):
+        trace = KernelTrace(
+            events=[
+                TraceEvent(tasklet_id=0, pair_index=0, phase="mystery", cycles=4),
+                TraceEvent(tasklet_id=0, pair_index=0, phase="align", cycles=4),
+            ]
+        )
+        assert "?" in trace.timeline(0)
+
+    def test_dpu_label(self):
+        trace = KernelTrace(
+            events=[
+                TraceEvent(
+                    tasklet_id=1, pair_index=0, phase="align", cycles=4, dpu_id=3
+                )
+            ]
+        )
+        assert trace.timeline(1, dpu_id=3).startswith("dpu 3 tasklet 1: [")
+        assert "no cycles" in trace.timeline(1, dpu_id=9)
+
+
 class TestPolicyContrast:
     def test_wram_policy_has_no_metadata_dma(self):
         pairs = ReadPairGenerator(length=60, error_rate=0.04, seed=31).pairs(4)
