@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast bench bench-parallel examples fig1 outputs trace-demo clean
+.PHONY: install test test-fast qa coverage bench bench-parallel examples fig1 outputs trace-demo clean
 
 install:
 	pip install -e .
@@ -10,6 +10,33 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+# Seeded differential-verification sweep (see docs/testing.md): every
+# kernel answer checked against WFA + Gotoh + Myers oracles, the report
+# schema-validated, plus a fault-injected rerun that must still agree.
+qa:
+	PYTHONPATH=src HYPOTHESIS_PROFILE=ci python -m repro.cli qa \
+		--trials 200 --seed 42 --report out/qa/report.jsonl
+	PYTHONPATH=src HYPOTHESIS_PROFILE=ci python -m repro.cli qa \
+		--trials 50 --seed 42 --kill-dpu 1 --report out/qa/report-faults.jsonl
+
+# Coverage gate over the fault + QA subsystems.  pytest-cov is not part
+# of the baked toolchain everywhere, so the gate degrades to a plain run
+# (with a visible notice) when the plugin is missing rather than failing
+# the build on a tooling gap.
+coverage:
+	@if python -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src python -m pytest tests/test_pim_faults.py \
+			tests/test_qa_oracle.py tests/test_qa_cli.py \
+			tests/test_qa_differential.py tests/test_scheduler_stateful.py \
+			--cov=repro.pim.faults --cov=repro.qa \
+			--cov-report=term-missing --cov-fail-under=85; \
+	else \
+		echo "pytest-cov not installed; running the suite without the gate"; \
+		PYTHONPATH=src python -m pytest tests/test_pim_faults.py \
+			tests/test_qa_oracle.py tests/test_qa_cli.py \
+			tests/test_qa_differential.py tests/test_scheduler_stateful.py -q; \
+	fi
 
 bench:
 	pytest benchmarks/ --benchmark-only

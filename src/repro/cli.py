@@ -5,6 +5,7 @@ Installed as the ``repro`` console script::
     repro generate --pairs 1000 --length 100 --error-rate 0.02 -o reads.seq
     repro align    -i reads.seq --metric affine
     repro pim-align -i reads.seq --dpus 64 --tasklets 16
+    repro qa       --trials 200 --seed 42 --report qa.jsonl
     repro fig1     --quick
     repro sweep    tasklets
 
@@ -150,6 +151,27 @@ def build_parser() -> argparse.ArgumentParser:
     fig = sub.add_parser("fig1", help="reproduce the paper's Fig. 1")
     fig.add_argument("--quick", action="store_true")
     fig.add_argument("--json", help="also write a machine-readable record")
+
+    # qa -----------------------------------------------------------------
+    qa = sub.add_parser(
+        "qa",
+        help="differential verification: PIM kernel vs host oracles",
+    )
+    qa.add_argument("--trials", type=int, default=200,
+                    help="seeded corpus cases per run (default: 200)")
+    qa.add_argument("--seed", type=int, default=42)
+    qa.add_argument("--max-len", type=int, default=32)
+    qa.add_argument("--max-edits", type=int, default=4)
+    qa.add_argument("--dpus", type=int, default=4)
+    qa.add_argument("--tasklets", type=int, default=4)
+    qa.add_argument("--workers", type=int, default=1)
+    qa.add_argument("--no-shrink", action="store_true",
+                    help="skip minimizing failing cases")
+    qa.add_argument("--kill-dpu", type=int, default=None, metavar="ID",
+                    help="also run under a fault plan that kills this DPU "
+                         "on its first attempt (recovery must still agree)")
+    qa.add_argument("--report", metavar="PATH", default=None,
+                    help="write the JSONL report here")
 
     # sweep -----------------------------------------------------------------
     sweep = sub.add_parser("sweep", help="run an ablation/extension sweep")
@@ -376,6 +398,48 @@ def _sensitivity_sweep():
     return sensitivity_analysis(cpu_sample=120, pim_sample=24)
 
 
+def _cmd_qa(args: argparse.Namespace) -> int:
+    from repro.pim.faults import DpuDeath, FaultPlan
+    from repro.qa import QaConfig, run_qa, validate_qa_report
+
+    fault_plan = None
+    if args.kill_dpu is not None:
+        fault_plan = FaultPlan(
+            seed=args.seed, deaths=(DpuDeath(dpu_id=args.kill_dpu),)
+        )
+    report = run_qa(
+        QaConfig(
+            trials=args.trials,
+            seed=args.seed,
+            max_len=args.max_len,
+            max_edits=args.max_edits,
+            num_dpus=args.dpus,
+            tasklets=args.tasklets,
+            workers=args.workers,
+            shrink=not args.no_shrink,
+            fault_plan=fault_plan,
+        )
+    )
+    print(report.summary())
+    if args.report:
+        path = report.write(args.report)
+        validate_qa_report(path)
+        print(f"wrote schema-valid report to {path}")
+    for model, recovery in report.recovery.items():
+        print(f"recovery[{model}]: {recovery['faults_seen']} fault(s), "
+              f"{len(recovery['rerun_pairs'])} pair(s) re-run, "
+              f"{len(recovery['abandoned_pairs'])} abandoned")
+    if not report.all_ok:
+        for item in report.shrunk:
+            print(
+                f"minimal repro [{item['penalties']}]: "
+                f"pattern={item['pattern']!r} text={item['text']!r}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import sweeps
 
@@ -400,6 +464,7 @@ _COMMANDS = {
     "map": _cmd_map,
     "stats": _cmd_stats,
     "fig1": _cmd_fig1,
+    "qa": _cmd_qa,
     "sweep": _cmd_sweep,
 }
 

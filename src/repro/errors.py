@@ -55,6 +55,48 @@ class KernelError(PimError):
     """A DPU kernel failed during simulated execution."""
 
 
+class FaultError(PimError):
+    """Base class for runtime faults of the (simulated) PIM machine.
+
+    Unlike the planning/validation errors above, these model failures a
+    production deployment must *tolerate*: hardware gives up mid-run,
+    transfers are cut short, data rots in MRAM.  The host-side recovery
+    layer (:mod:`repro.pim.faults`) catches exactly this subtree for its
+    retry/requeue logic — programming errors still propagate.
+    """
+
+    def __init__(self, message: str, dpu_id: int | None = None) -> None:
+        if dpu_id is not None:
+            message = f"DPU {dpu_id}: {message}"
+        super().__init__(message)
+        self.dpu_id = dpu_id
+
+
+class DpuFailure(FaultError):
+    """A DPU died or refused to launch (allocation/boot/ECC failure)."""
+
+
+class TransferError(FaultError):
+    """A host<->DPU transfer was truncated or timed out mid-copy."""
+
+
+class CorruptResultError(FaultError):
+    """Gathered MRAM data failed an integrity check.
+
+    Raised instead of ever returning a silently wrong alignment: a
+    malformed result header, an unparseable record, or a CIGAR/score
+    that does not reconstruct against its input pair.
+    """
+
+
+class TaskletStallError(FaultError):
+    """A tasklet exceeded its stall budget (modeled watchdog trip)."""
+
+
+class QaError(ReproError):
+    """Differential-verification harness misuse or invariant failure."""
+
+
 class ConfigError(ReproError):
     """Invalid platform / experiment configuration."""
 

@@ -18,6 +18,18 @@ from repro.pim.config import (
 )
 from repro.pim.dma import DMA_ALIGN, DMA_MAX, DMA_MIN, DmaEngine, aligned_size
 from repro.pim.dpu import Dpu, DpuKernelStats
+from repro.pim.faults import (
+    DpuDeath,
+    FaultInjector,
+    FaultPlan,
+    JobRecoveryRecord,
+    MramCorruption,
+    RecoveryReport,
+    RetryPolicy,
+    TaskletStall,
+    TransferTruncation,
+    spare_placements,
+)
 from repro.pim.kernel import (
     KernelConfig,
     WfaDpuKernel,
@@ -31,9 +43,12 @@ from repro.pim.parallel import (
     DpuJob,
     DpuJobResult,
     GeneratorSpec,
+    ResilientOutcome,
     execute_jobs,
+    execute_jobs_resilient,
     resolve_workers,
     run_dpu_job,
+    run_dpu_job_resilient,
 )
 from repro.pim.rank import RankSummary, group_by_rank, imbalance
 from repro.pim.scheduler import BatchSchedule, BatchScheduler, ScheduledRun
@@ -77,9 +92,22 @@ __all__ = [
     "DpuJob",
     "DpuJobResult",
     "GeneratorSpec",
+    "ResilientOutcome",
     "execute_jobs",
+    "execute_jobs_resilient",
     "resolve_workers",
     "run_dpu_job",
+    "run_dpu_job_resilient",
+    "FaultPlan",
+    "FaultInjector",
+    "DpuDeath",
+    "MramCorruption",
+    "TransferTruncation",
+    "TaskletStall",
+    "RetryPolicy",
+    "JobRecoveryRecord",
+    "RecoveryReport",
+    "spare_placements",
     "RankSummary",
     "group_by_rank",
     "imbalance",

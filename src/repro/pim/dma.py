@@ -23,6 +23,8 @@ bounding terms.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import AlignmentFault
 from repro.pim.config import DpuTimingConfig
 from repro.pim.memory import Mram, Wram
@@ -49,6 +51,10 @@ class DmaEngine:
         self.transfers = 0
         self.bytes_moved = 0
         self.cycles = 0.0
+        #: fault-injection hook: called with the transfer size before any
+        #: bytes move; may raise (e.g. a tasklet-stall watchdog trip).
+        #: See :class:`repro.pim.faults.FaultInjector`.
+        self.fault_hook: "Callable[[int], None] | None" = None
 
     def _validate(self, mram_addr: int, wram_addr: int, size: int) -> None:
         if mram_addr % DMA_ALIGN != 0:
@@ -75,6 +81,8 @@ class DmaEngine:
     def read(self, mram_addr: int, wram_addr: int, size: int) -> float:
         """MRAM -> WRAM transfer; returns the cycles charged."""
         self._validate(mram_addr, wram_addr, size)
+        if self.fault_hook is not None:
+            self.fault_hook(size)
         data = self.mram.read(mram_addr, size)
         self.wram.write(wram_addr, data)
         return self._charge(size)
@@ -82,6 +90,8 @@ class DmaEngine:
     def write(self, wram_addr: int, mram_addr: int, size: int) -> float:
         """WRAM -> MRAM transfer; returns the cycles charged."""
         self._validate(mram_addr, wram_addr, size)
+        if self.fault_hook is not None:
+            self.fault_hook(size)
         data = self.wram.read(wram_addr, size)
         self.mram.write(mram_addr, data)
         return self._charge(size)

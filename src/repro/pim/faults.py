@@ -1,0 +1,549 @@
+"""Deterministic fault injection and host-side recovery policy.
+
+Real UPMEM deployments lose DPUs mid-run, see host transfers cut short,
+and occasionally read back rotted MRAM; the paper's 2560-DPU throughput
+claims implicitly assume a host loop that tolerates all of it.  This
+module makes those failure modes *expressible* in the simulator — as a
+seeded, declarative :class:`FaultPlan` — and gives the host the recovery
+vocabulary production code needs: a :class:`RetryPolicy` (bounded
+retries with exponential backoff, requeue of a failed DPU's batch onto a
+healthy DPU) and a :class:`RecoveryReport` describing how gracefully a
+run degraded (which pairs completed, which were re-run, which were
+abandoned).
+
+Design rules:
+
+* **Declarative and seeded.**  A plan is plain frozen data; every fault
+  site derives its RNG from ``(plan.seed, dpu, attempt)``, so the same
+  plan corrupts the same bits on every run — fault tests are exactly as
+  reproducible as golden tests.
+* **Attempt-scoped.**  Each fault lists the recovery ``attempts`` (a
+  monotone per-job counter starting at 0) on which it fires; ``None``
+  means *every* attempt (a persistent fault — e.g. a dead DPU that stays
+  dead, which only requeueing onto different hardware survives).
+  The default ``(0,)`` models a transient fault a retry fixes.
+* **Typed, never silent.**  Every injected fault surfaces as a
+  :class:`~repro.errors.FaultError` subclass.  Corruption that parsing
+  alone cannot catch is caught by result verification (see
+  ``DpuJob.verify`` in :mod:`repro.pim.parallel`): a gathered CIGAR
+  must validate against its input pair and rescore to its reported
+  score, or the pull raises :class:`~repro.errors.CorruptResultError`.
+
+The injection sites live in :mod:`repro.pim.dma` (per-transfer hook),
+:mod:`repro.pim.memory` (:meth:`~repro.pim.memory.SimMemory.flip_bits`),
+:mod:`repro.pim.transfer` (push/pull truncation + corruption windows)
+and :mod:`repro.pim.system` / :mod:`repro.pim.parallel` (launch checks,
+recovery orchestration).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.errors import ConfigError, DpuFailure, TaskletStallError, TransferError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.pim.dpu import Dpu
+    from repro.pim.layout import MramLayout
+
+__all__ = [
+    "DpuDeath",
+    "MramCorruption",
+    "TransferTruncation",
+    "TaskletStall",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "JobRecoveryRecord",
+    "RecoveryReport",
+]
+
+_REGIONS = ("header", "input", "output")
+_DIRECTIONS = ("push", "pull")
+
+
+def _fires(attempts: Optional[tuple[int, ...]], attempt: int) -> bool:
+    return attempts is None or attempt in attempts
+
+
+@dataclass(frozen=True)
+class DpuDeath:
+    """A DPU that fails at launch (boot/allocation/ECC death).
+
+    ``attempts=None`` (the default) keeps the DPU dead on every attempt:
+    retrying in place never helps and only a requeue onto a different
+    physical DPU completes the batch.
+    """
+
+    dpu_id: int
+    attempts: Optional[tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class MramCorruption:
+    """Seeded bit rot in one region of a DPU's MRAM bank.
+
+    ``region`` is one of ``"header"`` (the layout header at address 0),
+    ``"input"`` (the packed pair records) or ``"output"`` (the result
+    records).  Header/input corruption is applied after the push
+    completes; output corruption right before the pull — the points
+    where real bit rot would bite.  ``record`` narrows the blast radius
+    to one input/output record (``None`` sprays the whole region).
+    """
+
+    dpu_id: int
+    region: str = "output"
+    num_bits: int = 1
+    record: Optional[int] = None
+    attempts: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.region not in _REGIONS:
+            raise ConfigError(
+                f"corruption region must be one of {_REGIONS}, got {self.region!r}"
+            )
+        if self.num_bits < 1:
+            raise ConfigError(f"num_bits must be >= 1, got {self.num_bits}")
+
+
+@dataclass(frozen=True)
+class TransferTruncation:
+    """A host<->DPU copy that dies after ``keep_bytes`` bytes.
+
+    Models both a truncated DMA burst and a transfer timeout: the engine
+    moves at most ``keep_bytes`` whole records, then raises
+    :class:`~repro.errors.TransferError`.
+    """
+
+    dpu_id: int
+    direction: str = "push"
+    keep_bytes: int = 0
+    attempts: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ConfigError(
+                f"truncation direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if self.keep_bytes < 0:
+            raise ConfigError(f"keep_bytes must be >= 0, got {self.keep_bytes}")
+
+
+@dataclass(frozen=True)
+class TaskletStall:
+    """A tasklet that hangs after a budget of DMA transfers.
+
+    The single per-DPU DMA engine counts transfers; once the budget is
+    exhausted the modeled watchdog trips with
+    :class:`~repro.errors.TaskletStallError` — the whole-DPU failure a
+    stuck tasklet causes on real hardware (the launch never returns).
+    """
+
+    dpu_id: int
+    dma_budget: int = 0
+    attempts: tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.dma_budget < 0:
+            raise ConfigError(f"dma_budget must be >= 0, got {self.dma_budget}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded description of every fault a run will see."""
+
+    seed: int = 0
+    deaths: tuple[DpuDeath, ...] = ()
+    corruptions: tuple[MramCorruption, ...] = ()
+    truncations: tuple[TransferTruncation, ...] = ()
+    stalls: tuple[TaskletStall, ...] = ()
+
+    def targets(self, dpu_id: int) -> bool:
+        """Whether any fault in the plan names ``dpu_id``."""
+        return any(
+            f.dpu_id == dpu_id
+            for f in (*self.deaths, *self.corruptions, *self.truncations, *self.stalls)
+        )
+
+    def always_dead(self, dpu_id: int) -> bool:
+        """Whether ``dpu_id`` is dead on *every* attempt (unplaceable)."""
+        return any(d.dpu_id == dpu_id and d.attempts is None for d in self.deaths)
+
+    def injector(self, dpu_id: int, attempt: int = 0) -> "FaultInjector":
+        """The injector enforcing this plan on one (DPU, attempt)."""
+        return FaultInjector(self, dpu_id, attempt)
+
+    def to_dict(self) -> dict:
+        """JSON-ready plan description (tuples become lists)."""
+        return {
+            "seed": self.seed,
+            "deaths": [asdict(f) for f in self.deaths],
+            "corruptions": [asdict(f) for f in self.corruptions],
+            "truncations": [asdict(f) for f in self.truncations],
+            "stalls": [asdict(f) for f in self.stalls],
+        }
+
+    def faulty_dpus(self) -> tuple[int, ...]:
+        """Sorted ids of every DPU any fault names."""
+        return tuple(
+            sorted(
+                {
+                    f.dpu_id
+                    for f in (
+                        *self.deaths,
+                        *self.corruptions,
+                        *self.truncations,
+                        *self.stalls,
+                    )
+                }
+            )
+        )
+
+
+class FaultInjector:
+    """Applies one DPU's share of a :class:`FaultPlan` on one attempt.
+
+    Instantiated per (physical DPU, attempt) by the execution layer and
+    wired into the transfer engine (push/pull windows) and the DMA
+    engine (stall watchdog).  All randomness is derived from
+    ``(plan.seed, dpu_id, attempt)``, never from global state.
+    """
+
+    def __init__(self, plan: FaultPlan, dpu_id: int, attempt: int = 0) -> None:
+        self.plan = plan
+        self.dpu_id = dpu_id
+        self.attempt = attempt
+        self._dma_transfers = 0
+        self._stall = next(
+            (
+                s
+                for s in plan.stalls
+                if s.dpu_id == dpu_id and _fires(s.attempts, attempt)
+            ),
+            None,
+        )
+
+    _SITE_CODES = {"corrupt": 1, "truncate": 2, "stall": 3}
+
+    def _rng(self, site: str, salt: int = 0) -> random.Random:
+        # Arithmetic seed derivation: Python's hash() of strings/tuples is
+        # salted per process, which would desynchronize worker processes
+        # from the sequential path.
+        code = self._SITE_CODES.get(site, 0)
+        seed = (
+            self.plan.seed * 1_000_003
+            + self.dpu_id * 9_176
+            + self.attempt * 131
+            + code * 31
+            + salt
+        )
+        return random.Random(seed)
+
+    # -- launch ----------------------------------------------------------
+
+    def check_launch(self) -> None:
+        """Raise :class:`~repro.errors.DpuFailure` for a dead DPU."""
+        for death in self.plan.deaths:
+            if death.dpu_id == self.dpu_id and _fires(death.attempts, self.attempt):
+                raise DpuFailure(
+                    f"simulated DPU death (attempt {self.attempt})",
+                    dpu_id=self.dpu_id,
+                )
+
+    # -- host transfers --------------------------------------------------
+
+    def _limit(self, direction: str) -> Optional[int]:
+        for t in self.plan.truncations:
+            if (
+                t.dpu_id == self.dpu_id
+                and t.direction == direction
+                and _fires(t.attempts, self.attempt)
+            ):
+                return t.keep_bytes
+        return None
+
+    def push_limit(self) -> Optional[int]:
+        """Byte budget for a CPU->MRAM push (``None`` = unlimited)."""
+        return self._limit("push")
+
+    def pull_limit(self) -> Optional[int]:
+        """Byte budget for an MRAM->CPU pull (``None`` = unlimited)."""
+        return self._limit("pull")
+
+    def truncated(self, direction: str, moved: int, total: int) -> TransferError:
+        """The typed error a truncated transfer surfaces as."""
+        return TransferError(
+            f"{direction} truncated after {moved} of {total} bytes "
+            f"(attempt {self.attempt})",
+            dpu_id=self.dpu_id,
+        )
+
+    def _corrupt(self, dpu: "Dpu", layout: "MramLayout", regions: tuple[str, ...]) -> None:
+        from repro.pim.layout import HEADER_BYTES
+
+        for i, c in enumerate(self.plan.corruptions):
+            if (
+                c.dpu_id != self.dpu_id
+                or c.region not in regions
+                or not _fires(c.attempts, self.attempt)
+            ):
+                continue
+            if c.region == "header":
+                addr, size = 0, HEADER_BYTES
+            elif c.region == "input":
+                if c.record is not None:
+                    addr = layout.input_addr(c.record)
+                    size = layout.input_record_size
+                else:
+                    addr = layout.input_base
+                    size = layout.num_pairs * layout.input_record_size
+            else:  # output
+                if c.record is not None:
+                    addr = layout.result_addr(c.record)
+                    size = layout.result_record_size
+                else:
+                    addr = layout.output_base
+                    size = layout.num_pairs * layout.result_record_size
+            dpu.mram.flip_bits(addr, size, c.num_bits, self._rng("corrupt", i))
+
+    def after_push(self, dpu: "Dpu", layout: "MramLayout") -> None:
+        """Apply header/input bit rot once the push has landed."""
+        self._corrupt(dpu, layout, ("header", "input"))
+
+    def before_pull(self, dpu: "Dpu", layout: "MramLayout") -> None:
+        """Apply output bit rot right before results are gathered."""
+        self._corrupt(dpu, layout, ("output",))
+
+    # -- kernel DMA ------------------------------------------------------
+
+    def attach_dma(self, dpu: "Dpu") -> None:
+        """Install the stall watchdog on the DPU's DMA engine (if any)."""
+        if self._stall is not None:
+            dpu.dma.fault_hook = self.on_dma
+
+    def on_dma(self, size: int) -> None:
+        """Per-transfer watchdog tick; trips past the stall budget."""
+        if self._stall is None:
+            return
+        self._dma_transfers += 1
+        if self._dma_transfers > self._stall.dma_budget:
+            raise TaskletStallError(
+                f"tasklet stalled: DMA transfer {self._dma_transfers} exceeds "
+                f"budget {self._stall.dma_budget} (attempt {self.attempt})",
+                dpu_id=self.dpu_id,
+            )
+
+
+# -- host-side recovery policy ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry + requeue policy for failed DPU jobs.
+
+    ``max_attempts`` bounds tries *per placement*; after exhausting
+    them, the job is requeued onto up to ``max_requeues`` spare healthy
+    DPUs (placements the execution layer provides).  Backoff before the
+    ``n``-th retry is ``backoff_base_s * backoff_factor**(n-1)`` —
+    *modeled* seconds, accounted in the degradation report and the
+    metrics, never slept: recovery stays deterministic and test-fast.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    max_requeues: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            raise ConfigError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigError("backoff_factor must be >= 1")
+        if self.max_requeues < 0:
+            raise ConfigError(f"max_requeues must be >= 0, got {self.max_requeues}")
+
+    def backoff_seconds(self, retry_index: int) -> float:
+        """Modeled backoff before retry ``retry_index`` (0-based)."""
+        return self.backoff_base_s * self.backoff_factor**retry_index
+
+
+@dataclass
+class JobRecoveryRecord:
+    """What recovery did for one logical DPU's job (picklable)."""
+
+    dpu_id: int
+    num_pairs: int
+    attempts: int = 1
+    #: physical DPU ids tried, in order (first = the original placement)
+    placements: tuple[int, ...] = ()
+    #: placement that finally succeeded (``None`` when abandoned)
+    final_placement: Optional[int] = None
+    #: error type name per failed attempt, e.g. ``("DpuFailure", ...)``
+    errors: tuple[str, ...] = ()
+    backoff_seconds: float = 0.0
+    abandoned: bool = False
+
+    @property
+    def clean(self) -> bool:
+        """True when the first attempt on the first placement succeeded."""
+        return not self.errors and not self.abandoned
+
+    @property
+    def requeued(self) -> bool:
+        return self.final_placement is not None and len(self.placements) > 1
+
+    def to_dict(self) -> dict:
+        return {
+            "dpu_id": self.dpu_id,
+            "num_pairs": self.num_pairs,
+            "attempts": self.attempts,
+            "placements": list(self.placements),
+            "final_placement": self.final_placement,
+            "errors": list(self.errors),
+            "backoff_seconds": self.backoff_seconds,
+            "abandoned": self.abandoned,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Graceful-degradation report of one fault-tolerant run.
+
+    Aggregates the per-job :class:`JobRecoveryRecord` list and — once
+    the caller maps jobs to global pair indices — says exactly which
+    pairs completed first try, which needed re-running, and which were
+    abandoned after the policy gave up.
+    """
+
+    records: list[JobRecoveryRecord] = field(default_factory=list)
+    completed_pairs: list[int] = field(default_factory=list)
+    rerun_pairs: list[int] = field(default_factory=list)
+    abandoned_pairs: list[int] = field(default_factory=list)
+
+    @property
+    def all_ok(self) -> bool:
+        return not self.abandoned_pairs
+
+    @property
+    def faults_seen(self) -> int:
+        return sum(len(r.errors) for r in self.records)
+
+    @property
+    def backoff_seconds(self) -> float:
+        return sum(r.backoff_seconds for r in self.records)
+
+    def merge(self, other: "RecoveryReport") -> None:
+        """Fold another round's report in (multi-round schedulers)."""
+        self.records.extend(other.records)
+        self.completed_pairs.extend(other.completed_pairs)
+        self.rerun_pairs.extend(other.rerun_pairs)
+        self.abandoned_pairs.extend(other.abandoned_pairs)
+
+    def shift_pairs(self, offset: int) -> None:
+        """Rebase round-local pair indices to workload-global ones.
+
+        A multi-round scheduler aligns ``pairs[start:start+size]`` per
+        round, so each round's report indexes from 0; shifting by the
+        round's ``start`` before :meth:`merge` makes the aggregate
+        report speak in the caller's global pair indices.
+        """
+        self.completed_pairs = [p + offset for p in self.completed_pairs]
+        self.rerun_pairs = [p + offset for p in self.rerun_pairs]
+        self.abandoned_pairs = [p + offset for p in self.abandoned_pairs]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.pim.recovery/v1",
+            "all_ok": self.all_ok,
+            "faults_seen": self.faults_seen,
+            "backoff_seconds": self.backoff_seconds,
+            "completed_pairs": sorted(self.completed_pairs),
+            "rerun_pairs": sorted(self.rerun_pairs),
+            "abandoned_pairs": sorted(self.abandoned_pairs),
+            "jobs": [r.to_dict() for r in self.records],
+        }
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.completed_pairs)} pairs completed",
+            f"{len(self.rerun_pairs)} re-run",
+            f"{len(self.abandoned_pairs)} abandoned",
+            f"{self.faults_seen} fault(s) seen",
+        ]
+        return ", ".join(parts)
+
+    def count_into(self, registry: "MetricsRegistry") -> None:
+        """Fold the report into the PR-2 metrics registry."""
+        faults = registry.counter(
+            "pim_fault_errors_total", "injected faults surfaced, by error type"
+        )
+        retries = registry.counter(
+            "pim_job_retries_total", "failed job attempts that were retried"
+        )
+        attempts = registry.histogram(
+            "pim_job_attempts",
+            "recovery attempts per DPU job",
+            buckets=(1, 2, 3, 4, 6, 8, 12, 16),
+        )
+        requeues = registry.counter(
+            "pim_pairs_requeued_total", "pairs moved onto a spare healthy DPU"
+        )
+        abandoned = registry.counter(
+            "pim_pairs_abandoned_total", "pairs given up on after recovery"
+        )
+        backoff = registry.counter(
+            "pim_backoff_seconds_total", "modeled backoff spent in recovery"
+        )
+        for rec in self.records:
+            for kind in rec.errors:
+                faults.inc(kind=kind)
+            if rec.errors and not rec.abandoned:
+                retries.inc(len(rec.errors))
+            attempts.observe(rec.attempts)
+            if rec.requeued:
+                requeues.inc(rec.num_pairs)
+            if rec.abandoned:
+                abandoned.inc(rec.num_pairs)
+        if self.backoff_seconds:
+            backoff.inc(self.backoff_seconds)
+
+
+def assign_pairs(
+    report: RecoveryReport, num_dpus: int, batch_sizes: dict[int, int]
+) -> None:
+    """Fill the report's pair-index lists from the round-robin contract.
+
+    Pair ``local`` of logical DPU ``d`` is global index
+    ``d + local * num_dpus`` — the same contract
+    :class:`~repro.pim.system.PimSystem` merges records under.
+    """
+    for rec in report.records:
+        size = batch_sizes.get(rec.dpu_id, rec.num_pairs)
+        indices = [rec.dpu_id + local * num_dpus for local in range(size)]
+        if rec.abandoned:
+            report.abandoned_pairs.extend(indices)
+        elif rec.clean:
+            report.completed_pairs.extend(indices)
+        else:
+            report.completed_pairs.extend(indices)
+            report.rerun_pairs.extend(indices)
+
+
+def spare_placements(
+    dpu_id: int, all_ids: Iterable[int], plan: FaultPlan
+) -> tuple[int, ...]:
+    """Deterministic requeue candidates for ``dpu_id``: healthy peers,
+    starting just after it (round-robin) so spare load spreads."""
+    ids = sorted(set(all_ids))
+    healthy = [i for i in ids if i != dpu_id and not plan.always_dead(i)]
+    if not healthy:
+        return ()
+    # rotate so the first candidate is the next healthy id after dpu_id
+    pivot = next((n for n, i in enumerate(healthy) if i > dpu_id), 0)
+    return tuple(healthy[pivot:] + healthy[:pivot])

@@ -27,6 +27,7 @@ from repro.data.generator import ReadPair
 from repro.errors import ConfigError, PimError
 from repro.pim.config import DpuConfig, HostTransferConfig
 from repro.pim.dpu import Dpu, DpuKernelStats
+from repro.pim.faults import FaultInjector, FaultPlan
 from repro.pim.kernel import WfaDpuKernel
 from repro.pim.layout import MramLayout
 from repro.pim.transfer import HostTransferEngine
@@ -41,6 +42,11 @@ class DpuSet:
     num_dpus: int
     dpu_config: DpuConfig = field(default_factory=DpuConfig)
     transfer_config: HostTransferConfig = field(default_factory=HostTransferConfig)
+    #: optional fault plan; the SDK facade has no recovery layer, so
+    #: injected faults surface to the caller as the typed
+    #: :class:`~repro.errors.FaultError` subclasses (attempt 0 faults
+    #: only — rerun phases yourself to model retries at this level).
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_dpus < 1:
@@ -51,6 +57,11 @@ class DpuSet:
         self._layout: Optional[MramLayout] = None
         self._batch_sizes: list[int] = [0] * self.num_dpus
         self._freed = False
+
+    def _injector(self, dpu_id: int) -> Optional[FaultInjector]:
+        if self.fault_plan is None or not self.fault_plan.targets(dpu_id):
+            return None
+        return self.fault_plan.injector(dpu_id, attempt=0)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -86,7 +97,11 @@ class DpuSet:
         self._layout = layout
         moved = 0
         for dpu, batch in zip(self.dpus, batches):
-            moved += self.transfer.push_batch(dpu, layout, batch)
+            self.transfer.injector = self._injector(dpu.dpu_id)
+            try:
+                moved += self.transfer.push_batch(dpu, layout, batch)
+            finally:
+                self.transfer.injector = None
             self._batch_sizes[dpu.dpu_id] = len(batch)
         return moved
 
@@ -99,6 +114,10 @@ class DpuSet:
             raise PimError("no input data (call copy_to() first)")
         stats = []
         for dpu in self.dpus:
+            injector = self._injector(dpu.dpu_id)
+            if injector is not None:
+                injector.check_launch()
+                injector.attach_dma(dpu)
             size = self._batch_sizes[dpu.dpu_id]
             assignments = [list(range(t, size, tasklets)) for t in range(tasklets)]
             tasklet_stats, _ = self._kernel.run(
@@ -115,7 +134,11 @@ class DpuSet:
         out = []
         for dpu in self.dpus:
             size = self._batch_sizes[dpu.dpu_id]
-            results, _ = self.transfer.pull_results(dpu, self._layout, size)
+            self.transfer.injector = self._injector(dpu.dpu_id)
+            try:
+                results, _ = self.transfer.pull_results(dpu, self._layout, size)
+            finally:
+                self.transfer.injector = None
             out.append(results)
         return out
 
@@ -124,6 +147,7 @@ def dpu_alloc(
     num_dpus: int,
     dpu_config: Optional[DpuConfig] = None,
     transfer_config: Optional[HostTransferConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> DpuSet:
     """Allocate a simulated DPU set (use as a context manager)."""
     return DpuSet(
@@ -132,4 +156,5 @@ def dpu_alloc(
         transfer_config=(
             transfer_config if transfer_config is not None else HostTransferConfig()
         ),
+        fault_plan=fault_plan,
     )

@@ -191,10 +191,13 @@ class MramLayout:
         tlen = int.from_bytes(record[4:8], "little")
         if plen > self.pattern_slot or tlen > self.text_slot:
             raise LayoutError("input record lengths exceed their slots")
-        pattern = record[8 : 8 + plen].decode("ascii")
-        text = record[8 + self.pattern_slot : 8 + self.pattern_slot + tlen].decode(
-            "ascii"
-        )
+        try:
+            pattern = record[8 : 8 + plen].decode("ascii")
+            text = record[
+                8 + self.pattern_slot : 8 + self.pattern_slot + tlen
+            ].decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise LayoutError(f"input record holds non-ASCII bytes: {exc}") from exc
         return ReadPair(pattern=pattern, text=text)
 
     def pack_result(

@@ -97,6 +97,27 @@ class SimMemory:
             raise MemoryFault(f"{self.name}: u64 out of range: {value}")
         self.write(addr, value.to_bytes(8, "little"))
 
+    def flip_bits(self, addr: int, size: int, num_bits: int, rng) -> list[int]:
+        """Flip ``num_bits`` random bits inside ``[addr, addr + size)``.
+
+        The fault-injection hook: models radiation/transfer bit rot in a
+        seeded, reproducible way (``rng`` is any ``random.Random``).
+        Returns the absolute bit positions flipped (byte*8 + bit), sorted,
+        so fault plans can be logged and replayed.  Does not touch the
+        access counters — corruption is not a modeled memory operation.
+        """
+        if num_bits < 0:
+            raise MemoryFault(f"{self.name}: num_bits must be >= 0, got {num_bits}")
+        if size <= 0 and num_bits > 0:
+            raise MemoryFault(f"{self.name}: cannot corrupt empty range at {addr}")
+        self._check(addr, size)
+        self._ensure(addr + size)
+        positions = sorted(rng.randrange(size * 8) for _ in range(num_bits))
+        for pos in positions:
+            byte, bit = addr + pos // 8, pos % 8
+            self._data[byte] ^= 1 << bit
+        return [(addr + p // 8) * 8 + p % 8 for p in positions]
+
     def reset_counters(self) -> None:
         self.bytes_read = self.bytes_written = 0
         self.read_ops = self.write_ops = 0

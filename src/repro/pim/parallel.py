@@ -35,13 +35,26 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
 from repro.core.cigar import Cigar
 from repro.data.generator import ReadPair, ReadPairGenerator
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    CorruptResultError,
+    FaultError,
+    KernelError,
+    LayoutError,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.pim.faults import (
+    FaultPlan,
+    JobRecoveryRecord,
+    RecoveryReport,
+    RetryPolicy,
+    spare_placements,
+)
 from repro.pim.config import DpuConfig, HostTransferConfig
 from repro.pim.dpu import Dpu, DpuKernelStats
 from repro.pim.kernel import KernelConfig, WfaDpuKernel
@@ -53,8 +66,11 @@ __all__ = [
     "GeneratorSpec",
     "DpuJob",
     "DpuJobResult",
+    "ResilientOutcome",
     "run_dpu_job",
+    "run_dpu_job_resilient",
     "execute_jobs",
+    "execute_jobs_resilient",
     "resolve_workers",
 ]
 
@@ -111,6 +127,27 @@ class DpuJob:
     collect_trace: bool = False
     #: count per-DPU metrics into a worker registry and ship its snapshot
     collect_metrics: bool = False
+    #: declarative fault plan this job executes under (None = fault-free)
+    fault_plan: Optional[FaultPlan] = None
+    #: recovery attempt counter (0 = first try); selects which
+    #: attempt-scoped faults of the plan fire
+    attempt: int = 0
+    #: physical DPU the job is placed on; fault plans key on this, while
+    #: ``dpu_id`` stays the *logical* identity (index mapping, traces).
+    #: ``None`` means the logical and physical ids coincide.
+    physical_dpu_id: Optional[int] = None
+    #: spare healthy placements recovery may requeue this job onto
+    requeue_placements: tuple[int, ...] = ()
+    #: verify gathered records against the input batch (CIGAR validity +
+    #: score reconstruction); any mismatch raises
+    #: :class:`~repro.errors.CorruptResultError` instead of returning a
+    #: silently wrong alignment.  Enabled automatically under fault plans.
+    verify: bool = False
+
+    @property
+    def placement(self) -> int:
+        """The physical DPU this job runs on."""
+        return self.dpu_id if self.physical_dpu_id is None else self.physical_dpu_id
 
     def batch(self) -> list[ReadPair]:
         if self.pairs is not None:
@@ -163,18 +200,39 @@ def run_dpu_job(job: DpuJob) -> DpuJobResult:
     kernel = WfaDpuKernel(job.kernel_config)
     dpu = Dpu(job.dpu_config, dpu_id=job.dpu_id)
     trace = KernelTrace() if job.collect_trace else None
+    injector = None
+    if job.fault_plan is not None and job.fault_plan.targets(job.placement):
+        injector = job.fault_plan.injector(job.placement, job.attempt)
+        injector.check_launch()
+        injector.attach_dma(dpu)
+        transfer.injector = injector
     transfer.push_batch(dpu, job.layout, batch)
     assignments = [
         list(range(t, len(batch), job.tasklets)) for t in range(job.tasklets)
     ]
-    tasklet_stats, _ = kernel.run(
-        dpu, job.layout, assignments, job.metadata_policy, trace=trace
-    )
+    try:
+        tasklet_stats, _ = kernel.run(
+            dpu, job.layout, assignments, job.metadata_policy, trace=trace
+        )
+    except (KernelError, LayoutError) as exc:
+        if injector is None:
+            raise
+        # Under an active fault plan targeting this placement, a kernel
+        # that chokes on its MRAM inputs means injected corruption landed
+        # in the input region: surface it typed (hence retryable), never
+        # as a plausible-but-wrong alignment.
+        raise CorruptResultError(
+            f"kernel rejected its MRAM inputs: {exc}", dpu_id=job.placement
+        ) from exc
     results: list[tuple[int, int, Optional[Cigar], int, int]] = []
-    if job.pull:
+    if job.pull or job.verify:
         pulled, _ = transfer.pull_results_full(dpu, job.layout, len(batch))
+        if job.verify:
+            _verify_pulled(job, batch, pulled)
         for local, (score, cigar, p_start, t_start) in enumerate(pulled):
             results.append((local, score, cigar, p_start, t_start))
+        if not job.pull:
+            results = []
     stats = dpu.summarize(tasklet_stats)
     if registry is not None:
         dpu_label = str(job.dpu_id)
@@ -199,6 +257,102 @@ def run_dpu_job(job: DpuJob) -> DpuJobResult:
         trace=trace,
         metrics=registry.snapshot() if registry is not None else None,
     )
+
+
+def _verify_pulled(
+    job: DpuJob,
+    batch: list[ReadPair],
+    pulled: list[tuple[int, Optional[Cigar], int, int]],
+) -> None:
+    """End-to-end integrity check of gathered records against the batch.
+
+    Catches what parsing alone cannot: corruption (of inputs *or*
+    outputs) that yields a structurally valid record whose CIGAR no
+    longer reproduces the original pair, or whose score no longer
+    matches its CIGAR.  The guarantee fault-injection tests pin: a fault
+    is surfaced as a typed error, never as a silently wrong alignment.
+    """
+    penalties = job.kernel_config.penalties
+    for local, (score, cigar, p_start, t_start) in enumerate(pulled):
+        if cigar is None:
+            continue
+        pair = batch[local]
+        try:
+            cigar.validate(
+                pair.pattern[p_start : p_start + cigar.pattern_length()],
+                pair.text[t_start : t_start + cigar.text_length()],
+            )
+        except Exception as exc:
+            raise CorruptResultError(
+                f"record {local}: CIGAR does not reproduce its pair: {exc}",
+                dpu_id=job.placement,
+            ) from exc
+        rescored = cigar.score(penalties)
+        if rescored != score:
+            raise CorruptResultError(
+                f"record {local}: score {score} != CIGAR rescoring {rescored}",
+                dpu_id=job.placement,
+            )
+
+
+def run_dpu_job_resilient(
+    job: DpuJob, policy: RetryPolicy
+) -> "ResilientOutcome":
+    """Run one job under a recovery policy; picklable in and out.
+
+    Attempts the job up to ``policy.max_attempts`` times on its primary
+    placement, then on each of up to ``policy.max_requeues`` spare
+    placements (``job.requeue_placements``).  The attempt counter is
+    monotone across placements, so attempt-scoped faults fire exactly
+    once per *job*, not once per placement.  Only
+    :class:`~repro.errors.FaultError` subclasses are retried —
+    programming errors propagate unchanged.
+    """
+    record = JobRecoveryRecord(dpu_id=job.dpu_id, num_pairs=len(job.batch()))
+    placements = [job.placement]
+    placements += [
+        p for p in job.requeue_placements[: policy.max_requeues]
+        if p != job.placement
+    ]
+    attempt = 0
+    errors: list[str] = []
+    backoff = 0.0
+    retry_index = 0
+    tried: list[int] = []
+    for placement in placements:
+        tried.append(placement)
+        for _ in range(policy.max_attempts):
+            try:
+                result = run_dpu_job(
+                    replace(job, physical_dpu_id=placement, attempt=attempt)
+                )
+            except FaultError as exc:
+                errors.append(type(exc).__name__)
+                backoff += policy.backoff_seconds(retry_index)
+                attempt += 1
+                retry_index += 1
+                continue
+            record.attempts = attempt + 1
+            record.placements = tuple(tried)
+            record.final_placement = placement
+            record.errors = tuple(errors)
+            record.backoff_seconds = backoff
+            return ResilientOutcome(result=result, record=record)
+    record.attempts = attempt
+    record.placements = tuple(tried)
+    record.errors = tuple(errors)
+    record.backoff_seconds = backoff
+    record.abandoned = True
+    return ResilientOutcome(result=None, record=record)
+
+
+@dataclass
+class ResilientOutcome:
+    """Result of one job's recovery loop (``result`` is ``None`` when
+    the job was abandoned after exhausting the policy)."""
+
+    record: JobRecoveryRecord
+    result: Optional[DpuJobResult] = None
 
 
 def resolve_workers(workers: int, num_jobs: int) -> int:
@@ -230,3 +384,38 @@ def execute_jobs(jobs: Iterable[DpuJob], workers: int = 1) -> list[DpuJobResult]
             records = [run_dpu_job(job) for job in jobs]
     records.sort(key=lambda r: r.dpu_id)
     return records
+
+
+def execute_jobs_resilient(
+    jobs: Iterable[DpuJob],
+    workers: int = 1,
+    policy: Optional[RetryPolicy] = None,
+) -> tuple[list[DpuJobResult], RecoveryReport]:
+    """Fault-tolerant :func:`execute_jobs`: recover per job, report.
+
+    Each job carries its own :class:`~repro.pim.faults.FaultPlan` slice
+    and spare placements; recovery runs *inside* the worker, so the
+    parallel and sequential paths make identical recovery decisions.
+    Returns successful records sorted by ``dpu_id`` plus a
+    :class:`~repro.pim.faults.RecoveryReport` whose per-job records are
+    in the same order (pair-index attribution is the caller's job — see
+    :func:`repro.pim.faults.assign_pairs`).
+    """
+    jobs = list(jobs)
+    if policy is None:
+        policy = RetryPolicy()
+    n = resolve_workers(workers, len(jobs))
+    if n <= 1 or len(jobs) <= 1:
+        outcomes = [run_dpu_job_resilient(job, policy) for job in jobs]
+    else:
+        try:
+            with ProcessPoolExecutor(max_workers=n) as pool:
+                outcomes = list(
+                    pool.map(run_dpu_job_resilient, jobs, [policy] * len(jobs))
+                )
+        except (OSError, BrokenProcessPool):
+            outcomes = [run_dpu_job_resilient(job, policy) for job in jobs]
+    outcomes.sort(key=lambda o: o.record.dpu_id)
+    report = RecoveryReport(records=[o.record for o in outcomes])
+    records = [o.result for o in outcomes if o.result is not None]
+    return records, report

@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.data.generator import ReadPair
 from repro.errors import ConfigError
+from repro.pim.faults import FaultPlan, RecoveryReport, RetryPolicy
 from repro.pim.layout import HEADER_BYTES
 from repro.pim.system import PimRunResult, PimSystem
 
@@ -49,6 +50,9 @@ class ScheduledRun:
     schedule: BatchSchedule
     per_round: list[PimRunResult] = field(default_factory=list)
     overlapped: bool = False
+    #: aggregate graceful-degradation report across rounds, with pair
+    #: indices rebased to the full workload (``None`` without faults).
+    recovery: Optional[RecoveryReport] = None
 
     @property
     def kernel_seconds(self) -> float:
@@ -136,6 +140,8 @@ class BatchScheduler:
         pairs: list[ReadPair],
         pairs_per_round: Optional[int] = None,
         collect_results: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> ScheduledRun:
         """Align a concrete batch in rounds.
 
@@ -145,6 +151,11 @@ class BatchScheduler:
         stack serially on the telemetry timeline (the serialized
         schedule — the overlapped aggregate stays available via
         :attr:`ScheduledRun.total_seconds`).
+
+        With a ``fault_plan`` (or one configured on the system), each
+        round runs fault-tolerantly and the per-round recovery reports
+        are folded — pair indices rebased to the whole workload — into
+        :attr:`ScheduledRun.recovery`.
         """
         schedule = self.plan(len(pairs), pairs_per_round)
         out = ScheduledRun(schedule=schedule, overlapped=self.overlapped)
@@ -169,13 +180,22 @@ class BatchScheduler:
                         chunk,
                         collect_results=collect_results,
                         workers=self.workers,
+                        fault_plan=fault_plan,
+                        retry_policy=retry_policy,
                     )
             else:
                 result = self.system.align(
                     chunk,
                     collect_results=collect_results,
                     workers=self.workers,
+                    fault_plan=fault_plan,
+                    retry_policy=retry_policy,
                 )
             out.per_round.append(result)
+            if result.recovery is not None:
+                result.recovery.shift_pairs(start)
+                if out.recovery is None:
+                    out.recovery = RecoveryReport()
+                out.recovery.merge(result.recovery)
             start += size
         return out

@@ -40,6 +40,13 @@ from repro.data.generator import ReadPair
 from repro.errors import ConfigError
 from repro.pim.config import PimSystemConfig
 from repro.pim.dpu import DpuKernelStats
+from repro.pim.faults import (
+    FaultPlan,
+    RecoveryReport,
+    RetryPolicy,
+    assign_pairs,
+    spare_placements,
+)
 from repro.pim.kernel import KernelConfig, WfaDpuKernel
 from repro.pim.layout import HEADER_BYTES, MramLayout
 from repro.pim.parallel import (
@@ -47,6 +54,7 @@ from repro.pim.parallel import (
     DpuJobResult,
     GeneratorSpec,
     execute_jobs,
+    execute_jobs_resilient,
 )
 from repro.pim.trace import KernelTrace
 from repro.pim.trace import merge as merge_traces
@@ -89,6 +97,9 @@ class PimRunResult:
     regions: dict[int, tuple[int, int]] = field(default_factory=dict)
     #: kernel-time scale factor applied for sampled runs (1.0 = exact)
     scale_factor: float = 1.0
+    #: graceful-degradation report of a fault-tolerant run (``None`` for
+    #: runs without a :class:`~repro.pim.faults.FaultPlan`)
+    recovery: Optional[RecoveryReport] = None
 
     @property
     def transfer_seconds(self) -> float:
@@ -128,6 +139,8 @@ class PimSystem:
         config: PimSystemConfig,
         kernel_config: Optional[KernelConfig] = None,
         telemetry: Optional["RunTelemetry"] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -138,6 +151,13 @@ class PimSystem:
         #: attached, every run collects kernel traces and worker metric
         #: snapshots and lays its sections on the model timeline.
         self.telemetry = telemetry
+        #: optional :class:`~repro.pim.faults.FaultPlan` every run
+        #: executes under; jobs then verify gathered results end to end
+        #: and route through the recovery layer.
+        self.fault_plan = fault_plan
+        #: recovery policy for fault-tolerant runs (defaults applied when
+        #: a plan is present and no policy was given).
+        self.retry_policy = retry_policy
         self.kernel = WfaDpuKernel(self.kernel_config)
         self.transfer = HostTransferEngine(
             config.transfer,
@@ -180,9 +200,15 @@ class PimSystem:
         pairs: Optional[tuple[ReadPair, ...]] = None,
         generator: Optional[GeneratorSpec] = None,
         pull: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> DpuJob:
         """Package one simulated DPU's work for (possibly remote) execution."""
         collect = self.telemetry is not None
+        spares: tuple[int, ...] = ()
+        if fault_plan is not None:
+            spares = spare_placements(
+                dpu_id, range(self.config.num_dpus), fault_plan
+            )
         return DpuJob(
             dpu_id=dpu_id,
             layout=layout,
@@ -196,6 +222,9 @@ class PimSystem:
             pull=pull,
             collect_trace=collect,
             collect_metrics=collect,
+            fault_plan=fault_plan,
+            requeue_placements=spares,
+            verify=fault_plan is not None,
         )
 
     def _merge_records(
@@ -246,6 +275,53 @@ class PimSystem:
         ):
             return execute_jobs(jobs, n)
 
+    def _execute_recovered(
+        self,
+        jobs: list[DpuJob],
+        workers: Optional[int],
+        kind: str,
+        policy: RetryPolicy,
+    ) -> tuple[list[DpuJobResult], RecoveryReport]:
+        """Fault-tolerant job execution under the same profiling span."""
+        n = self._resolve_workers(workers)
+        if self.telemetry is None:
+            return execute_jobs_resilient(jobs, n, policy)
+        with self.telemetry.profiler.span(
+            "host_execute", kind=kind, jobs=len(jobs), workers=n
+        ):
+            return execute_jobs_resilient(jobs, n, policy)
+
+    def _run_jobs(
+        self,
+        jobs: list[DpuJob],
+        workers: Optional[int],
+        kind: str,
+        fault_plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy],
+    ) -> tuple[list[DpuJobResult], Optional[RecoveryReport]]:
+        """Dispatch jobs on the plain or the recovered path.
+
+        With a fault plan, the report's pair-index attribution is filled
+        in under the round-robin contract and its counters land in the
+        attached telemetry registry.
+        """
+        if fault_plan is None:
+            return self._execute(jobs, workers, kind), None
+        policy = (
+            retry_policy
+            if retry_policy is not None
+            else (self.retry_policy if self.retry_policy is not None else RetryPolicy())
+        )
+        records, report = self._execute_recovered(jobs, workers, kind, policy)
+        assign_pairs(
+            report,
+            self.config.num_dpus,
+            {job.dpu_id: len(job.batch()) for job in jobs},
+        )
+        if self.telemetry is not None:
+            report.count_into(self.telemetry.registry)
+        return records, report
+
     def _resolve_workers(self, workers: Optional[int]) -> int:
         return self.config.workers if workers is None else workers
 
@@ -266,6 +342,8 @@ class PimSystem:
         collect_results: bool = True,
         verify: bool = False,
         workers: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> PimRunResult:
         """Align a concrete batch, distributed over all logical DPUs.
 
@@ -275,21 +353,29 @@ class PimSystem:
         :class:`~repro.errors.KernelError` on any inconsistency) — the
         simulated-hardware analogue of WFA's verification mode.
 
-        ``workers`` overrides ``config.workers`` for this run.
+        ``workers`` overrides ``config.workers`` for this run;
+        ``fault_plan``/``retry_policy`` override the system-level ones.
+        A run under a fault plan verifies every gathered record in the
+        worker, recovers per the policy (retry, backoff, requeue onto
+        healthy DPUs), and attaches a
+        :class:`~repro.pim.faults.RecoveryReport` as ``result.recovery``.
         """
         n = len(pairs)
         num_dpus = self.config.num_dpus
         batches = [pairs[d::num_dpus] for d in range(min(num_dpus, max(n, 1)))]
         max_batch = max((len(b) for b in batches), default=0)
         layout = self.plan_layout(max(max_batch, 1))
+        plan = fault_plan if fault_plan is not None else self.fault_plan
 
         pull = collect_results or verify
         jobs = [
-            self._make_job(d, layout, pairs=tuple(batch), pull=pull)
+            self._make_job(d, layout, pairs=tuple(batch), pull=pull, fault_plan=plan)
             for d, batch in enumerate(batches[: self.config.num_simulated_dpus])
             if batch
         ]
-        records = self._execute(jobs, workers, "align")
+        records, recovery = self._run_jobs(
+            jobs, workers, "align", plan, retry_policy
+        )
         per_dpu, results, regions, simulated, run_trace = self._merge_records(
             records
         )
@@ -319,6 +405,7 @@ class PimSystem:
             per_dpu=per_dpu,
             results=results,
             regions=regions,
+            recovery=recovery,
         )
         self._record_run("align", run, run_trace)
         return run
@@ -373,6 +460,8 @@ class PimSystem:
         sample_pairs_per_dpu: int = 256,
         collect_results: bool = False,
         workers: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> PimRunResult:
         """Model a full-scale run of ``spec`` (e.g. the paper's 5M pairs).
 
@@ -396,6 +485,7 @@ class PimSystem:
         scale = load / k
         layout = self.plan_layout(k)
 
+        plan = fault_plan if fault_plan is not None else self.fault_plan
         jobs = [
             self._make_job(
                 d,
@@ -408,10 +498,13 @@ class PimSystem:
                     count=k,
                 ),
                 pull=collect_results,
+                fault_plan=plan,
             )
             for d in range(self.config.num_simulated_dpus)
         ]
-        records = self._execute(jobs, workers, "model_run")
+        records, recovery = self._run_jobs(
+            jobs, workers, "model_run", plan, retry_policy
+        )
         per_dpu, results, regions, simulated, run_trace = self._merge_records(
             records
         )
@@ -440,6 +533,7 @@ class PimSystem:
             results=results,
             regions=regions,
             scale_factor=scale,
+            recovery=recovery,
         )
         self._record_run("model_run", run, run_trace)
         return run

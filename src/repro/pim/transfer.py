@@ -23,13 +23,14 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.core.cigar import Cigar
 from repro.data.generator import ReadPair
-from repro.errors import LayoutError
+from repro.errors import CorruptResultError, LayoutError
 from repro.pim.config import HostTransferConfig
 from repro.pim.dpu import Dpu
 from repro.pim.layout import HEADER_BYTES, MramLayout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
+    from repro.pim.faults import FaultInjector
 
 __all__ = ["HostTransferEngine", "TransferStats"]
 
@@ -68,6 +69,12 @@ class HostTransferEngine:
         config.validate()
         self.config = config
         self.stats = TransferStats()
+        #: optional :class:`~repro.pim.faults.FaultInjector` for the DPU
+        #: this engine is currently copying to/from.  When set, pushes and
+        #: pulls honor its truncation budgets, apply its MRAM corruption
+        #: windows, and surface parse failures as typed
+        #: :class:`~repro.errors.CorruptResultError`\ s.
+        self.injector: Optional["FaultInjector"] = None
         self._bytes_metric = (
             registry.counter(
                 "pim_transfer_bytes_total",
@@ -100,12 +107,23 @@ class HostTransferEngine:
                 f"batch of {len(pairs)} pairs exceeds layout capacity "
                 f"{layout.num_pairs}"
             )
+        limit = self.injector.push_limit() if self.injector is not None else None
+        total = HEADER_BYTES + len(pairs) * layout.input_record_size
+        if limit is not None and limit < HEADER_BYTES:
+            raise self.injector.truncated("push", 0, total)
         layout.write_header(dpu.mram)
         moved = HEADER_BYTES
         for i, pair in enumerate(pairs):
             record = layout.pack_pair(pair)
+            if limit is not None and moved + len(record) > limit:
+                # Partial copy landed; account what moved, then fail typed.
+                self.stats.bytes_to_dpu += moved
+                self._observe("to_dpu", "push", moved)
+                raise self.injector.truncated("push", moved, total)
             dpu.mram.host_write(layout.input_addr(i), record)
             moved += len(record)
+        if self.injector is not None:
+            self.injector.after_push(dpu, layout)
         self.stats.bytes_to_dpu += moved
         self.stats.pushes += 1
         self._observe("to_dpu", "push", moved)
@@ -124,11 +142,10 @@ class HostTransferEngine:
             )
         results = []
         moved = 0
+        limit = self._before_pull(dpu, layout)
         for i in range(count):
-            record = dpu.mram.host_read(
-                layout.result_addr(i), layout.result_record_size
-            )
-            results.append(layout.unpack_result(record))
+            record = self._pull_record(dpu, layout, i, moved, count, limit)
+            results.append(self._unpack(layout, record, i))
             moved += len(record)
         self.stats.bytes_from_dpu += moved
         self.stats.pulls += 1
@@ -146,11 +163,10 @@ class HostTransferEngine:
             )
         results = []
         moved = 0
+        limit = self._before_pull(dpu, layout)
         for i in range(count):
-            record = dpu.mram.host_read(
-                layout.result_addr(i), layout.result_record_size
-            )
-            score, cigar = layout.unpack_result(record)
+            record = self._pull_record(dpu, layout, i, moved, count, limit)
+            score, cigar = self._unpack(layout, record, i)
             p_start, t_start = layout.unpack_result_region(record)
             results.append((score, cigar, p_start, t_start))
             moved += len(record)
@@ -158,6 +174,69 @@ class HostTransferEngine:
         self.stats.pulls += 1
         self._observe("from_dpu", "pull", moved)
         return results, moved
+
+    # -- fault-aware pull plumbing ------------------------------------------
+
+    def _before_pull(self, dpu: Dpu, layout: MramLayout) -> Optional[int]:
+        """Apply pre-pull corruption; return the pull byte budget.
+
+        Under injection the gather also re-parses the MRAM layout header
+        and checks it against the layout this engine pushed — a rotted
+        header means the whole result region is untrustworthy, so the
+        pull fails typed before a single record is read.
+        """
+        if self.injector is None:
+            return None
+        self.injector.before_pull(dpu, layout)
+        try:
+            echoed = MramLayout.read_header(dpu.mram)
+        except LayoutError as exc:
+            raise CorruptResultError(
+                f"MRAM layout header failed to parse: {exc}",
+                dpu_id=self.injector.dpu_id,
+            ) from exc
+        if echoed != layout:
+            raise CorruptResultError(
+                "MRAM layout header does not match the pushed layout",
+                dpu_id=self.injector.dpu_id,
+            )
+        return self.injector.pull_limit()
+
+    def _pull_record(
+        self,
+        dpu: Dpu,
+        layout: MramLayout,
+        index: int,
+        moved: int,
+        count: int,
+        limit: Optional[int],
+    ) -> bytes:
+        size = layout.result_record_size
+        if limit is not None and moved + size > limit:
+            self.stats.bytes_from_dpu += moved
+            self._observe("from_dpu", "pull", moved)
+            raise self.injector.truncated("pull", moved, count * size)
+        return dpu.mram.host_read(layout.result_addr(index), size)
+
+    def _unpack(self, layout: MramLayout, record: bytes, index: int):
+        """Parse one result record; typed error under fault injection.
+
+        Without an injector this is plain :meth:`MramLayout.unpack_result`
+        (parse failures stay :class:`~repro.errors.LayoutError`, a
+        programming-error signal).  With one attached, a parse failure
+        means injected corruption landed in the record header, so it
+        surfaces as :class:`~repro.errors.CorruptResultError` — typed,
+        catchable, retryable.
+        """
+        if self.injector is None:
+            return layout.unpack_result(record)
+        try:
+            return layout.unpack_result(record)
+        except LayoutError as exc:
+            raise CorruptResultError(
+                f"result record {index} failed to parse: {exc}",
+                dpu_id=self.injector.dpu_id,
+            ) from exc
 
     # -- timing ------------------------------------------------------------
 

@@ -1,0 +1,39 @@
+"""Differential-verification (QA) harness for the PIM aligner.
+
+The oracle hierarchy, weakest to strongest evidence:
+
+1. **golden** — hand-pinned cases with known scores/CIGARs (unit tests);
+2. **property** — invariants on single implementations (Hypothesis);
+3. **differential** — the PIM kernel against independent host
+   implementations (:class:`~repro.core.aligner.WavefrontAligner`,
+   Gotoh's DP, Myers' bit-parallel / O(ND) algorithms), which must all
+   produce the same optimal score and mutually valid CIGARs;
+4. **fault-injection** — differential agreement *under* an adversarial
+   :class:`~repro.pim.faults.FaultPlan`: faults may cost retries, never
+   correctness.
+
+This package provides the corpus generators (:mod:`repro.qa.corpus`),
+the oracle (:mod:`repro.qa.oracle`), a greedy failing-case shrinker
+(:mod:`repro.qa.shrink`), and the seeded trial runner with its JSONL
+report (:mod:`repro.qa.runner`), surfaced as the ``repro qa`` CLI
+subcommand.
+"""
+
+from repro.qa.corpus import CorpusConfig, QaCase, generate_corpus
+from repro.qa.oracle import OracleVerdict, check_case, reference_answers
+from repro.qa.runner import QaConfig, QaReport, run_qa, validate_qa_report
+from repro.qa.shrink import shrink_case
+
+__all__ = [
+    "CorpusConfig",
+    "QaCase",
+    "generate_corpus",
+    "OracleVerdict",
+    "check_case",
+    "reference_answers",
+    "QaConfig",
+    "QaReport",
+    "run_qa",
+    "validate_qa_report",
+    "shrink_case",
+]

@@ -1,0 +1,150 @@
+"""Seeded QA corpus: random pairs plus adversarial families.
+
+Every case is generated under an **admission contract**: at most
+``max_edits`` editing operations separate pattern and text, so any
+:class:`~repro.pim.kernel.KernelConfig` built with the same
+``max_edits`` admits the whole corpus (the kernel's score bound is
+``max_edits * per_edit_cost`` for every supported penalty model, and a
+pair reachable in ``k <= max_edits`` edits costs at most that).
+
+The adversarial families target the aligner's historic failure modes:
+
+* ``homopolymer`` — runs of one base with an indel inside; the optimal
+  alignment is ambiguous (any of the run's positions works), which is
+  exactly where traceback implementations disagree with score DPs;
+* ``all_mismatch`` — no matching diagonal at all, the anti-WFA case
+  (wavefronts advance one diagonal step per score unit);
+* ``zero_one`` — empty/single-character sequences, the classic
+  boundary bugs (empty CIGAR, deletion-only, insertion-only);
+* ``near_threshold`` — exactly ``max_edits`` mutations, sitting on the
+  kernel's admission boundary E where off-by-one budget math fails.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.generator import mutate_sequence, random_sequence
+from repro.errors import QaError
+
+__all__ = ["CorpusConfig", "QaCase", "generate_corpus", "KINDS"]
+
+KINDS = ("random", "homopolymer", "all_mismatch", "zero_one", "near_threshold")
+
+
+@dataclass(frozen=True)
+class QaCase:
+    """One differential-verification work item."""
+
+    index: int
+    kind: str
+    pattern: str
+    text: str
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "pattern": self.pattern,
+            "text": self.text,
+        }
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Shape of a generated corpus (all cases honor ``max_edits``)."""
+
+    max_len: int = 32
+    max_edits: int = 4
+    alphabet: str = "ACGT"
+    kinds: tuple[str, ...] = field(default=KINDS)
+
+    def validate(self) -> None:
+        if self.max_len < 1:
+            raise QaError(f"max_len must be >= 1, got {self.max_len}")
+        if self.max_edits < 1:
+            raise QaError(f"max_edits must be >= 1, got {self.max_edits}")
+        if len(self.alphabet) < 2:
+            raise QaError("alphabet needs at least two symbols")
+        for kind in self.kinds:
+            if kind not in KINDS:
+                raise QaError(f"unknown corpus kind {kind!r} (known: {KINDS})")
+        if not self.kinds:
+            raise QaError("corpus needs at least one kind")
+
+
+def _random_case(rng: random.Random, cfg: CorpusConfig) -> tuple[str, str]:
+    length = rng.randint(1, cfg.max_len)
+    errors = rng.randint(0, min(cfg.max_edits, length))
+    pattern = random_sequence(length, rng, cfg.alphabet)
+    return pattern, mutate_sequence(pattern, errors, rng, cfg.alphabet)
+
+
+def _homopolymer_case(rng: random.Random, cfg: CorpusConfig) -> tuple[str, str]:
+    base = rng.choice(cfg.alphabet)
+    length = rng.randint(2, cfg.max_len)
+    pattern = base * length
+    # Shrink or grow the run by up to max_edits (indels inside a
+    # homopolymer — every placement is an equally optimal alignment).
+    delta = rng.randint(1, cfg.max_edits)
+    if rng.random() < 0.5:
+        text = base * max(0, length - delta)
+    else:
+        text = base * min(cfg.max_len, length + delta)
+    return pattern, text
+
+
+def _all_mismatch_case(rng: random.Random, cfg: CorpusConfig) -> tuple[str, str]:
+    # Length capped by the edit budget: n substitutions need n edits.
+    length = rng.randint(1, cfg.max_edits)
+    a = rng.choice(cfg.alphabet)
+    choices = [c for c in cfg.alphabet if c != a]
+    pattern = a * length
+    text = "".join(rng.choice(choices) for _ in range(length))
+    return pattern, text
+
+
+def _zero_one_case(rng: random.Random, cfg: CorpusConfig) -> tuple[str, str]:
+    a, b = (rng.choice(cfg.alphabet) for _ in range(2))
+    short = random_sequence(rng.randint(1, min(cfg.max_edits, cfg.max_len)), rng, cfg.alphabet)
+    menu = [("", ""), ("", a), (b, ""), (a, b), (a, a), ("", short), (short, "")]
+    return menu[rng.randrange(len(menu))]
+
+
+def _near_threshold_case(rng: random.Random, cfg: CorpusConfig) -> tuple[str, str]:
+    length = rng.randint(cfg.max_edits, cfg.max_len)
+    pattern = random_sequence(length, rng, cfg.alphabet)
+    return pattern, mutate_sequence(pattern, cfg.max_edits, rng, cfg.alphabet)
+
+
+_MAKERS = {
+    "random": _random_case,
+    "homopolymer": _homopolymer_case,
+    "all_mismatch": _all_mismatch_case,
+    "zero_one": _zero_one_case,
+    "near_threshold": _near_threshold_case,
+}
+
+
+def generate_corpus(
+    trials: int, seed: int, config: CorpusConfig | None = None
+) -> list[QaCase]:
+    """Generate ``trials`` seeded cases, cycling through the families.
+
+    Deterministic for a given ``(trials, seed, config)``: each case gets
+    its own arithmetically derived :class:`random.Random` so corpora are
+    stable under prefix extension (the first N cases of ``trials=2N``
+    equal the ``trials=N`` corpus).
+    """
+    cfg = config if config is not None else CorpusConfig()
+    cfg.validate()
+    if trials < 1:
+        raise QaError(f"trials must be >= 1, got {trials}")
+    cases = []
+    for index in range(trials):
+        kind = cfg.kinds[index % len(cfg.kinds)]
+        rng = random.Random(seed * 1_000_003 + index)
+        pattern, text = _MAKERS[kind](rng, cfg)
+        cases.append(QaCase(index=index, kind=kind, pattern=pattern, text=text))
+    return cases

@@ -1,0 +1,134 @@
+"""The differential oracle: one kernel answer vs. three independent DPs.
+
+For every case the PIM kernel's ``(score, cigar)`` must
+
+1. carry a CIGAR that **replays** against the input pair
+   (:meth:`~repro.core.cigar.Cigar.validate`);
+2. **re-score** under the penalty model to exactly the reported score
+   (:meth:`~repro.core.cigar.Cigar.score`);
+3. match the host :class:`~repro.core.aligner.WavefrontAligner` score;
+4. match Gotoh's full-matrix DP (:func:`repro.baselines.gotoh.gotoh_score`)
+   — a non-wavefront algorithm, so a shared WFA bug cannot hide here;
+5. under edit penalties, additionally match Myers' bit-parallel edit
+   distance and the textbook Levenshtein DP
+   (:mod:`repro.baselines.bitparallel`).
+
+Checks 1–2 are what make fault injection safe: a corrupted result
+either fails to parse (typed :class:`~repro.errors.CorruptResultError`)
+or fails here — it is never silently wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.baselines.bitparallel import levenshtein_dp, myers_edit_distance
+from repro.baselines.gotoh import gotoh_score
+from repro.core.aligner import WavefrontAligner
+from repro.core.cigar import Cigar
+from repro.core.penalties import EditPenalties, Penalties
+from repro.errors import CigarError
+from repro.qa.corpus import QaCase
+
+__all__ = ["OracleVerdict", "reference_answers", "check_case"]
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """Outcome of checking one case against the oracle hierarchy."""
+
+    case: QaCase
+    pim_score: Optional[int]
+    pim_cigar: Optional[str]
+    expected_score: int
+    failures: tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        return {
+            **self.case.to_dict(),
+            "pim_score": self.pim_score,
+            "pim_cigar": self.pim_cigar,
+            "expected_score": self.expected_score,
+            "ok": self.ok,
+            "failures": list(self.failures),
+        }
+
+
+def reference_answers(pattern: str, text: str, penalties: Penalties) -> dict:
+    """Independent host answers for one pair under ``penalties``."""
+    wfa = WavefrontAligner(penalties).align(pattern, text)
+    answers = {
+        "wfa_score": wfa.score,
+        "wfa_cigar": str(wfa.cigar) if wfa.cigar is not None else None,
+        "gotoh_score": gotoh_score(pattern, text, penalties),
+    }
+    if isinstance(penalties, EditPenalties):
+        answers["myers_score"] = myers_edit_distance(pattern, text)
+        answers["levenshtein_score"] = levenshtein_dp(pattern, text)
+    return answers
+
+
+def check_case(
+    case: QaCase,
+    pim_score: Optional[int],
+    pim_cigar: Optional[Cigar],
+    penalties: Penalties,
+) -> OracleVerdict:
+    """Run the full oracle hierarchy on one kernel answer.
+
+    ``pim_score=None`` marks a case the kernel never answered (e.g.
+    abandoned under fault injection) — reported as its own failure kind
+    so a degraded run cannot masquerade as a verified one.
+    """
+    answers = reference_answers(case.pattern, case.text, penalties)
+    expected = answers["wfa_score"]
+    failures: list[str] = []
+
+    for name, value in answers.items():
+        if name.endswith("_score") and value != expected:
+            failures.append(
+                f"oracle-split: {name}={value} disagrees with wfa_score={expected}"
+            )
+
+    if pim_score is None:
+        failures.append("missing: kernel produced no result for this case")
+        return OracleVerdict(
+            case=case,
+            pim_score=None,
+            pim_cigar=None,
+            expected_score=expected,
+            failures=tuple(failures),
+        )
+
+    if pim_cigar is None:
+        failures.append("missing: kernel produced a score but no CIGAR")
+    else:
+        try:
+            pim_cigar.validate(case.pattern, case.text)
+        except CigarError as exc:
+            failures.append(f"cigar-invalid: {exc}")
+        else:
+            rescored = pim_cigar.score(penalties)
+            if rescored != pim_score:
+                failures.append(
+                    f"score-reconstruction: CIGAR re-scores to {rescored}, "
+                    f"kernel reported {pim_score}"
+                )
+
+    if pim_score != expected:
+        failures.append(
+            f"differential: kernel score {pim_score} != oracle score {expected}"
+        )
+
+    return OracleVerdict(
+        case=case,
+        pim_score=pim_score,
+        pim_cigar=str(pim_cigar) if pim_cigar is not None else None,
+        expected_score=expected,
+        failures=tuple(failures),
+    )

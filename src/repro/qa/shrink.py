@@ -1,0 +1,64 @@
+"""Greedy failing-case shrinker.
+
+When the oracle flags a disagreement on a 30-base pair, the actual bug
+usually reproduces on 3 bases.  :func:`shrink_case` minimizes a failing
+``(pattern, text)`` against a caller-supplied predicate the way
+Hypothesis and C-Reduce do: repeatedly delete chunks (halving the chunk
+size down to single characters) from either sequence, keeping any
+deletion that still fails, until a fixed point.
+
+The predicate receives candidate ``(pattern, text)`` strings and returns
+``True`` while the failure still reproduces.  It is re-run on every
+candidate, so it should be the *cheap* reproduction (one kernel call),
+not the full trial sweep.  Deterministic: candidates are tried in a
+fixed order, so the same failing input always shrinks to the same
+minimal pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import QaError
+
+__all__ = ["shrink_case"]
+
+Predicate = Callable[[str, str], bool]
+
+
+def _shrink_one(keep_failing: Callable[[str], bool], seq: str) -> str:
+    """Greedily delete chunks from one string while the failure holds."""
+    chunk = max(1, len(seq) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(seq):
+            candidate = seq[:start] + seq[start + chunk :]
+            if keep_failing(candidate):
+                seq = candidate  # keep the deletion, retry same offset
+            else:
+                start += chunk
+        chunk //= 2
+    return seq
+
+
+def shrink_case(
+    pattern: str,
+    text: str,
+    predicate: Predicate,
+    max_rounds: int = 10,
+) -> tuple[str, str]:
+    """Minimize a failing pair; returns the smallest still-failing pair.
+
+    Alternates pattern- and text-shrinking passes until neither side
+    loses a character (or ``max_rounds`` is hit — a safety valve against
+    flaky predicates, which are a bug in the caller's reproduction).
+    """
+    if not predicate(pattern, text):
+        raise QaError("shrink_case needs a failing input (predicate was False)")
+    for _ in range(max_rounds):
+        before = (pattern, text)
+        pattern = _shrink_one(lambda s: predicate(s, text), pattern)
+        text = _shrink_one(lambda s: predicate(pattern, s), text)
+        if (pattern, text) == before:
+            break
+    return pattern, text

@@ -1,15 +1,32 @@
-"""Shared fixtures and hypothesis strategies for the test-suite."""
+"""Shared fixtures and hypothesis strategies for the test-suite.
+
+Sequence generation delegates to the library's own generators
+(:func:`repro.data.generator.random_sequence` /
+:func:`~repro.data.generator.mutate_sequence`) so the test corpus and
+the shipped workload generator cannot drift apart.
+
+Hypothesis runs under a registered profile: ``ci`` (the default) is
+derandomized so the suite is deterministic in CI; select ``dev`` via
+``HYPOTHESIS_PROFILE=dev`` to explore fresh examples locally.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.core.penalties import AffinePenalties, EditPenalties, LinearPenalties
+from repro.data.generator import mutate_sequence, random_sequence
 
 DNA = "ACGT"
+
+settings.register_profile("ci", derandomize=True, max_examples=100)
+settings.register_profile("dev", max_examples=100)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 def make_rng(seed: int = 0) -> random.Random:
@@ -17,24 +34,13 @@ def make_rng(seed: int = 0) -> random.Random:
 
 
 def random_dna(rng: random.Random, length: int) -> str:
-    return "".join(rng.choice(DNA) for _ in range(length))
+    return random_sequence(length, rng, DNA)
 
 
 def mutate(rng: random.Random, seq: str, rate: float) -> str:
-    """Cheap per-position mutator for fuzz inputs (not the library's)."""
-    out = []
-    for ch in seq:
-        r = rng.random()
-        if r < rate / 3:
-            continue
-        if r < 2 * rate / 3:
-            out.append(rng.choice(DNA))
-            out.append(ch)
-        elif r < rate:
-            out.append(rng.choice(DNA))
-        else:
-            out.append(ch)
-    return "".join(out)
+    """Rate-based wrapper over the library's exact-count mutator."""
+    errors = sum(1 for _ in seq if rng.random() < rate)
+    return mutate_sequence(seq, errors, rng, DNA)
 
 
 # -- hypothesis strategies ---------------------------------------------------
@@ -49,18 +55,8 @@ def similar_pair(draw, max_len: int = 48, max_edits: int = 6):
     pattern = draw(st.text(alphabet=DNA, min_size=0, max_size=max_len))
     n_edits = draw(st.integers(min_value=0, max_value=max_edits))
     seed = draw(st.integers(min_value=0, max_value=2**20))
-    rng = random.Random(seed)
-    text = list(pattern)
-    for _ in range(n_edits):
-        kind = rng.randrange(3)
-        if kind == 0 and text:
-            pos = rng.randrange(len(text))
-            text[pos] = rng.choice(DNA)
-        elif kind == 1:
-            text.insert(rng.randrange(len(text) + 1), rng.choice(DNA))
-        elif text:
-            del text[rng.randrange(len(text))]
-    return pattern, "".join(text)
+    text = mutate_sequence(pattern, n_edits, random.Random(seed), DNA)
+    return pattern, text
 
 
 affine_penalties = st.builds(

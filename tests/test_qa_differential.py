@@ -1,0 +1,89 @@
+"""Hypothesis differential test: PIM kernel == host WavefrontAligner.
+
+For any `similar_pair` input, the simulated DPU kernel must produce the
+**same score and the same CIGAR string** as the host aligner, under edit
+and affine penalties, at 1, 8, and 24 tasklets (the paper's interesting
+thread counts: serial, sweet spot, maximum).
+
+Budget constraints are deliberate: `max_edits=4` with reads <= 48 bases
+keeps the affine kernel inside its 64 KB WRAM slice even at 24 tasklets
+(the admission math in ``WfaDpuKernel.plan_wram``), so every generated
+pair is admissible and a kernel rejection is a real bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import similar_pair
+from repro.core.aligner import WavefrontAligner
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.data.generator import ReadPair
+from repro.pim.config import PimSystemConfig
+from repro.pim.kernel import KernelConfig
+from repro.pim.system import PimSystem
+
+MAX_LEN = 48
+MAX_EDITS = 4
+
+PENALTY_MODELS = [
+    pytest.param(EditPenalties(), id="edit"),
+    pytest.param(AffinePenalties(mismatch=4, gap_open=6, gap_extend=2), id="affine"),
+]
+TASKLET_COUNTS = (1, 8, 24)
+
+_SYSTEMS: dict = {}
+
+
+def system_for(penalties, tasklets: int) -> PimSystem:
+    """One cached system per (penalties, tasklets) — cheap per example."""
+    key = (repr(penalties), tasklets)
+    if key not in _SYSTEMS:
+        _SYSTEMS[key] = PimSystem(
+            PimSystemConfig(
+                num_dpus=1, num_ranks=1, tasklets=tasklets, num_simulated_dpus=1
+            ),
+            kernel_config=KernelConfig(
+                penalties=penalties, max_read_len=MAX_LEN, max_edits=MAX_EDITS
+            ),
+        )
+    return _SYSTEMS[key]
+
+
+@pytest.mark.parametrize("penalties", PENALTY_MODELS)
+@pytest.mark.parametrize("tasklets", TASKLET_COUNTS)
+@settings(max_examples=40, deadline=None)
+@given(pair=similar_pair(max_len=MAX_LEN, max_edits=MAX_EDITS))
+def test_kernel_matches_host_aligner(penalties, tasklets, pair):
+    pattern, text = pair
+    run = system_for(penalties, tasklets).align(
+        [ReadPair(pattern, text)], collect_results=True
+    )
+    assert len(run.results) == 1
+    _, score, cigar = run.results[0]
+
+    host = WavefrontAligner(penalties).align(pattern, text)
+    assert score == host.score
+    assert str(cigar) == str(host.cigar)
+    # and the CIGAR replays + re-scores, independently of the host answer
+    cigar.validate(pattern, text)
+    assert cigar.score(penalties) == score
+
+
+@pytest.mark.parametrize("penalties", PENALTY_MODELS)
+@settings(max_examples=25, deadline=None)
+@given(pair=similar_pair(max_len=MAX_LEN, max_edits=MAX_EDITS))
+def test_tasklet_count_never_changes_the_answer(penalties, pair):
+    """The same pair through 1/8/24 tasklets is bit-identical."""
+    pattern, text = pair
+    answers = {
+        tasklets: [
+            (s, str(c))
+            for _, s, c in system_for(penalties, tasklets)
+            .align([ReadPair(pattern, text)], collect_results=True)
+            .results
+        ]
+        for tasklets in TASKLET_COUNTS
+    }
+    assert answers[1] == answers[8] == answers[24]

@@ -1,0 +1,220 @@
+"""Tests for the repro.qa differential-verification subsystem.
+
+The oracle hierarchy only earns trust if it (a) generates the corpus it
+claims to (deterministic, prefix-stable, admissible), (b) catches every
+planted failure mode, (c) rejects tampered reports, and (d) shrinks real
+failures to minimal reproductions.  These tests plant the bugs on
+purpose and check the net catches them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bitparallel import levenshtein_dp
+from repro.core.cigar import Cigar
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.errors import QaError
+from repro.pim.faults import DpuDeath, FaultPlan
+from repro.qa import (
+    CorpusConfig,
+    QaCase,
+    QaConfig,
+    check_case,
+    generate_corpus,
+    reference_answers,
+    run_qa,
+    shrink_case,
+    validate_qa_report,
+)
+from repro.qa.corpus import KINDS
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(30, seed=9)
+        b = generate_corpus(30, seed=9)
+        assert a == b
+        assert a != generate_corpus(30, seed=10)
+
+    def test_prefix_stable(self):
+        """Growing --trials only appends cases, never rewrites old ones."""
+        assert generate_corpus(60, seed=42)[:25] == generate_corpus(25, seed=42)
+
+    def test_kinds_cycle_and_index(self):
+        corpus = generate_corpus(len(KINDS) * 2, seed=1)
+        assert [c.kind for c in corpus] == list(KINDS) * 2
+        assert [c.index for c in corpus] == list(range(len(corpus)))
+
+    def test_admission_contract(self):
+        """Every case fits the kernel budget it will be checked under:
+        lengths within max_len, edit distance within max_edits."""
+        cfg = CorpusConfig(max_len=32, max_edits=4)
+        for case in generate_corpus(100, seed=7, config=cfg):
+            assert len(case.pattern) <= cfg.max_len
+            assert len(case.text) <= cfg.max_len
+            assert levenshtein_dp(case.pattern, case.text) <= cfg.max_edits
+            assert set(case.pattern + case.text) <= set(cfg.alphabet)
+
+    def test_config_validation(self):
+        with pytest.raises(QaError):
+            CorpusConfig(max_len=0).validate()
+        with pytest.raises(QaError):
+            CorpusConfig(kinds=("random", "nope")).validate()
+
+
+class TestOracle:
+    PENALTIES = EditPenalties()
+
+    def _case(self, pattern="ACGTAC", text="ACGAAC"):
+        return QaCase(index=0, kind="random", pattern=pattern, text=text)
+
+    def _truth(self, case):
+        ref = reference_answers(case.pattern, case.text, self.PENALTIES)
+        return ref["wfa_score"], Cigar.from_string(ref["wfa_cigar"])
+
+    def test_correct_answer_passes(self):
+        case = self._case()
+        score, cigar = self._truth(case)
+        assert check_case(case, score, cigar, self.PENALTIES).ok
+
+    def test_wrong_score_caught(self):
+        case = self._case()
+        score, cigar = self._truth(case)
+        verdict = check_case(case, score + 1, cigar, self.PENALTIES)
+        assert not verdict.ok
+        assert any("score-reconstruction" in f or "differential" in f
+                   for f in verdict.failures)
+
+    def test_invalid_cigar_caught(self):
+        case = self._case()
+        score, _ = self._truth(case)
+        # a CIGAR that does not even span the pair
+        verdict = check_case(case, score, Cigar.from_string("1M"), self.PENALTIES)
+        assert any(f.startswith("cigar-invalid") for f in verdict.failures)
+
+    def test_rescore_mismatch_caught(self):
+        case = self._case("ACGT", "ACGT")
+        # 4M replays fine but costs 0; claiming score 3 must fail
+        verdict = check_case(case, 3, Cigar.from_string("4M"), self.PENALTIES)
+        assert any(f.startswith("score-reconstruction") for f in verdict.failures)
+        assert any(f.startswith("differential") for f in verdict.failures)
+
+    def test_missing_result_caught(self):
+        verdict = check_case(self._case(), None, None, self.PENALTIES)
+        assert not verdict.ok
+        assert any(f.startswith("missing") for f in verdict.failures)
+
+    def test_score_without_cigar_caught(self):
+        case = self._case()
+        score, _ = self._truth(case)
+        verdict = check_case(case, score, None, self.PENALTIES)
+        assert any(f.startswith("missing") for f in verdict.failures)
+
+    def test_affine_references_agree(self):
+        pen = AffinePenalties(mismatch=4, gap_open=6, gap_extend=2)
+        ref = reference_answers("ACGTACGT", "ACGACGT", pen)
+        assert ref["wfa_score"] == ref["gotoh_score"]
+        assert "myers_score" not in ref  # edit-only oracle stays gated
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_substring(self):
+        pattern, text = shrink_case(
+            "ACGTAGGA", "TTTTTTTT", lambda p, t: "GG" in p
+        )
+        assert pattern == "GG"
+        assert text == ""
+
+    def test_deterministic(self):
+        args = ("ACGTAGGATTTTGG", "ACGT", lambda p, t: "GG" in p)
+        assert shrink_case(*args) == shrink_case(*args)
+
+    def test_rejects_passing_input(self):
+        with pytest.raises(QaError):
+            shrink_case("AAAA", "AAAA", lambda p, t: False)
+
+
+class TestRunQa:
+    def test_end_to_end_clean(self, tmp_path):
+        cfg = QaConfig(trials=15, seed=42, workers=0)
+        report = run_qa(cfg)
+        assert report.all_ok
+        assert report.cases_checked == 15 * len(cfg.penalty_models)
+        assert report.shrunk == []
+        path = report.write(tmp_path / "qa.jsonl")
+        summary = validate_qa_report(path)
+        assert summary["ok"] is True
+        assert summary["disagreements"] == 0
+
+    def test_fault_plan_run_records_recovery(self, tmp_path):
+        plan = FaultPlan(seed=42, deaths=(DpuDeath(dpu_id=1, attempts=(0,)),))
+        cfg = QaConfig(trials=12, seed=42, workers=0, fault_plan=plan)
+        report = run_qa(cfg)
+        # the transient death is retried away: zero disagreements AND the
+        # degradation report lands in the QA report for every model
+        assert report.all_ok
+        assert set(report.recovery) == {
+            name for name in report.verdicts
+        }
+        for rec in report.recovery.values():
+            assert rec["schema"] == "repro.pim.recovery/v1"
+        summary = validate_qa_report(report.write(tmp_path / "qa-faults.jsonl"))
+        assert summary["recovery"] is not None
+
+    def test_config_validation(self):
+        with pytest.raises(QaError):
+            QaConfig(trials=0).validate()
+        with pytest.raises(QaError):
+            QaConfig(penalty_models=()).validate()
+
+
+class TestReportValidation:
+    def _report_lines(self):
+        report = run_qa(QaConfig(trials=5, seed=1, workers=0, shrink=False))
+        return report.to_lines()
+
+    def test_accepts_own_output(self):
+        assert validate_qa_report(self._report_lines())["ok"] is True
+
+    def test_rejects_foreign_schema(self):
+        lines = self._report_lines()
+        lines[0]["schema"] = "someone-elses/v9"
+        with pytest.raises(QaError, match="bad header"):
+            validate_qa_report(lines)
+
+    def test_rejects_flipped_ok_flag(self):
+        lines = self._report_lines()
+        lines[1]["ok"] = False  # failures stays [] -> inconsistent
+        with pytest.raises(QaError, match="disagree"):
+            validate_qa_report(lines)
+
+    def test_rejects_dropped_case_keys(self):
+        lines = self._report_lines()
+        del lines[1]["pim_score"]
+        with pytest.raises(QaError, match="missing keys"):
+            validate_qa_report(lines)
+
+    def test_rejects_deleted_case(self):
+        lines = self._report_lines()
+        del lines[1]  # summary count no longer matches
+        with pytest.raises(QaError, match="cases"):
+            validate_qa_report(lines)
+
+    def test_rejects_cooked_summary(self):
+        lines = self._report_lines()
+        lines[-1]["disagreements"] = 5
+        with pytest.raises(QaError, match="disagreements"):
+            validate_qa_report(lines)
+
+    def test_rejects_truncated_file(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text("")
+        with pytest.raises(QaError):
+            validate_qa_report(path)
+
+    def test_rejects_non_jsonl(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(QaError, match="JSONL"):
+            validate_qa_report(path)

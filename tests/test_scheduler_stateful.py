@@ -1,0 +1,160 @@
+"""Stateful Hypothesis test: the scheduler never drops or duplicates a pair.
+
+A :class:`~hypothesis.stateful.RuleBasedStateMachine` accumulates a
+workload and a fault plan through arbitrary interleavings of rules, then
+flushes through a :class:`~repro.pim.scheduler.BatchScheduler`.  The
+invariant under ANY fault plan (transient deaths, persistent deaths,
+corruption, even every-DPU-dead):
+
+* returned pair indices are unique, and
+* ``completed_pairs`` and ``abandoned_pairs`` of the recovery report
+  partition exactly ``0..n-1`` — every pair is accounted for once, as
+  either a delivered result or an explicit abandonment.  Nothing is
+  silently lost, nothing is double-delivered.
+
+When the plan contains only DPU deaths (no data corruption), the machine
+additionally pins byte-identical results against a fault-free baseline —
+recovery must be invisible in the output.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.core.penalties import EditPenalties
+from repro.data.generator import ReadPairGenerator
+from repro.pim.config import PimSystemConfig
+from repro.pim.faults import DpuDeath, FaultPlan, MramCorruption, RetryPolicy
+from repro.pim.kernel import KernelConfig
+from repro.pim.scheduler import BatchScheduler
+from repro.pim.system import PimSystem
+
+NUM_DPUS = 4
+
+
+def make_system() -> PimSystem:
+    return PimSystem(
+        PimSystemConfig(
+            num_dpus=NUM_DPUS, num_ranks=1, tasklets=4, num_simulated_dpus=NUM_DPUS
+        ),
+        kernel_config=KernelConfig(
+            penalties=EditPenalties(), max_read_len=32, max_edits=4
+        ),
+    )
+
+
+def global_indices(run) -> list[int]:
+    """Round-local result indices rebased to the whole workload."""
+    out = []
+    start = 0
+    for rnd, size in zip(run.per_round, run.schedule.round_sizes()):
+        out.extend(i + start for i, _, _ in rnd.results)
+        start += size
+    return out
+
+
+def flat_results(run) -> list[tuple[int, int, str]]:
+    out = []
+    start = 0
+    for rnd, size in zip(run.per_round, run.schedule.round_sizes()):
+        out.extend((i + start, s, str(c)) for i, s, c in rnd.results)
+        start += size
+    return sorted(out)
+
+
+class SchedulerFaultMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: list = []
+        self.deaths: dict = {}  # dpu_id -> attempts tuple or None (persistent)
+        self.corruptions: list = []
+        self.plan_seed = 1
+
+    # -- build up state -----------------------------------------------------
+
+    @rule(n=st.integers(min_value=1, max_value=10), seed=st.integers(0, 2**16))
+    def add_pairs(self, n: int, seed: int) -> None:
+        gen = ReadPairGenerator(length=24, error_rate=0.05, seed=seed)
+        self.pending.extend(gen.pairs(n))
+
+    @rule(dpu=st.integers(0, NUM_DPUS - 1), transient=st.booleans())
+    def kill_dpu(self, dpu: int, transient: bool) -> None:
+        self.deaths[dpu] = (0,) if transient else None
+
+    @rule(
+        dpu=st.integers(0, NUM_DPUS - 1),
+        region=st.sampled_from(["header", "input", "output"]),
+    )
+    def corrupt_dpu(self, dpu: int, region: str) -> None:
+        self.corruptions.append(
+            MramCorruption(dpu_id=dpu, region=region, attempts=(0,))
+        )
+
+    @rule(seed=st.integers(1, 2**16))
+    def reseed(self, seed: int) -> None:
+        self.plan_seed = seed
+
+    @rule()
+    def clear_faults(self) -> None:
+        self.deaths = {}
+        self.corruptions = []
+
+    # -- flush + check ------------------------------------------------------
+
+    def _plan(self):
+        if not self.deaths and not self.corruptions:
+            return None
+        return FaultPlan(
+            seed=self.plan_seed,
+            deaths=tuple(
+                DpuDeath(dpu_id=d, attempts=a) for d, a in sorted(self.deaths.items())
+            ),
+            corruptions=tuple(self.corruptions),
+        )
+
+    @precondition(lambda self: self.pending)
+    @rule(pairs_per_round=st.integers(min_value=3, max_value=17))
+    def flush(self, pairs_per_round: int) -> None:
+        pairs, plan = self.pending, self._plan()
+        self.pending = []
+        n = len(pairs)
+        run = BatchScheduler(make_system()).run(
+            pairs,
+            pairs_per_round=pairs_per_round,
+            collect_results=True,
+            fault_plan=plan,
+            retry_policy=RetryPolicy(max_attempts=2, max_requeues=NUM_DPUS - 1),
+        )
+        got = global_indices(run)
+        assert len(got) == len(set(got)), "duplicate pair index delivered"
+        if plan is None:
+            assert run.recovery is None
+            assert sorted(got) == list(range(n))
+            return
+        rec = run.recovery
+        assert rec is not None
+        completed = sorted(rec.completed_pairs)
+        abandoned = sorted(rec.abandoned_pairs)
+        assert sorted(got) == completed, "results disagree with recovery report"
+        assert not set(completed) & set(abandoned)
+        assert sorted(completed + abandoned) == list(range(n)), (
+            "pairs dropped or duplicated across completion + abandonment"
+        )
+        if not self.corruptions:
+            # deaths only: recovery must be invisible in the delivered data
+            baseline = BatchScheduler(make_system()).run(
+                pairs, pairs_per_round=pairs_per_round, collect_results=True
+            )
+            expected = dict(
+                (i, (s, c)) for i, s, c in flat_results(baseline)
+            )
+            for i, s, c in flat_results(run):
+                assert (s, c) == expected[i], f"pair {i} changed under recovery"
+
+
+SchedulerFaultMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=10, deadline=None
+)
+TestSchedulerNeverLosesPairs = SchedulerFaultMachine.TestCase
