@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast qa coverage bench bench-parallel examples fig1 outputs trace-demo clean
+.PHONY: install test test-fast qa coverage bench bench-parallel examples fig1 outputs trace-demo serve-demo clean
 
 install:
 	pip install -e .
@@ -69,6 +69,25 @@ trace-demo:
 		from repro.obs.export import validate_chrome_trace; \
 		n = validate_chrome_trace(json.load(open('out/trace-demo/trace.json'))); \
 		print(f'trace OK: {n} duration events -> open out/trace-demo/trace.json in chrome://tracing')"
+
+# Deterministic 200-request replay through the alignment service (see
+# docs/serving.md): virtual-clock bursty arrivals, result cache on, a
+# DPU death injected into every batch — the JSONL latency report is
+# schema-validated and every summary figure recomputed from the
+# per-request records.  The same replay runs under pytest in
+# tests/test_serve_cli.py.
+serve-demo:
+	mkdir -p out/serve-demo
+	PYTHONPATH=src python -m repro.cli loadgen \
+		--requests 200 --rate 10000 --process bursty --length 10 \
+		--seed 5 --cache 64 --dpus 4 --tasklets 4 --kill-dpu 1 \
+		--report out/serve-demo/load.jsonl \
+		--metrics-out out/serve-demo/serve.prom
+	PYTHONPATH=src python -c "from repro.serve import validate_load_report; \
+		s = validate_load_report('out/serve-demo/load.jsonl'); \
+		print(f\"report OK: {s['completed']} completed, \" \
+		      f\"{s['cached_pairs']} cached pairs, \" \
+		      f\"p99 {s['latency_p99_s']*1e3:.2f} ms\")"
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/out out build src/*.egg-info

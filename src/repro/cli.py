@@ -8,6 +8,8 @@ Installed as the ``repro`` console script::
     repro qa       --trials 200 --seed 42 --report qa.jsonl
     repro fig1     --quick
     repro sweep    tasklets
+    repro serve    -i requests.jsonl -o responses.jsonl --cache 256
+    repro loadgen  --requests 200 --process bursty --report load.jsonl
 
 Each subcommand is a thin wrapper over the library API; anything the CLI
 can do, `import repro` can do better.
@@ -65,6 +67,72 @@ def _add_penalty_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gap-extend", type=int, default=2)
     parser.add_argument("--gap-open2", type=int, default=24)
     parser.add_argument("--gap-extend2", type=int, default=1)
+
+
+def _add_serve_args(parser: argparse.ArgumentParser) -> None:
+    """Service-construction flags shared by ``serve`` and ``loadgen``."""
+    parser.add_argument("--dpus", type=int, default=4)
+    parser.add_argument("--tasklets", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="host processes per round (1 = sequential, "
+                             "0 = one per core; responses are identical)")
+    parser.add_argument("--max-read-len", type=int, default=100)
+    parser.add_argument("--max-edits", type=int, default=4)
+    parser.add_argument("--max-batch-pairs", type=int, default=64,
+                        help="flush the micro-batcher at this many pairs")
+    parser.add_argument("--max-wait", type=float, default=1e-3, metavar="S",
+                        help="oldest pending pair waits at most this long "
+                             "(modeled seconds)")
+    parser.add_argument("--max-queue-pairs", type=int, default=4096,
+                        help="admission bound on pending + in-flight pairs")
+    parser.add_argument("--cache", type=int, default=0, metavar="N",
+                        help="result-cache capacity in entries (0 = off)")
+    parser.add_argument("--cache-policy", choices=("lru", "lfu"), default="lru")
+    parser.add_argument("--kill-dpu", type=int, default=None, metavar="ID",
+                        help="inject a first-attempt death of this DPU into "
+                             "every batch (recovery must stay lossless)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write service metrics: Prometheus text for "
+                             ".prom/.txt, JSON otherwise")
+
+
+def _build_serve_service(args: argparse.Namespace):
+    from repro.pim.faults import DpuDeath, FaultPlan
+    from repro.serve import ServiceConfig, build_service
+
+    fault_plan = None
+    if args.kill_dpu is not None:
+        fault_plan = FaultPlan(deaths=(DpuDeath(dpu_id=args.kill_dpu),))
+    return build_service(
+        num_dpus=args.dpus,
+        tasklets=args.tasklets,
+        workers=args.workers,
+        max_read_len=args.max_read_len,
+        max_edits=args.max_edits,
+        penalties=_penalties_from_args(args),
+        config=ServiceConfig(
+            max_batch_pairs=args.max_batch_pairs,
+            max_wait_s=args.max_wait,
+            max_queue_pairs=args.max_queue_pairs,
+            cache_pairs=args.cache,
+            cache_policy=args.cache_policy,
+        ),
+        fault_plan=fault_plan,
+    )
+
+
+def _write_serve_metrics(path: str, service) -> None:
+    import json as _json
+
+    if path.endswith((".prom", ".txt")):
+        from repro.obs.export import write_prometheus
+
+        write_prometheus(path, service.registry)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            _json.dump(service.metrics_snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(f"wrote service metrics to {path}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,6 +240,43 @@ def build_parser() -> argparse.ArgumentParser:
                          "on its first attempt (recovery must still agree)")
     qa.add_argument("--report", metavar="PATH", default=None,
                     help="write the JSONL report here")
+
+    # serve ---------------------------------------------------------------
+    srv = sub.add_parser(
+        "serve",
+        help="run the micro-batching alignment service over JSONL requests",
+    )
+    srv.add_argument("-i", "--input", default=None,
+                     help="JSONL request file (default: stdin); each line "
+                          '{"client": ..., "id": ..., "pairs": [[P, T], ...]'
+                          ', "arrival_s": ...}')
+    srv.add_argument("-o", "--output", default=None,
+                     help="JSONL response path (default: stdout)")
+    _add_serve_args(srv)
+    _add_penalty_args(srv)
+
+    # loadgen -------------------------------------------------------------
+    lg = sub.add_parser(
+        "loadgen",
+        help="replay a deterministic synthetic load against the service",
+    )
+    lg.add_argument("--requests", type=int, default=200)
+    lg.add_argument("--rate", type=float, default=2000.0,
+                    help="mean arrival rate, requests per modeled second")
+    lg.add_argument("--process", choices=("uniform", "bursty", "ramp"),
+                    default="uniform")
+    lg.add_argument("--burst", type=int, default=8)
+    lg.add_argument("--rate-end", type=float, default=None,
+                    help="final rate for --process ramp (default: 4x rate)")
+    lg.add_argument("--pairs-per-request", type=int, default=1)
+    lg.add_argument("--clients", type=int, default=4)
+    lg.add_argument("--length", type=int, default=16)
+    lg.add_argument("--error-rate", type=float, default=0.05)
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--report", metavar="PATH", default=None,
+                    help="write the JSONL latency report here (validated)")
+    _add_serve_args(lg)
+    _add_penalty_args(lg)
 
     # sweep -----------------------------------------------------------------
     sweep = sub.add_parser("sweep", help="run an ablation/extension sweep")
@@ -440,6 +545,118 @@ def _cmd_qa(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.data.generator import ReadPair
+    from repro.errors import Overloaded
+    from repro.serve import AlignRequest
+
+    service = _build_serve_service(args)
+    if args.input:
+        with open(args.input, "r", encoding="utf-8") as fh:
+            lines = [line for line in fh.read().splitlines() if line.strip()]
+    else:
+        lines = [line for line in sys.stdin.read().splitlines() if line.strip()]
+
+    futures = []
+    for lineno, line in enumerate(lines):
+        try:
+            record = _json.loads(line)
+            pairs = tuple(
+                ReadPair(pattern=p, text=t) for p, t in record["pairs"]
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            print(f"error: bad request on line {lineno + 1}: {exc}",
+                  file=sys.stderr)
+            return 1
+        request = AlignRequest(
+            client=str(record.get("client", "cli")),
+            request_id=str(record.get("id", f"r{lineno:06d}")),
+            pairs=pairs,
+        )
+        arrival = record.get("arrival_s")
+        if arrival is not None:
+            service.clock.advance_to(float(arrival))
+        try:
+            futures.append((request, service.submit(request)))
+        except Overloaded as exc:
+            futures.append((request, exc))
+    service.drain()
+
+    out = open(args.output, "w", encoding="utf-8") if args.output else sys.stdout
+    completed = rejected = 0
+    try:
+        for request, future in futures:
+            if isinstance(future, Overloaded):
+                rejected += 1
+                doc = {"client": request.client, "id": request.request_id,
+                       "error": "overloaded", "detail": str(future)}
+            else:
+                completed += 1
+                doc = future.result().to_dict()
+            print(_json.dumps(doc, sort_keys=True), file=out)
+    finally:
+        if args.output:
+            out.close()
+    print(f"served {completed} request(s), rejected {rejected} "
+          f"({service.dispatcher.batches_dispatched} batch(es))",
+          file=sys.stderr)
+    if service.dispatcher.recovery is not None:
+        rec = service.dispatcher.recovery
+        print(f"recovery: {rec.faults_seen} fault(s), "
+              f"{len(rec.rerun_pairs)} pair(s) re-run", file=sys.stderr)
+    if args.metrics_out:
+        _write_serve_metrics(args.metrics_out, service)
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import LoadgenConfig, run_load, validate_load_report
+
+    service = _build_serve_service(args)
+    config = LoadgenConfig(
+        requests=args.requests,
+        rate=args.rate,
+        process=args.process,
+        burst=args.burst,
+        rate_end=args.rate_end,
+        pairs_per_request=args.pairs_per_request,
+        clients=args.clients,
+        length=args.length,
+        error_rate=args.error_rate,
+        seed=args.seed,
+    )
+    report = run_load(service, config)
+    summary = report.summary()
+    rows = [
+        ("requests", f"{summary['requests']:,}"),
+        ("completed / rejected",
+         f"{summary['completed']:,} / {summary['rejected']:,}"),
+        ("pairs served (cached)",
+         f"{summary['pairs_served']:,} ({summary['cached_pairs']:,})"),
+        ("batches", f"{summary['batches']:,}"),
+        ("latency p50 / p99",
+         f"{human_time(summary['latency_p50_s'])} / "
+         f"{human_time(summary['latency_p99_s'])}"),
+        ("makespan", human_time(summary["makespan_s"])),
+        ("throughput", f"{summary['throughput_pairs_per_s']:,.0f} pairs/s"),
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title=f"loadgen ({config.process}, seed {config.seed})"))
+    if report.recovery is not None:
+        print(f"recovery: {report.recovery['faults_seen']} fault(s), "
+              f"{len(report.recovery['rerun_pairs'])} pair(s) re-run, "
+              f"{len(report.recovery['abandoned_pairs'])} abandoned")
+    if args.report:
+        report.write(args.report)
+        validate_load_report(args.report)
+        print(f"wrote schema-valid report to {args.report}")
+    if args.metrics_out:
+        _write_serve_metrics(args.metrics_out, service)
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import sweeps
 
@@ -465,6 +682,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "fig1": _cmd_fig1,
     "qa": _cmd_qa,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "sweep": _cmd_sweep,
 }
 

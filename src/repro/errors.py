@@ -97,6 +97,29 @@ class QaError(ReproError):
     """Differential-verification harness misuse or invariant failure."""
 
 
+class ServeError(ReproError):
+    """Base class for alignment-service (``repro.serve``) errors."""
+
+
+class Overloaded(ServeError):
+    """Admission control rejected a request: the bounded queue is full.
+
+    Raised *synchronously* by :meth:`~repro.serve.service.AlignmentService.submit`
+    instead of buffering without bound — the caller is expected to shed
+    load or retry later.  Carries the queue occupancy that triggered the
+    rejection so clients and load generators can report it.
+    """
+
+    def __init__(self, message: str, queued_pairs: int = 0, limit: int = 0) -> None:
+        super().__init__(message)
+        self.queued_pairs = queued_pairs
+        self.limit = limit
+
+
+class RequestCancelled(ServeError):
+    """A pending request was cancelled before any of it was dispatched."""
+
+
 class ConfigError(ReproError):
     """Invalid platform / experiment configuration."""
 

@@ -38,6 +38,12 @@ class BatchSchedule:
         return math.ceil(self.total_pairs / self.pairs_per_round)
 
     def round_sizes(self) -> list[int]:
+        # An empty workload has zero rounds; the general expression below
+        # would fabricate a phantom round of ``pairs_per_round`` pairs
+        # (list of -1 copies is empty, then the append contributes
+        # ``total - per * (0 - 1) = per``).
+        if self.total_pairs == 0:
+            return []
         sizes = [self.pairs_per_round] * (self.rounds - 1)
         sizes.append(self.total_pairs - self.pairs_per_round * (self.rounds - 1))
         return sizes
@@ -121,9 +127,15 @@ class BatchScheduler:
         return per_dpu_pairs * self.system.config.num_dpus
 
     def plan(self, total_pairs: int, pairs_per_round: Optional[int] = None) -> BatchSchedule:
-        """Split ``total_pairs`` into rounds (capacity-sized by default)."""
-        if total_pairs < 1:
-            raise ConfigError("total_pairs must be >= 1")
+        """Split ``total_pairs`` into rounds (capacity-sized by default).
+
+        ``total_pairs == 0`` is a valid degenerate workload: the schedule
+        has zero rounds and ``round_sizes()`` is empty, so ``run([])``
+        performs no device work and returns an empty
+        :class:`ScheduledRun`.
+        """
+        if total_pairs < 0:
+            raise ConfigError(f"total_pairs must be >= 0, got {total_pairs}")
         cap = self.max_pairs_per_round()
         if pairs_per_round is None:
             pairs_per_round = cap

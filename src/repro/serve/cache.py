@@ -1,0 +1,170 @@
+"""Result cache for the alignment service.
+
+Alignment is a pure function of ``(pattern, text, penalties, kernel
+configuration)``, which makes served results perfectly cacheable.  The
+**cache key** is the SHA-256 digest of a canonical rendering of exactly
+those inputs (see :func:`result_key`) — two requests share an entry iff
+a fresh kernel run would be bit-identical for both, and any change to
+the penalty model or the kernel's compile-time plan (read-length bound,
+edit budget, traceback mode, staging, span) changes the key.
+
+Correctness guarantee: the cache stores the *exact* result tuple the
+kernel produced — score, CIGAR object, and aligned-region starts — so a
+hit is byte-identical to a fresh run.  Property tests in
+``tests/test_serve_cache.py`` pin this for arbitrary request streams and
+for eviction under tiny capacities.
+
+Two deterministic eviction policies:
+
+* ``"lru"`` — least-recently-used (insertion-ordered dict, moved on
+  access);
+* ``"lfu"`` — least-frequently-used, ties broken by least-recent use,
+  both tracked with logical counters (no wall clock anywhere).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cigar import Cigar
+    from repro.data.generator import ReadPair
+    from repro.pim.kernel import KernelConfig
+
+__all__ = ["CachedResult", "CacheStats", "ResultCache", "result_key", "kernel_fingerprint"]
+
+#: (score, cigar-or-None, (pattern_start, text_start)) — exactly what a
+#: fresh :meth:`~repro.pim.system.PimSystem.align` yields per pair.
+CachedResult = Tuple[int, Optional["Cigar"], Tuple[int, int]]
+
+
+def kernel_fingerprint(kernel_config: "KernelConfig") -> str:
+    """Canonical text for every kernel knob that can change a result.
+
+    Dataclass ``repr`` is deterministic (field order is definition
+    order, values render with ``repr``), unlike ``hash()`` which is
+    process-salted.
+    """
+    kc = kernel_config
+    return "|".join(
+        (
+            repr(kc.penalties),
+            str(kc.max_read_len),
+            str(kc.max_edits),
+            str(kc.traceback),
+            str(kc.adaptive),
+            str(kc.staging_chunk_bytes),
+            repr(kc.span),
+        )
+    )
+
+
+def result_key(pair: "ReadPair", kernel_config: "KernelConfig") -> str:
+    """SHA-256 digest keying one (seq-pair, penalties, kernel config)."""
+    payload = "\x1f".join(
+        (pair.pattern, pair.text, kernel_fingerprint(kernel_config))
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+        }
+
+
+class _Entry:
+    __slots__ = ("value", "freq", "last_used")
+
+    def __init__(self, value: CachedResult, last_used: int) -> None:
+        self.value = value
+        self.freq = 0
+        self.last_used = last_used
+
+
+class ResultCache:
+    """Bounded, deterministic LRU/LFU map from result key to result."""
+
+    POLICIES = ("lru", "lfu")
+
+    def __init__(self, capacity: int, policy: str = "lru") -> None:
+        if capacity < 1:
+            raise ConfigError(f"cache capacity must be >= 1, got {capacity}")
+        if policy not in self.POLICIES:
+            raise ConfigError(
+                f"cache policy must be one of {self.POLICIES}, got {policy!r}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.stats = CacheStats()
+        self._entries: dict[str, _Entry] = {}
+        self._tick = 0  # logical access counter (recency without a clock)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def _touch(self, key: str, entry: _Entry) -> None:
+        self._tick += 1
+        entry.freq += 1
+        entry.last_used = self._tick
+        if self.policy == "lru":
+            # keep dict insertion order == recency order
+            self._entries.pop(key)
+            self._entries[key] = entry
+
+    def get(self, key: str) -> Optional[CachedResult]:
+        """The cached result, or ``None`` (counts a hit / miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._touch(key, entry)
+        return entry.value
+
+    def _victim(self) -> str:
+        if self.policy == "lru":
+            return next(iter(self._entries))  # oldest insertion/access
+        # lfu: least frequent, ties broken by least recent use
+        return min(
+            self._entries,
+            key=lambda k: (self._entries[k].freq, self._entries[k].last_used),
+        )
+
+    def put(self, key: str, value: CachedResult) -> None:
+        """Insert (or refresh) an entry, evicting deterministically."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.value = value
+            self._touch(key, entry)
+            return
+        if len(self._entries) >= self.capacity:
+            del self._entries[self._victim()]
+            self.stats.evictions += 1
+        self._tick += 1
+        self._entries[key] = _Entry(value, self._tick)
+        self.stats.inserts += 1

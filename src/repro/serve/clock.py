@@ -1,0 +1,138 @@
+"""Injectable clocks for the alignment service.
+
+Every deadline in :mod:`repro.serve` is driven through one of these
+clock objects instead of ``time`` / ``asyncio.sleep``, for one reason:
+**tests never sleep**.  A :class:`VirtualClock` owns a manually-advanced
+timeline and a deterministic timer queue — advancing it fires due
+timers in ``(deadline, registration order)`` order, so a thousand-request
+soak test runs in milliseconds of wall time and produces bit-identical
+modeled latencies on every run.  The :class:`AsyncioClock` adapter gives
+the same interface real-time semantics on a running event loop for
+production use.
+
+The interface is intentionally tiny:
+
+* ``now() -> float`` — current time in seconds;
+* ``call_at(when, callback) -> handle`` — schedule ``callback()`` at
+  ``when`` (a handle with ``cancel()``);
+* handles expose ``cancel()`` and nothing else the service relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Protocol
+
+from repro.errors import ServeError
+
+__all__ = ["Clock", "Timer", "VirtualClock", "AsyncioClock"]
+
+
+class Clock(Protocol):
+    """Structural interface every service clock satisfies."""
+
+    def now(self) -> float:  # pragma: no cover - protocol
+        ...
+
+    def call_at(self, when: float, callback: Callable[[], None]):  # pragma: no cover
+        ...
+
+
+class Timer:
+    """A scheduled callback on a :class:`VirtualClock` timeline."""
+
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(self, when: float, seq: int, callback: Callable[[], None]) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Timer") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+
+class VirtualClock:
+    """A deterministic, manually-advanced clock with a timer queue.
+
+    Timers fire during :meth:`advance` / :meth:`advance_to`, in
+    ``(deadline, registration order)`` order; a firing callback may
+    schedule further timers, which fire in the same sweep if they fall
+    inside it.  Time never moves backwards.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._timers: List[Timer] = []
+        self._seq = 0
+
+    def now(self) -> float:
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Timer:
+        """Schedule ``callback`` at time ``when`` (>= now, else fires on
+        the next advance)."""
+        timer = Timer(float(when), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._timers, timer)
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Timer:
+        if delay < 0:
+            raise ServeError(f"timer delay must be >= 0, got {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def advance_to(self, deadline: float) -> None:
+        """Move time forward to ``deadline``, firing every due timer."""
+        if deadline < self._now:
+            raise ServeError(
+                f"cannot advance clock backwards: now={self._now}, "
+                f"target={deadline}"
+            )
+        while self._timers and self._timers[0].when <= deadline:
+            timer = heapq.heappop(self._timers)
+            if timer.cancelled:
+                continue
+            # a timer registered in the past fires "now", never rewinds
+            self._now = max(self._now, timer.when)
+            timer.callback()
+        self._now = max(self._now, deadline)
+
+    def advance(self, dt: float = 0.0) -> None:
+        """Move time forward by ``dt`` seconds, firing due timers."""
+        if dt < 0:
+            raise ServeError(f"cannot advance clock by negative dt {dt}")
+        self.advance_to(self._now + dt)
+
+    def next_timer(self) -> Optional[float]:
+        """Deadline of the earliest pending (non-cancelled) timer."""
+        while self._timers and self._timers[0].cancelled:
+            heapq.heappop(self._timers)
+        return self._timers[0].when if self._timers else None
+
+
+class AsyncioClock:
+    """Real-time clock adapter over a running asyncio event loop.
+
+    Gives the service real deadline semantics in production: timers ride
+    ``loop.call_at`` and ``now()`` is ``loop.time()``.  Construct it
+    inside a running loop (e.g. at the top of ``asyncio.run``'s
+    coroutine).
+    """
+
+    def __init__(self, loop=None) -> None:
+        if loop is None:
+            import asyncio
+
+            loop = asyncio.get_running_loop()
+        self._loop = loop
+
+    def now(self) -> float:
+        return self._loop.time()
+
+    def call_at(self, when: float, callback: Callable[[], None]):
+        return self._loop.call_at(when, callback)

@@ -1,0 +1,152 @@
+"""Batch dispatch: from formed batches to per-pair results.
+
+The dispatcher is the bridge between the service's batches and the
+existing execution stack: each batch runs through a
+:class:`~repro.pim.scheduler.BatchScheduler` (which splits it into
+MRAM-sized rounds and fans rounds out over the host-parallel workers),
+optionally under a :class:`~repro.pim.faults.FaultPlan` so a DPU death
+mid-batch retries / requeues without dropping or duplicating a pair.
+
+It also owns the service's **modeled device timeline**: batch ``k``
+cannot start before batch ``k-1``'s modeled completion, so at high
+arrival rates completions lag arrivals — exactly the signal admission
+control needs (see :meth:`BatchDispatcher.in_system_pairs`).  All times
+here are modeled seconds on the injectable service clock; nothing
+sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.pim.faults import FaultPlan, RecoveryReport, RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.cigar import Cigar
+    from repro.data.generator import ReadPair
+    from repro.pim.scheduler import BatchScheduler, ScheduledRun
+
+__all__ = ["BatchOutcome", "BatchDispatcher"]
+
+#: per-pair outcome: (score, cigar, (pattern_start, text_start)), or
+#: ``None`` for a pair recovery abandoned.
+PairResult = Optional[Tuple[int, Optional["Cigar"], Tuple[int, int]]]
+
+
+@dataclass
+class BatchOutcome:
+    """Everything the service needs back from one dispatched batch."""
+
+    batch_index: int
+    num_pairs: int
+    #: one entry per batch pair, in batch order
+    results: List[PairResult]
+    #: when the batch was handed to the device timeline
+    dispatched_s: float
+    #: when the modeled device actually started it (>= dispatched_s)
+    started_s: float
+    #: modeled completion time (started_s + the run's total_seconds)
+    completed_s: float
+    run: "ScheduledRun" = field(repr=False, default=None)
+
+    @property
+    def service_seconds(self) -> float:
+        return self.completed_s - self.started_s
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time the batch waited for the device behind earlier batches."""
+        return self.started_s - self.dispatched_s
+
+
+class BatchDispatcher:
+    """Runs batches through the scheduler on a modeled device timeline."""
+
+    def __init__(
+        self,
+        scheduler: "BatchScheduler",
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        pairs_per_round: Optional[int] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.fault_plan = fault_plan
+        self.retry_policy = retry_policy
+        #: optional round-size override forwarded to the scheduler
+        #: (``None`` = MRAM-capacity-sized rounds).
+        self.pairs_per_round = pairs_per_round
+        #: aggregate recovery report across every dispatched batch, pair
+        #: indices rebased to dispatch order (``None`` without faults).
+        self.recovery: Optional[RecoveryReport] = None
+        self._free_at = 0.0
+        self._pair_offset = 0
+        self._batches = 0
+        #: (modeled completion, pairs) of batches possibly still in
+        #: flight on the modeled timeline; pruned as "now" advances.
+        self._in_flight: List[Tuple[float, int]] = []
+
+    # -- modeled timeline --------------------------------------------------
+
+    @property
+    def batches_dispatched(self) -> int:
+        return self._batches
+
+    @property
+    def device_free_at(self) -> float:
+        """Modeled time the device finishes everything dispatched so far."""
+        return self._free_at
+
+    def in_system_pairs(self, now: float) -> int:
+        """Pairs dispatched whose modeled completion is still ahead of
+        ``now`` — the device-side half of the service's queue bound."""
+        self._in_flight = [(t, n) for t, n in self._in_flight if t > now]
+        return sum(n for _, n in self._in_flight)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, pairs: List["ReadPair"], now: float) -> BatchOutcome:
+        """Align one batch; map results back to batch order.
+
+        The scheduler returns per-round results with round-local pair
+        indices; they are rebased here so ``results[i]`` is batch pair
+        ``i``.  Pairs the recovery layer abandoned come back as ``None``
+        entries rather than being silently dropped.
+        """
+        run = self.scheduler.run(
+            list(pairs),
+            pairs_per_round=self.pairs_per_round,
+            collect_results=True,
+            fault_plan=self.fault_plan,
+            retry_policy=self.retry_policy,
+        )
+        results: List[PairResult] = [None] * len(pairs)
+        start = 0
+        for rnd, size in zip(run.per_round, run.schedule.round_sizes()):
+            for local, score, cigar in rnd.results:
+                region = rnd.regions.get(local, (0, 0))
+                results[start + local] = (score, cigar, region)
+            start += size
+
+        if run.recovery is not None:
+            run.recovery.shift_pairs(self._pair_offset)
+            if self.recovery is None:
+                self.recovery = RecoveryReport()
+            self.recovery.merge(run.recovery)
+        self._pair_offset += len(pairs)
+
+        started = max(now, self._free_at)
+        completed = started + run.total_seconds
+        self._free_at = completed
+        self._in_flight.append((completed, len(pairs)))
+        index = self._batches
+        self._batches += 1
+        return BatchOutcome(
+            batch_index=index,
+            num_pairs=len(pairs),
+            results=results,
+            dispatched_s=now,
+            started_s=started,
+            completed_s=completed,
+            run=run,
+        )

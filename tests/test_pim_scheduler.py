@@ -31,6 +31,14 @@ class TestSchedule:
         assert s.rounds == 1
         assert s.round_sizes() == [10]
 
+    def test_empty_workload_has_no_rounds(self):
+        """Regression: ``round_sizes()`` used to fabricate a phantom
+        round of ``pairs_per_round`` pairs for ``total_pairs == 0``."""
+        s = BatchSchedule(total_pairs=0, pairs_per_round=30)
+        assert s.rounds == 0
+        assert s.round_sizes() == []
+        assert sum(s.round_sizes()) == 0
+
 
 class TestCapacity:
     def test_capacity_scales_with_dpus(self):
@@ -49,11 +57,17 @@ class TestCapacity:
     def test_plan_validation(self):
         sched = BatchScheduler(small_system())
         with pytest.raises(ConfigError):
-            sched.plan(0)
+            sched.plan(-1)
         with pytest.raises(ConfigError):
             sched.plan(10, pairs_per_round=0)
         with pytest.raises(ConfigError):
             sched.plan(10, pairs_per_round=10**12)
+
+    def test_plan_accepts_empty_workload(self):
+        sched = BatchScheduler(small_system())
+        schedule = sched.plan(0)
+        assert schedule.rounds == 0
+        assert schedule.round_sizes() == []
 
 
 class TestHeaderConstant:
@@ -173,6 +187,17 @@ class TestExecution:
         run = BatchScheduler(system).run(pairs)
         assert run.schedule.rounds == 1
         assert run.total_seconds == pytest.approx(direct.total_seconds)
+
+    def test_run_empty_workload_end_to_end(self):
+        """Regression companion to the ``round_sizes()`` fix: an empty
+        run performs zero device work and aggregates cleanly."""
+        sched = BatchScheduler(small_system())
+        run = sched.run([], collect_results=True)
+        assert run.schedule.total_pairs == 0
+        assert run.per_round == []
+        assert run.total_seconds == 0.0
+        assert run.throughput() == 0.0
+        assert run.recovery is None
 
     def test_results_partition_by_round(self, pairs):
         sched = BatchScheduler(small_system())

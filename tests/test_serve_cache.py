@@ -1,0 +1,215 @@
+"""Result-cache correctness: caching is invisible in the output.
+
+The tentpole property (Hypothesis): for an *arbitrary* request stream
+with duplicates, the service's responses — scores **and** CIGARs — are
+byte-identical with the cache off, with a roomy cache, and with a
+pathologically tiny cache (capacity 2, both policies) that evicts
+constantly.  Eviction pressure may only change hit/miss/eviction
+counters, never a response.
+
+Plus unit coverage of the cache data structure itself: deterministic
+LRU / LFU victim selection, key sensitivity to every kernel knob, and
+stats accounting.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.penalties import AffinePenalties, EditPenalties
+from repro.data.generator import ReadPair
+from repro.errors import ConfigError
+from repro.pim.kernel import KernelConfig
+from repro.serve import (
+    AlignRequest,
+    ResultCache,
+    ServiceConfig,
+    build_service,
+    kernel_fingerprint,
+    result_key,
+)
+
+# small pool => heavy duplication => real cache traffic
+POOL = (
+    ReadPair(pattern="ACGTACGTACGT", text="ACGTACGAACGT"),
+    ReadPair(pattern="TTTTCCCCGGGG", text="TTTTCCCAGGGG"),
+    ReadPair(pattern="AAAACCCCTTTT", text="AAAACCCCTTTT"),
+    ReadPair(pattern="GATTACAGATTA", text="GATTACCGATTA"),
+    ReadPair(pattern="CGCGCGCGCGCG", text="CGCGCGAGCGCG"),
+    ReadPair(pattern="ACACACACACAC", text="ACACACACACA"),
+    ReadPair(pattern="TGCATGCATGCA", text="TGCATGCATGCAA"),
+    ReadPair(pattern="GGGGAAAATTTT", text="GGGGAAATTTTT"),
+)
+
+
+def run_stream(picks, cache_pairs, cache_policy="lru"):
+    """Serve the pick stream; return [(scores, cigars, cached), ...]."""
+    service = build_service(
+        num_dpus=2,
+        tasklets=2,
+        workers=1,
+        max_read_len=16,
+        max_edits=3,
+        config=ServiceConfig(
+            max_batch_pairs=4,
+            max_wait_s=1e-3,
+            cache_pairs=cache_pairs,
+            cache_policy=cache_policy,
+        ),
+        with_telemetry=False,
+    )
+    futures = []
+    for i, chunk in enumerate(picks):
+        service.clock.advance(2e-4)
+        futures.append(
+            service.submit(
+                AlignRequest(
+                    client="c0",
+                    request_id=f"r{i}",
+                    pairs=tuple(POOL[p] for p in chunk),
+                )
+            )
+        )
+    service.drain()
+    out = [
+        (f.result().scores, f.result().cigars, f.result().cached) for f in futures
+    ]
+    return out, service
+
+
+request_stream = st.lists(
+    st.lists(st.integers(min_value=0, max_value=len(POOL) - 1), min_size=1, max_size=3),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestCacheTransparency:
+    @settings(max_examples=20, deadline=None)
+    @given(picks=request_stream)
+    def test_cache_on_equals_cache_off(self, picks):
+        baseline, _ = run_stream(picks, cache_pairs=0)
+        cached, service = run_stream(picks, cache_pairs=64)
+        assert [(s, c) for s, c, _ in cached] == [(s, c) for s, c, _ in baseline]
+        # with the roomy cache, every repeated pair after its first
+        # sighting in an *earlier-dispatched* batch can hit; at minimum
+        # the lookup counters add up
+        stats = service.cache.stats
+        total_pairs = sum(len(chunk) for chunk in picks)
+        assert stats.hits + stats.misses == total_pairs
+        assert stats.evictions == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(picks=request_stream, policy=st.sampled_from(["lru", "lfu"]))
+    def test_tiny_cache_evicts_but_never_changes_results(self, picks, policy):
+        baseline, _ = run_stream(picks, cache_pairs=0)
+        tiny, service = run_stream(picks, cache_pairs=2, cache_policy=policy)
+        assert [(s, c) for s, c, _ in tiny] == [(s, c) for s, c, _ in baseline]
+        assert len(service.cache) <= 2
+        stats = service.cache.stats
+        assert stats.evictions == max(0, stats.inserts - 2)
+
+    def test_cached_flag_marks_only_hits(self):
+        # the cache fills at dispatch, so flush (deadline passes on the
+        # virtual clock) between submissions to expose hits
+        service = build_service(
+            num_dpus=2,
+            tasklets=2,
+            max_read_len=16,
+            max_edits=3,
+            config=ServiceConfig(max_wait_s=1e-3, cache_pairs=16),
+            with_telemetry=False,
+        )
+
+        def ask(rid, *pool_ids):
+            future = service.submit(
+                AlignRequest(
+                    client="c0",
+                    request_id=rid,
+                    pairs=tuple(POOL[p] for p in pool_ids),
+                )
+            )
+            service.clock.advance(2e-3)  # past the deadline: flush
+            return future.result().cached
+
+        assert ask("r0", 0) == (False,)
+        assert ask("r1", 0) == (True,)
+        assert ask("r2", 1) == (False,)
+        assert ask("r3", 0, 1) == (True, True)
+        assert service.cache.stats.hits == 3
+
+
+class TestResultKey:
+    KC = KernelConfig(penalties=AffinePenalties(), max_read_len=32, max_edits=4)
+
+    def test_key_is_stable_and_pair_sensitive(self):
+        assert result_key(POOL[0], self.KC) == result_key(POOL[0], self.KC)
+        assert result_key(POOL[0], self.KC) != result_key(POOL[1], self.KC)
+        # pattern/text are not interchangeable
+        flipped = ReadPair(pattern=POOL[0].text, text=POOL[0].pattern)
+        assert result_key(POOL[0], self.KC) != result_key(flipped, self.KC)
+
+    def test_key_tracks_every_kernel_knob(self):
+        base = result_key(POOL[0], self.KC)
+        variants = [
+            KernelConfig(penalties=EditPenalties(), max_read_len=32, max_edits=4),
+            KernelConfig(penalties=AffinePenalties(), max_read_len=64, max_edits=4),
+            KernelConfig(penalties=AffinePenalties(), max_read_len=32, max_edits=5),
+            KernelConfig(
+                penalties=AffinePenalties(),
+                max_read_len=32,
+                max_edits=4,
+                traceback=False,
+            ),
+        ]
+        keys = {result_key(POOL[0], kc) for kc in variants}
+        assert base not in keys
+        assert len(keys) == len(variants)
+
+    def test_fingerprint_avoids_process_salted_hash(self):
+        fp = kernel_fingerprint(self.KC)
+        assert "AffinePenalties" in fp
+        assert str(self.KC.max_read_len) in fp
+
+
+class TestResultCacheStructure:
+    def test_lru_evicts_least_recently_used(self):
+        cache = ResultCache(capacity=2, policy="lru")
+        cache.put("a", (1, None, (0, 0)))
+        cache.put("b", (2, None, (0, 0)))
+        assert cache.get("a") == (1, None, (0, 0))  # refresh a
+        cache.put("c", (3, None, (0, 0)))  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_lfu_evicts_least_frequent_then_least_recent(self):
+        cache = ResultCache(capacity=2, policy="lfu")
+        cache.put("a", (1, None, (0, 0)))
+        cache.put("b", (2, None, (0, 0)))
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        cache.put("c", (3, None, (0, 0)))  # b has fewer uses than a
+        assert "b" not in cache
+        # now a (freq 2 from gets) vs c (freq 0): c goes first
+        cache.put("d", (4, None, (0, 0)))
+        assert "c" not in cache
+        assert "a" in cache and "d" in cache
+
+    def test_stats_account_for_every_operation(self):
+        cache = ResultCache(capacity=1)
+        assert cache.get("x") is None
+        cache.put("x", (1, None, (0, 0)))
+        cache.get("x")
+        cache.put("y", (2, None, (0, 0)))
+        s = cache.stats
+        assert (s.hits, s.misses, s.inserts, s.evictions) == (1, 1, 2, 1)
+        assert s.hit_rate() == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ResultCache(capacity=0)
+        with pytest.raises(ConfigError):
+            ResultCache(capacity=4, policy="mru")
