@@ -1,10 +1,13 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast qa coverage bench bench-parallel examples fig1 outputs trace-demo serve-demo clean
+.PHONY: install test test-fast qa coverage bench bench-parallel examples fig1 outputs trace-demo serve-demo chaos clean
 
 install:
 	pip install -e .
 
+# tests/test_chaos.py runs the seeded chaos drill (DpuDeath +
+# TaskletStall + mid-run crash/resume) as part of the default suite;
+# `make chaos` replays the same scenario through the installed CLI.
 test:
 	pytest tests/
 
@@ -88,6 +91,40 @@ serve-demo:
 		print(f\"report OK: {s['completed']} completed, \" \
 		      f\"{s['cached_pairs']} cached pairs, \" \
 		      f\"p99 {s['latency_p99_s']*1e3:.2f} ms\")"
+
+# Seeded chaos drill (see docs/resilience.md): a persistent DPU death
+# plus a first-attempt tasklet stall under the circuit breaker, a
+# mid-run crash (journal truncated at a record boundary) resumed with
+# --resume, and the same fault plan replayed through the serve path
+# with CPU fallback.  The rebuilt journal must be byte-identical to the
+# uninterrupted one, and both the repro.pim.journal/v1 journal and the
+# repro.serve.load/v1 report are schema-validated.  The same scenario
+# runs under pytest in tests/test_chaos.py (part of `make test`).
+chaos:
+	mkdir -p out/chaos
+	PYTHONPATH=src python -m repro.cli generate --pairs 96 --length 48 \
+		--error-rate 0.03 --seed 13 -o out/chaos/reads.seq
+	PYTHONPATH=src python -m repro.cli pim-align -i out/chaos/reads.seq \
+		--dpus 4 --tasklets 4 --pairs-per-round 24 \
+		--kill-dpu 1 --stall-dpu 2 --breaker \
+		--journal out/chaos/run.jsonl
+	head -n 3 out/chaos/run.jsonl > out/chaos/crashed.jsonl
+	PYTHONPATH=src python -m repro.cli pim-align -i out/chaos/reads.seq \
+		--dpus 4 --tasklets 4 --pairs-per-round 24 \
+		--kill-dpu 1 --stall-dpu 2 --breaker \
+		--journal out/chaos/crashed.jsonl --resume
+	cmp out/chaos/run.jsonl out/chaos/crashed.jsonl
+	PYTHONPATH=src python -m repro.cli loadgen \
+		--requests 120 --rate 8000 --length 10 --seed 13 \
+		--dpus 4 --tasklets 4 --kill-dpu 1 --stall-dpu 2 --breaker \
+		--fallback-threshold 0.9 --report out/chaos/load.jsonl
+	PYTHONPATH=src python -c "from repro.pim.journal import RunJournal; \
+		from repro.serve import validate_load_report; \
+		j = RunJournal.load('out/chaos/crashed.jsonl'); \
+		s = validate_load_report('out/chaos/load.jsonl'); \
+		print(f\"chaos OK: journal {j.header['schema']} with \" \
+		      f\"{len(j.rounds())} rounds resumed byte-identically, \" \
+		      f\"load report valid ({s['completed']} completed)\")"
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/out out build src/*.egg-info

@@ -1,0 +1,112 @@
+"""Ext. R — resilience: circuit breaker vs retry-only under a dead DPU.
+
+One DPU in the fleet is permanently dead.  A retry-only scheduler pays
+the full retry tax (watchdog + backoff + requeue) every round, forever.
+With the fleet-health ledger attached, the dead DPU's circuit breaker
+opens after ``failure_threshold`` observed failures and later rounds
+simply route around it — the modeled run gets *faster* despite running
+on fewer DPUs, because recovery overhead dwarfs the lost capacity.
+
+The acceptance number is the modeled ``total_seconds`` delta; results
+are asserted byte-identical either way (quarantine never changes the
+answers, only where and when they are computed).
+"""
+
+import warnings
+
+from conftest import emit
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.errors import DegradedCapacity
+from repro.perf.report import format_table
+from repro.pim.config import PimSystemConfig
+from repro.pim.faults import DpuDeath, FaultPlan, RetryPolicy
+from repro.pim.health import FleetHealth, HealthPolicy
+from repro.pim.kernel import KernelConfig
+from repro.pim.scheduler import BatchScheduler
+from repro.pim.system import PimSystem
+
+NUM_DPUS = 8
+DEAD_DPU = 3
+
+
+def build_system() -> PimSystem:
+    cfg = PimSystemConfig(
+        num_dpus=NUM_DPUS, num_ranks=1, tasklets=8, num_simulated_dpus=NUM_DPUS
+    )
+    kc = KernelConfig(penalties=AffinePenalties(), max_read_len=64, max_edits=3)
+    return PimSystem(cfg, kc)
+
+
+def flat(run):
+    out, start = [], 0
+    for rnd, size in zip(run.per_round, run.schedule.round_sizes()):
+        out.extend((i + start, s, str(c)) for i, s, c in rnd.results)
+        start += size
+    return sorted(out)
+
+
+def test_breaker_vs_retry_only(benchmark):
+    pairs = ReadPairGenerator(length=64, error_rate=0.02, seed=11).pairs(480)
+    plan = FaultPlan(deaths=(DpuDeath(dpu_id=DEAD_DPU),))
+    policy = RetryPolicy(max_attempts=2, backoff_base_s=2e-3)
+
+    def run():
+        retry_only = BatchScheduler(build_system()).run(
+            pairs,
+            pairs_per_round=96,
+            collect_results=True,
+            fault_plan=plan,
+            retry_policy=policy,
+        )
+        health = FleetHealth(
+            NUM_DPUS,
+            policy=HealthPolicy(window=4, failure_threshold=2, cooldown_s=1e9),
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedCapacity)
+            with_breaker = BatchScheduler(build_system()).run(
+                pairs,
+                pairs_per_round=96,
+                collect_results=True,
+                fault_plan=plan,
+                retry_policy=policy,
+                health=health,
+            )
+        return retry_only, with_breaker, health
+
+    retry_only, with_breaker, health = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = []
+    for label, run_ in (("retry-only", retry_only), ("breaker", with_breaker)):
+        rows.append(
+            (
+                label,
+                f"{run_.total_seconds * 1e3:.3f}",
+                f"{run_.recovery_seconds * 1e3:.3f}",
+                str(run_.recovery.faults_seen),
+            )
+        )
+    delta = retry_only.total_seconds - with_breaker.total_seconds
+    rows.append(
+        (
+            "delta",
+            f"{delta * 1e3:.3f}",
+            f"{(retry_only.recovery_seconds - with_breaker.recovery_seconds) * 1e3:.3f}",
+            "-",
+        )
+    )
+    emit(
+        "resilience",
+        format_table(
+            ["scheduler", "total_ms", "recovery_ms", "faults_seen"], rows
+        ),
+    )
+
+    assert health.states()[DEAD_DPU] == "open"
+    assert flat(with_breaker) == flat(retry_only)
+    assert with_breaker.recovery_seconds < retry_only.recovery_seconds
+    assert with_breaker.total_seconds < retry_only.total_seconds

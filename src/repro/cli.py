@@ -91,18 +91,42 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--kill-dpu", type=int, default=None, metavar="ID",
                         help="inject a first-attempt death of this DPU into "
                              "every batch (recovery must stay lossless)")
+    parser.add_argument("--stall-dpu", type=int, default=None, metavar="ID",
+                        help="inject a first-attempt tasklet stall on this "
+                             "DPU into every batch (watchdog-detected)")
+    parser.add_argument("--breaker", action="store_true",
+                        help="enable the fleet-health ledger: per-DPU "
+                             "circuit breakers quarantine repeat offenders "
+                             "out of scheduler rounds")
+    parser.add_argument("--fallback-threshold", type=float, default=None,
+                        metavar="F",
+                        help="with --breaker: route whole batches to the "
+                             "CPU Gotoh baseline while healthy capacity "
+                             "sits below this fraction (0 < F <= 1)")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write service metrics: Prometheus text for "
                              ".prom/.txt, JSON otherwise")
 
 
 def _build_serve_service(args: argparse.Namespace):
-    from repro.pim.faults import DpuDeath, FaultPlan
-    from repro.serve import ServiceConfig, build_service
+    from repro.pim.faults import DpuDeath, FaultPlan, TaskletStall
+    from repro.serve import FallbackPolicy, ServiceConfig, build_service
 
     fault_plan = None
-    if args.kill_dpu is not None:
-        fault_plan = FaultPlan(deaths=(DpuDeath(dpu_id=args.kill_dpu),))
+    deaths = (DpuDeath(dpu_id=args.kill_dpu),) if args.kill_dpu is not None else ()
+    stalls = (
+        (TaskletStall(dpu_id=args.stall_dpu),) if args.stall_dpu is not None else ()
+    )
+    if deaths or stalls:
+        fault_plan = FaultPlan(deaths=deaths, stalls=stalls)
+    health_policy = None
+    if args.breaker:
+        from repro.pim.health import HealthPolicy
+
+        health_policy = HealthPolicy()
+    fallback = None
+    if args.fallback_threshold is not None:
+        fallback = FallbackPolicy(min_healthy_fraction=args.fallback_threshold)
     return build_service(
         num_dpus=args.dpus,
         tasklets=args.tasklets,
@@ -118,6 +142,8 @@ def _build_serve_service(args: argparse.Namespace):
             cache_policy=args.cache_policy,
         ),
         fault_plan=fault_plan,
+        health_policy=health_policy,
+        fallback=fallback,
     )
 
 
@@ -193,6 +219,26 @@ def build_parser() -> argparse.ArgumentParser:
     pim.add_argument("--trace-out", metavar="PATH", default=None,
                      help="write a Chrome trace_event JSON of the run "
                           "(open in chrome://tracing or ui.perfetto.dev)")
+    pim.add_argument("--pairs-per-round", type=int, default=None, metavar="N",
+                     help="scheduler round size (default: MRAM capacity); "
+                          "multi-round runs can be journaled and resumed")
+    pim.add_argument("--journal", metavar="PATH", default=None,
+                     help="append each completed scheduler round to this "
+                          "write-ahead journal (repro.pim.journal/v1)")
+    pim.add_argument("--resume", action="store_true",
+                     help="resume an interrupted run from --journal: "
+                          "journaled rounds replay idempotently, only the "
+                          "remainder executes")
+    pim.add_argument("--kill-dpu", type=int, default=None, metavar="ID",
+                     help="inject a permanent death of this DPU (recovery "
+                          "requeues its pairs onto spares)")
+    pim.add_argument("--stall-dpu", type=int, default=None, metavar="ID",
+                     help="inject a first-attempt tasklet stall on this DPU "
+                          "(detected by the modeled launch watchdog)")
+    pim.add_argument("--breaker", action="store_true",
+                     help="enable per-DPU circuit breakers: repeat "
+                          "offenders are quarantined out of later rounds "
+                          "instead of burning retries")
     _add_penalty_args(pim)
 
     # map ---------------------------------------------------------------
@@ -407,6 +453,18 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
 
         telemetry = RunTelemetry()
     system = PimSystem(config, kernel_config, telemetry=telemetry)
+
+    scheduled = (
+        args.journal is not None
+        or args.resume
+        or args.pairs_per_round is not None
+        or args.kill_dpu is not None
+        or args.stall_dpu is not None
+        or args.breaker
+    )
+    if scheduled:
+        return _pim_align_scheduled(args, system, pairs, telemetry)
+
     run = system.align(pairs)
     rows = [
         ("pairs", f"{run.num_pairs:,}"),
@@ -420,6 +478,86 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
         ("DPU bound", run.dominant_bound()),
     ]
     print(format_table(["metric", "value"], rows, title="simulated PIM run"))
+    if telemetry is not None:
+        _write_telemetry(args, telemetry)
+    return 0
+
+
+def _pim_align_scheduled(args: argparse.Namespace, system, pairs, telemetry) -> int:
+    """The journaled / fault-tolerant / breaker-aware scheduler path."""
+    import warnings
+
+    from repro.errors import DegradedCapacity
+    from repro.pim.faults import DpuDeath, FaultPlan, TaskletStall
+    from repro.pim.health import FleetHealth
+    from repro.pim.scheduler import BatchScheduler
+
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 1
+    fault_plan = None
+    if args.kill_dpu is not None or args.stall_dpu is not None:
+        deaths = (
+            (DpuDeath(dpu_id=args.kill_dpu),) if args.kill_dpu is not None else ()
+        )
+        stalls = (
+            (TaskletStall(dpu_id=args.stall_dpu),)
+            if args.stall_dpu is not None
+            else ()
+        )
+        fault_plan = FaultPlan(deaths=deaths, stalls=stalls)
+    health = None
+    if args.breaker:
+        health = FleetHealth(
+            args.dpus,
+            registry=telemetry.registry if telemetry is not None else None,
+        )
+    scheduler = BatchScheduler(system)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DegradedCapacity)
+        if args.resume:
+            run = scheduler.resume_run(
+                args.journal,
+                pairs,
+                pairs_per_round=args.pairs_per_round,
+                fault_plan=fault_plan,
+                health=health,
+            )
+        else:
+            run = scheduler.run(
+                pairs,
+                pairs_per_round=args.pairs_per_round,
+                fault_plan=fault_plan,
+                health=health,
+                journal=args.journal,
+            )
+    rows = [
+        ("pairs", f"{run.schedule.total_pairs:,}"),
+        ("DPUs / tasklets / policy", f"{args.dpus} / {args.tasklets} / {args.policy}"),
+        ("rounds (replayed)", f"{run.schedule.rounds} ({run.rounds_replayed})"),
+        ("kernel", human_time(run.kernel_seconds)),
+        ("transfers", human_time(run.transfer_seconds)),
+        ("recovery overhead", human_time(run.recovery_seconds)),
+        ("total", human_time(run.total_seconds)),
+        ("throughput", f"{run.throughput():,.0f} pairs/s"),
+    ]
+    print(format_table(["metric", "value"], rows, title="simulated PIM run"))
+    if run.recovery is not None:
+        print(f"recovery: {run.recovery.faults_seen} fault(s), "
+              f"{len(run.recovery.rerun_pairs)} pair(s) re-run, "
+              f"{len(run.recovery.abandoned_pairs)} abandoned")
+    if health is not None:
+        states = health.states()
+        open_dpus = sorted(d for d, s in states.items() if s != "closed")
+        if open_dpus:
+            print(f"breakers not closed: {open_dpus} "
+                  f"(states: { {d: states[d] for d in open_dpus} })")
+    for warning in caught:
+        if issubclass(warning.category, DegradedCapacity):
+            print(f"warning: {warning.message}", file=sys.stderr)
+    if args.journal:
+        print(f"journal: {args.journal} "
+              f"({run.schedule.rounds - run.rounds_replayed} round(s) appended)")
     if telemetry is not None:
         _write_telemetry(args, telemetry)
     return 0

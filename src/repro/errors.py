@@ -93,6 +93,23 @@ class TaskletStallError(FaultError):
     """A tasklet exceeded its stall budget (modeled watchdog trip)."""
 
 
+class JournalError(PimError):
+    """A run journal is malformed, truncated badly, or does not match
+    the workload/configuration it is being resumed against."""
+
+
+class DegradedCapacity(UserWarning):
+    """The fleet is running below full capacity (quarantined DPUs).
+
+    A *warning*, not an error: quarantine is the health ledger working
+    as designed — rounds proceed on the healthy remainder — but callers
+    (and operators reading logs) must be able to see the capacity loss.
+    Emitted by the scheduler when placement excludes quarantined DPUs,
+    alongside the ``pim_dpus_quarantined`` / ``pim_healthy_capacity``
+    metrics.
+    """
+
+
 class QaError(ReproError):
     """Differential-verification harness misuse or invariant failure."""
 
@@ -117,7 +134,28 @@ class Overloaded(ServeError):
 
 
 class RequestCancelled(ServeError):
-    """A pending request was cancelled before any of it was dispatched."""
+    """A pending request was cancelled before its future resolved."""
+
+
+class DeadlineExceeded(ServeError):
+    """A request missed its modeled deadline.
+
+    Raised through the request's future when either (a) the deadline
+    passes on the service clock while the request is still unresolved,
+    or (b) the request's modeled completion time lands past the
+    deadline.  Carries the deadline and (when known) the modeled
+    completion so clients can log the miss margin.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        deadline_s: float = 0.0,
+        completion_s: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_s = deadline_s
+        self.completion_s = completion_s
 
 
 class ConfigError(ReproError):

@@ -30,6 +30,14 @@ from repro.pim.faults import (
     TransferTruncation,
     spare_placements,
 )
+from repro.pim.health import CircuitBreaker, FleetHealth, HealthPolicy
+from repro.pim.journal import (
+    JOURNAL_SCHEMA,
+    RunJournal,
+    result_from_dict,
+    result_to_dict,
+    workload_fingerprint,
+)
 from repro.pim.kernel import (
     KernelConfig,
     WfaDpuKernel,
@@ -108,6 +116,14 @@ __all__ = [
     "JobRecoveryRecord",
     "RecoveryReport",
     "spare_placements",
+    "HealthPolicy",
+    "CircuitBreaker",
+    "FleetHealth",
+    "RunJournal",
+    "JOURNAL_SCHEMA",
+    "workload_fingerprint",
+    "result_to_dict",
+    "result_from_dict",
     "RankSummary",
     "group_by_rank",
     "imbalance",

@@ -357,6 +357,12 @@ class RetryPolicy:
     backoff_base_s: float = 1e-3
     backoff_factor: float = 2.0
     max_requeues: int = 2
+    #: modeled watchdog deadline on a launch: how long the host waits
+    #: before declaring a launch stalled.  Charged (never slept) per
+    #: :class:`~repro.errors.TaskletStallError` the recovery loop sees —
+    #: a stall is detected by deadline expiry, so it costs detection
+    #: latency on top of any backoff, unlike a fast-failing dead DPU.
+    launch_watchdog_s: float = 5e-3
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -367,6 +373,8 @@ class RetryPolicy:
             raise ConfigError("backoff_factor must be >= 1")
         if self.max_requeues < 0:
             raise ConfigError(f"max_requeues must be >= 0, got {self.max_requeues}")
+        if self.launch_watchdog_s < 0:
+            raise ConfigError("launch_watchdog_s must be >= 0")
 
     def backoff_seconds(self, retry_index: int) -> float:
         """Modeled backoff before retry ``retry_index`` (0-based)."""
@@ -386,7 +394,15 @@ class JobRecoveryRecord:
     final_placement: Optional[int] = None
     #: error type name per failed attempt, e.g. ``("DpuFailure", ...)``
     errors: tuple[str, ...] = ()
+    #: ``(physical placement, error type)`` per failed attempt, in order —
+    #: the per-*placement* attribution the fleet-health ledger consumes
+    #: (``errors`` alone cannot say which physical DPU misbehaved once a
+    #: job has been requeued across placements)
+    attempts_log: tuple[tuple[int, str], ...] = ()
     backoff_seconds: float = 0.0
+    #: modeled watchdog-detection latency: ``launch_watchdog_s`` charged
+    #: per stall the recovery loop had to wait out (deadline expiry)
+    watchdog_seconds: float = 0.0
     abandoned: bool = False
 
     @property
@@ -406,9 +422,33 @@ class JobRecoveryRecord:
             "placements": list(self.placements),
             "final_placement": self.final_placement,
             "errors": list(self.errors),
+            "attempts_log": [list(entry) for entry in self.attempts_log],
             "backoff_seconds": self.backoff_seconds,
+            "watchdog_seconds": self.watchdog_seconds,
             "abandoned": self.abandoned,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecoveryRecord":
+        """Rebuild a record from :meth:`to_dict` output (journal replay)."""
+        return cls(
+            dpu_id=int(data["dpu_id"]),
+            num_pairs=int(data["num_pairs"]),
+            attempts=int(data.get("attempts", 1)),
+            placements=tuple(int(p) for p in data.get("placements", ())),
+            final_placement=(
+                None
+                if data.get("final_placement") is None
+                else int(data["final_placement"])
+            ),
+            errors=tuple(str(e) for e in data.get("errors", ())),
+            attempts_log=tuple(
+                (int(p), str(kind)) for p, kind in data.get("attempts_log", ())
+            ),
+            backoff_seconds=float(data.get("backoff_seconds", 0.0)),
+            watchdog_seconds=float(data.get("watchdog_seconds", 0.0)),
+            abandoned=bool(data.get("abandoned", False)),
+        )
 
 
 @dataclass
@@ -438,6 +478,17 @@ class RecoveryReport:
     def backoff_seconds(self) -> float:
         return sum(r.backoff_seconds for r in self.records)
 
+    @property
+    def watchdog_seconds(self) -> float:
+        return sum(r.watchdog_seconds for r in self.records)
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Total modeled recovery overhead: backoff waits + watchdog
+        detection latency.  Timing models fold this into a run's
+        ``total_seconds`` so degraded runs honestly cost more."""
+        return self.backoff_seconds + self.watchdog_seconds
+
     def merge(self, other: "RecoveryReport") -> None:
         """Fold another round's report in (multi-round schedulers)."""
         self.records.extend(other.records)
@@ -463,11 +514,28 @@ class RecoveryReport:
             "all_ok": self.all_ok,
             "faults_seen": self.faults_seen,
             "backoff_seconds": self.backoff_seconds,
+            "watchdog_seconds": self.watchdog_seconds,
             "completed_pairs": sorted(self.completed_pairs),
             "rerun_pairs": sorted(self.rerun_pairs),
             "abandoned_pairs": sorted(self.abandoned_pairs),
             "jobs": [r.to_dict() for r in self.records],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecoveryReport":
+        """Rebuild a report from :meth:`to_dict` output (journal replay).
+
+        ``to_dict`` sorts its pair lists, so a report that round-trips
+        through the journal carries sorted pair indices; aggregate
+        figures (faults_seen, backoff) are recomputed properties and
+        therefore cannot drift from the per-job records.
+        """
+        return cls(
+            records=[JobRecoveryRecord.from_dict(j) for j in data.get("jobs", ())],
+            completed_pairs=[int(p) for p in data.get("completed_pairs", ())],
+            rerun_pairs=[int(p) for p in data.get("rerun_pairs", ())],
+            abandoned_pairs=[int(p) for p in data.get("abandoned_pairs", ())],
+        )
 
     def summary(self) -> str:
         parts = [
@@ -500,9 +568,17 @@ class RecoveryReport:
         backoff = registry.counter(
             "pim_backoff_seconds_total", "modeled backoff spent in recovery"
         )
+        watchdog_trips = registry.counter(
+            "pim_watchdog_trips_total", "launches declared stalled by deadline expiry"
+        )
+        watchdog = registry.counter(
+            "pim_watchdog_seconds_total", "modeled watchdog detection latency"
+        )
         for rec in self.records:
             for kind in rec.errors:
                 faults.inc(kind=kind)
+                if kind == "TaskletStallError":
+                    watchdog_trips.inc()
             if rec.errors and not rec.abandoned:
                 retries.inc(len(rec.errors))
             attempts.observe(rec.attempts)
@@ -512,6 +588,8 @@ class RecoveryReport:
                 abandoned.inc(rec.num_pairs)
         if self.backoff_seconds:
             backoff.inc(self.backoff_seconds)
+        if self.watchdog_seconds:
+            watchdog.inc(self.watchdog_seconds)
 
 
 def assign_pairs(

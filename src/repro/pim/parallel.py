@@ -46,6 +46,7 @@ from repro.errors import (
     FaultError,
     KernelError,
     LayoutError,
+    TaskletStallError,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.pim.faults import (
@@ -307,6 +308,15 @@ def run_dpu_job_resilient(
     once per *job*, not once per placement.  Only
     :class:`~repro.errors.FaultError` subclasses are retried —
     programming errors propagate unchanged.
+
+    Modeled-time accounting: backoff is charged only when another
+    attempt actually follows the failure — the terminal failure before
+    abandonment waits for nothing, so charging it would double-count
+    recovery cost across scheduler rounds.  A
+    :class:`~repro.errors.TaskletStallError` additionally charges
+    ``policy.launch_watchdog_s`` per trip: a stall is *detected* by the
+    watchdog deadline expiring, so its detection latency is paid on
+    every stall, including a terminal one.
     """
     record = JobRecoveryRecord(dpu_id=job.dpu_id, num_pairs=len(job.batch()))
     placements = [job.placement]
@@ -314,9 +324,12 @@ def run_dpu_job_resilient(
         p for p in job.requeue_placements[: policy.max_requeues]
         if p != job.placement
     ]
+    total_budget = len(placements) * policy.max_attempts
     attempt = 0
     errors: list[str] = []
+    attempts_log: list[tuple[int, str]] = []
     backoff = 0.0
+    watchdog = 0.0
     retry_index = 0
     tried: list[int] = []
     for placement in placements:
@@ -328,20 +341,28 @@ def run_dpu_job_resilient(
                 )
             except FaultError as exc:
                 errors.append(type(exc).__name__)
-                backoff += policy.backoff_seconds(retry_index)
+                attempts_log.append((placement, type(exc).__name__))
+                if isinstance(exc, TaskletStallError):
+                    watchdog += policy.launch_watchdog_s
                 attempt += 1
+                if attempt < total_budget:
+                    backoff += policy.backoff_seconds(retry_index)
                 retry_index += 1
                 continue
             record.attempts = attempt + 1
             record.placements = tuple(tried)
             record.final_placement = placement
             record.errors = tuple(errors)
+            record.attempts_log = tuple(attempts_log)
             record.backoff_seconds = backoff
+            record.watchdog_seconds = watchdog
             return ResilientOutcome(result=result, record=record)
     record.attempts = attempt
     record.placements = tuple(tried)
     record.errors = tuple(errors)
+    record.attempts_log = tuple(attempts_log)
     record.backoff_seconds = backoff
+    record.watchdog_seconds = watchdog
     record.abandoned = True
     return ResilientOutcome(result=None, record=record)
 

@@ -15,13 +15,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.data.generator import ReadPair
 from repro.errors import ConfigError
 from repro.pim.faults import FaultPlan, RecoveryReport, RetryPolicy
 from repro.pim.layout import HEADER_BYTES
 from repro.pim.system import PimRunResult, PimSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pim.health import FleetHealth
+    from repro.pim.journal import RunJournal
 
 __all__ = ["BatchSchedule", "ScheduledRun", "BatchScheduler"]
 
@@ -59,6 +64,8 @@ class ScheduledRun:
     #: aggregate graceful-degradation report across rounds, with pair
     #: indices rebased to the full workload (``None`` without faults).
     recovery: Optional[RecoveryReport] = None
+    #: rounds replayed from a journal instead of executed (resume path)
+    rounds_replayed: int = 0
 
     @property
     def kernel_seconds(self) -> float:
@@ -69,15 +76,29 @@ class ScheduledRun:
         return sum(r.transfer_seconds for r in self.per_round)
 
     @property
+    def recovery_seconds(self) -> float:
+        """Modeled host recovery overhead across rounds (backoff waits +
+        watchdog detection latency).  Serial host work either way — it
+        cannot hide behind the overlapped pipeline."""
+        return sum(r.recovery_overhead_seconds for r in self.per_round)
+
+    @property
     def total_seconds(self) -> float:
         """Serialized: sum of round totals.  Overlapped: transfers of
         round i+1 hide behind the kernel of round i (classic double
-        buffering), so each inner round costs max(kernel, transfer)."""
+        buffering), so each inner round costs max(kernel, transfer).
+        Recovery overhead (retry backoff, watchdog expiry) is exposed
+        host time in both schedules."""
         if not self.per_round:
             return 0.0
         if not self.overlapped:
             launches = sum(r.launch_seconds for r in self.per_round)
-            return self.kernel_seconds + self.transfer_seconds + launches
+            return (
+                self.kernel_seconds
+                + self.transfer_seconds
+                + launches
+                + self.recovery_seconds
+            )
         # pipeline: first in-transfer exposed, last out-transfer exposed,
         # middle stages bounded by the slower of kernel / transfer.
         # Launch overhead is host-side software work; while round i's
@@ -91,7 +112,7 @@ class ScheduledRun:
         middle = sum(
             max(r.kernel_seconds, r.transfer_seconds) for r in self.per_round
         )
-        return first_in + exposed_launch + middle + last_out
+        return first_in + exposed_launch + middle + last_out + self.recovery_seconds
 
     def throughput(self) -> float:
         total = self.schedule.total_pairs
@@ -147,6 +168,42 @@ class BatchScheduler:
             )
         return BatchSchedule(total_pairs=total_pairs, pairs_per_round=pairs_per_round)
 
+    def _fingerprint(
+        self,
+        pairs: list[ReadPair],
+        schedule: BatchSchedule,
+        collect_results: bool,
+        fault_plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy],
+        health: Optional["FleetHealth"],
+    ) -> dict:
+        """Journal fingerprint of this run's outcome-determining inputs."""
+        from repro.pim.journal import workload_fingerprint
+
+        plan = fault_plan if fault_plan is not None else self.system.fault_plan
+        policy: Optional[RetryPolicy] = None
+        if plan is not None:
+            policy = (
+                retry_policy
+                if retry_policy is not None
+                else (
+                    self.system.retry_policy
+                    if self.system.retry_policy is not None
+                    else RetryPolicy()
+                )
+            )
+        return workload_fingerprint(
+            pairs,
+            schedule.pairs_per_round,
+            self.system.config.num_dpus,
+            self.system.config.tasklets,
+            self.system.config.metadata_policy,
+            collect_results,
+            fault_plan=plan,
+            retry_policy=policy,
+            health_policy=health.policy if health is not None else None,
+        )
+
     def run(
         self,
         pairs: list[ReadPair],
@@ -154,6 +211,10 @@ class BatchScheduler:
         collect_results: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        health: Optional["FleetHealth"] = None,
+        journal: Optional[Union[str, Path, "RunJournal"]] = None,
+        now: float = 0.0,
+        replay: Optional[dict[int, PimRunResult]] = None,
     ) -> ScheduledRun:
         """Align a concrete batch in rounds.
 
@@ -168,46 +229,168 @@ class BatchScheduler:
         round runs fault-tolerantly and the per-round recovery reports
         are folded — pair indices rebased to the whole workload — into
         :attr:`ScheduledRun.recovery`.
+
+        With a ``health`` ledger (:class:`~repro.pim.health.FleetHealth`),
+        each round is placed only on DPUs the ledger allows — breaker-open
+        DPUs are quarantined out of the round instead of burning retries
+        — and each round's outcomes (per-placement failures, successes)
+        feed back into the ledger at the round's modeled start time.
+        ``now`` is the modeled start of the whole run (a serve
+        dispatcher passes its device-timeline clock so the shared
+        ledger's time never moves backwards between batches).
+
+        With a ``journal`` (a path starts a fresh
+        ``repro.pim.journal/v1`` file; an open
+        :class:`~repro.pim.journal.RunJournal` continues one), every
+        completed round is appended atomically before the next begins.
+        ``replay`` maps round indices to already-completed results
+        (resume path — see :meth:`resume_run`): replayed rounds skip
+        device work entirely but still feed the health ledger and the
+        aggregate report, so a resumed run reconstructs the exact state
+        an uninterrupted run would have reached.
         """
         schedule = self.plan(len(pairs), pairs_per_round)
         out = ScheduledRun(schedule=schedule, overlapped=self.overlapped)
+        replay = replay if replay is not None else {}
         telemetry = self.system.telemetry
+        if isinstance(journal, (str, Path)):
+            from repro.pim.journal import RunJournal
+
+            journal = RunJournal.create(
+                journal,
+                self._fingerprint(
+                    pairs, schedule, collect_results, fault_plan, retry_policy, health
+                ),
+            )
         if telemetry is not None:
             telemetry.registry.gauge(
                 "pim_scheduler_pairs_per_round",
                 "pairs per MRAM-sized distribution round",
             ).set(schedule.pairs_per_round)
         start = 0
+        clock = now
         for index, size in enumerate(schedule.round_sizes()):
             chunk = pairs[start : start + size]
-            if telemetry is not None:
-                telemetry.registry.counter(
-                    "pim_scheduler_rounds_total",
-                    "distribute->launch->gather rounds executed",
-                ).inc()
-                with telemetry.profiler.span(
-                    "scheduler_round", round=index, pairs=size
-                ):
+            if index in replay:
+                # checkpointed round: splice the journaled result in —
+                # recovery is already rebased to global pair indices and
+                # the journal-write is already durable.
+                result = replay[index]
+                out.rounds_replayed += 1
+                if telemetry is not None:
+                    telemetry.registry.counter(
+                        "pim_journal_rounds_replayed_total",
+                        "scheduler rounds restored from a journal on resume",
+                    ).inc()
+            else:
+                active: Optional[tuple[int, ...]] = None
+                if health is not None:
+                    active = health.plan_round(now=clock)
+                    if len(active) == self.system.config.num_dpus:
+                        active = None
+                if telemetry is not None:
+                    telemetry.registry.counter(
+                        "pim_scheduler_rounds_total",
+                        "distribute->launch->gather rounds executed",
+                    ).inc()
+                    with telemetry.profiler.span(
+                        "scheduler_round", round=index, pairs=size
+                    ):
+                        result = self.system.align(
+                            chunk,
+                            collect_results=collect_results,
+                            workers=self.workers,
+                            fault_plan=fault_plan,
+                            retry_policy=retry_policy,
+                            active_dpus=active,
+                        )
+                else:
                     result = self.system.align(
                         chunk,
                         collect_results=collect_results,
                         workers=self.workers,
                         fault_plan=fault_plan,
                         retry_policy=retry_policy,
+                        active_dpus=active,
                     )
-            else:
-                result = self.system.align(
-                    chunk,
-                    collect_results=collect_results,
-                    workers=self.workers,
-                    fault_plan=fault_plan,
-                    retry_policy=retry_policy,
-                )
+                if result.recovery is not None:
+                    result.recovery.shift_pairs(start)
+                if journal is not None:
+                    journal.append_round(index, start, size, result)
+            if health is not None:
+                if result.recovery is not None:
+                    health.observe_report(result.recovery, now=clock)
+                else:
+                    participants = (
+                        result.active_dpus
+                        if result.active_dpus is not None
+                        else range(self.system.config.num_dpus)
+                    )
+                    health.observe_success(participants, now=clock)
             out.per_round.append(result)
             if result.recovery is not None:
-                result.recovery.shift_pairs(start)
                 if out.recovery is None:
                     out.recovery = RecoveryReport()
                 out.recovery.merge(result.recovery)
             start += size
+            clock += result.total_seconds + result.recovery_overhead_seconds
         return out
+
+    def resume_run(
+        self,
+        journal_path: Union[str, Path, "RunJournal"],
+        pairs: list[ReadPair],
+        pairs_per_round: Optional[int] = None,
+        collect_results: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        health: Optional["FleetHealth"] = None,
+        now: float = 0.0,
+    ) -> ScheduledRun:
+        """Resume a journaled run after a crash.
+
+        Loads the journal, refuses a fingerprint mismatch (wrong
+        workload, round size, fault plan, policy, or system shape —
+        :class:`~repro.errors.JournalError`), replays every journaled
+        round idempotently, executes only the remainder, and keeps
+        journaling the fresh rounds.  The returned
+        :class:`ScheduledRun` is byte-identical to an uninterrupted
+        run's (same results, same recovery report, same totals);
+        :attr:`ScheduledRun.rounds_replayed` says how much work the
+        journal saved.
+        """
+        from repro.pim.journal import RunJournal, result_from_dict
+
+        journal = (
+            journal_path
+            if isinstance(journal_path, RunJournal)
+            else RunJournal.load(journal_path)
+        )
+        schedule = self.plan(len(pairs), pairs_per_round)
+        journal.validate_fingerprint(
+            self._fingerprint(
+                pairs, schedule, collect_results, fault_plan, retry_policy, health
+            )
+        )
+        num_rounds = schedule.rounds
+        replay: dict[int, PimRunResult] = {}
+        for index, record in journal.rounds().items():
+            if not 0 <= index < num_rounds:
+                from repro.errors import JournalError
+
+                raise JournalError(
+                    f"journal round {index} out of range for a "
+                    f"{num_rounds}-round schedule"
+                )
+            replay[index] = result_from_dict(record["result"])
+        return self.run(
+            pairs,
+            pairs_per_round=pairs_per_round,
+            collect_results=collect_results,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            health=health,
+            journal=journal,
+            now=now,
+            replay=replay,
+        )

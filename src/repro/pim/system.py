@@ -100,10 +100,24 @@ class PimRunResult:
     #: graceful-degradation report of a fault-tolerant run (``None`` for
     #: runs without a :class:`~repro.pim.faults.FaultPlan`)
     recovery: Optional[RecoveryReport] = None
+    #: physical DPUs the run was placed on (``None`` = the full fleet).
+    #: Set when a health ledger quarantined part of the fleet; the
+    #: round-robin index contract then runs over ``len(active_dpus)``
+    #: slots instead of ``num_dpus``.
+    active_dpus: Optional[tuple[int, ...]] = None
 
     @property
     def transfer_seconds(self) -> float:
         return self.transfer_in_seconds + self.transfer_out_seconds
+
+    @property
+    def recovery_overhead_seconds(self) -> float:
+        """Modeled host-side recovery cost (backoff waits + watchdog
+        detection latency).  Kept out of :attr:`total_seconds` — whose
+        section breakdown telemetry reconciles exactly — and charged at
+        the scheduler level (:attr:`~repro.pim.scheduler.ScheduledRun.total_seconds`),
+        where multi-round degradation accumulates."""
+        return self.recovery.overhead_seconds if self.recovery is not None else 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -201,14 +215,25 @@ class PimSystem:
         generator: Optional[GeneratorSpec] = None,
         pull: bool = True,
         fault_plan: Optional[FaultPlan] = None,
+        physical: Optional[int] = None,
+        spare_pool: Optional[tuple[int, ...]] = None,
     ) -> DpuJob:
-        """Package one simulated DPU's work for (possibly remote) execution."""
+        """Package one simulated DPU's work for (possibly remote) execution.
+
+        ``dpu_id`` is the *logical slot* (index-mapping identity);
+        ``physical`` pins the job onto a specific physical DPU when a
+        health ledger has shrunk the placement set.  Requeue spares are
+        drawn from ``spare_pool`` (default: the whole fleet) so a
+        quarantined DPU is never used as a spare either.
+        """
         collect = self.telemetry is not None
         spares: tuple[int, ...] = ()
+        placement = dpu_id if physical is None else physical
         if fault_plan is not None:
-            spares = spare_placements(
-                dpu_id, range(self.config.num_dpus), fault_plan
+            pool = (
+                spare_pool if spare_pool is not None else range(self.config.num_dpus)
             )
+            spares = spare_placements(placement, pool, fault_plan)
         return DpuJob(
             dpu_id=dpu_id,
             layout=layout,
@@ -223,12 +248,13 @@ class PimSystem:
             collect_trace=collect,
             collect_metrics=collect,
             fault_plan=fault_plan,
+            physical_dpu_id=physical,
             requeue_placements=spares,
             verify=fault_plan is not None,
         )
 
     def _merge_records(
-        self, records: list[DpuJobResult]
+        self, records: list[DpuJobResult], num_slots: Optional[int] = None
     ) -> tuple[
         list[DpuKernelStats],
         list[tuple[int, int, Optional[Cigar]]],
@@ -243,13 +269,14 @@ class PimSystem:
         the attached telemetry (in the same ``dpu_id`` order on both
         the sequential and parallel paths), and converts local record
         indices to global pair indices under the round-robin contract
-        (``d + local * num_dpus``).
+        (``d + local * num_slots``; ``num_slots`` shrinks below
+        ``num_dpus`` when quarantine reduced the placement set).
         """
         per_dpu: list[DpuKernelStats] = []
         results: list[tuple[int, int, Optional[Cigar]]] = []
         regions: dict[int, tuple[int, int]] = {}
         simulated = 0
-        num_dpus = self.config.num_dpus
+        num_dpus = num_slots if num_slots is not None else self.config.num_dpus
         for rec in records:
             per_dpu.append(rec.stats)
             simulated += rec.num_pairs
@@ -298,12 +325,13 @@ class PimSystem:
         kind: str,
         fault_plan: Optional[FaultPlan],
         retry_policy: Optional[RetryPolicy],
+        num_slots: Optional[int] = None,
     ) -> tuple[list[DpuJobResult], Optional[RecoveryReport]]:
         """Dispatch jobs on the plain or the recovered path.
 
         With a fault plan, the report's pair-index attribution is filled
-        in under the round-robin contract and its counters land in the
-        attached telemetry registry.
+        in under the round-robin contract (over ``num_slots`` logical
+        slots) and its counters land in the attached telemetry registry.
         """
         if fault_plan is None:
             return self._execute(jobs, workers, kind), None
@@ -315,7 +343,7 @@ class PimSystem:
         records, report = self._execute_recovered(jobs, workers, kind, policy)
         assign_pairs(
             report,
-            self.config.num_dpus,
+            num_slots if num_slots is not None else self.config.num_dpus,
             {job.dpu_id: len(job.batch()) for job in jobs},
         )
         if self.telemetry is not None:
@@ -325,16 +353,34 @@ class PimSystem:
     def _resolve_workers(self, workers: Optional[int]) -> int:
         return self.config.workers if workers is None else workers
 
-    def _system_bytes(self, num_pairs: int, layout: MramLayout) -> tuple[int, int]:
-        """Full-system (all logical DPUs) transfer byte counts."""
-        bytes_in = (
-            num_pairs * layout.input_record_size
-            + self.config.num_dpus * HEADER_BYTES
-        )
+    def _system_bytes(
+        self, num_pairs: int, layout: MramLayout, num_slots: Optional[int] = None
+    ) -> tuple[int, int]:
+        """Full-system transfer byte counts (headers per *active* bank)."""
+        banks = num_slots if num_slots is not None else self.config.num_dpus
+        bytes_in = num_pairs * layout.input_record_size + banks * HEADER_BYTES
         bytes_out = num_pairs * layout.result_record_size
         return bytes_in, bytes_out
 
     # -- concrete batch alignment ------------------------------------------------
+
+    def _resolve_active(
+        self, active_dpus: Optional[tuple[int, ...]]
+    ) -> Optional[tuple[int, ...]]:
+        """Validate a quarantine-reduced placement set (``None`` = full)."""
+        if active_dpus is None:
+            return None
+        active = tuple(sorted(set(active_dpus)))
+        if not active:
+            raise ConfigError("active_dpus must name at least one DPU")
+        if active[0] < 0 or active[-1] >= self.config.num_dpus:
+            raise ConfigError(
+                f"active_dpus {active} out of range for "
+                f"{self.config.num_dpus} DPUs"
+            )
+        if len(active) == self.config.num_dpus:
+            return None  # full fleet: identical to the unconstrained path
+        return active
 
     def align(
         self,
@@ -344,6 +390,7 @@ class PimSystem:
         workers: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        active_dpus: Optional[tuple[int, ...]] = None,
     ) -> PimRunResult:
         """Align a concrete batch, distributed over all logical DPUs.
 
@@ -359,25 +406,42 @@ class PimSystem:
         worker, recovers per the policy (retry, backoff, requeue onto
         healthy DPUs), and attaches a
         :class:`~repro.pim.faults.RecoveryReport` as ``result.recovery``.
+
+        ``active_dpus`` restricts placement to a subset of the physical
+        fleet (quarantine — see :mod:`repro.pim.health`): pairs are
+        distributed round-robin over ``len(active_dpus)`` logical slots,
+        slot ``s`` runs on physical DPU ``active_dpus[s]``, and requeue
+        spares come from the active set only.  Capacity loss is modeled
+        honestly — fewer DPUs take bigger batches and the kernel takes
+        longer.
         """
         n = len(pairs)
-        num_dpus = self.config.num_dpus
-        batches = [pairs[d::num_dpus] for d in range(min(num_dpus, max(n, 1)))]
+        active = self._resolve_active(active_dpus)
+        num_slots = self.config.num_dpus if active is None else len(active)
+        batches = [pairs[s::num_slots] for s in range(min(num_slots, max(n, 1)))]
         max_batch = max((len(b) for b in batches), default=0)
         layout = self.plan_layout(max(max_batch, 1))
         plan = fault_plan if fault_plan is not None else self.fault_plan
 
         pull = collect_results or verify
         jobs = [
-            self._make_job(d, layout, pairs=tuple(batch), pull=pull, fault_plan=plan)
-            for d, batch in enumerate(batches[: self.config.num_simulated_dpus])
+            self._make_job(
+                s,
+                layout,
+                pairs=tuple(batch),
+                pull=pull,
+                fault_plan=plan,
+                physical=None if active is None else active[s],
+                spare_pool=active,
+            )
+            for s, batch in enumerate(batches[: self.config.num_simulated_dpus])
             if batch
         ]
         records, recovery = self._run_jobs(
-            jobs, workers, "align", plan, retry_policy
+            jobs, workers, "align", plan, retry_policy, num_slots=num_slots
         )
         per_dpu, results, regions, simulated, run_trace = self._merge_records(
-            records
+            records, num_slots=num_slots
         )
 
         if verify:
@@ -386,7 +450,7 @@ class PimSystem:
                 results = []
                 regions = {}
         kernel_seconds = max((s.seconds for s in per_dpu), default=0.0)
-        bytes_in, bytes_out = self._system_bytes(n, layout)
+        bytes_in, bytes_out = self._system_bytes(n, layout, num_slots=num_slots)
         run = PimRunResult(
             num_pairs=n,
             pairs_simulated=simulated,
@@ -406,6 +470,7 @@ class PimSystem:
             results=results,
             regions=regions,
             recovery=recovery,
+            active_dpus=active,
         )
         self._record_run("align", run, run_trace)
         return run

@@ -7,7 +7,10 @@ Layers (bottom up):
 * :mod:`repro.serve.cache` — deterministic LRU/LFU result cache;
 * :mod:`repro.serve.dispatcher` — batches through the scheduler on a
   modeled device timeline;
-* :mod:`repro.serve.service` — admission, ordering, futures, metrics;
+* :mod:`repro.serve.resilience` — CPU-fallback policy and backend for
+  graceful degradation under fleet-health pressure;
+* :mod:`repro.serve.service` — admission, ordering, futures, metrics,
+  deadlines, priority shedding;
 * :mod:`repro.serve.loadgen` — deterministic traces, replay, reports.
 
 See ``docs/serving.md`` for the design and the virtual-clock testing
@@ -18,6 +21,12 @@ from repro.serve.batcher import Batch, BatchPolicy, BatcherStats, MicroBatcher, 
 from repro.serve.cache import CacheStats, ResultCache, kernel_fingerprint, result_key
 from repro.serve.clock import AsyncioClock, Clock, Timer, VirtualClock
 from repro.serve.dispatcher import BatchDispatcher, BatchOutcome
+from repro.serve.resilience import (
+    BACKEND_CPU,
+    BACKEND_PIM,
+    CpuFallbackBackend,
+    FallbackPolicy,
+)
 from repro.serve.loadgen import (
     LoadgenConfig,
     LoadReport,
@@ -46,6 +55,8 @@ __all__ = [
     "AlignResponse",
     "AsyncAlignmentService",
     "AsyncioClock",
+    "BACKEND_CPU",
+    "BACKEND_PIM",
     "Batch",
     "BatchDispatcher",
     "BatchOutcome",
@@ -53,6 +64,8 @@ __all__ = [
     "BatcherStats",
     "CacheStats",
     "Clock",
+    "CpuFallbackBackend",
+    "FallbackPolicy",
     "LoadReport",
     "LoadgenConfig",
     "MicroBatcher",

@@ -21,10 +21,17 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.pim.faults import FaultPlan, RecoveryReport, RetryPolicy
+from repro.serve.resilience import (
+    BACKEND_CPU,
+    BACKEND_PIM,
+    CpuFallbackBackend,
+    FallbackPolicy,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cigar import Cigar
     from repro.data.generator import ReadPair
+    from repro.pim.health import FleetHealth
     from repro.pim.scheduler import BatchScheduler, ScheduledRun
 
 __all__ = ["BatchOutcome", "BatchDispatcher"]
@@ -49,6 +56,9 @@ class BatchOutcome:
     #: modeled completion time (started_s + the run's total_seconds)
     completed_s: float
     run: "ScheduledRun" = field(repr=False, default=None)
+    #: which execution path served the batch: ``"pim"`` or
+    #: ``"cpu-fallback"`` (fleet health below the fallback threshold)
+    backend: str = BACKEND_PIM
 
     @property
     def service_seconds(self) -> float:
@@ -69,6 +79,8 @@ class BatchDispatcher:
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         pairs_per_round: Optional[int] = None,
+        health: Optional["FleetHealth"] = None,
+        fallback: Optional[FallbackPolicy] = None,
     ) -> None:
         self.scheduler = scheduler
         self.fault_plan = fault_plan
@@ -76,6 +88,19 @@ class BatchDispatcher:
         #: optional round-size override forwarded to the scheduler
         #: (``None`` = MRAM-capacity-sized rounds).
         self.pairs_per_round = pairs_per_round
+        #: optional fleet-health ledger: scheduler rounds consult it for
+        #: quarantine and feed their outcomes back, on the dispatcher's
+        #: device timeline so the ledger clock never runs backwards.
+        self.health = health
+        #: optional CPU-fallback policy; requires ``health`` to judge
+        #: capacity.  Batches route to the CPU baseline while healthy
+        #: capacity sits below ``fallback.min_healthy_fraction``.
+        self.fallback = fallback
+        self._cpu_backend: Optional[CpuFallbackBackend] = (
+            CpuFallbackBackend(scheduler.system.kernel_config, fallback)
+            if fallback is not None
+            else None
+        )
         #: aggregate recovery report across every dispatched batch, pair
         #: indices rebased to dispatch order (``None`` without faults).
         self.recovery: Optional[RecoveryReport] = None
@@ -105,6 +130,14 @@ class BatchDispatcher:
 
     # -- dispatch ----------------------------------------------------------
 
+    def _degraded(self, now: float) -> bool:
+        """Whether the fleet sits below the CPU-fallback threshold."""
+        if self.health is None or self.fallback is None:
+            return False
+        if self.fallback.min_healthy_fraction <= 0.0:
+            return False
+        return self.health.healthy_fraction(now) < self.fallback.min_healthy_fraction
+
     def dispatch(self, pairs: List["ReadPair"], now: float) -> BatchOutcome:
         """Align one batch; map results back to batch order.
 
@@ -112,13 +145,40 @@ class BatchDispatcher:
         indices; they are rebased here so ``results[i]`` is batch pair
         ``i``.  Pairs the recovery layer abandoned come back as ``None``
         entries rather than being silently dropped.
+
+        With a health ledger attached, the batch's scheduler rounds run
+        quarantine-aware on the device timeline; when healthy capacity
+        is below the fallback threshold the whole batch routes to the
+        CPU baseline instead — it completes at ``now + cpu seconds``
+        without touching (or waiting for) the PIM device timeline.
         """
+        if self._degraded(now) and self._cpu_backend is not None:
+            results_cpu, cpu_seconds = self._cpu_backend.align_batch(list(pairs))
+            self._pair_offset += len(pairs)
+            completed = now + cpu_seconds
+            self._in_flight.append((completed, len(pairs)))
+            index = self._batches
+            self._batches += 1
+            return BatchOutcome(
+                batch_index=index,
+                num_pairs=len(pairs),
+                results=list(results_cpu),
+                dispatched_s=now,
+                started_s=now,
+                completed_s=completed,
+                run=None,
+                backend=BACKEND_CPU,
+            )
+
+        started = max(now, self._free_at)
         run = self.scheduler.run(
             list(pairs),
             pairs_per_round=self.pairs_per_round,
             collect_results=True,
             fault_plan=self.fault_plan,
             retry_policy=self.retry_policy,
+            health=self.health,
+            now=started,
         )
         results: List[PairResult] = [None] * len(pairs)
         start = 0
@@ -135,7 +195,6 @@ class BatchDispatcher:
             self.recovery.merge(run.recovery)
         self._pair_offset += len(pairs)
 
-        started = max(now, self._free_at)
         completed = started + run.total_seconds
         self._free_at = completed
         self._in_flight.append((completed, len(pairs)))

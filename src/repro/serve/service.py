@@ -44,7 +44,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.data.generator import ReadPair
-from repro.errors import ConfigError, Overloaded, RequestCancelled, ServeError
+from repro.errors import (
+    ConfigError,
+    DeadlineExceeded,
+    Overloaded,
+    RequestCancelled,
+    ServeError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.pim.faults import FaultPlan, RetryPolicy
 from repro.pim.scheduler import BatchScheduler
@@ -52,6 +58,7 @@ from repro.serve.batcher import Batch, BatchPolicy, MicroBatcher, WorkItem
 from repro.serve.cache import ResultCache, result_key
 from repro.serve.clock import VirtualClock
 from repro.serve.dispatcher import BatchDispatcher
+from repro.serve.resilience import BACKEND_CPU, BACKEND_PIM, FallbackPolicy
 
 __all__ = [
     "AlignRequest",
@@ -75,6 +82,14 @@ class AlignRequest:
     client: str
     request_id: str
     pairs: Tuple[ReadPair, ...]
+    #: optional absolute modeled-time deadline: if the request has not
+    #: resolved when the clock reaches it (or its batch's modeled
+    #: completion lands past it), the future raises a typed
+    #: :class:`~repro.errors.DeadlineExceeded`.
+    deadline_s: Optional[float] = None
+    #: shedding priority: under overload, strictly-lower-priority
+    #: requests that have not yet dispatched are shed to admit this one.
+    priority: int = 0
 
     @property
     def num_pairs(self) -> int:
@@ -96,6 +111,10 @@ class AlignResponse:
     completion_s: float
     #: batch indices that carried this request's uncached pairs
     batches: Tuple[int, ...]
+    #: which execution path produced the results: ``"pim"``,
+    #: ``"cpu-fallback"``, ``"mixed"`` (batches split across backends),
+    #: or ``"cache"`` (every pair was a cache hit).
+    backend: str = BACKEND_PIM
 
     @property
     def num_pairs(self) -> int:
@@ -116,6 +135,7 @@ class AlignResponse:
             "completion_s": self.completion_s,
             "latency_s": self.latency_s,
             "batches": list(self.batches),
+            "backend": self.backend,
         }
 
 
@@ -241,6 +261,15 @@ class _Pending:
     completion_s: float = 0.0
     dispatched_pairs: int = 0
     failure: Optional[BaseException] = None
+    #: backends (in first-use order) that served this request's
+    #: uncached pairs — drives :attr:`AlignResponse.backend`.
+    backends: List[str] = field(default_factory=list)
+    #: armed per-request deadline timer (cancelled on resolution)
+    deadline_timer: Optional[object] = None
+    #: tombstone: the future already resolved (deadline / late cancel)
+    #: but batch results may still arrive; absorb them for the cache
+    #: without touching the dead request's response state.
+    dead: bool = False
 
 
 class AlignmentService:
@@ -254,6 +283,8 @@ class AlignmentService:
         telemetry=None,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        health=None,
+        fallback: Optional[FallbackPolicy] = None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.clock = clock if clock is not None else VirtualClock()
@@ -272,6 +303,8 @@ class AlignmentService:
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             pairs_per_round=self.config.pairs_per_round,
+            health=health,
+            fallback=fallback,
         )
         self.cache: Optional[ResultCache] = (
             ResultCache(self.config.cache_pairs, self.config.cache_policy)
@@ -315,6 +348,17 @@ class AlignmentService:
         self._m_evictions = reg.counter(
             "serve_cache_evictions_total", "result-cache evictions"
         )
+        self._m_deadline = reg.counter(
+            "serve_deadline_exceeded_total",
+            "requests that missed their modeled deadline",
+        )
+        self._m_shed = reg.counter(
+            "serve_shed_total", "lower-priority requests shed under overload"
+        )
+        self._m_fallback_pairs = reg.counter(
+            "serve_fallback_pairs_total",
+            "pairs served by the CPU fallback backend",
+        )
         self._evictions_seen = 0
 
     # -- queries -----------------------------------------------------------
@@ -336,13 +380,39 @@ class AlignmentService:
 
         Raises :class:`~repro.errors.Overloaded` when admitting the
         request would push the in-system pair count past
-        ``max_queue_pairs``; the rejected request is still accounted in
-        :attr:`stats` (``submitted`` and ``rejected`` both increase).
+        ``max_queue_pairs`` *and* shedding strictly-lower-priority
+        undispatched requests cannot make room; the rejected request is
+        still accounted in :attr:`stats` (``submitted`` and
+        ``rejected`` both increase).
+
+        A request whose ``deadline_s`` already passed is never admitted:
+        its future comes back resolved with
+        :class:`~repro.errors.DeadlineExceeded`.
         """
         now = self.clock.now()
         n = request.num_pairs
         self.stats.submitted += 1
+        if request.deadline_s is not None and request.deadline_s <= now:
+            self.stats.rejected += 1
+            self._m_requests.inc(outcome="deadline")
+            self._m_deadline.inc()
+            future = ServeFuture()
+            future._resolve(
+                None,
+                DeadlineExceeded(
+                    f"request {request.request_id}: deadline "
+                    f"{request.deadline_s:.6f}s already passed at "
+                    f"submission (now={now:.6f}s)",
+                    deadline_s=request.deadline_s,
+                    completion_s=now,
+                ),
+            )
+            return future
         occupancy = self.queue_pairs
+        if occupancy + n > self.config.max_queue_pairs:
+            occupancy -= self._shed_lower_priority(
+                occupancy + n - self.config.max_queue_pairs, request.priority
+            )
         if occupancy + n > self.config.max_queue_pairs:
             self.stats.rejected += 1
             self._m_requests.inc(outcome="overloaded")
@@ -398,32 +468,46 @@ class AlignmentService:
         if items:
             self._dispatch(self.batcher.add(items, now))
         self._deliver()
+        if request.deadline_s is not None and not pending.future.done():
+            pending.deadline_timer = self.clock.call_at(
+                request.deadline_s,
+                lambda s=seq: self._on_request_deadline(s),
+            )
         self._rearm()
         self._update_queue_gauge()
         return pending.future
 
     def cancel(self, future: ServeFuture) -> bool:
-        """Cancel a request none of whose pairs have been dispatched.
+        """Cancel a live request.
 
         Returns ``True`` when the request was cancelled (its future
         raises :class:`~repro.errors.RequestCancelled`); ``False`` when
-        it already resolved or any pair already left in a batch.
+        it already resolved.  A request whose pairs already left in a
+        batch can still be cancelled: its computed results are absorbed
+        (and cached) but never delivered, and its deadline — if any —
+        is disarmed so the cancellation never *also* counts as a
+        deadline miss.
         """
         pending = next(
             (p for p in self._requests.values() if p.future is future), None
         )
-        if pending is None or pending.future.done():
+        if pending is None or pending.dead or pending.future.done():
             return False
-        if pending.dispatched_pairs > 0:
-            return False
-        self.batcher.remove_request(pending.seq)
-        del self._requests[pending.seq]
-        self.stats.in_flight -= 1
-        self.stats.rejected += 1
-        self._m_requests.inc(outcome="cancelled")
-        pending.future._resolve(
-            None, RequestCancelled(f"request {pending.request.request_id} cancelled")
+        removed = self.batcher.remove_request(pending.seq)
+        pending.remaining -= removed
+        try:
+            self._delivery.remove(pending.seq)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._resolve_dead(
+            pending,
+            RequestCancelled(f"request {pending.request.request_id} cancelled"),
+            outcome="cancelled",
         )
+        if pending.remaining <= 0:
+            del self._requests[pending.seq]
+        else:  # pragma: no cover - defensive (synchronous engine)
+            pending.dead = True
         self._deliver()  # the gate may have been waiting on this seq
         self._rearm()
         self._update_queue_gauge()
@@ -438,6 +522,100 @@ class AlignmentService:
         self._update_queue_gauge()
 
     # -- internals ---------------------------------------------------------
+
+    def _resolve_dead(
+        self, pending: _Pending, exc: BaseException, outcome: str
+    ) -> None:
+        """Common bookkeeping for a request resolved exceptionally."""
+        if pending.deadline_timer is not None:
+            pending.deadline_timer.cancel()
+            pending.deadline_timer = None
+        self.stats.in_flight -= 1
+        self.stats.rejected += 1
+        self._m_requests.inc(outcome=outcome)
+        pending.future._resolve(None, exc)
+
+    def _shed_lower_priority(self, needed: int, priority: int) -> int:
+        """Shed undispatched lower-priority requests; returns pairs freed.
+
+        Victims are live requests none of whose pairs have left in a
+        batch and whose priority is *strictly* below the incoming
+        request's — lowest priority first, youngest first within a
+        priority.  Each victim's future resolves with
+        :class:`~repro.errors.Overloaded` (outcome ``"shed"``).
+        """
+        if needed <= 0:
+            return 0
+        victims = sorted(
+            (
+                p
+                for p in self._requests.values()
+                if not p.dead
+                and not p.future.done()
+                and p.dispatched_pairs == 0
+                and p.remaining > 0
+                and p.request.priority < priority
+            ),
+            key=lambda p: (p.request.priority, -p.seq),
+        )
+        freed = 0
+        for victim in victims:
+            if freed >= needed:
+                break
+            freed += self.batcher.remove_request(victim.seq)
+            try:
+                self._delivery.remove(victim.seq)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            self._m_shed.inc()
+            self._resolve_dead(
+                victim,
+                Overloaded(
+                    f"request {victim.request.request_id} shed for a "
+                    f"priority-{priority} request",
+                    queued_pairs=self.queue_pairs,
+                    limit=self.config.max_queue_pairs,
+                ),
+                outcome="shed",
+            )
+            del self._requests[victim.seq]
+        return freed
+
+    def _on_request_deadline(self, seq: int) -> None:
+        """Clock timer: the deadline passed with the request unresolved.
+
+        Cancellation and completion both disarm the timer, and a timer
+        racing a just-resolved future is a no-op — a request never
+        counts as both cancelled and deadline-exceeded.
+        """
+        pending = self._requests.get(seq)
+        if pending is None or pending.dead or pending.future.done():
+            return
+        pending.deadline_timer = None
+        removed = self.batcher.remove_request(seq)
+        pending.remaining -= removed
+        try:
+            self._delivery.remove(seq)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        self._m_deadline.inc()
+        self._resolve_dead(
+            pending,
+            DeadlineExceeded(
+                f"request {pending.request.request_id}: deadline "
+                f"{pending.request.deadline_s:.6f}s passed unresolved",
+                deadline_s=pending.request.deadline_s,
+                completion_s=self.clock.now(),
+            ),
+            outcome="deadline",
+        )
+        if pending.remaining <= 0:
+            del self._requests[seq]
+        else:  # pragma: no cover - defensive (synchronous engine)
+            pending.dead = True
+        self._deliver()
+        self._rearm()
+        self._update_queue_gauge()
 
     def _update_queue_gauge(self) -> None:
         self._m_queue.set(self.queue_pairs)
@@ -472,14 +650,22 @@ class AlignmentService:
             outcome = self.dispatcher.dispatch(
                 [item.pair for item in batch.items], batch.formed_s
             )
+            if outcome.backend == BACKEND_CPU:
+                self._m_fallback_pairs.inc(outcome.num_pairs)
             for item, res in zip(batch.items, outcome.results):
                 pending = self._requests[item.request_seq]
                 pending.remaining -= 1
+                if res is not None and self.cache is not None and item.key is not None:
+                    self.cache.put(item.key, res)
+                if pending.dead:  # tombstoned: absorb, never deliver
+                    continue
                 pending.completion_s = max(
                     pending.completion_s, outcome.completed_s
                 )
                 if outcome.batch_index not in pending.batches:
                     pending.batches.append(outcome.batch_index)
+                if outcome.backend not in pending.backends:
+                    pending.backends.append(outcome.backend)
                 if res is None:
                     pending.failure = ServeError(
                         f"request {pending.request.request_id}: pair "
@@ -487,13 +673,16 @@ class AlignmentService:
                     )
                     continue
                 pending.results[item.offset] = res
-                if self.cache is not None and item.key is not None:
-                    self.cache.put(item.key, res)
             if self.cache is not None:
                 new_evictions = self.cache.stats.evictions - self._evictions_seen
                 if new_evictions:
                     self._m_evictions.inc(new_evictions)
                     self._evictions_seen = self.cache.stats.evictions
+        done_dead = [
+            s for s, p in self._requests.items() if p.dead and p.remaining <= 0
+        ]
+        for s in done_dead:  # pragma: no cover - defensive (sync engine)
+            del self._requests[s]
 
     def _deliver(self) -> None:
         """Resolve every head-of-line request that is fully complete.
@@ -513,12 +702,43 @@ class AlignmentService:
                 return
             self._delivery.popleft()
             del self._requests[seq]
+            if pending.deadline_timer is not None:
+                pending.deadline_timer.cancel()
+                pending.deadline_timer = None
+            deadline = pending.request.deadline_s
+            if (
+                pending.failure is None
+                and deadline is not None
+                and pending.completion_s > deadline
+            ):
+                # The modeled completion landed past the deadline: the
+                # clock has not necessarily reached it yet, but the
+                # outcome is already decided — resolve now, typed.
+                self._m_deadline.inc()
+                self._resolve_dead(
+                    pending,
+                    DeadlineExceeded(
+                        f"request {pending.request.request_id}: modeled "
+                        f"completion {pending.completion_s:.6f}s past "
+                        f"deadline {deadline:.6f}s",
+                        deadline_s=deadline,
+                        completion_s=pending.completion_s,
+                    ),
+                    outcome="deadline",
+                )
+                continue
             self.stats.in_flight -= 1
             if pending.failure is not None:
                 self.stats.rejected += 1
                 self._m_requests.inc(outcome="failed")
                 pending.future._resolve(None, pending.failure)
                 continue
+            if not pending.backends:
+                backend = "cache" if pending.cached and all(pending.cached) else BACKEND_PIM
+            elif len(pending.backends) == 1:
+                backend = pending.backends[0]
+            else:
+                backend = "mixed"
             response = AlignResponse(
                 client=pending.request.client,
                 request_id=pending.request.request_id,
@@ -531,6 +751,7 @@ class AlignmentService:
                 arrival_s=pending.arrival_s,
                 completion_s=pending.completion_s,
                 batches=tuple(sorted(pending.batches)),
+                backend=backend,
             )
             self.stats.completed += 1
             self._m_requests.inc(outcome="completed")
@@ -596,15 +817,24 @@ def build_service(
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
     with_telemetry: bool = True,
+    health_policy=None,
+    fallback: Optional[FallbackPolicy] = None,
 ) -> AlignmentService:
     """Construct the full stack: system -> scheduler -> service.
 
     One shared :class:`~repro.obs.telemetry.RunTelemetry` is attached to
     both the system and the service (unless ``with_telemetry=False``),
     so a single metrics snapshot covers the whole request path.
+
+    ``health_policy`` (a :class:`~repro.pim.health.HealthPolicy`) turns
+    on the fleet-health ledger: scheduler rounds become
+    quarantine-aware and — when ``fallback`` is also given — batches
+    route to the CPU baseline while healthy capacity sits below
+    :attr:`~repro.serve.resilience.FallbackPolicy.min_healthy_fraction`.
     """
     from repro.core.penalties import AffinePenalties
     from repro.pim.config import PimSystemConfig
+    from repro.pim.health import FleetHealth
     from repro.pim.kernel import KernelConfig
     from repro.pim.system import PimSystem
 
@@ -628,6 +858,13 @@ def build_service(
         ),
         telemetry=telemetry,
     )
+    health = None
+    if health_policy is not None:
+        health = FleetHealth(
+            num_dpus,
+            policy=health_policy,
+            registry=telemetry.registry if telemetry is not None else None,
+        )
     return AlignmentService(
         BatchScheduler(system),
         config=config,
@@ -635,4 +872,6 @@ def build_service(
         telemetry=telemetry,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        health=health,
+        fallback=fallback,
     )

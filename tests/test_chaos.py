@@ -1,0 +1,89 @@
+"""End-to-end chaos drill (mirrored by the Makefile's ``chaos`` target).
+
+One seeded scenario exercises every resilience layer at once:
+
+* a persistent ``DpuDeath`` plus a first-attempt ``TaskletStall`` under
+  the circuit breaker — the dead DPU is quarantined, the stall is
+  caught by the modeled watchdog;
+* a mid-run crash (journal truncated at a record boundary) resumed with
+  ``pim-align --resume`` — the rebuilt journal must be byte-identical
+  to the uninterrupted one and pass schema validation;
+* the same fault plan through ``repro loadgen`` with CPU fallback — the
+  ``repro.serve.load/v1`` report must stay schema-valid while degraded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.pim.journal import JOURNAL_SCHEMA, RunJournal
+from repro.serve import validate_load_report
+
+FAST = ["--dpus", "4", "--tasklets", "4"]
+
+
+@pytest.fixture()
+def reads(tmp_path):
+    path = tmp_path / "reads.seq"
+    code = main(
+        ["generate", "--pairs", "96", "--length", "48",
+         "--error-rate", "0.03", "--seed", "13", "-o", str(path)]
+    )
+    assert code == 0
+    return path
+
+
+class TestChaosDrill:
+    def test_crash_resume_under_faults_and_breaker(self, tmp_path, reads, capsys):
+        journal = tmp_path / "run.jsonl"
+        align = [
+            "pim-align", "-i", str(reads), "--pairs-per-round", "24",
+            "--kill-dpu", "1", "--stall-dpu", "2", "--breaker",
+            "--journal", str(journal),
+        ] + FAST
+        assert main(align) == 0
+        full = journal.read_text()
+        assert len(full.splitlines()) == 5  # header + 4 rounds
+        out = capsys.readouterr()
+        assert "quarantined" in out.err.lower()
+
+        # crash after round 2, resume, and the journal heals in place
+        crashed = tmp_path / "crashed.jsonl"
+        crashed.write_text(
+            "\n".join(full.splitlines()[:3]) + "\n"
+        )
+        resume = [a if a != str(journal) else str(crashed) for a in align]
+        assert main(resume + ["--resume"]) == 0
+        assert crashed.read_text() == full
+        assert "4 (2)" in capsys.readouterr().out  # 4 rounds, 2 replayed
+
+        loaded = RunJournal.load(crashed)
+        assert loaded.header["schema"] == JOURNAL_SCHEMA
+        assert sorted(loaded.rounds()) == [0, 1, 2, 3]
+
+    def test_degraded_loadgen_report_validates(self, tmp_path):
+        report = tmp_path / "load.jsonl"
+        metrics = tmp_path / "serve.prom"
+        code = main(
+            ["loadgen", "--requests", "120", "--rate", "8000",
+             "--length", "10", "--seed", "13",
+             "--kill-dpu", "1", "--stall-dpu", "2", "--breaker",
+             "--fallback-threshold", "0.9",
+             "--report", str(report), "--metrics-out", str(metrics)] + FAST
+        )
+        assert code == 0
+        summary = validate_load_report(report)
+        assert summary["requests"] == 120
+        # the breaker quarantined the dead DPU and fallback engaged
+        text = metrics.read_text()
+        assert "pim_breaker_transitions_total" in text
+        assert "serve_fallback_pairs_total" in text
+        # every record still carries a backend attribution
+        records = [
+            json.loads(line) for line in report.read_text().splitlines()
+        ]
+        body = [r for r in records if r.get("record") == "request"]
+        assert body and all(r["status"] in ("ok", "rejected") for r in body)

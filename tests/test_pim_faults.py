@@ -471,3 +471,93 @@ class TestErrorTaxonomy:
         err = DpuFailure("refused to boot", dpu_id=17)
         assert "DPU 17" in str(err)
         assert err.dpu_id == 17
+
+
+class TestMergedTotalsNoDoubleCount:
+    """Regression pins for merged multi-round recovery accounting.
+
+    ``RecoveryReport.faults_seen`` / ``backoff_seconds`` are recomputed
+    properties over the per-job records, so a merge across scheduler
+    rounds must contribute each round's overhead exactly once — and the
+    terminal failure of a job (abandonment, or the last failure before a
+    requeue succeeds) must not charge a backoff wait nobody performed.
+    """
+
+    def test_two_round_transient_death_pins_merged_totals(self):
+        pairs = workload(20)
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base_s=0.25, backoff_factor=2.0
+        )
+        plan = FaultPlan(seed=2, deaths=(DpuDeath(dpu_id=1, attempts=(0,)),))
+        run = BatchScheduler(small_system()).run(
+            pairs,
+            pairs_per_round=10,
+            collect_results=True,
+            fault_plan=plan,
+            retry_policy=policy,
+        )
+        rec = run.recovery
+        # one first-attempt death per round, two rounds: exactly two
+        # faults, each followed by one retry that waited one base backoff
+        assert rec.faults_seen == 2
+        assert rec.backoff_seconds == pytest.approx(2 * 0.25)
+        failed = [r for r in rec.records if r.errors]
+        assert [r.dpu_id for r in failed] == [1, 1]
+        assert all(r.attempts == 2 for r in failed)
+        assert all(r.attempts_log == ((1, "DpuFailure"),) for r in failed)
+        assert sorted(rec.completed_pairs) == list(range(20))
+
+    def test_terminal_failure_charges_no_backoff(self):
+        # Whole fleet dead, no requeues: each job fails max_attempts=2
+        # times and abandons.  Only the first failure is followed by a
+        # retry, so exactly one backoff wait per job is charged — the
+        # terminal failure waits for nothing.
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.5, max_requeues=0)
+        plan = FaultPlan(deaths=tuple(DpuDeath(dpu_id=d) for d in range(4)))
+        run = small_system().align(workload(8), fault_plan=plan, retry_policy=policy)
+        rec = run.recovery
+        assert not rec.all_ok
+        assert rec.faults_seen == 4 * 2
+        assert rec.backoff_seconds == pytest.approx(4 * 0.5)
+
+    def test_two_round_stall_pins_watchdog_totals(self):
+        pairs = workload(20)
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=0.1, launch_watchdog_s=0.02
+        )
+        plan = FaultPlan(
+            seed=9, stalls=(TaskletStall(dpu_id=3, dma_budget=2, attempts=(0,)),)
+        )
+        run = BatchScheduler(small_system()).run(
+            pairs,
+            pairs_per_round=10,
+            collect_results=True,
+            fault_plan=plan,
+            retry_policy=policy,
+        )
+        rec = run.recovery
+        # one watchdog-detected stall per round; detection latency is
+        # charged per stall on top of the backoff before its retry
+        assert rec.faults_seen == 2
+        assert rec.watchdog_seconds == pytest.approx(2 * 0.02)
+        assert rec.backoff_seconds == pytest.approx(2 * 0.1)
+        assert rec.overhead_seconds == pytest.approx(2 * 0.12)
+        assert sorted(rec.completed_pairs) == list(range(20))
+
+    def test_merge_then_shift_does_not_double_shift(self):
+        # the scheduler shifts each round's report by its start offset
+        # BEFORE merging; re-merging shifted reports must leave indices
+        # stable (the dispatcher does one more rebase on the aggregate)
+        a = RecoveryReport(
+            records=[JobRecoveryRecord(dpu_id=0, num_pairs=2)],
+            completed_pairs=[0, 1],
+        )
+        b = RecoveryReport(
+            records=[JobRecoveryRecord(dpu_id=1, num_pairs=2)],
+            completed_pairs=[0, 1],
+        )
+        b.shift_pairs(2)
+        a.merge(b)
+        a.shift_pairs(10)  # dispatcher-level rebase of the aggregate
+        assert a.completed_pairs == [10, 11, 12, 13]
+        assert a.faults_seen == 0

@@ -15,9 +15,19 @@ corruption, even every-DPU-dead):
 When the plan contains only DPU deaths (no data corruption), the machine
 additionally pins byte-identical results against a fault-free baseline —
 recovery must be invisible in the output.
+
+The ``flush_resume`` rule extends the same invariant across a crash:
+journal the run, truncate at an arbitrary record boundary, resume —
+with or without a fleet-health ledger quarantining DPUs — and the
+delivered + abandoned pairs still partition the workload exactly, with
+results byte-identical to the uninterrupted run.
 """
 
 from __future__ import annotations
+
+import tempfile
+import warnings
+from pathlib import Path
 
 from hypothesis import settings
 from hypothesis import strategies as st
@@ -25,8 +35,10 @@ from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
 
 from repro.core.penalties import EditPenalties
 from repro.data.generator import ReadPairGenerator
+from repro.errors import DegradedCapacity
 from repro.pim.config import PimSystemConfig
 from repro.pim.faults import DpuDeath, FaultPlan, MramCorruption, RetryPolicy
+from repro.pim.health import FleetHealth, HealthPolicy
 from repro.pim.kernel import KernelConfig
 from repro.pim.scheduler import BatchScheduler
 from repro.pim.system import PimSystem
@@ -152,6 +164,74 @@ class SchedulerFaultMachine(RuleBasedStateMachine):
             )
             for i, s, c in flat_results(run):
                 assert (s, c) == expected[i], f"pair {i} changed under recovery"
+
+    @precondition(lambda self: self.pending)
+    @rule(
+        pairs_per_round=st.integers(min_value=3, max_value=17),
+        crash_after=st.integers(min_value=1, max_value=4),
+        with_health=st.booleans(),
+    )
+    def flush_resume(
+        self, pairs_per_round: int, crash_after: int, with_health: bool
+    ) -> None:
+        """Crash after an arbitrary journaled round, resume, lose nothing."""
+        pairs, plan = self.pending, self._plan()
+        self.pending = []
+        n = len(pairs)
+        policy = RetryPolicy(max_attempts=2, max_requeues=NUM_DPUS - 1)
+        health_policy = (
+            HealthPolicy(window=4, failure_threshold=2, cooldown_s=1e9)
+            if with_health
+            else None
+        )
+
+        def health():
+            if health_policy is None:
+                return None
+            return FleetHealth(NUM_DPUS, policy=health_policy)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "run.jsonl"
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedCapacity)
+                full = BatchScheduler(make_system()).run(
+                    pairs,
+                    pairs_per_round=pairs_per_round,
+                    collect_results=True,
+                    fault_plan=plan,
+                    retry_policy=policy,
+                    health=health(),
+                    journal=path,
+                )
+                lines = path.read_text().splitlines()
+                keep = 1 + min(crash_after, len(lines) - 1)  # header + k rounds
+                path.write_text("\n".join(lines[:keep]) + "\n")
+                resumed = BatchScheduler(make_system()).resume_run(
+                    path,
+                    pairs,
+                    pairs_per_round=pairs_per_round,
+                    collect_results=True,
+                    fault_plan=plan,
+                    retry_policy=policy,
+                    health=health(),
+                )
+        assert resumed.rounds_replayed == keep - 1
+        got = global_indices(resumed)
+        assert len(got) == len(set(got)), "resume double-delivered a pair"
+        assert flat_results(resumed) == flat_results(full), (
+            "resume changed delivered results"
+        )
+        if plan is None:
+            assert sorted(got) == list(range(n))
+            return
+        rec = resumed.recovery
+        assert rec is not None
+        completed = sorted(rec.completed_pairs)
+        abandoned = sorted(rec.abandoned_pairs)
+        assert sorted(got) == completed
+        assert sorted(completed + abandoned) == list(range(n)), (
+            "resume dropped or duplicated pairs across the crash boundary"
+        )
 
 
 SchedulerFaultMachine.TestCase.settings = settings(

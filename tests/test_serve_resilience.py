@@ -1,0 +1,335 @@
+"""Deadlines, priority shedding, and CPU fallback (repro.serve.resilience)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.baselines.gotoh import gotoh_align
+from repro.data.generator import ReadPair, ReadPairGenerator
+from repro.errors import (
+    ConfigError,
+    DeadlineExceeded,
+    DegradedCapacity,
+    Overloaded,
+    RequestCancelled,
+)
+from repro.pim.faults import DpuDeath, FaultPlan, RetryPolicy
+from repro.pim.health import HealthPolicy
+from repro.serve import (
+    BACKEND_CPU,
+    BACKEND_PIM,
+    AlignRequest,
+    CpuFallbackBackend,
+    FallbackPolicy,
+    LoadgenConfig,
+    ServiceConfig,
+    build_service,
+    run_load,
+    validate_load_report,
+)
+from repro.serve.clock import VirtualClock
+
+
+def pairs(n: int, seed: int = 3):
+    return tuple(ReadPairGenerator(length=12, error_rate=0.1, seed=seed).pairs(n))
+
+
+def request(rid: str, n: int = 1, seed: int = 3, **kw) -> AlignRequest:
+    return AlignRequest(client="c", request_id=rid, pairs=pairs(n, seed), **kw)
+
+
+def make_service(**kw):
+    clock = VirtualClock()
+    cfg = ServiceConfig(
+        max_batch_pairs=kw.pop("max_batch_pairs", 8),
+        max_wait_s=kw.pop("max_wait_s", 1e-3),
+        max_queue_pairs=kw.pop("max_queue_pairs", 4096),
+        cache_pairs=kw.pop("cache_pairs", 0),
+    )
+    service = build_service(
+        num_dpus=2,
+        tasklets=2,
+        max_read_len=16,
+        max_edits=3,
+        config=cfg,
+        clock=clock,
+        **kw,
+    )
+    return service, clock
+
+
+def series(service, name: str) -> list:
+    for family in service.metrics_snapshot()["families"]:
+        if family["name"] == name:
+            return family["series"]
+    return []
+
+
+def total(service, name: str, **labels) -> float:
+    out = 0.0
+    for s in series(service, name):
+        if all(s["labels"].get(k) == v for k, v in labels.items()):
+            out += s["value"]
+    return out
+
+
+class TestDeadlines:
+    def test_deadline_already_passed_rejects_at_submit(self):
+        service, clock = make_service()
+        clock.advance(1.0)
+        future = service.submit(request("r0", deadline_s=0.5))
+        assert future.done()
+        with pytest.raises(DeadlineExceeded) as exc:
+            future.result()
+        assert exc.value.deadline_s == 0.5
+        assert service.stats.rejected == 1
+        assert total(service, "serve_deadline_exceeded_total") == 1
+
+    def test_timer_fires_on_clock_for_unresolved_request(self):
+        service, clock = make_service(max_batch_pairs=64, max_wait_s=10.0)
+        future = service.submit(request("r0", deadline_s=0.25))
+        assert not future.done()
+        clock.advance(0.2)
+        assert not future.done()
+        clock.advance(0.1)  # crosses the deadline: timer resolves it
+        assert future.done()
+        with pytest.raises(DeadlineExceeded):
+            future.result()
+        assert total(service, "serve_deadline_exceeded_total") == 1
+        # the dead pairs were pulled from the batcher; nothing dispatches
+        service.drain()
+        assert service.stats.completed == 0
+
+    def test_modeled_completion_past_deadline_is_typed(self):
+        # batch completes in modeled time beyond the deadline even
+        # though the clock never reaches it — still a deadline miss
+        service, clock = make_service(max_batch_pairs=1)
+        future = service.submit(request("r0", deadline_s=1e-9))
+        assert future.done()
+        with pytest.raises(DeadlineExceeded) as exc:
+            future.result()
+        assert exc.value.completion_s > exc.value.deadline_s
+        assert total(service, "serve_requests_total", outcome="deadline") == 1
+
+    def test_request_meeting_deadline_unaffected(self):
+        service, clock = make_service(max_batch_pairs=1)
+        future = service.submit(request("r0", deadline_s=100.0))
+        assert future.done()
+        assert future.result().num_pairs == 1
+        assert total(service, "serve_deadline_exceeded_total") == 0
+
+
+class TestCancelDeadlineRace:
+    def test_cancel_disarms_deadline_pinned_metrics(self):
+        """Satellite pin: a cancelled request must never ALSO count as a
+        deadline miss when its deadline later passes on the clock."""
+        service, clock = make_service(max_batch_pairs=64, max_wait_s=10.0)
+        future = service.submit(request("r0", deadline_s=0.5))
+        assert service.cancel(future) is True
+        with pytest.raises(RequestCancelled):
+            future.result()
+        clock.advance(1.0)  # sail past the dead request's deadline
+        service.drain()
+        assert total(service, "serve_requests_total", outcome="cancelled") == 1
+        assert total(service, "serve_requests_total", outcome="deadline") == 0
+        assert total(service, "serve_deadline_exceeded_total") == 0
+        assert service.stats.rejected == 1
+        assert service.stats.in_flight == 0
+
+    def test_deadline_then_cancel_returns_false(self):
+        service, clock = make_service(max_batch_pairs=64, max_wait_s=10.0)
+        future = service.submit(request("r0", deadline_s=0.25))
+        clock.advance(0.5)
+        assert future.done()
+        assert service.cancel(future) is False
+        assert total(service, "serve_requests_total", outcome="deadline") == 1
+        assert total(service, "serve_requests_total", outcome="cancelled") == 0
+
+    def test_cancel_after_dispatch_absorbs_results(self):
+        service, clock = make_service(max_batch_pairs=1, cache_pairs=16)
+        future = service.submit(request("r0", deadline_s=5.0))
+        assert future.done()  # batch-size flush resolved it already
+        assert service.cancel(future) is False
+        # a second identical request is served from cache
+        f2 = service.submit(request("r1"))
+        service.drain()
+        assert f2.result().cached == (True,)
+
+
+class TestPriorityShedding:
+    def test_high_priority_sheds_lowest_youngest_first(self):
+        service, clock = make_service(
+            max_batch_pairs=64, max_wait_s=10.0, max_queue_pairs=4
+        )
+        f_low_old = service.submit(request("low-old", n=2, priority=0))
+        f_low_new = service.submit(request("low-new", n=2, priority=0))
+        assert service.queue_pairs == 4
+        f_high = service.submit(request("high", n=2, priority=5))
+        # youngest of the lowest priority went first, and one was enough
+        assert f_low_new.done()
+        with pytest.raises(Overloaded):
+            f_low_new.result()
+        assert not f_low_old.done()
+        assert not f_high.done()
+        assert total(service, "serve_shed_total") == 1
+        assert total(service, "serve_requests_total", outcome="shed") == 1
+        service.drain()
+        assert f_low_old.result().num_pairs == 2
+        assert f_high.result().num_pairs == 2
+
+    def test_equal_priority_is_not_shed(self):
+        service, clock = make_service(
+            max_batch_pairs=64, max_wait_s=10.0, max_queue_pairs=2
+        )
+        f0 = service.submit(request("r0", n=2, priority=1))
+        with pytest.raises(Overloaded):
+            service.submit(request("r1", n=2, priority=1))
+        assert not f0.done()
+        assert total(service, "serve_shed_total") == 0
+        service.drain()
+        assert f0.result().num_pairs == 2
+
+    def test_dispatched_requests_are_never_shed(self):
+        service, clock = make_service(max_batch_pairs=2, max_queue_pairs=2)
+        f0 = service.submit(request("r0", n=2, priority=0))
+        assert f0.done()  # flushed and resolved at size trigger
+        clock.advance(100.0)  # modeled completion behind us: queue empty
+        f1 = service.submit(request("r1", n=2, priority=9))
+        service.drain()
+        assert f0.result().num_pairs == 2
+        assert f1.result().num_pairs == 2
+
+
+class TestFallbackPolicy:
+    def test_defaults_validate(self):
+        FallbackPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_healthy_fraction": -0.1},
+            {"min_healthy_fraction": 1.5},
+            {"baseline": "smith-waterman"},
+            {"cpu_pairs_per_s": 0.0},
+        ],
+    )
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FallbackPolicy(**kwargs)
+
+
+def degraded_service(**kw):
+    """One of two DPUs permanently dead + aggressive breaker: healthy
+    fraction drops to 0.5, below the 0.9 threshold -> CPU fallback."""
+    return make_service(
+        fault_plan=FaultPlan(deaths=(DpuDeath(dpu_id=1),)),
+        retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=1e-4),
+        health_policy=HealthPolicy(window=4, failure_threshold=2, cooldown_s=1e9),
+        fallback=FallbackPolicy(min_healthy_fraction=0.9),
+        **kw,
+    )
+
+
+class TestCpuFallback:
+    def test_fallback_results_oracle_equal_to_pim(self):
+        """Acceptance pin: degraded batches flagged cpu-fallback carry
+        exactly the scores/CIGARs a healthy PIM fleet would produce."""
+        healthy_service, _ = make_service(max_batch_pairs=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedCapacity)
+            degraded, _ = degraded_service(max_batch_pairs=4)
+            reference = healthy_service.submit(request("ref", n=4)).result()
+            # warm the ledger until the breaker opens, then the probe
+            futures = [
+                degraded.submit(request(f"r{i}", n=4, seed=3)) for i in range(4)
+            ]
+            degraded.drain()
+        responses = [f.result() for f in futures]
+        assert any(r.backend == BACKEND_CPU for r in responses)
+        from repro.core.cigar import Cigar
+        from repro.core.penalties import AffinePenalties
+
+        penalties = AffinePenalties()
+        batch = pairs(4, seed=3)
+        for resp in responses:
+            # same optimal score, and a CIGAR that validates and
+            # rescores to it — the qa.oracle notion of equality (WFA
+            # and Gotoh may pick different co-optimal tracebacks)
+            assert resp.scores == reference.scores
+            for pair, score, cigar in zip(batch, resp.scores, resp.cigars):
+                parsed = Cigar.from_string(cigar)
+                parsed.validate(pair.pattern, pair.text)
+                assert parsed.score(penalties) == score
+        fallback_pairs = total(degraded, "serve_fallback_pairs_total")
+        assert fallback_pairs == sum(
+            r.num_pairs for r in responses if r.backend == BACKEND_CPU
+        )
+
+    def test_healthy_fleet_never_falls_back(self):
+        service, _ = make_service(
+            max_batch_pairs=4,
+            health_policy=HealthPolicy(),
+            fallback=FallbackPolicy(min_healthy_fraction=0.9),
+        )
+        future = service.submit(request("r0", n=4))
+        service.drain()
+        assert future.result().backend == BACKEND_PIM
+        assert total(service, "serve_fallback_pairs_total") == 0
+
+    def test_backend_attribution_cache(self):
+        service, _ = make_service(max_batch_pairs=1, cache_pairs=16)
+        first = service.submit(request("r0")).result()
+        assert first.backend == BACKEND_PIM
+        again = service.submit(request("r1"))
+        service.drain()
+        assert again.result().backend == "cache"
+
+    def test_cpu_backend_matches_gotoh_directly(self):
+        from repro.core.penalties import AffinePenalties
+        from repro.pim.kernel import KernelConfig
+
+        kc = KernelConfig(
+            penalties=AffinePenalties(), max_read_len=16, max_edits=3
+        )
+        backend = CpuFallbackBackend(kc, FallbackPolicy(cpu_pairs_per_s=100.0))
+        batch = list(pairs(5))
+        results, seconds = backend.align_batch(batch)
+        assert seconds == pytest.approx(0.05)
+        for pair, (score, cigar, start) in zip(batch, results):
+            ref_score, ref_cigar = gotoh_align(pair.pattern, pair.text, kc.penalties)
+            assert score == ref_score
+            assert str(cigar) == str(ref_cigar)
+            assert start == (0, 0)
+        assert backend.pairs_served == 5 and backend.batches_served == 1
+
+    def test_bitparallel_baseline_scores_only(self):
+        from repro.core.penalties import EditPenalties
+        from repro.pim.kernel import KernelConfig
+
+        kc = KernelConfig(penalties=EditPenalties(), max_read_len=16, max_edits=3)
+        backend = CpuFallbackBackend(
+            kc, FallbackPolicy(baseline="bitparallel")
+        )
+        results, _ = backend.align_batch([ReadPair("ACGT", "AGGT")])
+        (score, cigar, _), = results
+        assert score == 1 and cigar is None
+
+
+class TestDegradedLoadReport:
+    def test_report_schema_valid_under_degradation(self, tmp_path):
+        """Acceptance pin: repro.serve.load/v1 reports stay schema-valid
+        while the fleet is degraded and batches ride the CPU path."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedCapacity)
+            service, _ = degraded_service(max_batch_pairs=8)
+            report = run_load(
+                service,
+                LoadgenConfig(requests=60, rate=5000.0, length=10, seed=4),
+            )
+        out = tmp_path / "load.jsonl"
+        report.write(out)
+        summary = validate_load_report(out)
+        assert summary["requests"] == 60
+        assert total(service, "serve_fallback_pairs_total") > 0
