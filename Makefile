@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast qa coverage bench bench-parallel examples fig1 outputs trace-demo serve-demo chaos clean
+.PHONY: install test test-fast qa coverage bench bench-parallel bench-vector examples fig1 outputs trace-demo serve-demo chaos clean
 
 install:
 	pip install -e .
@@ -46,6 +46,12 @@ bench:
 
 bench-parallel:
 	PYTHONPATH=src python benchmarks/bench_host_parallel.py
+
+# Scalar vs vectorized (NumPy) WFA engine throughput; verifies the two
+# engines produce identical results before reporting any timing.  See
+# docs/vectorized-engine.md.
+bench-vector:
+	PYTHONPATH=src python benchmarks/bench_batch_engine.py
 
 examples:
 	for ex in examples/*.py; do \

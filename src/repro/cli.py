@@ -78,6 +78,11 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                              "0 = one per core; responses are identical)")
     parser.add_argument("--max-read-len", type=int, default=100)
     parser.add_argument("--max-edits", type=int, default=4)
+    parser.add_argument("--engine", choices=("scalar", "vector"),
+                        default="scalar",
+                        help="host alignment engine: 'vector' batches each "
+                             "DPU's pairs through the NumPy engine for "
+                             "simulation speed; responses are identical")
     parser.add_argument("--max-batch-pairs", type=int, default=64,
                         help="flush the micro-batcher at this many pairs")
     parser.add_argument("--max-wait", type=float, default=1e-3, metavar="S",
@@ -144,6 +149,7 @@ def _build_serve_service(args: argparse.Namespace):
         fault_plan=fault_plan,
         health_policy=health_policy,
         fallback=fallback,
+        engine=args.engine,
     )
 
 
@@ -208,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
     pim.add_argument("--policy", choices=("mram", "wram"), default="mram")
     pim.add_argument("--max-edits", type=int, default=None,
                      help="kernel edit budget (default: inferred from data)")
+    pim.add_argument("--engine", choices=("scalar", "vector"),
+                     default="scalar",
+                     help="host alignment engine: 'vector' batches each "
+                          "DPU's pairs through the NumPy engine for "
+                          "simulation speed; results, counters and traces "
+                          "are identical")
     pim.add_argument("--workers", type=int, default=1,
                      help="host processes simulating DPUs in parallel "
                           "(1 = sequential, 0 = one per CPU core; "
@@ -445,7 +457,10 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     kernel_config = KernelConfig(
-        penalties=penalties, max_read_len=max_len, max_edits=max_edits
+        penalties=penalties,
+        max_read_len=max_len,
+        max_edits=max_edits,
+        engine=args.engine,
     )
     telemetry = None
     if args.metrics_out or args.trace_out:

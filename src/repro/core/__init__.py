@@ -18,13 +18,20 @@ from repro.core.penalties import (
     Penalties,
     TwoPieceAffinePenalties,
 )
-from repro.core.wavefront import OFFSET_NULL, Wavefront, WavefrontSet, WfaCounters
+from repro.core.wavefront import (
+    NULL_THRESHOLD,
+    OFFSET_NULL,
+    Wavefront,
+    WavefrontSet,
+    WfaCounters,
+)
 from repro.core.viz import (
     render_alignment_matrix,
     render_score_histogram,
     render_wavefront_progress,
 )
 from repro.core.wfa import WfaEngine
+from repro.core.wfa_batch import BatchPairView, BatchWfaEngine, align_batch
 
 __all__ = [
     "AlignmentResult",
@@ -45,7 +52,11 @@ __all__ = [
     "WavefrontSet",
     "WfaCounters",
     "WfaEngine",
+    "BatchWfaEngine",
+    "BatchPairView",
+    "align_batch",
     "OFFSET_NULL",
+    "NULL_THRESHOLD",
     "render_wavefront_progress",
     "render_alignment_matrix",
     "render_score_histogram",

@@ -17,9 +17,15 @@ Two equivalent strategies are provided:
 
 Both return the new offset and the number of character comparisons
 performed, so callers can charge instruction costs faithfully.
+
+The batched NumPy engine (:mod:`repro.core.wfa_batch`) replaces the
+per-cell loop of :func:`extend_wavefront` with chunked whole-batch
+codepoint comparisons but reproduces its comparison counts exactly.
 """
 
 from __future__ import annotations
+
+from repro.core.wavefront import NULL_THRESHOLD
 
 __all__ = ["extend_diagonal", "extend_diagonal_blocked", "extend_wavefront"]
 
@@ -59,11 +65,25 @@ def extend_diagonal_blocked(
 ) -> tuple[int, int]:
     """Block-compare variant of :func:`extend_diagonal` for byte strings.
 
-    Compares ``block``-byte slices at a time and falls back to a byte loop
-    on the first differing block — mirroring the 64-bit-word comparison
-    of WFA's vectorized CPU build.  The returned comparison count is the
-    number of *block or byte probes*, i.e. proportional to executed
-    compare instructions rather than to characters matched.
+    Compares ``block``-byte slices at a time — mirroring the 64-bit-word
+    comparison of WFA's vectorized CPU build.  The returned probe count
+    is proportional to executed compare *instructions*, never to
+    characters matched.  The charging contract:
+
+    * a whole **matching** block costs 1 probe (one word compare);
+    * a **differing** block costs exactly 2 probes: the word compare
+      that detected the difference plus one probe to locate the first
+      differing byte inside it (XOR + count-trailing-zeros on hardware).
+      The bytes of a differing block are *never* re-probed one by one —
+      re-charging up to ``block`` byte probes for bytes the word compare
+      already examined would make the blocked count diverge from the
+      executed-instruction count the CPU timing model wants;
+    * the **byte tail** — positions reached only when fewer than
+      ``block`` bytes remain in either sequence — costs 1 probe per byte
+      examined, including the final mismatching probe (if any), exactly
+      like :func:`extend_diagonal`.
+
+    The returned offset is always identical to the scalar variant's.
     """
     n = len(pattern)
     m = len(text)
@@ -73,12 +93,18 @@ def extend_diagonal_blocked(
     # Whole blocks while both sequences have `block` bytes left.
     while v + block <= n and h + block <= m:
         probes += 1
-        if pattern[v : v + block] == text[h : h + block]:
+        p_block = pattern[v : v + block]
+        t_block = text[h : h + block]
+        if p_block == t_block:
             v += block
             h += block
-        else:
-            break
-    # Byte tail (also reached after a differing block).
+            continue
+        # The difference sits inside this block: one more probe locates
+        # it (modeled XOR+ctz), without re-probing the block's bytes.
+        probes += 1
+        matched = next(i for i in range(block) if p_block[i] != t_block[i])
+        return h + matched, probes
+    # Byte tail: fewer than `block` bytes remain in one of the sequences.
     while v < n and h < m:
         probes += 1
         if pattern[v] != text[h]:
@@ -91,6 +117,11 @@ def extend_diagonal_blocked(
 def extend_wavefront(pattern: str, text: str, wavefront) -> int:
     """Extend every reached diagonal of an M wavefront in place.
 
+    "Reached" uses the same :data:`~repro.core.wavefront.NULL_THRESHOLD`
+    contract as :meth:`~repro.core.wavefront.Wavefront.reached`, so a
+    sentinel-adjusted value (e.g. ``OFFSET_NULL + 1`` escaping from the
+    recurrences) can never be extended as if it were a real offset.
+
     Returns the total number of character comparisons, which the caller
     accumulates into :class:`~repro.core.wavefront.WfaCounters`.
     """
@@ -98,7 +129,7 @@ def extend_wavefront(pattern: str, text: str, wavefront) -> int:
     offsets = wavefront.offsets
     lo = wavefront.lo
     for idx, offset in enumerate(offsets):
-        if offset < 0:  # OFFSET_NULL or out-of-range marker
+        if offset <= NULL_THRESHOLD:  # unreached (incl. adjusted sentinels)
             continue
         new_offset, comp = extend_diagonal(pattern, text, lo + idx, offset)
         offsets[idx] = new_offset

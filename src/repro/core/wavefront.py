@@ -19,11 +19,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-__all__ = ["OFFSET_NULL", "Wavefront", "WavefrontSet", "WfaCounters"]
+__all__ = [
+    "OFFSET_NULL",
+    "NULL_THRESHOLD",
+    "Wavefront",
+    "WavefrontSet",
+    "WfaCounters",
+]
 
 #: Sentinel for "diagonal not reached".  Chosen so that ``OFFSET_NULL + c``
 #: for any small constant ``c`` still compares below every legal offset.
 OFFSET_NULL = -(2**30)
+
+#: Offsets at or below this are "unreached" even after small additive
+#: adjustments (the recurrences compute values like ``OFFSET_NULL + 1``
+#: before pruning).  Every consumer — :meth:`Wavefront.reached`, the
+#: recurrences, greedy extension, traceback — must use this one
+#: threshold: stored offsets are either real (``>= 0``, hence above it)
+#: or sentinel-derived (far below it); nothing legal lives in between.
+NULL_THRESHOLD = OFFSET_NULL // 2
 
 
 class Wavefront:
@@ -64,7 +78,7 @@ class Wavefront:
 
     def reached(self, k: int) -> bool:
         """True if diagonal ``k`` holds a real (non-null) offset."""
-        return self[k] > OFFSET_NULL // 2
+        return self[k] > NULL_THRESHOLD
 
     def max_offset(self) -> int:
         """Largest stored offset (``OFFSET_NULL`` if nothing reached)."""

@@ -42,14 +42,19 @@ from repro.core.penalties import (
     Penalties,
     TwoPieceAffinePenalties,
 )
-from repro.core.wavefront import OFFSET_NULL, Wavefront, WavefrontSet, WfaCounters
+from repro.core.wavefront import (
+    NULL_THRESHOLD,
+    OFFSET_NULL,
+    Wavefront,
+    WavefrontSet,
+    WfaCounters,
+)
 from repro.errors import AlignmentError
 
+# NULL_THRESHOLD is re-exported here for backwards compatibility; it is
+# defined next to OFFSET_NULL in :mod:`repro.core.wavefront` so that the
+# extension and recurrence code share one sentinel contract.
 __all__ = ["WfaEngine", "NULL_THRESHOLD"]
-
-#: Offsets below this are treated as "unreached" even after small additive
-#: adjustments (``OFFSET_NULL + 1`` etc.).
-NULL_THRESHOLD = OFFSET_NULL // 2
 
 
 class WfaEngine:
@@ -223,7 +228,7 @@ class WfaEngine:
         pef = span.pattern_end_free
         tef = span.text_end_free
         for idx, off in enumerate(wf.offsets):
-            if off < 0:
+            if off <= NULL_THRESHOLD:  # unreached (incl. adjusted sentinels)
                 continue
             k = wf.lo + idx
             v = off - k

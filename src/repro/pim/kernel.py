@@ -47,6 +47,7 @@ from repro.core.penalties import (
     TwoPieceAffinePenalties,
 )
 from repro.core.wfa import WfaEngine
+from repro.core.wfa_batch import BatchPairView, BatchWfaEngine
 from repro.errors import AllocationError, AlignmentError, KernelError
 from repro.pim.allocator import TaskletAllocator
 from repro.pim.config import DpuConfig
@@ -99,8 +100,22 @@ class KernelConfig:
     #: wavefront, hence every WRAM staging buffer) — unbounded semiglobal
     #: mapping belongs on the host or needs windowed candidates.
     span: AlignmentSpan = field(default_factory=AlignmentSpan)
+    #: host-side alignment engine.  ``"scalar"`` runs the per-pair
+    #: :class:`~repro.core.wfa.WfaEngine` (the differential oracle);
+    #: ``"vector"`` batches a whole DPU's pairs through the NumPy
+    #: :class:`~repro.core.wfa_batch.BatchWfaEngine`.  Purely a host
+    #: simulation-speed knob: scores, CIGARs, counters, the wavefront
+    #: log (hence DMA charging and the timing model), traces and fault
+    #: behaviour are identical.  Configurations the batch engine cannot
+    #: replicate exactly (ends-free spans, adaptive heuristic) silently
+    #: fall back to the scalar path.
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("scalar", "vector"):
+            raise KernelError(
+                f"engine must be 'scalar' or 'vector', got {self.engine!r}"
+            )
         if self.max_read_len < 1:
             raise KernelError(f"max_read_len must be >= 1, got {self.max_read_len}")
         if self.max_edits < 0:
@@ -337,15 +352,59 @@ class WfaDpuKernel:
             ctx.staging_buffers = tuple(staging)
             contexts.append(ctx)
 
+        precomputed: Optional[dict[int, BatchPairView]] = None
+        if (
+            self.config.engine == "vector"
+            and self.config.span.is_global
+            and not self.config.adaptive
+        ):
+            precomputed = self._prepare_vector(dpu, layout, assignments)
+
         results: list[tuple[int, AlignmentResult]] = []
         for ctx, indices in zip(contexts, assignments):
             for index in indices:
                 result = self._align_one(
-                    dpu, layout, ctx, index, metadata_policy, trace
+                    dpu, layout, ctx, index, metadata_policy, trace, precomputed
                 )
                 if collect_results:
                     results.append((index, result))
         return [ctx.stats for ctx in contexts], results
+
+    def _prepare_vector(
+        self,
+        dpu: Dpu,
+        layout: MramLayout,
+        assignments: list[list[int]],
+    ) -> dict[int, BatchPairView]:
+        """Batch-align the whole DPU's pairs with the vectorized engine.
+
+        Reads the input records directly out of MRAM — the same bytes the
+        per-tasklet DMA will fetch (fault injection corrupts MRAM before
+        the kernel runs), without touching the DMA engine, so transfer
+        charging and trace events stay exactly where the scalar path puts
+        them.  ``_align_one`` still parses each pair out of WRAM after
+        its charged fetch and only uses the precomputed result when the
+        sequences match byte-for-byte; any divergence (e.g. a corrupting
+        DMA fault hook) falls back to the scalar engine.
+        """
+        cfg = self.config
+        indices = [index for tasklet in assignments for index in tasklet]
+        if not indices:
+            return {}
+        pairs = []
+        for index in indices:
+            record = dpu.mram.read(
+                layout.input_addr(index), layout.input_record_size
+            )
+            pairs.append(layout.unpack_pair(record))
+        engine = BatchWfaEngine(
+            [(p.pattern, p.text) for p in pairs],
+            cfg.penalties,
+            memory_mode="full" if cfg.traceback else "low",
+            max_score=cfg.max_score,
+            span=cfg.span,
+        )
+        return dict(zip(indices, engine.run()))
 
     # -- one pair ------------------------------------------------------
 
@@ -357,6 +416,7 @@ class WfaDpuKernel:
         index: int,
         metadata_policy: str,
         trace: Optional[KernelTrace] = None,
+        precomputed: Optional[dict[int, BatchPairView]] = None,
     ) -> AlignmentResult:
         cfg = self.config
         stats = ctx.stats
@@ -379,22 +439,40 @@ class WfaDpuKernel:
         pair = layout.unpack_pair(record)
 
         # 2. Align (functional engine; counters drive the cost replay).
-        engine = WfaEngine(
+        # A precomputed batch view is used only when its sequences match
+        # what the charged DMA actually delivered (fault hooks may have
+        # corrupted the WRAM copy since the batch ran over MRAM).
+        view = precomputed.get(index) if precomputed is not None else None
+        if view is not None and (view.pattern, view.text) != (
             pair.pattern,
             pair.text,
-            cfg.penalties,
-            memory_mode="full" if cfg.traceback else "low",
-            heuristic=cfg.heuristic(),
-            max_score=cfg.max_score,
-            span=cfg.span,
-        )
-        try:
-            score = engine.run()
-        except AlignmentError as exc:
-            raise KernelError(
-                f"pair {index} exceeded the kernel score bound "
-                f"{cfg.max_score}: {exc}"
-            ) from exc
+        ):
+            view = None
+        if view is not None:
+            if view.error is not None:
+                raise KernelError(
+                    f"pair {index} exceeded the kernel score bound "
+                    f"{cfg.max_score}: {view.error}"
+                )
+            engine = view
+            score = view.final_score
+        else:
+            engine = WfaEngine(
+                pair.pattern,
+                pair.text,
+                cfg.penalties,
+                memory_mode="full" if cfg.traceback else "low",
+                heuristic=cfg.heuristic(),
+                max_score=cfg.max_score,
+                span=cfg.span,
+            )
+            try:
+                score = engine.run()
+            except AlignmentError as exc:
+                raise KernelError(
+                    f"pair {index} exceeded the kernel score bound "
+                    f"{cfg.max_score}: {exc}"
+                ) from exc
         cigar = backtrace(engine) if cfg.traceback else None
         counters = engine.counters
 

@@ -819,12 +819,19 @@ def build_service(
     with_telemetry: bool = True,
     health_policy=None,
     fallback: Optional[FallbackPolicy] = None,
+    engine: str = "scalar",
 ) -> AlignmentService:
     """Construct the full stack: system -> scheduler -> service.
 
     One shared :class:`~repro.obs.telemetry.RunTelemetry` is attached to
     both the system and the service (unless ``with_telemetry=False``),
     so a single metrics snapshot covers the whole request path.
+
+    ``engine`` selects the kernel's host-side alignment engine
+    (``"scalar"`` or ``"vector"``, see
+    :class:`~repro.pim.kernel.KernelConfig`); responses, recovery
+    reports and telemetry are byte-identical either way — the vector
+    engine only changes simulation wall-clock time.
 
     ``health_policy`` (a :class:`~repro.pim.health.HealthPolicy`) turns
     on the fleet-health ledger: scheduler rounds become
@@ -855,6 +862,7 @@ def build_service(
             penalties=penalties if penalties is not None else AffinePenalties(),
             max_read_len=max_read_len,
             max_edits=max_edits,
+            engine=engine,
         ),
         telemetry=telemetry,
     )

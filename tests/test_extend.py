@@ -74,6 +74,36 @@ class TestBlockedEquivalence:
         _, probes = extend_diagonal_blocked(p, p, 0, 0)
         assert probes == 4  # four 8-byte blocks
 
+    def test_differing_block_costs_two_probes(self):
+        # One 8-byte block with a difference inside: the word compare
+        # (1 probe) plus the XOR/ctz locate (1 probe) — the block's bytes
+        # are never re-probed one by one.
+        assert extend_diagonal_blocked(b"AAAATTTT", b"AAACTTTT", 0, 0) == (3, 2)
+        # The scalar loop probes character by character instead.
+        assert extend_diagonal("AAAATTTT", "AAACTTTT", 0, 0) == (3, 4)
+
+    def test_differing_block_after_matching_block(self):
+        p = b"A" * 8 + b"AAATXXXX"
+        t = b"A" * 8 + b"AAACXXXX"
+        # Block 1 matches (1 probe); block 2 differs (2 probes).
+        assert extend_diagonal_blocked(p, t, 0, 0) == (11, 3)
+
+    def test_byte_tail_probes_per_byte(self):
+        # Fewer than `block` bytes remain: per-byte probes, including the
+        # final mismatching one, exactly like the scalar loop.
+        assert extend_diagonal_blocked(b"AAAAT", b"AAAAC", 0, 0) == (4, 5)
+        # Tail after a matching block: 1 block probe + 3 byte probes.
+        p = b"A" * 8 + b"AAT"
+        t = b"A" * 8 + b"AAC"
+        assert extend_diagonal_blocked(p, t, 0, 0) == (10, 4)
+
+    def test_blocked_probe_count_matches_scalar_on_tail_only_input(self):
+        # Inputs shorter than a block never enter the block loop, so the
+        # two variants must agree on probes, not just offsets.
+        off_s, comps_s = extend_diagonal("ACGTAC", "ACGTAC", 0, 0)
+        off_b, probes_b = extend_diagonal_blocked(b"ACGTAC", b"ACGTAC", 0, 0)
+        assert (off_s, comps_s) == (off_b, probes_b) == (6, 6)
+
 
 class TestExtendWavefront:
     def test_extends_all_reached_diagonals(self):
@@ -92,3 +122,17 @@ class TestExtendWavefront:
         wf = Wavefront(0, 0)
         extend_wavefront("AAA", "AAA", wf)
         assert wf[0] == OFFSET_NULL
+
+    def test_adjusted_null_sentinel_is_skipped(self):
+        # Regression: recurrence arithmetic can nudge a NULL offset to
+        # OFFSET_NULL + 1.  `Wavefront.reached` and `extend_wavefront`
+        # share NULL_THRESHOLD, so such a diagonal must be skipped — not
+        # extended as if the huge negative value were a real offset.
+        wf = Wavefront(0, 1)
+        wf[0] = OFFSET_NULL + 1
+        wf[1] = 1
+        assert not wf.reached(0)
+        comps = extend_wavefront("AAAA", "AAAAA", wf)
+        assert wf[0] == OFFSET_NULL + 1  # untouched
+        assert wf[1] == 5  # diagonal 1 extended normally
+        assert comps == 4  # only diagonal 1's comparisons were charged

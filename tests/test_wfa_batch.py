@@ -1,0 +1,244 @@
+"""Differential tests: the vectorized batch engine vs the scalar oracle.
+
+The batch engine (:mod:`repro.core.wfa_batch`) is an accelerated
+replica of :class:`~repro.core.wfa.WfaEngine`; the contract is
+*bit-exact equality*, not approximate agreement — scores, CIGARs, the
+full :class:`~repro.core.wavefront.WfaCounters` (including the
+``wavefront_log`` the PIM timing model replays), error messages, and
+every byte of the serve layer's responses must be unchanged when the
+``engine="vector"`` knob is flipped.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+from conftest import any_penalties, similar_pair
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    EditPenalties,
+    TwoPieceAffinePenalties,
+    WavefrontAligner,
+)
+from repro.core.span import AlignmentSpan
+from repro.core.wfa_batch import BatchWfaEngine, align_batch
+from repro.data.generator import ReadPairGenerator
+from repro.errors import AlignmentError
+from repro.pim.config import PimSystemConfig
+from repro.pim.faults import DpuDeath, FaultPlan
+from repro.pim.kernel import KernelConfig, KernelError
+from repro.pim.system import PimSystem
+from repro.serve import LoadgenConfig, ServiceConfig, build_service, run_load
+
+all_penalties = st.one_of(
+    any_penalties,
+    st.just(TwoPieceAffinePenalties()),
+    st.just(
+        TwoPieceAffinePenalties(
+            mismatch=5, gap_open1=4, gap_extend1=3, gap_open2=12, gap_extend2=1
+        )
+    ),
+)
+
+pair_batches = st.lists(
+    similar_pair(max_len=24, max_edits=5), min_size=1, max_size=6
+)
+
+
+class TestDifferentialEquality:
+    @given(pairs=pair_batches, pen=all_penalties)
+    def test_full_mode_matches_scalar(self, pairs, pen):
+        aligner = WavefrontAligner(penalties=pen)
+        scalar = [aligner.align(p, t) for p, t in pairs]
+        vector = align_batch(pairs, pen, validate=True)
+        for s, v in zip(scalar, vector):
+            assert s.score == v.score
+            assert str(s.cigar) == str(v.cigar)
+            assert s.counters == v.counters  # includes wavefront_log
+
+    @given(pairs=pair_batches, pen=all_penalties)
+    def test_score_only_matches_scalar(self, pairs, pen):
+        aligner = WavefrontAligner(penalties=pen)
+        scalar = [aligner.align(p, t, score_only=True) for p, t in pairs]
+        vector = align_batch(pairs, pen, score_only=True)
+        for s, v in zip(scalar, vector):
+            assert s.score == v.score
+            assert s.counters == v.counters  # low-memory accounting too
+
+    @given(pair=similar_pair(max_len=40, max_edits=6), pen=all_penalties)
+    def test_batch_of_one(self, pair, pen):
+        aligner = WavefrontAligner(penalties=pen)
+        s = aligner.align(*pair)
+        (v,) = align_batch([pair], pen)
+        assert (s.score, str(s.cigar), s.counters) == (
+            v.score,
+            str(v.cigar),
+            v.counters,
+        )
+
+    def test_ragged_batch_with_empty_sequences(self):
+        pairs = [
+            ("", ""),
+            ("", "ACGT"),
+            ("ACGT", ""),
+            ("A", "ACGTACGTACGT"),
+            ("ACGTACGTACGTACGTACGT", "ACG"),
+            ("ACGT", "ACGT"),
+        ]
+        pen = EditPenalties()
+        aligner = WavefrontAligner(penalties=pen)
+        scalar = [aligner.align(p, t) for p, t in pairs]
+        vector = align_batch(pairs, pen, validate=True)
+        for s, v in zip(scalar, vector):
+            assert (s.score, str(s.cigar), s.counters) == (
+                v.score,
+                str(v.cigar),
+                v.counters,
+            )
+
+    def test_empty_batch(self):
+        assert align_batch([], EditPenalties()) == []
+
+
+class TestFailureParity:
+    def test_score_cap_message_and_index_match_scalar(self):
+        pairs = [("AAAA", "AAAA"), ("AAAA", "TTTT"), ("ACGT", "ACGA")]
+        aligner = WavefrontAligner(penalties=EditPenalties(), max_score=2)
+        scalar_msg = None
+        for p, t in pairs:
+            try:
+                aligner.align(p, t)
+            except AlignmentError as exc:
+                scalar_msg = str(exc)
+                break
+        with pytest.raises(AlignmentError) as excinfo:
+            align_batch(pairs, EditPenalties(), max_score=2)
+        assert str(excinfo.value) == scalar_msg
+
+    def test_pairs_after_a_failure_still_complete(self):
+        # The batch runs every pair to its own end; only the surfaced
+        # exception follows scalar loop order.
+        engine = BatchWfaEngine(
+            [("AAAA", "TTTT"), ("ACGT", "ACGT")],
+            EditPenalties(),
+            max_score=2,
+        )
+        failed, ok = engine.run()
+        assert failed.error is not None and failed.final_score is None
+        assert ok.error is None and ok.final_score == 0
+
+    def test_ends_free_span_rejected(self):
+        with pytest.raises(AlignmentError, match="global spans only"):
+            BatchWfaEngine(
+                [("ACGT", "ACGT")],
+                EditPenalties(),
+                span=AlignmentSpan(text_begin_free=4),
+            )
+
+
+def run_system(engine: str):
+    cfg = PimSystemConfig(
+        num_dpus=4, num_ranks=1, tasklets=2, num_simulated_dpus=4
+    )
+    kc = KernelConfig(
+        penalties=EditPenalties(), max_read_len=64, max_edits=4, engine=engine
+    )
+    system = PimSystem(cfg, kc)
+    pairs = ReadPairGenerator(length=48, error_rate=0.03, seed=21).pairs(32)
+    return system.align(pairs, collect_results=True)
+
+
+class TestKernelEngineKnob:
+    def test_pim_system_results_identical(self):
+        scalar = run_system("scalar")
+        vector = run_system("vector")
+        assert [(i, s, str(c)) for i, s, c in scalar.results] == [
+            (i, s, str(c)) for i, s, c in vector.results
+        ]
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(KernelError, match="engine must be"):
+            KernelConfig(penalties=EditPenalties(), engine="simd")
+
+
+class TestServeByteIdentity:
+    @pytest.mark.parametrize("workers", [0, 2])
+    def test_report_recovery_and_metrics_identical(self, workers):
+        def replay(engine: str):
+            service = build_service(
+                num_dpus=2,
+                tasklets=2,
+                workers=workers,
+                max_read_len=16,
+                max_edits=3,
+                config=ServiceConfig(
+                    max_batch_pairs=16,
+                    max_wait_s=1e-3,
+                    max_queue_pairs=4096,
+                    cache_pairs=8,
+                ),
+                fault_plan=FaultPlan(
+                    deaths=(DpuDeath(dpu_id=1, attempts=(0,)),)
+                ),
+                engine=engine,
+            )
+            report = run_load(
+                service,
+                LoadgenConfig(requests=40, rate=10000.0, length=10, seed=5),
+            )
+            return (
+                report.to_jsonl(),
+                json.dumps(report.recovery, sort_keys=True),
+                json.dumps(service.metrics_snapshot(), sort_keys=True),
+            )
+
+        scalar = replay("scalar")
+        vector = replay("vector")
+        assert scalar == vector
+        # the injected DPU death must actually have exercised recovery
+        assert json.loads(scalar[1])
+
+
+class TestBenchSmoke:
+    def test_bench_batch_engine_smoke(self, tmp_path):
+        bench_path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "bench_batch_engine.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "bench_batch_engine", bench_path
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        out = tmp_path / "bench.json"
+        rc = mod.main(
+            [
+                "--batch-sizes",
+                "1,4",
+                "--length",
+                "24",
+                "--error-rate",
+                "0.05",
+                "--repeats",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        record = json.loads(out.read_text())
+        assert record["benchmark"] == "batch_engine"
+        assert record["batch_sizes"] == [1, 4]
+        assert {r["mode"] for r in record["runs"]} == {"score_only", "full"}
+        assert len(record["runs"]) == 4
+        for row in record["runs"]:
+            assert row["identical"] is True
+            assert row["vector_pairs_per_second"] > 0
+            assert row["scalar_pairs_per_second"] > 0
+        assert record["headline_speedup"] > 0
