@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast qa coverage bench bench-parallel bench-vector examples fig1 outputs trace-demo serve-demo chaos clean
+.PHONY: install test test-fast qa coverage bench bench-parallel bench-vector bench-ledger perf-gate examples fig1 outputs trace-demo serve-demo chaos clean
 
 install:
 	pip install -e .
@@ -52,6 +52,23 @@ bench-parallel:
 # docs/vectorized-engine.md.
 bench-vector:
 	PYTHONPATH=src python benchmarks/bench_batch_engine.py
+
+# Perf ledger (see docs/perf-ledger.md): run every registered scenario
+# at the CI-safe quick profile on the modeled clock — each one identity-
+# checks the claim it benchmarks — and append schema-versioned records
+# to BENCH_ledger.json.
+bench-ledger:
+	PYTHONPATH=src python -m repro.cli bench run --profile quick \
+		--ledger BENCH_ledger.json
+
+# The CI regression gate: diff the latest ledger record per scenario
+# against the committed baseline; exits non-zero (naming the scenario
+# and metric) past a >10% modeled-throughput drop or modeled-latency
+# rise.  Runs next to `make qa`.
+perf-gate:
+	PYTHONPATH=src python -m repro.cli bench compare \
+		--ledger BENCH_ledger.json --baseline BENCH_baseline.json \
+		--max-drop 0.10 --max-rise 0.10
 
 examples:
 	for ex in examples/*.py; do \

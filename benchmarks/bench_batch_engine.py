@@ -26,16 +26,24 @@ Writes a machine-readable record to
 from __future__ import annotations
 
 import argparse
-import json
+import importlib.util
 import time
 from pathlib import Path
+
+
+def _conftest():
+    """The benchmarks-local conftest, by path (pytest shadows the name)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", Path(__file__).resolve().parent / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 from repro.core.aligner import WavefrontAligner
 from repro.core.penalties import AffinePenalties, EditPenalties
 from repro.core.wfa_batch import align_batch
 from repro.data.generator import ReadPairGenerator
-
-OUT_DIR = Path(__file__).parent / "out"
 
 
 def make_penalties(metric: str):
@@ -140,22 +148,23 @@ def main(argv=None) -> int:
         f"batch size {max(batch_sizes)} (score-only)"
     )
 
-    record = {
-        "benchmark": "batch_engine",
+    write_artifact = _conftest().write_artifact
+
+    config = {
         "metric": args.metric,
         "length": args.length,
         "error_rate": args.error_rate,
         "seed": args.seed,
         "repeats": args.repeats,
         "batch_sizes": batch_sizes,
-        "headline_speedup": headline,
-        "runs": rows,
     }
-    out_path = (
-        Path(args.out) if args.out else OUT_DIR / "BENCH_batch_engine.json"
+    out_path = write_artifact(
+        "BENCH_batch_engine",
+        config,
+        {"headline_speedup": headline, "runs": rows},
+        seed=args.seed,
+        path=args.out,
     )
-    out_path.parent.mkdir(parents=True, exist_ok=True)
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out_path}")
     return 0
 

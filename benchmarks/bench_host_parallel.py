@@ -20,10 +20,20 @@ only adds overhead, and the report says so.
 from __future__ import annotations
 
 import argparse
-import json
+import importlib.util
 import os
 import time
 from pathlib import Path
+
+
+def _conftest():
+    """The benchmarks-local conftest, by path (pytest shadows the name)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", Path(__file__).resolve().parent / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 from repro.core.penalties import AffinePenalties
 from repro.data.generator import ReadPairGenerator
@@ -107,19 +117,23 @@ def main(argv=None) -> int:
             "cannot speed up and mostly measure pool overhead"
         )
 
-    OUT_DIR.mkdir(exist_ok=True)
-    record = {
-        "benchmark": "host_parallel",
-        "dpus": args.dpus,
-        "pairs_per_dpu": args.pairs_per_dpu,
-        "tasklets": args.tasklets,
-        "num_pairs": num_pairs,
-        "cpu_count": cpus,
-        "results_identical": True,
-        "runs": rows,
-    }
-    out_path = OUT_DIR / "host_parallel.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    out_path = _conftest().write_artifact(
+        "host_parallel",
+        {
+            "dpus": args.dpus,
+            "pairs_per_dpu": args.pairs_per_dpu,
+            "tasklets": args.tasklets,
+            "workers": worker_counts,
+            "seed": 1,
+        },
+        {
+            "num_pairs": num_pairs,
+            "cpu_count": cpus,
+            "results_identical": True,
+            "runs": rows,
+        },
+        seed=1,
+    )
     print(f"wrote {out_path}")
     return 0
 

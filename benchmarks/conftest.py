@@ -4,13 +4,23 @@ Every benchmark regenerates one row of DESIGN.md's experiment index.  The
 rendered tables/series are printed (visible with ``pytest -s``) and also
 written to ``benchmarks/out/<name>.txt`` so the regeneration artifacts
 survive the run regardless of output capture.
+
+Machine-readable benchmark artifacts go through :func:`write_artifact`,
+which stamps the shared ``repro.bench.artifact/v1`` envelope (schema id,
+seed, config fingerprint) so downstream tooling — and the perf ledger in
+``repro.obs.bench`` — can tell which configuration produced a file
+without parsing benchmark-specific fields.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
+
+#: envelope stamped onto every machine-readable benchmark artifact.
+ARTIFACT_SCHEMA = "repro.bench.artifact/v1"
 
 
 def emit(name: str, text: str) -> None:
@@ -18,3 +28,32 @@ def emit(name: str, text: str) -> None:
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====\n{text}\n")
+
+
+def write_artifact(name: str, config: dict, body: dict, seed=None, path=None) -> Path:
+    """Write a benchmark artifact JSON in the shared envelope.
+
+    ``config`` is the benchmark's outcome-determining knobs (fingerprinted
+    with the same canonical-JSON sha256 the perf ledger uses); ``body``
+    is the benchmark-specific payload; ``seed`` is surfaced top-level so
+    a reader never has to guess which config key held it.  Defaults to
+    ``benchmarks/out/<name>.json``; pass ``path`` to override.
+    """
+    from repro.obs.bench import config_fingerprint
+
+    doc = {
+        "schema": ARTIFACT_SCHEMA,
+        "benchmark": name,
+        "seed": seed,
+        "config": config,
+        "config_fingerprint": config_fingerprint(config),
+        **body,
+    }
+    if path is None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.json"
+    else:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

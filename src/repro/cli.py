@@ -10,6 +10,8 @@ Installed as the ``repro`` console script::
     repro sweep    tasklets
     repro serve    -i requests.jsonl -o responses.jsonl --cache 256
     repro loadgen  --requests 200 --process bursty --report load.jsonl
+    repro bench    run --profile quick
+    repro bench    compare --baseline BENCH_baseline.json
 
 Each subcommand is a thin wrapper over the library API; anything the CLI
 can do, `import repro` can do better.
@@ -79,10 +81,12 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--max-read-len", type=int, default=100)
     parser.add_argument("--max-edits", type=int, default=4)
     parser.add_argument("--engine", choices=("scalar", "vector"),
-                        default="scalar",
-                        help="host alignment engine: 'vector' batches each "
-                             "DPU's pairs through the NumPy engine for "
-                             "simulation speed; responses are identical")
+                        default="vector",
+                        help="host alignment engine (default: 'vector', "
+                             "which batches each DPU's pairs through the "
+                             "NumPy engine for simulation speed; 'scalar' "
+                             "is the per-pair escape hatch; responses are "
+                             "identical)")
     parser.add_argument("--max-batch-pairs", type=int, default=64,
                         help="flush the micro-batcher at this many pairs")
     parser.add_argument("--max-wait", type=float, default=1e-3, metavar="S",
@@ -215,11 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
     pim.add_argument("--max-edits", type=int, default=None,
                      help="kernel edit budget (default: inferred from data)")
     pim.add_argument("--engine", choices=("scalar", "vector"),
-                     default="scalar",
-                     help="host alignment engine: 'vector' batches each "
-                          "DPU's pairs through the NumPy engine for "
-                          "simulation speed; results, counters and traces "
-                          "are identical")
+                     default="vector",
+                     help="host alignment engine (default: 'vector', which "
+                          "batches each DPU's pairs through the NumPy "
+                          "engine for simulation speed; 'scalar' is the "
+                          "per-pair escape hatch; results, counters and "
+                          "traces are identical)")
     pim.add_argument("--workers", type=int, default=1,
                      help="host processes simulating DPUs in parallel "
                           "(1 = sequential, 0 = one per CPU core; "
@@ -333,8 +338,57 @@ def build_parser() -> argparse.ArgumentParser:
     lg.add_argument("--seed", type=int, default=0)
     lg.add_argument("--report", metavar="PATH", default=None,
                     help="write the JSONL latency report here (validated)")
+    lg.add_argument("--slo-target", type=float, default=None, metavar="S",
+                    help="enable the SLO monitor: per-request latency "
+                         "target in modeled seconds; the report gains an "
+                         "'slo' section with burn-rate alerts")
+    lg.add_argument("--slo-percentile", type=float, default=99.0,
+                    help="latency percentile the SLO is stated at")
+    lg.add_argument("--slo-budget", type=float, default=0.01,
+                    help="error budget: tolerated bad-request fraction")
+    lg.add_argument("--events-out", metavar="PATH", default=None,
+                    help="write the structured event log (breaker / "
+                         "watchdog / fallback / shed / deadline / "
+                         "slo_alert) as JSONL")
+    lg.add_argument("--trace-out", metavar="PATH", default=None,
+                    help="write a Chrome trace_event JSON of the replay "
+                         "with events as instant annotations")
     _add_serve_args(lg)
     _add_penalty_args(lg)
+
+    # bench ---------------------------------------------------------------
+    bench = sub.add_parser(
+        "bench",
+        help="perf ledger: run registered scenarios / gate regressions",
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    brun = bench_sub.add_parser(
+        "run", help="run bench scenarios and append records to the ledger"
+    )
+    brun.add_argument("--profile", choices=("quick", "full"), default="quick",
+                      help="workload size: 'quick' is CI-safe seconds, "
+                           "'full' is the overnight shape")
+    brun.add_argument("--scenario", action="append", default=None,
+                      metavar="NAME",
+                      help="run only this scenario (repeatable; default: "
+                           "the full catalog)")
+    brun.add_argument("--ledger", default="BENCH_ledger.json", metavar="PATH",
+                      help="ledger file to append to")
+    brun.add_argument("--no-append", action="store_true",
+                      help="run and print, but do not touch the ledger")
+    bcmp = bench_sub.add_parser(
+        "compare",
+        help="gate the latest ledger records against a baseline "
+             "(non-zero exit on regression)",
+    )
+    bcmp.add_argument("--ledger", default="BENCH_ledger.json", metavar="PATH")
+    bcmp.add_argument("--baseline", default="BENCH_baseline.json",
+                      metavar="PATH")
+    bcmp.add_argument("--max-drop", type=float, default=0.10,
+                      help="tolerated modeled-throughput drop (fraction)")
+    bcmp.add_argument("--max-rise", type=float, default=0.10,
+                      help="tolerated modeled seconds / latency growth "
+                           "(fraction)")
 
     # sweep -----------------------------------------------------------------
     sweep = sub.add_parser("sweep", help="run an ablation/extension sweep")
@@ -526,6 +580,7 @@ def _pim_align_scheduled(args: argparse.Namespace, system, pairs, telemetry) -> 
         health = FleetHealth(
             args.dpus,
             registry=telemetry.registry if telemetry is not None else None,
+            events=telemetry.events if telemetry is not None else None,
         )
     scheduler = BatchScheduler(system)
     with warnings.catch_warnings(record=True) as caught:
@@ -780,7 +835,16 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         error_rate=args.error_rate,
         seed=args.seed,
     )
-    report = run_load(service, config)
+    slo = None
+    if args.slo_target is not None:
+        from repro.obs.slo import SloPolicy
+
+        slo = SloPolicy(
+            latency_target_s=args.slo_target,
+            latency_percentile=args.slo_percentile,
+            error_budget=args.slo_budget,
+        )
+    report = run_load(service, config, slo=slo)
     summary = report.summary()
     rows = [
         ("requests", f"{summary['requests']:,}"),
@@ -801,12 +865,100 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"recovery: {report.recovery['faults_seen']} fault(s), "
               f"{len(report.recovery['rerun_pairs'])} pair(s) re-run, "
               f"{len(report.recovery['abandoned_pairs'])} abandoned")
+    if summary.get("slo") is not None:
+        slo_doc = summary["slo"]
+        print(
+            f"slo: p{slo_doc['policy']['latency_percentile']:g} target "
+            f"{human_time(slo_doc['policy']['latency_target_s'])} -> "
+            f"{'met' if slo_doc['met'] else 'MISSED'} "
+            f"(achieved {human_time(slo_doc['achieved_latency_s'])}, "
+            f"budget consumed {slo_doc['budget_consumed']:.2f}x, "
+            f"alerts fired/resolved "
+            f"{slo_doc['alerts_fired']}/{slo_doc['alerts_resolved']})"
+        )
     if args.report:
         report.write(args.report)
         validate_load_report(args.report)
         print(f"wrote schema-valid report to {args.report}")
     if args.metrics_out:
         _write_serve_metrics(args.metrics_out, service)
+    if args.events_out:
+        from repro.obs.export import write_events_jsonl
+
+        write_events_jsonl(args.events_out, service.telemetry)
+        print(f"wrote event log to {args.events_out} "
+              f"({len(service.telemetry.events.events())} event(s))")
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        doc = write_chrome_trace(args.trace_out, service.telemetry)
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"({len(doc['traceEvents'])} events)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        append_records,
+        compare,
+        load_ledger,
+        run_scenarios,
+    )
+
+    if args.bench_command == "run":
+        records = run_scenarios(
+            names=args.scenario,
+            profile=args.profile,
+            progress=lambda name: print(f"running {name} ...", flush=True),
+        )
+        rows = [
+            (
+                r["scenario"],
+                f"{r['pairs_per_second']:,.0f}",
+                human_time(r["total_seconds"]),
+                human_time(r["kernel_seconds"]),
+                human_time(r["latency_p99_s"]),
+            )
+            for r in records
+        ]
+        print(format_table(
+            ["scenario", "pairs/s", "total", "kernel", "p99"],
+            rows,
+            title=f"bench ({args.profile} profile)",
+        ))
+        if args.no_append:
+            print(f"{len(records)} record(s) not appended (--no-append)")
+            return 0
+        total = append_records(args.ledger, records)
+        print(f"appended {len(records)} record(s) to {args.ledger} "
+              f"({total} total)")
+        return 0
+
+    # compare: the CI regression gate
+    ledger = load_ledger(args.ledger)
+    baseline = load_ledger(args.baseline)
+    if not baseline:
+        print(f"error: no baseline records at {args.baseline}",
+              file=sys.stderr)
+        return 1
+    if not ledger:
+        print(f"error: no ledger records at {args.ledger} — "
+              f"run `repro bench run` first", file=sys.stderr)
+        return 1
+    failures = compare(
+        ledger,
+        baseline,
+        max_throughput_drop=args.max_drop,
+        max_latency_rise=args.max_rise,
+    )
+    scenarios = sorted({r["scenario"] for r in baseline})
+    print(f"gate: {len(scenarios)} scenario(s) vs {args.baseline} "
+          f"(max drop {args.max_drop:.0%}, max rise {args.max_rise:.0%})")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+        return 1
+    print("no regressions")
     return 0
 
 
@@ -837,6 +989,7 @@ _COMMANDS = {
     "qa": _cmd_qa,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "bench": _cmd_bench,
     "sweep": _cmd_sweep,
 }
 

@@ -170,3 +170,23 @@ class TelemetryError(ReproError):
     trace documents, and reconciliation failures between the profiler's
     span totals and the timing model's reported seconds.
     """
+
+
+class CardinalityError(TelemetryError):
+    """A metric family exceeded its label-cardinality cap.
+
+    Unbounded label growth (e.g. a per-request label) turns a metrics
+    registry into a memory leak and makes its rendered output useless;
+    the registry refuses to create the series instead.  See
+    :class:`repro.obs.metrics.MetricsRegistry` (``max_series_per_family``).
+    """
+
+
+class LedgerError(TelemetryError):
+    """A malformed, unreadable, or non-comparable perf-ledger record.
+
+    Raised by :mod:`repro.obs.bench` when a ``BENCH_ledger.json`` /
+    baseline record fails schema validation, when a requested scenario
+    does not exist, or when a regression comparison is asked to compare
+    records with different config fingerprints.
+    """

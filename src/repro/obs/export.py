@@ -32,6 +32,7 @@ __all__ = [
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_events_jsonl",
     "write_manifest_jsonl",
     "write_metrics_json",
     "write_prometheus",
@@ -148,6 +149,25 @@ def to_chrome_trace(telemetry: "RunTelemetry") -> dict:
             )
             cursors[key] = start + dur
 
+    # Structured events become instant-event annotations on the host
+    # lane: the trace then shows *why* a lane changed shape (a breaker
+    # opened, the watchdog tripped, a journaled round was spliced in)
+    # right where it happened on the model timeline.
+    annotations: list[dict] = []
+    for ev in telemetry.events.events():
+        annotations.append(
+            {
+                "name": ev.kind,
+                "cat": "annotation",
+                "ph": "i",
+                "s": "g",  # global scope: draw the line across all lanes
+                "ts": _us(ev.t_s),
+                "pid": HOST_PID,
+                "tid": 0,
+                "args": dict({k: v for k, v in ev.attrs}, seq=ev.seq),
+            }
+        )
+
     meta: list[dict] = []
     for pid in sorted(seen_pids):
         meta.append(
@@ -170,13 +190,15 @@ def to_chrome_trace(telemetry: "RunTelemetry") -> dict:
             }
         )
     events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], e["name"]))
+    # annotations keep publish order (ts ties broken by seq already).
     return {
-        "traceEvents": meta + events,
+        "traceEvents": meta + events + annotations,
         "displayTimeUnit": "ms",
         "otherData": {
             "generator": "repro.obs",
             "runs": len(telemetry.segments),
             "model_seconds_total": telemetry.model_seconds_total,
+            "annotations": len(annotations),
         },
     }
 
@@ -256,6 +278,17 @@ def write_manifest_jsonl(path: str, telemetry: "RunTelemetry") -> None:
     with open(path, "w") as fh:
         for row in rows:
             fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def write_events_jsonl(path: str, telemetry: "RunTelemetry") -> None:
+    """The telemetry's structured event log as validated JSONL."""
+    from repro.obs.events import validate_event_log
+
+    records = telemetry.events.to_records()
+    validate_event_log(records)
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
 
 
 def write_metrics_json(path: str, telemetry: "RunTelemetry") -> None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
-from repro.errors import TelemetryError
+from repro.errors import CardinalityError, TelemetryError
 
 __all__ = [
     "Counter",
@@ -34,12 +34,20 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_MAX_SERIES_PER_FAMILY",
 ]
 
 #: log-spaced bucket bounds suited to modeled section times (seconds).
 DEFAULT_SECONDS_BUCKETS = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0
 )
+
+#: default label-cardinality cap per family: generous enough for the
+#: fleet-scale labels we legitimately use (per-DPU, per-section, per
+#: breaker state — a 2560-DPU fleet stays well under it only via the
+#: histogram/summary path, so per-DPU *label* use still fits), but a
+#: hard stop against per-request label mistakes.
+DEFAULT_MAX_SERIES_PER_FAMILY = 4096
 
 _NAME_OK = set("abcdefghijklmnopqrstuvwxyz_:0123456789")
 
@@ -133,12 +141,22 @@ class MetricFamily:
     help: str = ""
     buckets: Optional[tuple[float, ...]] = None  # histograms only
     series: dict = field(default_factory=dict)  # label key -> metric object
+    #: label-cardinality cap; creating a series past it raises
+    #: :class:`~repro.errors.CardinalityError` instead of growing forever.
+    max_series: int = DEFAULT_MAX_SERIES_PER_FAMILY
 
     def labels(self, **labels: object):
         """The series for ``labels`` (created on first use)."""
         key = _label_key(labels)
         metric = self.series.get(key)
         if metric is None:
+            if len(self.series) >= self.max_series:
+                raise CardinalityError(
+                    f"metric {self.name!r} would exceed its label-cardinality "
+                    f"cap of {self.max_series} series; a label is probably "
+                    f"carrying unbounded values (offending label set: "
+                    f"{dict(key)!r})"
+                )
             if self.kind == "counter":
                 metric = Counter()
             elif self.kind == "gauge":
@@ -169,10 +187,25 @@ class MetricFamily:
 
 
 class MetricsRegistry:
-    """Ordered collection of metric families with deterministic output."""
+    """Ordered collection of metric families with deterministic output.
 
-    def __init__(self) -> None:
+    ``max_series_per_family`` is the label-cardinality guard: every
+    family registered through this registry refuses (with a typed
+    :class:`~repro.errors.CardinalityError`) to create more distinct
+    label sets than the cap, so a per-request label mistake fails fast
+    instead of silently turning the registry into a memory leak.
+    """
+
+    def __init__(
+        self, max_series_per_family: int = DEFAULT_MAX_SERIES_PER_FAMILY
+    ) -> None:
+        if max_series_per_family < 1:
+            raise TelemetryError(
+                f"max_series_per_family must be >= 1, "
+                f"got {max_series_per_family}"
+            )
         self._families: dict[str, MetricFamily] = {}
+        self.max_series_per_family = max_series_per_family
 
     # -- registration --------------------------------------------------------
 
@@ -197,6 +230,7 @@ class MetricsRegistry:
             kind=kind,
             help=help,
             buckets=tuple(buckets) if buckets is not None else None,
+            max_series=self.max_series_per_family,
         )
         self._families[name] = fam
         return fam
@@ -283,6 +317,66 @@ class MetricsRegistry:
                     metric.value += s["value"]
                 else:  # gauge
                     metric.value = max(metric.value, s["value"])
+
+    def diff(self, before: Mapping) -> dict:
+        """What changed since a :meth:`snapshot` — snapshot-shaped delta.
+
+        Counters and histogram cells subtract the earlier values (a
+        series absent from ``before`` counts from zero); gauges report
+        their *current* value, because a level has no meaningful delta.
+        Series and families untouched since ``before`` are omitted, so
+        the result is exactly the attribution a bench scenario wants:
+        "these counters, moved by this much, during this scenario".
+        """
+        if before.get("schema") != "repro.obs.metrics/v1":
+            raise TelemetryError(
+                f"unknown metrics snapshot schema: {before.get('schema')!r}"
+            )
+        prior: dict = {}
+        for entry in before["families"]:
+            fam_map = prior.setdefault(entry["name"], {})
+            for s in entry["series"]:
+                fam_map[_label_key(s["labels"])] = s
+        doc: dict = {"schema": "repro.obs.metrics/v1", "families": []}
+        for fam in self.families():
+            fam_prior = prior.get(fam.name, {})
+            entry: dict = {
+                "name": fam.name,
+                "kind": fam.kind,
+                "help": fam.help,
+                "series": [],
+            }
+            if fam.kind == "histogram":
+                entry["buckets"] = list(fam.buckets or DEFAULT_SECONDS_BUCKETS)
+            for key in sorted(fam.series):
+                metric = fam.series[key]
+                old = fam_prior.get(key)
+                s: dict = {"labels": {k: v for k, v in key}}
+                if isinstance(metric, Histogram):
+                    old_counts = old["counts"] if old else [0] * len(metric.counts)
+                    if len(old_counts) != len(metric.counts):
+                        raise TelemetryError(
+                            f"histogram {fam.name!r}: bucket count mismatch "
+                            f"({len(old_counts)} vs {len(metric.counts)})"
+                        )
+                    counts = [c - o for c, o in zip(metric.counts, old_counts)]
+                    s["counts"] = counts
+                    s["sum"] = metric.sum - (old["sum"] if old else 0.0)
+                    s["count"] = metric.count - (old["count"] if old else 0)
+                    if s["count"] == 0 and not any(counts) and s["sum"] == 0.0:
+                        continue
+                elif fam.kind == "counter":
+                    s["value"] = metric.value - (old["value"] if old else 0.0)
+                    if s["value"] == 0.0:
+                        continue
+                else:  # gauge: a level, not a rate — report where it sits now
+                    s["value"] = metric.value
+                    if old is not None and old["value"] == metric.value:
+                        continue
+                entry["series"].append(s)
+            if entry["series"]:
+                doc["families"].append(entry)
+        return doc
 
     # -- rendering -----------------------------------------------------------
 

@@ -1,0 +1,481 @@
+"""The perf ledger's registered bench scenarios.
+
+Every scenario runs a pinned-seed workload on the **modeled clock** and
+reports gated metrics (pairs/sec, modeled total/kernel seconds, latency
+percentiles) that are pure functions of its configuration — identical on
+any machine, at any worker count, under any CPU load.  Wall-clock
+observations (vector-engine speedup, pool scaling) ride in the
+non-gated ``info`` dict: they are the *reason* some knobs exist, but a
+noisy CI box must never fail the gate over them.
+
+Each scenario also identity-checks the property it is named for
+(vector == scalar results, parallel == sequential results, breaker run
+== retry-only run) — a ledger record is only appended if the claim the
+scenario benchmarks still holds.
+
+Percentile semantics per scenario family:
+
+* device scenarios — percentiles over **per-DPU modeled kernel
+  seconds** (the straggler distribution the paper's Kernel series
+  hides);
+* scheduler scenarios — percentiles over **per-round modeled total
+  seconds**;
+* serve scenarios — percentiles over **per-request modeled latency**
+  (straight from the load report).
+
+Quick profiles are CI-safe on one CPU (the whole catalog runs in a few
+seconds); full profiles are the overnight shapes.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import List, Optional
+
+from repro.core.penalties import AffinePenalties
+from repro.data.generator import ReadPairGenerator
+from repro.errors import DegradedCapacity, LedgerError
+from repro.obs.bench import ScenarioResult, counters_from_diff, scenario
+from repro.obs.telemetry import RunTelemetry
+from repro.pim.config import PimSystemConfig
+from repro.pim.faults import DpuDeath, FaultPlan, RetryPolicy
+from repro.pim.health import FleetHealth, HealthPolicy
+from repro.pim.kernel import KernelConfig
+from repro.pim.scheduler import BatchScheduler
+from repro.pim.system import PimSystem
+from repro.serve.loadgen import LoadgenConfig, percentile, run_load
+
+__all__ = ["SCENARIO_NAMES"]
+
+#: the catalog, in registration order (kept in sync by the decorator).
+SCENARIO_NAMES = (
+    "engine_vector_vs_scalar",
+    "host_parallel",
+    "scheduler_rounds",
+    "serve_replay",
+    "resilience_breaker",
+)
+
+
+def _system(
+    num_dpus: int,
+    tasklets: int,
+    length: int,
+    max_edits: int,
+    engine: str = "vector",
+    telemetry: Optional[RunTelemetry] = None,
+) -> PimSystem:
+    return PimSystem(
+        PimSystemConfig(
+            num_dpus=num_dpus,
+            num_ranks=1,
+            tasklets=tasklets,
+            num_simulated_dpus=num_dpus,
+        ),
+        KernelConfig(
+            penalties=AffinePenalties(),
+            max_read_len=length,
+            max_edits=max_edits,
+            engine=engine,
+        ),
+        telemetry=telemetry,
+    )
+
+
+def _signature(results) -> list:
+    """Order-independent functional signature of run results."""
+    return sorted((i, s, str(c)) for i, s, c in results)
+
+
+def _pctl(values: List[float]) -> tuple:
+    """(p50, p90, p99) of a modeled-seconds sample (zeros when empty)."""
+    if not values:
+        return (0.0, 0.0, 0.0)
+    s = sorted(values)
+    return (percentile(s, 50), percentile(s, 90), percentile(s, 99))
+
+
+# -- 1. vector vs scalar engine -------------------------------------------
+
+
+@scenario("engine_vector_vs_scalar")
+def engine_vector_vs_scalar(profile: str) -> ScenarioResult:
+    """The engine knob: identical modeled run, different wall clock.
+
+    Runs the same workload through the scalar per-pair engine and the
+    vectorized batch engine, asserts bit-identical results and modeled
+    times (the gated claim), and reports the wall-clock speedup as info.
+    """
+    config = {
+        "scenario": "engine_vector_vs_scalar",
+        "profile": profile,
+        "num_dpus": 8,
+        "tasklets": 4,
+        "length": 64,
+        "error_rate": 0.02,
+        "max_edits": 3,
+        "seed": 7,
+        "pairs": 128 if profile == "quick" else 2048,
+    }
+    pairs = ReadPairGenerator(
+        length=config["length"],
+        error_rate=config["error_rate"],
+        seed=config["seed"],
+    ).pairs(config["pairs"])
+
+    runs = {}
+    walls = {}
+    for engine in ("scalar", "vector"):
+        system = _system(
+            config["num_dpus"],
+            config["tasklets"],
+            config["length"],
+            config["max_edits"],
+            engine=engine,
+        )
+        t0 = time.perf_counter()
+        runs[engine] = system.align(pairs, collect_results=True)
+        walls[engine] = time.perf_counter() - t0
+
+    scalar, vector = runs["scalar"], runs["vector"]
+    if _signature(scalar.results) != _signature(vector.results):
+        raise LedgerError(
+            "engine_vector_vs_scalar: vector engine results diverged from scalar"
+        )
+    if (scalar.total_seconds, scalar.kernel_seconds) != (
+        vector.total_seconds,
+        vector.kernel_seconds,
+    ):
+        raise LedgerError(
+            "engine_vector_vs_scalar: modeled times differ between engines"
+        )
+
+    p50, p90, p99 = _pctl([s.seconds for s in vector.per_dpu])
+    return ScenarioResult(
+        scenario="engine_vector_vs_scalar",
+        config=config,
+        pairs_per_second=vector.throughput(),
+        total_seconds=vector.total_seconds,
+        kernel_seconds=vector.kernel_seconds,
+        latency_p50_s=p50,
+        latency_p90_s=p90,
+        latency_p99_s=p99,
+        info={
+            "results_identical": True,
+            "wall_scalar_s": walls["scalar"],
+            "wall_vector_s": walls["vector"],
+            "wall_speedup": (
+                walls["scalar"] / walls["vector"] if walls["vector"] else 0.0
+            ),
+        },
+    )
+
+
+# -- 2. host-parallel scaling ---------------------------------------------
+
+
+@scenario("host_parallel")
+def host_parallel(profile: str) -> ScenarioResult:
+    """Worker-pool scaling: identical results and modeled times at any
+    worker count; wall-clock scaling reported as info."""
+    config = {
+        "scenario": "host_parallel",
+        "profile": profile,
+        "num_dpus": 8,
+        "tasklets": 4,
+        "length": 64,
+        "error_rate": 0.02,
+        "max_edits": 3,
+        "seed": 11,
+        "pairs": 96 if profile == "quick" else 1024,
+        "worker_counts": [0, 2],
+    }
+    pairs = ReadPairGenerator(
+        length=config["length"],
+        error_rate=config["error_rate"],
+        seed=config["seed"],
+    ).pairs(config["pairs"])
+
+    baseline = None
+    walls = {}
+    for workers in config["worker_counts"]:
+        system = _system(
+            config["num_dpus"],
+            config["tasklets"],
+            config["length"],
+            config["max_edits"],
+        )
+        t0 = time.perf_counter()
+        run = system.align(pairs, collect_results=True, workers=workers)
+        walls[str(workers)] = time.perf_counter() - t0
+        if baseline is None:
+            baseline = run
+        else:
+            if _signature(run.results) != _signature(baseline.results):
+                raise LedgerError(
+                    f"host_parallel: workers={workers} diverged from sequential"
+                )
+            if (run.total_seconds, run.kernel_seconds) != (
+                baseline.total_seconds,
+                baseline.kernel_seconds,
+            ):
+                raise LedgerError(
+                    f"host_parallel: workers={workers} changed modeled times"
+                )
+
+    p50, p90, p99 = _pctl([s.seconds for s in baseline.per_dpu])
+    return ScenarioResult(
+        scenario="host_parallel",
+        config=config,
+        pairs_per_second=baseline.throughput(),
+        total_seconds=baseline.total_seconds,
+        kernel_seconds=baseline.kernel_seconds,
+        latency_p50_s=p50,
+        latency_p90_s=p90,
+        latency_p99_s=p99,
+        info={
+            "results_identical": True,
+            "wall_seconds_by_workers": walls,
+        },
+    )
+
+
+# -- 3. multi-round scheduler ---------------------------------------------
+
+
+@scenario("scheduler_rounds")
+def scheduler_rounds(profile: str) -> ScenarioResult:
+    """MRAM-sized rounds through the batch scheduler, serialized vs
+    overlapped, with per-scenario counter attribution via the registry
+    diff."""
+    config = {
+        "scenario": "scheduler_rounds",
+        "profile": profile,
+        "num_dpus": 8,
+        "tasklets": 4,
+        "length": 64,
+        "error_rate": 0.02,
+        "max_edits": 3,
+        "seed": 13,
+        "pairs": 192 if profile == "quick" else 2048,
+        "pairs_per_round": 64 if profile == "quick" else 512,
+    }
+    pairs = ReadPairGenerator(
+        length=config["length"],
+        error_rate=config["error_rate"],
+        seed=config["seed"],
+    ).pairs(config["pairs"])
+
+    telemetry = RunTelemetry()
+    system = _system(
+        config["num_dpus"],
+        config["tasklets"],
+        config["length"],
+        config["max_edits"],
+        telemetry=telemetry,
+    )
+    before = telemetry.registry.snapshot()
+    run = BatchScheduler(system).run(
+        pairs, pairs_per_round=config["pairs_per_round"], collect_results=True
+    )
+    counters = counters_from_diff(telemetry.registry.diff(before))
+
+    overlapped = BatchScheduler(
+        _system(
+            config["num_dpus"],
+            config["tasklets"],
+            config["length"],
+            config["max_edits"],
+        ),
+        overlapped=True,
+    ).run(pairs, pairs_per_round=config["pairs_per_round"], collect_results=True)
+
+    p50, p90, p99 = _pctl([r.total_seconds for r in run.per_round])
+    return ScenarioResult(
+        scenario="scheduler_rounds",
+        config=config,
+        pairs_per_second=run.throughput(),
+        total_seconds=run.total_seconds,
+        kernel_seconds=run.kernel_seconds,
+        latency_p50_s=p50,
+        latency_p90_s=p90,
+        latency_p99_s=p99,
+        info={
+            "rounds": run.schedule.rounds,
+            "overlapped_total_seconds": overlapped.total_seconds,
+            "overlap_speedup": (
+                run.total_seconds / overlapped.total_seconds
+                if overlapped.total_seconds
+                else 0.0
+            ),
+        },
+        counters=counters,
+    )
+
+
+# -- 4. serve-layer load replay -------------------------------------------
+
+
+@scenario("serve_replay")
+def serve_replay(profile: str) -> ScenarioResult:
+    """A seeded load replay through the full serving stack (admission,
+    micro-batching, cache, modeled device timeline)."""
+    from repro.serve.clock import VirtualClock
+    from repro.serve.service import build_service
+
+    config = {
+        "scenario": "serve_replay",
+        "profile": profile,
+        "num_dpus": 4,
+        "tasklets": 4,
+        "length": 16,
+        "error_rate": 0.05,
+        "max_edits": 4,
+        "seed": 5,
+        "requests": 160 if profile == "quick" else 1200,
+        "rate": 2000.0,
+        "pairs_per_request": 2,
+        "clients": 4,
+    }
+    service = build_service(
+        num_dpus=config["num_dpus"],
+        tasklets=config["tasklets"],
+        max_read_len=config["length"],
+        max_edits=config["max_edits"],
+        clock=VirtualClock(),
+    )
+    before = service.telemetry.registry.snapshot()
+    report = run_load(
+        service,
+        LoadgenConfig(
+            requests=config["requests"],
+            rate=config["rate"],
+            pairs_per_request=config["pairs_per_request"],
+            clients=config["clients"],
+            length=config["length"],
+            error_rate=config["error_rate"],
+            seed=config["seed"],
+        ),
+    )
+    counters = counters_from_diff(
+        service.telemetry.registry.diff(before)
+    )
+    kernel_seconds = service.telemetry.registry.counter(
+        "pim_model_seconds_total"
+    ).value(section="kernel")
+    summary = report.summary()
+    return ScenarioResult(
+        scenario="serve_replay",
+        config=config,
+        pairs_per_second=summary["throughput_pairs_per_s"],
+        total_seconds=summary["makespan_s"],
+        kernel_seconds=kernel_seconds,
+        latency_p50_s=summary["latency_p50_s"],
+        latency_p90_s=summary["latency_p90_s"],
+        latency_p99_s=summary["latency_p99_s"],
+        info={
+            "completed": summary["completed"],
+            "rejected": summary["rejected"],
+            "batches": summary["batches"],
+            "cached_pairs": summary["cached_pairs"],
+        },
+        counters=counters,
+    )
+
+
+# -- 5. breaker vs retry-only under a dead DPU ----------------------------
+
+
+@scenario("resilience_breaker")
+def resilience_breaker(profile: str) -> ScenarioResult:
+    """Fleet-health delta: quarantining a dead DPU must beat burning
+    retries on it every round, at identical results."""
+    config = {
+        "scenario": "resilience_breaker",
+        "profile": profile,
+        "num_dpus": 8,
+        "tasklets": 4,
+        "dead_dpu": 3,
+        "length": 64,
+        "error_rate": 0.02,
+        "max_edits": 3,
+        "seed": 11,
+        "pairs": 192 if profile == "quick" else 960,
+        "pairs_per_round": 96,
+        "max_attempts": 2,
+        "backoff_base_s": 2e-3,
+    }
+    pairs = ReadPairGenerator(
+        length=config["length"],
+        error_rate=config["error_rate"],
+        seed=config["seed"],
+    ).pairs(config["pairs"])
+    policy = RetryPolicy(
+        max_attempts=config["max_attempts"],
+        backoff_base_s=config["backoff_base_s"],
+    )
+
+    def flat(run):
+        out, start = [], 0
+        for rnd, size in zip(run.per_round, run.schedule.round_sizes()):
+            out.extend((i + start, s, str(c)) for i, s, c in rnd.results)
+            start += size
+        return sorted(out)
+
+    def run_once(health):
+        system = _system(
+            config["num_dpus"],
+            config["tasklets"],
+            config["length"],
+            config["max_edits"],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedCapacity)
+            return BatchScheduler(system).run(
+                pairs,
+                pairs_per_round=config["pairs_per_round"],
+                collect_results=True,
+                fault_plan=FaultPlan(
+                    deaths=(DpuDeath(dpu_id=config["dead_dpu"]),)
+                ),
+                retry_policy=policy,
+                health=health,
+            )
+
+    retry_only = run_once(health=None)
+    with_breaker = run_once(
+        health=FleetHealth(
+            config["num_dpus"],
+            policy=HealthPolicy(window=4, failure_threshold=2, cooldown_s=1e9),
+        )
+    )
+    if flat(retry_only) != flat(with_breaker):
+        raise LedgerError(
+            "resilience_breaker: breaker run results diverged from retry-only"
+        )
+    if with_breaker.total_seconds >= retry_only.total_seconds:
+        raise LedgerError(
+            "resilience_breaker: quarantine did not beat retry-only "
+            f"({with_breaker.total_seconds:.6g} >= "
+            f"{retry_only.total_seconds:.6g} modeled seconds)"
+        )
+
+    p50, p90, p99 = _pctl([r.total_seconds for r in with_breaker.per_round])
+    return ScenarioResult(
+        scenario="resilience_breaker",
+        config=config,
+        pairs_per_second=with_breaker.throughput(),
+        total_seconds=with_breaker.total_seconds,
+        kernel_seconds=with_breaker.kernel_seconds,
+        latency_p50_s=p50,
+        latency_p90_s=p90,
+        latency_p99_s=p99,
+        info={
+            "results_identical": True,
+            "retry_only_total_seconds": retry_only.total_seconds,
+            "breaker_saved_seconds": (
+                retry_only.total_seconds - with_breaker.total_seconds
+            ),
+        },
+    )

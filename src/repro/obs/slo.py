@@ -1,0 +1,301 @@
+"""Declarative SLOs with multi-window burn-rate alerts, on modeled time.
+
+An :class:`SloPolicy` states the service promise — "``latency_percentile``
+of requests finish within ``latency_target_s``, and no more than
+``error_budget`` of all requests may be *bad*" — where a request is bad
+when it was rejected, failed, or finished slower than the target.  The
+monitor evaluates the promise over a replayed request stream on the
+**virtual clock**: everything here is a pure function of the per-request
+records, so the ``slo`` section a load replay emits can be recomputed
+bit-for-bit by :func:`repro.serve.loadgen.validate_load_report` and is
+byte-identical across host worker counts.
+
+Burn rate is the classic SRE quantity: the fraction of requests that
+were bad inside a trailing window, divided by the error budget.  A burn
+rate of 1.0 means the service is consuming budget exactly as fast as the
+SLO allows; 10 means ten times too fast.  Each :class:`BurnWindow` pairs
+a long window (significance — enough samples to mean something) with a
+short window (recency — the problem is still happening *now*); an alert
+**fires** when both windows burn at or above the threshold and
+**resolves** when either drops back below it.  Fired/resolved alert
+pairs are the observable a chaos drill asserts on: capacity drops, the
+alert fires; the breaker quarantines the offender, latencies recover,
+the alert resolves.
+
+Windows here are *modeled* seconds — a deterministic load replay spans
+milliseconds of model time, so the defaults are sized for that scale
+and every knob is configurable (CLI: ``repro loadgen --slo-target ...``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, ServeError
+
+__all__ = [
+    "BurnWindow",
+    "SloPolicy",
+    "SloAlert",
+    "evaluate_slo",
+    "recompute_slo",
+    "SLO_SCHEMA",
+]
+
+#: schema tag stamped into every emitted ``slo`` section.
+SLO_SCHEMA = "repro.obs.slo/v1"
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One long/short window pair with its firing threshold."""
+
+    #: trailing long window (modeled seconds) — significance
+    long_s: float
+    #: trailing short window (modeled seconds) — recency
+    short_s: float
+    #: burn-rate multiple at/above which the alert fires
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.long_s <= 0 or self.short_s <= 0:
+            raise ConfigError("burn windows must be > 0 modeled seconds")
+        if self.short_s > self.long_s:
+            raise ConfigError(
+                f"short window {self.short_s} must not exceed long window "
+                f"{self.long_s}"
+            )
+        if self.threshold <= 0:
+            raise ConfigError(f"threshold must be > 0, got {self.threshold}")
+
+    def to_dict(self) -> dict:
+        return {
+            "long_s": self.long_s,
+            "short_s": self.short_s,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """A latency-percentile / error-budget service-level objective."""
+
+    #: a completed request is *good* iff ``latency_s <= latency_target_s``
+    latency_target_s: float = 1e-3
+    #: the percentile the target speaks about (reported, and checked
+    #: against the stream's overall outcome)
+    latency_percentile: float = 99.0
+    #: tolerated bad fraction of all requests (the error budget)
+    error_budget: float = 0.01
+    #: burn-rate alert windows (evaluated independently, in order)
+    windows: Tuple[BurnWindow, ...] = (
+        BurnWindow(long_s=20e-3, short_s=2.5e-3, threshold=10.0),
+        BurnWindow(long_s=80e-3, short_s=10e-3, threshold=5.0),
+    )
+
+    def __post_init__(self) -> None:
+        if self.latency_target_s <= 0:
+            raise ConfigError(
+                f"latency_target_s must be > 0, got {self.latency_target_s}"
+            )
+        if not 0 < self.latency_percentile <= 100:
+            raise ConfigError(
+                f"latency_percentile must be in (0, 100], got "
+                f"{self.latency_percentile}"
+            )
+        if not 0 < self.error_budget < 1:
+            raise ConfigError(
+                f"error_budget must be in (0, 1), got {self.error_budget}"
+            )
+        if not self.windows:
+            raise ConfigError("an SloPolicy needs at least one BurnWindow")
+
+    def to_dict(self) -> dict:
+        return {
+            "latency_target_s": self.latency_target_s,
+            "latency_percentile": self.latency_percentile,
+            "error_budget": self.error_budget,
+            "windows": [w.to_dict() for w in self.windows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SloPolicy":
+        return cls(
+            latency_target_s=float(data["latency_target_s"]),
+            latency_percentile=float(data["latency_percentile"]),
+            error_budget=float(data["error_budget"]),
+            windows=tuple(
+                BurnWindow(
+                    long_s=float(w["long_s"]),
+                    short_s=float(w["short_s"]),
+                    threshold=float(w["threshold"]),
+                )
+                for w in data["windows"]
+            ),
+        )
+
+
+@dataclass
+class SloAlert:
+    """One fire (and optional resolve) of a burn-rate alert."""
+
+    window: BurnWindow
+    fired_t_s: float
+    burn_at_fire: float
+    resolved_t_s: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "window": self.window.to_dict(),
+            "fired_t_s": self.fired_t_s,
+            "burn_at_fire": self.burn_at_fire,
+            "resolved_t_s": self.resolved_t_s,
+        }
+
+
+@dataclass
+class _SloSample:
+    t_s: float
+    bad: bool
+
+
+def _samples_from_records(
+    records: Sequence[Mapping], policy: SloPolicy
+) -> List[_SloSample]:
+    """Project request records onto the SLO event stream.
+
+    A request lands on the timeline at its terminal instant —
+    ``completion_s`` for completed requests, ``arrival_s`` for rejected
+    ones (a rejection is decided at admission).  Bad = rejected, or
+    slower than the latency target.  The stream is sorted by
+    ``(t_s, record order)`` so identical timestamps keep a stable order.
+    """
+    samples = []
+    for i, rec in enumerate(records):
+        if rec.get("record", "request") != "request":
+            continue
+        if rec["status"] == "ok":
+            t = rec["completion_s"]
+            bad = rec["latency_s"] > policy.latency_target_s
+        else:
+            t = rec["arrival_s"]
+            bad = True
+        samples.append((t, i, _SloSample(t_s=t, bad=bad)))
+    samples.sort(key=lambda item: (item[0], item[1]))
+    return [s for _, _, s in samples]
+
+
+def _burn(samples: Sequence[_SloSample], upto: int, t: float, window_s: float,
+          budget: float) -> float:
+    """Burn rate over ``(t - window_s, t]`` using samples[:upto + 1]."""
+    total = bad = 0
+    lo = t - window_s
+    for i in range(upto, -1, -1):
+        s = samples[i]
+        if s.t_s <= lo:
+            break
+        total += 1
+        if s.bad:
+            bad += 1
+    if total == 0:
+        return 0.0
+    return (bad / total) / budget
+
+
+def evaluate_slo(records: Sequence[Mapping], policy: SloPolicy) -> dict:
+    """Evaluate a policy over per-request records; returns the ``slo`` doc.
+
+    Pure and deterministic: same records + same policy → byte-identical
+    document (the property ``validate_load_report`` leans on).  The
+    alert state machine advances once per sample, in timeline order:
+    for each :class:`BurnWindow`, the alert fires when both the long-
+    and short-window burn rates sit at/above the threshold, and resolves
+    at the first later sample where either falls below it.
+    """
+    samples = _samples_from_records(records, policy)
+    n = len(samples)
+    bad_total = sum(1 for s in samples if s.bad)
+    bad_fraction = bad_total / n if n else 0.0
+
+    alerts: List[SloAlert] = []
+    active: List[Optional[SloAlert]] = [None] * len(policy.windows)
+    for i, s in enumerate(samples):
+        for w_idx, window in enumerate(policy.windows):
+            long_burn = _burn(samples, i, s.t_s, window.long_s, policy.error_budget)
+            short_burn = _burn(samples, i, s.t_s, window.short_s, policy.error_budget)
+            firing = (
+                long_burn >= window.threshold and short_burn >= window.threshold
+            )
+            current = active[w_idx]
+            if firing and current is None:
+                alert = SloAlert(
+                    window=window, fired_t_s=s.t_s, burn_at_fire=long_burn
+                )
+                alerts.append(alert)
+                active[w_idx] = alert
+            elif not firing and current is not None:
+                current.resolved_t_s = s.t_s
+                active[w_idx] = None
+
+    # The achieved percentile latency, for the report reader (nearest
+    # rank over completed requests; 0.0 when none completed).
+    ok_latencies = sorted(
+        rec["latency_s"]
+        for rec in records
+        if rec.get("record", "request") == "request" and rec["status"] == "ok"
+    )
+    if ok_latencies:
+        rank = max(
+            1, math.ceil(policy.latency_percentile / 100.0 * len(ok_latencies))
+        )
+        achieved = ok_latencies[rank - 1]
+    else:
+        achieved = 0.0
+
+    return {
+        "schema": SLO_SCHEMA,
+        "policy": policy.to_dict(),
+        "requests": n,
+        "good": n - bad_total,
+        "bad": bad_total,
+        "bad_fraction": bad_fraction,
+        "budget_consumed": bad_fraction / policy.error_budget,
+        "met": bad_fraction <= policy.error_budget,
+        "achieved_latency_s": achieved,
+        "alerts_fired": len(alerts),
+        "alerts_resolved": sum(1 for a in alerts if a.resolved_t_s is not None),
+        "alerts": [a.to_dict() for a in alerts],
+    }
+
+
+def recompute_slo(records: Sequence[Mapping], slo_doc: Mapping) -> dict:
+    """Recompute an emitted ``slo`` section from the request records.
+
+    Rebuilds the policy from the document itself and re-runs
+    :func:`evaluate_slo`; raises :class:`~repro.errors.ServeError` when
+    the recomputation disagrees with the document on any field — the
+    check a validator needs to trust an ``slo`` section it did not
+    produce.  Returns the recomputed document.
+    """
+    if slo_doc.get("schema") != SLO_SCHEMA:
+        raise ServeError(
+            f"unknown slo schema: {slo_doc.get('schema')!r} "
+            f"(expected {SLO_SCHEMA!r})"
+        )
+    try:
+        policy = SloPolicy.from_dict(slo_doc["policy"])
+    except (KeyError, TypeError, ValueError, ConfigError) as exc:
+        raise ServeError(f"slo section has a malformed policy: {exc}") from exc
+    recomputed = evaluate_slo(records, policy)
+    if recomputed != dict(slo_doc):
+        diffs = [
+            key
+            for key in set(recomputed) | set(slo_doc)
+            if recomputed.get(key) != slo_doc.get(key)
+        ]
+        raise ServeError(
+            f"slo section disagrees with recomputation on {sorted(diffs)}"
+        )
+    return recomputed

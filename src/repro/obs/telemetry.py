@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import TelemetryError
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import Profiler
 from repro.pim.trace import KernelTrace
@@ -69,9 +70,13 @@ class RunSegment:
 class RunTelemetry:
     """Metrics + profiler + trace segments for one workload."""
 
-    def __init__(self) -> None:
+    def __init__(self, events: Optional[EventLog] = None) -> None:
         self.registry = MetricsRegistry()
         self.profiler = Profiler()
+        #: structured decision record (breaker flips, watchdog trips,
+        #: journal replays, ...) — publishers all sit host-side, so the
+        #: stream is byte-identical across worker counts.
+        self.events = events if events is not None else EventLog()
         self.segments: list[RunSegment] = []
         self._cursor = 0.0  # model-time offset of the next run
 

@@ -48,6 +48,7 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from repro.errors import ConfigError, DegradedCapacity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventLog
     from repro.obs.metrics import MetricsRegistry
     from repro.pim.faults import RecoveryReport
 
@@ -193,6 +194,7 @@ class FleetHealth:
         num_dpus: int,
         policy: Optional[HealthPolicy] = None,
         registry: Optional["MetricsRegistry"] = None,
+        events: Optional["EventLog"] = None,
     ) -> None:
         if num_dpus < 1:
             raise ConfigError(f"num_dpus must be >= 1, got {num_dpus}")
@@ -201,6 +203,10 @@ class FleetHealth:
         self.breakers = {d: CircuitBreaker(self.policy) for d in range(num_dpus)}
         self._now = 0.0
         self._registry = registry
+        #: optional structured event sink — every breaker state change
+        #: becomes a typed ``breaker`` event (dpu, old, new) at the
+        #: modeled time the outcome was recorded.
+        self.events = events
         self._transitions = None
         self._quarantined_gauge = None
         self._capacity_gauge = None
@@ -234,14 +240,14 @@ class FleetHealth:
         now = self.advance(self._now if now is None else now)
         before = self.breakers[dpu_id].state(now)
         after = self.breakers[dpu_id].record_failure(now)
-        self._count_transition(before, after)
+        self._count_transition(before, after, dpu_id, now)
         return after
 
     def record_success(self, dpu_id: int, now: Optional[float] = None) -> str:
         now = self.advance(self._now if now is None else now)
         before = self.breakers[dpu_id].state(now)
         after = self.breakers[dpu_id].record_success(now)
-        self._count_transition(before, after)
+        self._count_transition(before, after, dpu_id, now)
         return after
 
     def observe_report(
@@ -347,6 +353,14 @@ class FleetHealth:
             },
         }
 
-    def _count_transition(self, before: str, after: str) -> None:
-        if self._transitions is not None and before != after:
+    def _count_transition(
+        self, before: str, after: str, dpu_id: int, now: float
+    ) -> None:
+        if before == after:
+            return
+        if self._transitions is not None:
             self._transitions.inc(to=after)
+        if self.events is not None:
+            from repro.obs.events import BREAKER
+
+            self.events.publish(BREAKER, now, dpu=dpu_id, old=before, new=after)

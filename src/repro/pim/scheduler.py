@@ -282,6 +282,11 @@ class BatchScheduler:
                         "pim_journal_rounds_replayed_total",
                         "scheduler rounds restored from a journal on resume",
                     ).inc()
+                    from repro.obs.events import JOURNAL_REPLAY
+
+                    telemetry.events.publish(
+                        JOURNAL_REPLAY, clock, round=index, pairs=size
+                    )
             else:
                 active: Optional[tuple[int, ...]] = None
                 if health is not None:
@@ -315,6 +320,20 @@ class BatchScheduler:
                     )
                 if result.recovery is not None:
                     result.recovery.shift_pairs(start)
+                    if telemetry is not None:
+                        from repro.obs.events import WATCHDOG
+
+                        # records are kept sorted by logical pair id, so
+                        # the published order is deterministic.
+                        for rec in result.recovery.records:
+                            for placement, kind in rec.attempts_log:
+                                if kind == "TaskletStallError":
+                                    telemetry.events.publish(
+                                        WATCHDOG,
+                                        clock,
+                                        dpu=placement,
+                                        round=index,
+                                    )
                 if journal is not None:
                     journal.append_round(index, start, size, result)
             if health is not None:

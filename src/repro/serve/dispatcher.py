@@ -107,6 +107,10 @@ class BatchDispatcher:
         self._free_at = 0.0
         self._pair_offset = 0
         self._batches = 0
+        # tracks whether the previous batch took the CPU-fallback path,
+        # so activation/recovery publish one `fallback` event per edge
+        # rather than one per batch.
+        self._fallback_active = False
         #: (modeled completion, pairs) of batches possibly still in
         #: flight on the modeled timeline; pruned as "now" advances.
         self._in_flight: List[Tuple[float, int]] = []
@@ -138,6 +142,27 @@ class BatchDispatcher:
             return False
         return self.health.healthy_fraction(now) < self.fallback.min_healthy_fraction
 
+    def _note_fallback(self, degraded: bool, now: float) -> None:
+        """Publish a ``fallback`` event on each activate/recover edge."""
+        if degraded == self._fallback_active:
+            return
+        self._fallback_active = degraded
+        telemetry = self.scheduler.system.telemetry
+        if telemetry is None:
+            return
+        from repro.obs.events import FALLBACK
+
+        telemetry.events.publish(
+            FALLBACK,
+            now,
+            state="active" if degraded else "recovered",
+            healthy_fraction=(
+                self.health.healthy_fraction(now)
+                if self.health is not None
+                else 1.0
+            ),
+        )
+
     def dispatch(self, pairs: List["ReadPair"], now: float) -> BatchOutcome:
         """Align one batch; map results back to batch order.
 
@@ -152,7 +177,9 @@ class BatchDispatcher:
         CPU baseline instead — it completes at ``now + cpu seconds``
         without touching (or waiting for) the PIM device timeline.
         """
-        if self._degraded(now) and self._cpu_backend is not None:
+        degraded = self._degraded(now) and self._cpu_backend is not None
+        self._note_fallback(degraded, now)
+        if degraded:
             results_cpu, cpu_seconds = self._cpu_backend.align_batch(list(pairs))
             self._pair_offset += len(pairs)
             completed = now + cpu_seconds

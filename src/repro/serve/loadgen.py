@@ -39,6 +39,7 @@ from repro.data.generator import ReadPair, mutate_sequence, random_sequence
 from repro.errors import ConfigError, Overloaded, ServeError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.slo import SloPolicy
     from repro.serve.clock import VirtualClock
     from repro.serve.service import AlignmentService
 
@@ -226,6 +227,10 @@ class LoadReport:
     recovery: Optional[dict]
     batches: int = 0
     service_config: dict = field(default_factory=dict)
+    #: the evaluated ``repro.obs.slo/v1`` document (``None`` when the
+    #: replay ran without a policy) — a pure function of the request
+    #: records, recomputed bit-for-bit by :func:`validate_load_report`.
+    slo: Optional[dict] = None
 
     def summary(self) -> dict:
         ok = [r for r in self.records if r.status == "ok"]
@@ -254,6 +259,7 @@ class LoadReport:
             "latency_max_s": latencies[-1] if latencies else 0.0,
             "cache": self.cache,
             "recovery": self.recovery,
+            "slo": self.slo,
         }
         return out
 
@@ -290,27 +296,42 @@ def replay(
     clock: "VirtualClock",
     trace,
     config: LoadgenConfig,
+    slo: Optional["SloPolicy"] = None,
 ) -> LoadReport:
     """Replay a trace against a service on its virtual clock.
 
     Arrival order is trace order; the clock is advanced to each arrival
     (firing any deadline flushes due in between), the request submitted,
     and at the end the service is drained so every future resolves.
-    Requests the admission controller rejects become ``"rejected"``
-    records rather than exceptions.
+    Requests that terminate exceptionally — admission rejections, shed
+    victims, deadline misses — become ``"rejected"`` records (stamped
+    with their actual arrival time) rather than exceptions.
+
+    With an :class:`~repro.obs.slo.SloPolicy`, the finished record set
+    is evaluated into the report's ``slo`` section and each burn-rate
+    alert fire/resolve is published as an ``slo_alert`` event into the
+    service telemetry's event log.
     """
     futures = []
     for when, request in trace:
         clock.advance_to(when)
         try:
-            futures.append((request, service.submit(request)))
+            futures.append((when, request, service.submit(request)))
         except Overloaded:
-            futures.append((request, None))
+            futures.append((when, request, None))
     service.drain()
 
     records: List[RequestRecord] = []
-    for request, future in futures:
-        if future is None:
+    for when, request, future in futures:
+        response = None
+        if future is not None:
+            try:
+                response = future.result()
+            except ServeError:
+                # shed / deadline-exceeded / fault-abandoned: a terminal
+                # rejection decided after admission.
+                response = None
+        if response is None:
             records.append(
                 RequestRecord(
                     client=request.client,
@@ -318,14 +339,13 @@ def replay(
                     status="rejected",
                     pairs=request.num_pairs,
                     cached_pairs=0,
-                    arrival_s=0.0,
-                    completion_s=0.0,
+                    arrival_s=when,
+                    completion_s=when,
                     latency_s=0.0,
                     batches=(),
                 )
             )
             continue
-        response = future.result()
         records.append(
             RequestRecord(
                 client=response.client,
@@ -339,6 +359,13 @@ def replay(
                 batches=response.batches,
             )
         )
+
+    slo_doc: Optional[dict] = None
+    if slo is not None:
+        from repro.obs.slo import evaluate_slo
+
+        slo_doc = evaluate_slo([r.to_dict() for r in records], slo)
+        _publish_slo_alerts(service, slo_doc)
 
     recovery = (
         service.dispatcher.recovery.to_dict()
@@ -359,10 +386,40 @@ def replay(
             "cache_pairs": service.config.cache_pairs,
             "cache_policy": service.config.cache_policy,
         },
+        slo=slo_doc,
     )
 
 
-def run_load(service: "AlignmentService", config: LoadgenConfig) -> LoadReport:
+def _publish_slo_alerts(service: "AlignmentService", slo_doc: dict) -> None:
+    """Publish one ``slo_alert`` event per alert fire and resolve.
+
+    Fires and resolves are interleaved in timeline order (ties broken by
+    alert order, fire before resolve at the same instant), so the event
+    log reads as the alert history an on-call human would have seen.
+    """
+    if service.telemetry is None:
+        return
+    from repro.obs.events import SLO_ALERT
+
+    edges = []
+    for i, alert in enumerate(slo_doc["alerts"]):
+        window = alert["window"]
+        edges.append((alert["fired_t_s"], 0, i, "fire", window, alert["burn_at_fire"]))
+        if alert["resolved_t_s"] is not None:
+            edges.append((alert["resolved_t_s"], 1, i, "resolve", window, None))
+    edges.sort(key=lambda e: (e[0], e[1], e[2]))
+    for t, _, _, state, window, burn in edges:
+        attrs = {"state": state, "window_s": window["long_s"]}
+        if burn is not None:
+            attrs["burn"] = burn
+        service.telemetry.events.publish(SLO_ALERT, t, **attrs)
+
+
+def run_load(
+    service: "AlignmentService",
+    config: LoadgenConfig,
+    slo: Optional["SloPolicy"] = None,
+) -> LoadReport:
     """Build the trace for ``config`` and replay it on the service.
 
     The service must have been constructed with a
@@ -372,7 +429,7 @@ def run_load(service: "AlignmentService", config: LoadgenConfig) -> LoadReport:
 
     if not isinstance(service.clock, VirtualClock):
         raise ServeError("run_load requires a service on a VirtualClock")
-    return replay(service, service.clock, build_trace(config), config)
+    return replay(service, service.clock, build_trace(config), config, slo=slo)
 
 
 def validate_load_report(source: Union[str, Path, list]) -> dict:
@@ -450,4 +507,11 @@ def validate_load_report(source: Union[str, Path, list]) -> dict:
                 f"summary {key}={summary.get(key)!r} disagrees with recomputed "
                 f"{expected!r}"
             )
+    if summary.get("slo") is not None:
+        from repro.obs.slo import recompute_slo
+
+        # bit-for-bit: rebuild the policy from the emitted section and
+        # re-evaluate it over the request records; any disagreement on
+        # any field (counts, burn alerts, timestamps) raises.
+        recompute_slo(body, summary["slo"])
     return summary

@@ -396,6 +396,14 @@ class AlignmentService:
             self.stats.rejected += 1
             self._m_requests.inc(outcome="deadline")
             self._m_deadline.inc()
+            from repro.obs.events import DEADLINE
+
+            self._publish_event(
+                DEADLINE,
+                now,
+                request=request.request_id,
+                deadline_s=request.deadline_s,
+            )
             future = ServeFuture()
             future._resolve(
                 None,
@@ -523,6 +531,11 @@ class AlignmentService:
 
     # -- internals ---------------------------------------------------------
 
+    def _publish_event(self, kind: str, t_s: float, **attrs: object) -> None:
+        """Publish into the telemetry event log (no-op sans telemetry)."""
+        if self.telemetry is not None:
+            self.telemetry.events.publish(kind, t_s, **attrs)
+
     def _resolve_dead(
         self, pending: _Pending, exc: BaseException, outcome: str
     ) -> None:
@@ -568,6 +581,15 @@ class AlignmentService:
             except ValueError:  # pragma: no cover - defensive
                 pass
             self._m_shed.inc()
+            from repro.obs.events import SHED
+
+            self._publish_event(
+                SHED,
+                self.clock.now(),
+                request=victim.request.request_id,
+                priority=victim.request.priority,
+                pairs=victim.request.num_pairs,
+            )
             self._resolve_dead(
                 victim,
                 Overloaded(
@@ -599,6 +621,14 @@ class AlignmentService:
         except ValueError:  # pragma: no cover - defensive
             pass
         self._m_deadline.inc()
+        from repro.obs.events import DEADLINE
+
+        self._publish_event(
+            DEADLINE,
+            self.clock.now(),
+            request=pending.request.request_id,
+            deadline_s=pending.request.deadline_s,
+        )
         self._resolve_dead(
             pending,
             DeadlineExceeded(
@@ -715,6 +745,14 @@ class AlignmentService:
                 # clock has not necessarily reached it yet, but the
                 # outcome is already decided — resolve now, typed.
                 self._m_deadline.inc()
+                from repro.obs.events import DEADLINE
+
+                self._publish_event(
+                    DEADLINE,
+                    self.clock.now(),
+                    request=pending.request.request_id,
+                    deadline_s=deadline,
+                )
                 self._resolve_dead(
                     pending,
                     DeadlineExceeded(
@@ -819,7 +857,7 @@ def build_service(
     with_telemetry: bool = True,
     health_policy=None,
     fallback: Optional[FallbackPolicy] = None,
-    engine: str = "scalar",
+    engine: str = "vector",
 ) -> AlignmentService:
     """Construct the full stack: system -> scheduler -> service.
 
@@ -828,7 +866,8 @@ def build_service(
     so a single metrics snapshot covers the whole request path.
 
     ``engine`` selects the kernel's host-side alignment engine
-    (``"scalar"`` or ``"vector"``, see
+    (``"vector"``, the default since the QA sweep soaked on it, or
+    ``"scalar"`` as the escape hatch — see
     :class:`~repro.pim.kernel.KernelConfig`); responses, recovery
     reports and telemetry are byte-identical either way — the vector
     engine only changes simulation wall-clock time.
@@ -872,6 +911,7 @@ def build_service(
             num_dpus,
             policy=health_policy,
             registry=telemetry.registry if telemetry is not None else None,
+            events=telemetry.events if telemetry is not None else None,
         )
     return AlignmentService(
         BatchScheduler(system),

@@ -195,3 +195,68 @@ class TestFileExports:
         assert doc["model_seconds_total"] == pytest.approx(
             telemetry.model_seconds_total
         )
+
+
+def _make_telemetry(engine, workers):
+    tel = RunTelemetry()
+    cfg = PimSystemConfig(
+        num_dpus=NUM_DPUS,
+        num_ranks=1,
+        tasklets=TASKLETS,
+        num_simulated_dpus=NUM_DPUS,
+        workers=workers,
+    )
+    kc = KernelConfig(
+        penalties=PEN, max_read_len=50, max_edits=2, engine=engine
+    )
+    system = PimSystem(cfg, kc, telemetry=tel)
+    pairs = ReadPairGenerator(length=50, error_rate=0.04, seed=4).pairs(9)
+    system.align(pairs)
+    tel.reconcile()
+    return tel
+
+
+class TestVectorEngineExports:
+    """Every export surface is byte-identical under the vector engine,
+    at every worker count."""
+
+    @pytest.mark.parametrize("workers", [0, 1, 3])
+    def test_exports_identical_scalar_vs_vector(self, workers, tmp_path):
+        scalar = _make_telemetry("scalar", workers)
+        vector = _make_telemetry("vector", workers)
+        assert json.dumps(
+            to_chrome_trace(scalar), sort_keys=True
+        ) == json.dumps(to_chrome_trace(vector), sort_keys=True)
+        for name, tel in (("scalar", scalar), ("vector", vector)):
+            write_prometheus(str(tmp_path / f"{name}.prom"), tel.registry)
+            write_metrics_json(str(tmp_path / f"{name}.json"), tel)
+        assert (tmp_path / "scalar.prom").read_text() == (
+            tmp_path / "vector.prom"
+        ).read_text()
+
+        # wall-clock observations are the one legitimate difference —
+        # everything modeled must match once they are masked out
+        def modeled_only(node):
+            if isinstance(node, dict):
+                return {
+                    k: modeled_only(v)
+                    for k, v in node.items()
+                    if "wall" not in k
+                }
+            if isinstance(node, list):
+                return [modeled_only(v) for v in node]
+            return node
+
+        docs = [
+            modeled_only(json.loads((tmp_path / f"{n}.json").read_text()))
+            for n in ("scalar", "vector")
+        ]
+        assert docs[0] == docs[1]
+
+    def test_vector_trace_identical_across_workers(self):
+        docs = [
+            json.dumps(to_chrome_trace(_make_telemetry("vector", w)),
+                       sort_keys=True)
+            for w in (0, 1, 3)
+        ]
+        assert docs[0] == docs[1] == docs[2]

@@ -189,3 +189,101 @@ class TestPrometheusRendering:
 
     def test_empty_registry_renders_empty(self):
         assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestCardinalityGuard:
+    def test_cap_trips_with_typed_error(self):
+        from repro.errors import CardinalityError
+
+        reg = MetricsRegistry(max_series_per_family=3)
+        fam = reg.counter("hits_total")
+        for i in range(3):
+            fam.inc(1, shard=str(i))
+        with pytest.raises(CardinalityError, match="hits_total"):
+            fam.inc(1, shard="3")
+        # existing series keep working after the trip
+        fam.inc(1, shard="0")
+        assert fam.value(shard="0") == 2
+
+    def test_cardinality_error_is_a_telemetry_error(self):
+        from repro.errors import CardinalityError
+
+        assert issubclass(CardinalityError, TelemetryError)
+
+    def test_cap_applies_per_family(self):
+        reg = MetricsRegistry(max_series_per_family=1)
+        reg.counter("a_total").inc(1)
+        reg.counter("b_total").inc(1)  # its own budget
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(TelemetryError):
+            MetricsRegistry(max_series_per_family=0)
+
+    def test_default_cap_is_roomy(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits_total")
+        for i in range(100):
+            fam.inc(1, shard=str(i))  # well under the default cap
+
+
+class TestDiff:
+    def test_counter_deltas_since_snapshot(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("pairs_total")
+        fam.inc(5, kind="align")
+        before = reg.snapshot()
+        fam.inc(3, kind="align")
+        fam.inc(2, kind="verify")  # born after the snapshot
+        (entry,) = reg.diff(before)["families"]
+        assert entry["name"] == "pairs_total"
+        deltas = {
+            tuple(sorted(s["labels"].items())): s["value"]
+            for s in entry["series"]
+        }
+        assert deltas == {(("kind", "align"),): 3.0, (("kind", "verify"),): 2.0}
+
+    def test_unchanged_series_and_families_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("quiet_total").inc(4)
+        moving = reg.counter("busy_total")
+        moving.inc(1)
+        before = reg.snapshot()
+        moving.inc(1)
+        doc = reg.diff(before)
+        assert [f["name"] for f in doc["families"]] == ["busy_total"]
+
+    def test_gauge_reports_current_level_only_when_moved(self):
+        reg = MetricsRegistry()
+        depth = reg.gauge("depth")
+        depth.set(7)
+        still = reg.gauge("still")
+        still.set(1)
+        before = reg.snapshot()
+        depth.set(3)
+        (entry,) = reg.diff(before)["families"]
+        assert entry["name"] == "depth"
+        assert entry["series"][0]["value"] == 3  # the level, not 3 - 7
+
+    def test_histogram_cell_deltas(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t_seconds", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        before = reg.snapshot()
+        h.observe(0.5)
+        h.observe(0.5)
+        (entry,) = reg.diff(before)["families"]
+        (series,) = entry["series"]
+        assert series["counts"] == [0, 2, 0]
+        assert series["count"] == 2
+        assert series["sum"] == pytest.approx(1.0)
+
+    def test_no_change_diffs_to_empty(self):
+        reg = MetricsRegistry()
+        reg.counter("pairs_total").inc(2)
+        before = reg.snapshot()
+        assert reg.diff(before)["families"] == []
+
+    def test_unknown_snapshot_schema_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(TelemetryError, match="schema"):
+            reg.diff({"schema": "bogus/v0", "families": []})

@@ -1,0 +1,316 @@
+"""Tests for the SLO burn-rate monitor and its serve-layer wiring."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, ServeError
+from repro.obs.slo import (
+    SLO_SCHEMA,
+    BurnWindow,
+    SloPolicy,
+    evaluate_slo,
+    recompute_slo,
+)
+
+
+def _record(i, t, latency, status="ok"):
+    """A minimal per-request record as loadgen emits them."""
+    rec = {
+        "record": "request",
+        "request_id": f"r{i}",
+        "status": status,
+        "arrival_s": t,
+    }
+    if status == "ok":
+        rec["completion_s"] = t + latency
+        rec["latency_s"] = latency
+    return rec
+
+
+class TestPolicyValidation:
+    def test_window_rejects_nonpositive_spans(self):
+        with pytest.raises(ConfigError):
+            BurnWindow(long_s=0.0, short_s=1e-3, threshold=10.0)
+        with pytest.raises(ConfigError):
+            BurnWindow(long_s=1e-2, short_s=-1e-3, threshold=10.0)
+
+    def test_window_rejects_short_above_long(self):
+        with pytest.raises(ConfigError, match="must not exceed"):
+            BurnWindow(long_s=1e-3, short_s=2e-3, threshold=10.0)
+
+    def test_window_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            BurnWindow(long_s=1e-2, short_s=1e-3, threshold=0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_target_s": 0.0},
+            {"latency_percentile": 0.0},
+            {"latency_percentile": 101.0},
+            {"error_budget": 0.0},
+            {"error_budget": 1.0},
+            {"windows": ()},
+        ],
+    )
+    def test_policy_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ConfigError):
+            SloPolicy(**kwargs)
+
+    def test_policy_roundtrips_via_dict(self):
+        policy = SloPolicy(
+            latency_target_s=2e-3,
+            windows=(BurnWindow(long_s=5e-3, short_s=1e-3, threshold=10.0),),
+        )
+        assert SloPolicy.from_dict(policy.to_dict()) == policy
+
+
+class TestEvaluate:
+    def test_all_good_stream(self):
+        policy = SloPolicy(latency_target_s=1e-3, error_budget=0.01)
+        records = [_record(i, i * 1e-3, 5e-4) for i in range(20)]
+        doc = evaluate_slo(records, policy)
+        assert doc["schema"] == SLO_SCHEMA
+        assert (doc["requests"], doc["good"], doc["bad"]) == (20, 20, 0)
+        assert doc["met"] is True
+        assert doc["budget_consumed"] == 0.0
+        assert doc["alerts_fired"] == doc["alerts_resolved"] == 0
+        assert doc["achieved_latency_s"] == 5e-4
+
+    def test_slow_and_rejected_requests_are_bad(self):
+        policy = SloPolicy(latency_target_s=1e-3, error_budget=0.5)
+        records = [
+            _record(0, 0.0, 5e-4),
+            _record(1, 1e-3, 2e-3),  # slower than target
+            _record(2, 2e-3, 0.0, status="rejected"),
+        ]
+        doc = evaluate_slo(records, policy)
+        assert (doc["good"], doc["bad"]) == (1, 2)
+        assert doc["bad_fraction"] == pytest.approx(2 / 3)
+        assert doc["met"] is False
+
+    def test_fire_and_resolve_state_machine(self):
+        # 10 good, then a burst of bad, then good again: the single
+        # window fires during the burst and resolves after it.
+        policy = SloPolicy(
+            latency_target_s=1e-3,
+            error_budget=0.1,
+            windows=(BurnWindow(long_s=4e-3, short_s=2e-3, threshold=5.0),),
+        )
+        records = (
+            [_record(i, i * 1e-3, 5e-4) for i in range(10)]
+            + [_record(10 + i, (10 + i) * 1e-3, 2e-3) for i in range(4)]
+            + [_record(14 + i, (20 + i) * 1e-3, 5e-4) for i in range(10)]
+        )
+        doc = evaluate_slo(records, policy)
+        assert doc["alerts_fired"] == 1
+        assert doc["alerts_resolved"] == 1
+        (alert,) = doc["alerts"]
+        assert alert["fired_t_s"] < alert["resolved_t_s"]
+        assert alert["burn_at_fire"] >= 5.0
+
+    def test_pure_function_of_inputs(self):
+        policy = SloPolicy(latency_target_s=1e-3)
+        records = [
+            _record(i, i * 1e-3, 2e-3 if i % 3 == 0 else 5e-4)
+            for i in range(30)
+        ]
+        a = json.dumps(evaluate_slo(records, policy), sort_keys=True)
+        b = json.dumps(evaluate_slo(records, policy), sort_keys=True)
+        assert a == b
+
+    def test_empty_stream(self):
+        doc = evaluate_slo([], SloPolicy())
+        assert doc["requests"] == 0
+        assert doc["met"] is True
+        assert doc["achieved_latency_s"] == 0.0
+
+
+class TestRecompute:
+    def _doc(self):
+        policy = SloPolicy(latency_target_s=1e-3, error_budget=0.2)
+        records = [
+            _record(i, i * 1e-3, 2e-3 if i == 5 else 5e-4) for i in range(10)
+        ]
+        return records, evaluate_slo(records, policy)
+
+    def test_roundtrip(self):
+        records, doc = self._doc()
+        assert recompute_slo(records, doc) == doc
+
+    def test_unknown_schema_rejected(self):
+        records, doc = self._doc()
+        doc["schema"] = "bogus/v9"
+        with pytest.raises(ServeError, match="unknown slo schema"):
+            recompute_slo(records, doc)
+
+    def test_tampered_doc_names_the_keys(self):
+        records, doc = self._doc()
+        doc["good"] += 1
+        doc["bad"] -= 1
+        with pytest.raises(ServeError) as exc:
+            recompute_slo(records, doc)
+        assert "'bad'" in str(exc.value) and "'good'" in str(exc.value)
+
+    def test_malformed_policy_rejected(self):
+        records, doc = self._doc()
+        doc["policy"] = {"latency_target_s": -1.0}
+        with pytest.raises(ServeError, match="malformed policy"):
+            recompute_slo(records, doc)
+
+
+# ---------------------------------------------------------------------------
+# serve-layer wiring: load replays emit a recomputable slo section, and a
+# seeded chaos drill produces the fire/resolve pair plus trace annotations,
+# byte-identical across host worker counts.
+# ---------------------------------------------------------------------------
+
+from repro.obs import to_chrome_trace, validate_event_log  # noqa: E402
+from repro.pim.faults import DpuDeath, FaultPlan, TaskletStall  # noqa: E402
+from repro.pim.health import HealthPolicy  # noqa: E402
+from repro.serve import (  # noqa: E402
+    FallbackPolicy,
+    LoadgenConfig,
+    build_service,
+    run_load,
+    validate_load_report,
+)
+from repro.serve.clock import VirtualClock  # noqa: E402
+
+DRILL_POLICY = SloPolicy(
+    latency_target_s=2e-3,
+    windows=(BurnWindow(long_s=5e-3, short_s=1e-3, threshold=10.0),),
+)
+
+
+def drill_service(workers):
+    return build_service(
+        num_dpus=4,
+        tasklets=4,
+        workers=workers,
+        max_read_len=16,
+        clock=VirtualClock(),
+        fault_plan=FaultPlan(
+            deaths=(DpuDeath(dpu_id=1),), stalls=(TaskletStall(dpu_id=2),)
+        ),
+        health_policy=HealthPolicy(),
+        fallback=FallbackPolicy(min_healthy_fraction=0.9),
+    )
+
+
+def drill_config():
+    return LoadgenConfig(requests=300, rate=8000, length=10, seed=13)
+
+
+class TestLoadReportSlo:
+    def test_replay_emits_validated_slo_section(self):
+        service = build_service(num_dpus=4, tasklets=4, clock=VirtualClock())
+        policy = SloPolicy(latency_target_s=5e-3)
+        report = run_load(
+            service,
+            LoadgenConfig(requests=60, rate=2000, length=12, seed=5),
+            slo=policy,
+        )
+        slo = report.summary()["slo"]
+        assert slo["schema"] == SLO_SCHEMA
+        assert slo["policy"] == policy.to_dict()
+        # the validator recomputes the section bit-for-bit
+        records = [json.loads(line) for line in report.to_jsonl().splitlines()]
+        validate_load_report(records)
+
+    def test_validator_rejects_tampered_slo_section(self):
+        service = build_service(num_dpus=4, tasklets=4, clock=VirtualClock())
+        report = run_load(
+            service,
+            LoadgenConfig(requests=40, rate=2000, length=12, seed=5),
+            slo=SloPolicy(latency_target_s=5e-3),
+        )
+        records = [json.loads(line) for line in report.to_jsonl().splitlines()]
+        slo_holder = next(rec for rec in records if "slo" in rec)
+        slo_holder["slo"]["good"] += 1
+        with pytest.raises(ServeError, match="disagrees with recomputation"):
+            validate_load_report(records)
+
+    def test_no_slo_section_without_policy(self):
+        service = build_service(num_dpus=4, tasklets=4, clock=VirtualClock())
+        report = run_load(
+            service, LoadgenConfig(requests=20, rate=2000, length=12, seed=5)
+        )
+        assert report.summary()["slo"] is None
+
+
+class TestChaosDrill:
+    """The acceptance scenario: kill a DPU, stall a tasklet, watch the
+    burn-rate alert fire while the breaker/fallback react, then resolve."""
+
+    @pytest.fixture(scope="class")
+    def drill(self):
+        def run(workers):
+            service = drill_service(workers)
+            report = run_load(service, drill_config(), slo=DRILL_POLICY)
+            return service, report
+
+        return run
+
+    def test_alert_fires_and_resolves(self, drill):
+        service, report = drill(0)
+        slo = report.summary()["slo"]
+        assert slo["alerts_fired"] == 1
+        assert slo["alerts_resolved"] == 1
+        (alert,) = slo["alerts"]
+        assert alert["burn_at_fire"] >= 10.0
+        assert alert["resolved_t_s"] > alert["fired_t_s"]
+        # the same fire/resolve pair appears in the structured event log
+        fires = [
+            e
+            for e in service.telemetry.events.events("slo_alert")
+            if dict(e.attrs)["state"] == "fire"
+        ]
+        resolves = [
+            e
+            for e in service.telemetry.events.events("slo_alert")
+            if dict(e.attrs)["state"] == "resolve"
+        ]
+        assert len(fires) == 1 and len(resolves) == 1
+        assert fires[0].t_s == alert["fired_t_s"]
+        assert resolves[0].t_s == alert["resolved_t_s"]
+
+    def test_event_log_covers_every_layer(self, drill):
+        service, _ = drill(0)
+        kinds = service.telemetry.events.kinds_seen()
+        assert kinds == {
+            "breaker": 1,
+            "fallback": 1,
+            "slo_alert": 2,
+            "watchdog": 1,
+        }
+        validate_event_log(service.telemetry.events.to_records())
+
+    def test_trace_carries_annotations(self, drill):
+        service, _ = drill(0)
+        trace = to_chrome_trace(service.telemetry)
+        notes = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev.get("cat") == "annotation"
+        ]
+        assert len(notes) == 5  # watchdog, breaker, fallback, 2x slo_alert
+        assert all(ev["ph"] == "i" and ev["s"] == "g" for ev in notes)
+        names = sorted(ev["name"] for ev in notes)
+        assert names == [
+            "breaker", "fallback", "slo_alert", "slo_alert", "watchdog",
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_byte_identical_across_worker_counts(self, drill, workers):
+        base_service, base_report = drill(0)
+        service, report = drill(workers)
+        assert report.to_jsonl() == base_report.to_jsonl()
+        assert (
+            service.telemetry.events.to_jsonl()
+            == base_service.telemetry.events.to_jsonl()
+        )
+        assert json.dumps(
+            to_chrome_trace(service.telemetry), sort_keys=True
+        ) == json.dumps(to_chrome_trace(base_service.telemetry), sort_keys=True)

@@ -19,7 +19,7 @@ from repro.pim.system import PimSystem
 PEN = AffinePenalties(4, 6, 2)
 
 
-def make_system(workers=1, num_dpus=4, telemetry=None):
+def make_system(workers=1, num_dpus=4, telemetry=None, engine="scalar"):
     cfg = PimSystemConfig(
         num_dpus=num_dpus,
         num_ranks=1,
@@ -27,13 +27,15 @@ def make_system(workers=1, num_dpus=4, telemetry=None):
         num_simulated_dpus=num_dpus,
         workers=workers,
     )
-    kc = KernelConfig(penalties=PEN, max_read_len=50, max_edits=2)
+    kc = KernelConfig(
+        penalties=PEN, max_read_len=50, max_edits=2, engine=engine
+    )
     return PimSystem(cfg, kc, telemetry=telemetry)
 
 
-def aligned_telemetry(workers=1, pairs=10, seed=1):
+def aligned_telemetry(workers=1, pairs=10, seed=1, engine="scalar"):
     tel = RunTelemetry()
-    system = make_system(workers=workers, telemetry=tel)
+    system = make_system(workers=workers, telemetry=tel, engine=engine)
     batch = ReadPairGenerator(length=50, error_rate=0.04, seed=seed).pairs(pairs)
     run = system.align(batch)
     return tel, run
@@ -190,3 +192,46 @@ class TestDocuments:
         doc = tel.metrics_document()
         assert doc["schema"] == "repro.obs/v1"
         json.dumps(doc)  # must not raise
+
+
+class TestVectorEngineEquivalence:
+    """The vector engine default must not perturb the telemetry surface:
+    scalar and vector runs produce byte-identical modeled telemetry, at
+    every worker count."""
+
+    @pytest.mark.parametrize("workers", [0, 1, 3])
+    def test_vector_matches_scalar_telemetry(self, workers):
+        scalar, _ = aligned_telemetry(
+            workers=workers, pairs=14, seed=7, engine="scalar"
+        )
+        vector, _ = aligned_telemetry(
+            workers=workers, pairs=14, seed=7, engine="vector"
+        )
+        assert (
+            scalar.registry.render_prometheus()
+            == vector.registry.render_prometheus()
+        )
+        assert scalar.registry.snapshot() == vector.registry.snapshot()
+        assert (
+            scalar.segments[0].trace.events == vector.segments[0].trace.events
+        )
+        assert json.dumps(
+            to_chrome_trace(scalar), sort_keys=True
+        ) == json.dumps(to_chrome_trace(vector), sort_keys=True)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_vector_engine_parallel_equivalence(self, workers):
+        base, _ = aligned_telemetry(
+            workers=0, pairs=14, seed=7, engine="vector"
+        )
+        par, _ = aligned_telemetry(
+            workers=workers, pairs=14, seed=7, engine="vector"
+        )
+        assert (
+            base.registry.render_prometheus()
+            == par.registry.render_prometheus()
+        )
+        assert base.registry.snapshot() == par.registry.snapshot()
+        assert json.dumps(to_chrome_trace(base), sort_keys=True) == json.dumps(
+            to_chrome_trace(par), sort_keys=True
+        )

@@ -320,3 +320,43 @@ class TestAsyncFacade:
 
         future = asyncio.run(scenario())
         assert future.result().scores
+
+
+class TestEngineDefault:
+    """The vector engine is the serve default; scalar stays as the
+    escape hatch, and the two replay byte-identically."""
+
+    def test_build_service_defaults_to_vector(self):
+        service = make_service()
+        kernel = service.dispatcher.scheduler.system.kernel_config
+        assert kernel.engine == "vector"
+        escape = make_service(engine="scalar")
+        kernel = escape.dispatcher.scheduler.system.kernel_config
+        assert kernel.engine == "scalar"
+
+    def test_replay_byte_identical_across_engines(self):
+        from repro.serve.clock import VirtualClock
+
+        def replay(engine):
+            service = build_service(
+                num_dpus=4,
+                tasklets=4,
+                max_read_len=16,
+                clock=VirtualClock(),
+                engine=engine,
+            )
+            config = LoadgenConfig(requests=80, rate=2000, length=12, seed=9)
+            return run_load(service, config).to_jsonl()
+
+        assert replay("scalar") == replay("vector")
+
+    def test_cli_defaults_to_vector_with_scalar_escape_hatch(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        serve = parser.parse_args(["serve"])
+        assert serve.engine == "vector"
+        pim = parser.parse_args(["pim-align", "-i", "reads.jsonl"])
+        assert pim.engine == "vector"
+        escape = parser.parse_args(["serve", "--engine", "scalar"])
+        assert escape.engine == "scalar"

@@ -233,8 +233,11 @@ class TestBenchSmoke:
         )
         assert rc == 0
         record = json.loads(out.read_text())
-        assert record["benchmark"] == "batch_engine"
-        assert record["batch_sizes"] == [1, 4]
+        assert record["schema"] == "repro.bench.artifact/v1"
+        assert record["benchmark"] == "BENCH_batch_engine"
+        assert record["config"]["batch_sizes"] == [1, 4]
+        assert record["seed"] == record["config"]["seed"]
+        assert len(record["config_fingerprint"]) == 16
         assert {r["mode"] for r in record["runs"]} == {"score_only", "full"}
         assert len(record["runs"]) == 4
         for row in record["runs"]:
