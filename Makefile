@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast qa coverage bench bench-parallel bench-vector bench-ledger perf-gate examples fig1 outputs trace-demo serve-demo chaos clean
+.PHONY: install test test-fast qa coverage bench bench-parallel bench-vector bench-ledger perf-gate examples fig1 outputs trace-demo serve-demo chaos fleet-demo clean
 
 install:
 	pip install -e .
@@ -147,6 +147,48 @@ chaos:
 		s = validate_load_report('out/chaos/load.jsonl'); \
 		print(f\"chaos OK: journal {j.header['schema']} with \" \
 		      f\"{len(j.rounds())} rounds resumed byte-identically, \" \
+		      f\"load report valid ({s['completed']} completed)\")"
+
+# Sharded-fleet chaos drill (see docs/fleet.md): a 4-shard fleet run
+# with a persistent DPU death under per-shard circuit breakers,
+# journaled to a federated journal directory (per-shard journals +
+# repro.pim.fleet/v1 manifest); a mid-run crash is simulated by
+# truncating one shard's journal at a record boundary and deleting
+# another's outright, then resumed with --resume at a different worker
+# count (the fingerprint excludes workers and shards).  Every rebuilt
+# journal file must be byte-identical to the uninterrupted run's, and
+# the same fault plan replays through a 4-shard serve path with a
+# schema-validated load report.  The same scenario runs under pytest in
+# tests/test_pim_fleet.py (part of `make test`).
+fleet-demo:
+	rm -rf out/fleet
+	mkdir -p out/fleet
+	PYTHONPATH=src python -m repro.cli generate --pairs 512 --length 48 \
+		--error-rate 0.03 --seed 21 -o out/fleet/reads.seq
+	PYTHONPATH=src python -m repro.cli pim-align -i out/fleet/reads.seq \
+		--dpus 4 --tasklets 4 --shards 4 --pairs-per-round 32 \
+		--kill-dpu 1 --breaker --journal out/fleet/journal
+	cp -r out/fleet/journal out/fleet/crashed
+	head -n 2 out/fleet/crashed/shard-001.jsonl > out/fleet/crashed/tmp \
+		&& mv out/fleet/crashed/tmp out/fleet/crashed/shard-001.jsonl
+	rm out/fleet/crashed/shard-003.jsonl
+	PYTHONPATH=src python -m repro.cli pim-align -i out/fleet/reads.seq \
+		--dpus 4 --tasklets 4 --shards 4 --pairs-per-round 32 \
+		--kill-dpu 1 --breaker --workers 2 \
+		--journal out/fleet/crashed --resume
+	for f in manifest.json shard-000.jsonl shard-001.jsonl \
+		shard-002.jsonl shard-003.jsonl; do \
+		cmp out/fleet/journal/$$f out/fleet/crashed/$$f || exit 1; done
+	PYTHONPATH=src python -m repro.cli loadgen \
+		--requests 200 --rate 8000 --length 10 --seed 21 \
+		--dpus 4 --tasklets 4 --shards 4 --kill-dpu 1 --breaker \
+		--report out/fleet/load.jsonl
+	PYTHONPATH=src python -c "from repro.pim.fleet import FleetCoordinator; \
+		from repro.serve import validate_load_report; \
+		m = FleetCoordinator.load_manifest('out/fleet/crashed'); \
+		s = validate_load_report('out/fleet/load.jsonl'); \
+		print(f\"fleet OK: {m['schema']} manifest, {m['shards']} shards, \" \
+		      f\"{len(m['placements'])} rounds resumed byte-identically, \" \
 		      f\"load report valid ({s['completed']} completed)\")"
 
 clean:

@@ -112,6 +112,12 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                         help="with --breaker: route whole batches to the "
                              "CPU Gotoh baseline while healthy capacity "
                              "sits below this fraction (0 < F <= 1)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="federate N identical PIM shards behind the "
+                             "service (--dpus is per shard); batches "
+                             "round-stripe across shards with health-aware "
+                             "rebalancing and responses stay byte-identical "
+                             "to --shards 1")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write service metrics: Prometheus text for "
                              ".prom/.txt, JSON otherwise")
@@ -154,6 +160,7 @@ def _build_serve_service(args: argparse.Namespace):
         health_policy=health_policy,
         fallback=fallback,
         engine=args.engine,
+        shards=args.shards,
     )
 
 
@@ -256,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable per-DPU circuit breakers: repeat "
                           "offenders are quarantined out of later rounds "
                           "instead of burning retries")
+    pim.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="federate N identical PIM shards (--dpus is per "
+                          "shard); rounds stripe across shards, --kill-dpu/"
+                          "--stall-dpu ids index the federated fleet, "
+                          "--journal becomes a directory (per-shard "
+                          "journals + manifest), and results stay "
+                          "byte-identical to --shards 1")
+    pim.add_argument("--shard-workers", type=int, default=1, metavar="N",
+                     help="host processes running shards in parallel "
+                          "(1 = sequential; incompatible with --breaker; "
+                          "results are identical either way)")
     _add_penalty_args(pim)
 
     # map ---------------------------------------------------------------
@@ -521,6 +539,10 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
         from repro.obs import RunTelemetry
 
         telemetry = RunTelemetry()
+
+    if args.shards > 1:
+        return _pim_align_fleet(args, config, kernel_config, pairs, telemetry)
+
     system = PimSystem(config, kernel_config, telemetry=telemetry)
 
     scheduled = (
@@ -629,6 +651,106 @@ def _pim_align_scheduled(args: argparse.Namespace, system, pairs, telemetry) -> 
         print(f"journal: {args.journal} "
               f"({run.schedule.rounds - run.rounds_replayed} round(s) appended)")
     if telemetry is not None:
+        _write_telemetry(args, telemetry)
+    return 0
+
+
+def _pim_align_fleet(args: argparse.Namespace, config, kernel_config, pairs,
+                     telemetry) -> int:
+    """The sharded-fleet path: round-striping across N PimSystems.
+
+    ``--journal`` names a directory here (per-shard journals plus the
+    ``repro.pim.fleet/v1`` manifest); fault ids index the federated
+    fleet (``global`` domain).
+    """
+    import warnings
+
+    from repro.errors import DegradedCapacity
+    from repro.pim.faults import DpuDeath, FaultPlan, TaskletStall
+    from repro.pim.fleet import FleetCoordinator
+
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 1
+    fault_plan = None
+    if args.kill_dpu is not None or args.stall_dpu is not None:
+        deaths = (
+            (DpuDeath(dpu_id=args.kill_dpu),) if args.kill_dpu is not None else ()
+        )
+        stalls = (
+            (TaskletStall(dpu_id=args.stall_dpu),)
+            if args.stall_dpu is not None
+            else ()
+        )
+        fault_plan = FaultPlan(deaths=deaths, stalls=stalls)
+    health_policy = None
+    if args.breaker:
+        from repro.pim.health import HealthPolicy
+
+        health_policy = HealthPolicy()
+    fleet = FleetCoordinator(
+        config,
+        kernel_config,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        health_policy=health_policy,
+        telemetry=telemetry,
+    )
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DegradedCapacity)
+        if args.resume:
+            run = fleet.resume_run(
+                args.journal,
+                pairs,
+                pairs_per_round=args.pairs_per_round,
+                fault_plan=fault_plan,
+            )
+        else:
+            run = fleet.run(
+                pairs,
+                pairs_per_round=args.pairs_per_round,
+                fault_plan=fault_plan,
+                journal=args.journal,
+            )
+    rows = [
+        ("pairs", f"{run.schedule.total_pairs:,}"),
+        ("shards x DPUs", f"{args.shards} x {args.dpus} = {fleet.total_dpus}"),
+        ("tasklets / policy", f"{args.tasklets} / {args.policy}"),
+        ("rounds (replayed)", f"{run.schedule.rounds} ({run.rounds_replayed})"),
+        ("kernel", human_time(run.kernel_seconds)),
+        ("transfers", human_time(run.transfer_seconds)),
+        ("recovery overhead", human_time(run.recovery_seconds)),
+        ("makespan", human_time(run.total_seconds)),
+        ("shard-serial time", human_time(run.serial_seconds)),
+        ("fleet speedup", f"{run.speedup():.2f}x"),
+        ("throughput", f"{run.throughput():,.0f} pairs/s"),
+    ]
+    print(format_table(["metric", "value"], rows, title="simulated PIM fleet run"))
+    if run.recovery is not None:
+        print(f"recovery: {run.recovery.faults_seen} fault(s), "
+              f"{len(run.recovery.rerun_pairs)} pair(s) re-run, "
+              f"{len(run.recovery.abandoned_pairs)} abandoned")
+    if health_policy is not None:
+        for shard, states in fleet.health_states().items():
+            if states is None:
+                continue
+            open_dpus = sorted(d for d, s in states.items() if s != "closed")
+            if open_dpus:
+                print(f"shard {shard} breakers not closed: {open_dpus} "
+                      f"(states: { {d: states[d] for d in open_dpus} })")
+    for warning in caught:
+        if issubclass(warning.category, DegradedCapacity):
+            print(f"warning: {warning.message}", file=sys.stderr)
+    if args.journal:
+        appended = run.schedule.rounds - run.rounds_replayed
+        print(f"fleet journal: {args.journal} ({appended} round(s) appended "
+              f"across {len(run.shard_runs)} shard journal(s))")
+    if telemetry is not None:
+        # federate the per-shard device counters into the primary
+        # registry so the written metrics cover the whole fleet
+        for shard_tel in fleet.shard_telemetries:
+            if shard_tel is not None:
+                telemetry.registry.merge_snapshot(shard_tel.registry.snapshot())
         _write_telemetry(args, telemetry)
     return 0
 

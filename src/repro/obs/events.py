@@ -46,6 +46,9 @@ kind                 published by / meaning
 ``slo_alert``        :mod:`repro.obs.slo` — a burn-rate alert fired or
                      resolved (attrs: ``state`` ``"fire"``/``"resolve"``,
                      ``window_s``, ``burn``)
+``rebalance``        :class:`~repro.pim.fleet.FleetCoordinator` — the
+                     active shard set changed and rounds were rebalanced
+                     (attrs: ``active``, ``shards``, ``excluded``)
 ===================  ====================================================
 """
 
@@ -69,6 +72,7 @@ __all__ = [
     "SHED",
     "DEADLINE",
     "SLO_ALERT",
+    "REBALANCE",
     "validate_event_log",
 ]
 
@@ -82,10 +86,11 @@ FALLBACK = "fallback"
 SHED = "shed"
 DEADLINE = "deadline"
 SLO_ALERT = "slo_alert"
+REBALANCE = "rebalance"
 
 #: the closed event vocabulary — the "typed" in "typed event log".
 EVENT_KINDS = frozenset(
-    {BREAKER, WATCHDOG, JOURNAL_REPLAY, FALLBACK, SHED, DEADLINE, SLO_ALERT}
+    {BREAKER, WATCHDOG, JOURNAL_REPLAY, FALLBACK, SHED, DEADLINE, SLO_ALERT, REBALANCE}
 )
 
 #: attribute values may only be JSON scalars (schema stability).

@@ -55,6 +55,7 @@ SCENARIO_NAMES = (
     "scheduler_rounds",
     "serve_replay",
     "resilience_breaker",
+    "fleet_scaling",
 )
 
 
@@ -478,4 +479,122 @@ def resilience_breaker(profile: str) -> ScenarioResult:
                 retry_only.total_seconds - with_breaker.total_seconds
             ),
         },
+    )
+
+
+# -- 6. sharded-fleet scaling curve ----------------------------------------
+
+
+@scenario("fleet_scaling")
+def fleet_scaling(profile: str) -> ScenarioResult:
+    """The paper's DIMM-scaling claim on the modeled clock.
+
+    Runs one pinned workload through :class:`~repro.pim.fleet.FleetCoordinator`
+    at 1, 2, 4 and 20 shards (the paper's 20-DIMM shape), asserts the
+    result stream is byte-identical at every shard count (the
+    shard-equivalence claim ``tests/test_pim_fleet.py`` pins), and that
+    the modeled fleet makespan strictly shrinks — i.e. throughput rises
+    monotonically — from 1 through 20 shards.  Gated metrics come from
+    the 4-shard point; the whole 1→2→4→20 curve rides in ``info``.
+    """
+    from repro.pim.fleet import FleetCoordinator
+
+    config = {
+        "scenario": "fleet_scaling",
+        "profile": profile,
+        "shard_counts": [1, 2, 4, 20],
+        "dpus_per_shard": 4,
+        "tasklets": 4,
+        "length": 32,
+        "error_rate": 0.05,
+        "max_edits": 3,
+        "seed": 17,
+        "pairs": 320 if profile == "quick" else 1280,
+        "pairs_per_round": 16 if profile == "quick" else 64,
+    }
+    pairs = ReadPairGenerator(
+        length=config["length"],
+        error_rate=config["error_rate"],
+        seed=config["seed"],
+    ).pairs(config["pairs"])
+    system_config = PimSystemConfig(
+        num_dpus=config["dpus_per_shard"],
+        num_ranks=1,
+        tasklets=config["tasklets"],
+        num_simulated_dpus=config["dpus_per_shard"],
+    )
+    kernel_config = KernelConfig(
+        penalties=AffinePenalties(),
+        max_read_len=config["length"],
+        max_edits=config["max_edits"],
+        engine="vector",
+    )
+
+    telemetry = RunTelemetry()
+    curve = []
+    baseline_signature = None
+    gated = None
+    counters = {}
+    for shards in config["shard_counts"]:
+        shard_tel = telemetry if shards == 4 else None
+        fleet = FleetCoordinator(
+            system_config, kernel_config, shards=shards, telemetry=shard_tel
+        )
+        run = fleet.run(
+            pairs,
+            pairs_per_round=config["pairs_per_round"],
+            collect_results=True,
+        )
+        signature = _signature(run.results())
+        if baseline_signature is None:
+            baseline_signature = signature
+        elif signature != baseline_signature:
+            raise LedgerError(
+                f"fleet_scaling: shards={shards} results diverged from "
+                "shards=1 (shard equivalence broken)"
+            )
+        if curve and run.total_seconds >= curve[-1]["total_seconds"]:
+            raise LedgerError(
+                "fleet_scaling: modeled makespan did not shrink from "
+                f"{curve[-1]['shards']} to {shards} shards "
+                f"({run.total_seconds:.6g} >= "
+                f"{curve[-1]['total_seconds']:.6g} modeled seconds)"
+            )
+        if shard_tel is not None:
+            # the 4-shard point attributes device counters through the
+            # fleet's federated view (the telemetry is fresh, so the
+            # full federated snapshot IS the scenario's diff-from-zero)
+            counters = counters_from_diff(fleet.metrics_snapshot())
+            gated = run
+        curve.append(
+            {
+                "shards": shards,
+                "total_seconds": run.total_seconds,
+                "throughput": run.throughput(),
+                "speedup_vs_serial": run.speedup(),
+            }
+        )
+
+    p50, p90, p99 = _pctl([r.total_seconds for r in gated.per_round])
+    return ScenarioResult(
+        scenario="fleet_scaling",
+        config=config,
+        pairs_per_second=gated.throughput(),
+        total_seconds=gated.total_seconds,
+        kernel_seconds=gated.kernel_seconds,
+        latency_p50_s=p50,
+        latency_p90_s=p90,
+        latency_p99_s=p99,
+        info={
+            "results_identical": True,
+            "curve": curve,
+            "throughput_1_shard": curve[0]["throughput"],
+            "throughput_20_shards": curve[-1]["throughput"],
+            "scaling_20_over_1": (
+                curve[-1]["throughput"] / curve[0]["throughput"]
+                if curve[0]["throughput"]
+                else 0.0
+            ),
+        },
+        counters=counters,
     )

@@ -30,6 +30,17 @@ from repro.pim.faults import (
     TransferTruncation,
     spare_placements,
 )
+from repro.pim.fleet import (
+    FAULT_DOMAINS,
+    MANIFEST_SCHEMA,
+    FleetCoordinator,
+    FleetRun,
+    ShardOutcome,
+    ShardTask,
+    run_fleet_shard,
+    shard_journal_name,
+    slice_fault_plan,
+)
 from repro.pim.health import CircuitBreaker, FleetHealth, HealthPolicy
 from repro.pim.journal import (
     JOURNAL_SCHEMA,
@@ -119,6 +130,15 @@ __all__ = [
     "HealthPolicy",
     "CircuitBreaker",
     "FleetHealth",
+    "FleetCoordinator",
+    "FleetRun",
+    "ShardTask",
+    "ShardOutcome",
+    "run_fleet_shard",
+    "slice_fault_plan",
+    "shard_journal_name",
+    "MANIFEST_SCHEMA",
+    "FAULT_DOMAINS",
     "RunJournal",
     "JOURNAL_SCHEMA",
     "workload_fingerprint",

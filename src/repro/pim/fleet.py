@@ -1,0 +1,925 @@
+"""Multi-rank sharded fleet: federate many ``PimSystem``\\ s.
+
+The paper's headline throughput comes from a 20-DIMM / 2560-DPU UPMEM
+deployment, but one :class:`~repro.pim.system.PimSystem` simulates a
+single fleet on a single modeled timeline.  This module adds the
+rank/DIMM layer above it: a :class:`FleetCoordinator` partitions a
+workload across ``shards`` independent, identically-shaped
+:class:`~repro.pim.system.PimSystem` shards and runs them concurrently
+on the modeled clock (each shard's rounds stack serially on its own
+timeline; the fleet's makespan is the slowest shard's), the way the
+authors' follow-up framework paper dispatches work across real PIM
+ranks with host-side aggregation.
+
+Sharding model — **round striping**:
+
+* the workload is split into MRAM-sized rounds exactly as the unsharded
+  :class:`~repro.pim.scheduler.BatchScheduler` would split it (same
+  ``pairs_per_round``, same chunk boundaries);
+* round ``i`` is placed on shard ``active[i % len(active)]``, where
+  ``active`` is the deterministic, health-ordered list of shards whose
+  per-shard :class:`~repro.pim.health.FleetHealth` ledger still reports
+  at least ``min_shard_healthy_fraction`` healthy DPUs — quarantined
+  shards receive no rounds and a ``rebalance`` event is published on
+  every change of the active set;
+* each shard executes its rounds through its own
+  :class:`~repro.pim.scheduler.BatchScheduler` (sequentially, or
+  process-parallel across shards via ``shard_workers`` — the same
+  ``ProcessPoolExecutor`` fan-out :mod:`repro.pim.parallel` uses below
+  for per-DPU jobs).
+
+Because every shard has the same shape and a round's outcome is a pure
+function of (chunk, system config, fault plan, retry policy), a round
+produces the byte-identical :class:`~repro.pim.system.PimRunResult`
+no matter which shard runs it or how many shards exist.  Merging the
+per-round results back in global round order therefore reconstructs
+exactly the unsharded run's result stream — the differential
+shard-equivalence property ``tests/test_pim_fleet.py`` pins
+(``shards=1`` ≡ unsharded ``BatchScheduler.run`` to the byte, and
+``shards=2/4`` ≡ ``shards=1`` at any worker count).  Placement only
+moves modeled *time*, never results.
+
+Journal federation: ``journal=<dir>`` writes one standard
+``repro.pim.journal/v1`` file per shard plus a ``manifest.json``
+(schema ``repro.pim.fleet/v1``) recording the shard count, the fault
+domain, and — crucially — the **placement actually used**, so
+:meth:`FleetCoordinator.resume_run` replays a crashed fleet run under
+the original placement even if shard health would place differently
+today.  The workload fingerprint deliberately excludes both ``workers``
+and ``shards`` (see :func:`~repro.pim.journal.workload_fingerprint`);
+the manifest is what carries ``shards``.
+
+Fault domains: a :class:`~repro.pim.faults.FaultPlan` handed to
+:meth:`FleetCoordinator.run` is interpreted per ``fault_domain``:
+
+* ``"global"`` (default) — fault ``dpu_id``\\ s index the federated
+  fleet (``shard * dpus_per_shard + local``); each shard receives the
+  slice of faults that land on its DPUs (:func:`slice_fault_plan`).
+* ``"uniform"`` — every shard receives the plan verbatim (the same
+  local DPU misbehaves on every shard); results stay byte-identical
+  across shard counts even under faults, which is what the
+  differential suite exploits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.data.generator import ReadPair
+from repro.errors import ConfigError, DegradedCapacity, JournalError
+from repro.pim.faults import FaultPlan, RecoveryReport, RetryPolicy
+from repro.pim.kernel import KernelConfig
+from repro.pim.scheduler import BatchSchedule, BatchScheduler, ScheduledRun
+from repro.pim.system import PimRunResult, PimSystem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.telemetry import RunTelemetry
+    from repro.pim.config import PimSystemConfig
+    from repro.pim.health import HealthPolicy
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "FAULT_DOMAINS",
+    "FleetRun",
+    "FleetCoordinator",
+    "ShardTask",
+    "ShardOutcome",
+    "run_fleet_shard",
+    "slice_fault_plan",
+    "shard_journal_name",
+]
+
+#: schema tag of the fleet journal manifest.
+MANIFEST_SCHEMA = "repro.pim.fleet/v1"
+
+#: manifest file name inside a fleet journal directory.
+MANIFEST_NAME = "manifest.json"
+
+FAULT_DOMAINS = ("global", "uniform")
+
+
+def shard_journal_name(shard: int) -> str:
+    """Journal file name for one shard inside a fleet journal directory."""
+    return f"shard-{shard:03d}.jsonl"
+
+
+def slice_fault_plan(
+    plan: FaultPlan, shard: int, dpus_per_shard: int
+) -> FaultPlan:
+    """One shard's slice of a fleet-global fault plan.
+
+    Global fault ``dpu_id``\\ s in ``[shard * dpus_per_shard, (shard+1) *
+    dpus_per_shard)`` are kept and rebased to shard-local ids; faults on
+    other shards' DPUs are dropped.  The result is never ``None``: a
+    plan with no faults on this shard becomes an *empty* plan with the
+    same seed, so every shard takes the same (resilient, verified)
+    execution path — the property the shard-equivalence suite relies
+    on.
+    """
+    lo = shard * dpus_per_shard
+    hi = lo + dpus_per_shard
+
+    def keep(faults):
+        return tuple(
+            replace(f, dpu_id=f.dpu_id - lo) for f in faults if lo <= f.dpu_id < hi
+        )
+
+    return FaultPlan(
+        seed=plan.seed,
+        deaths=keep(plan.deaths),
+        corruptions=keep(plan.corruptions),
+        truncations=keep(plan.truncations),
+        stalls=keep(plan.stalls),
+    )
+
+
+# -- process-parallel shard execution -----------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A self-contained description of one shard's run; picklable.
+
+    Mirrors :class:`~repro.pim.parallel.DpuJob` one layer up: the worker
+    process builds its own system, scheduler (and telemetry when asked)
+    from the task alone, so a shard's outcome depends only on the task —
+    never on which worker ran it or in what order.
+    """
+
+    shard_id: int
+    config: "PimSystemConfig"
+    kernel_config: KernelConfig
+    overlapped: bool
+    workers: Optional[int]
+    pairs: tuple[ReadPair, ...]
+    pairs_per_round: int
+    collect_results: bool
+    fault_plan: Optional[FaultPlan]
+    retry_policy: Optional[RetryPolicy]
+    journal_path: Optional[str]
+    resume: bool
+    now: float
+    with_telemetry: bool
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard sends back to the coordinator; picklable."""
+
+    shard_id: int
+    run: ScheduledRun
+    #: picklable :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+    #: (``with_telemetry`` tasks only)
+    metrics: Optional[dict] = None
+    #: event records (:meth:`~repro.obs.events.Event.to_dict`) in
+    #: publish order (``with_telemetry`` tasks only)
+    events: Optional[list] = None
+
+
+def run_fleet_shard(task: ShardTask) -> ShardOutcome:
+    """Run one shard's rounds; picklable in and out.
+
+    Journals to ``task.journal_path`` (a standard per-shard
+    ``repro.pim.journal/v1`` file) when set; with ``task.resume`` and an
+    existing journal the shard resumes instead of starting fresh.
+    """
+    telemetry = None
+    if task.with_telemetry:
+        from repro.obs.telemetry import RunTelemetry
+
+        telemetry = RunTelemetry()
+    system = PimSystem(task.config, task.kernel_config, telemetry=telemetry)
+    scheduler = BatchScheduler(
+        system, overlapped=task.overlapped, workers=task.workers
+    )
+    pairs = list(task.pairs)
+    if (
+        task.resume
+        and task.journal_path is not None
+        and Path(task.journal_path).exists()
+    ):
+        run = scheduler.resume_run(
+            task.journal_path,
+            pairs,
+            pairs_per_round=task.pairs_per_round,
+            collect_results=task.collect_results,
+            fault_plan=task.fault_plan,
+            retry_policy=task.retry_policy,
+            now=task.now,
+        )
+    else:
+        run = scheduler.run(
+            pairs,
+            pairs_per_round=task.pairs_per_round,
+            collect_results=task.collect_results,
+            fault_plan=task.fault_plan,
+            retry_policy=task.retry_policy,
+            journal=task.journal_path,
+            now=task.now,
+        )
+    return ShardOutcome(
+        shard_id=task.shard_id,
+        run=run,
+        metrics=telemetry.registry.snapshot() if telemetry is not None else None,
+        events=(
+            [e.to_dict() for e in telemetry.events.events()]
+            if telemetry is not None
+            else None
+        ),
+    )
+
+
+# -- the merged fleet run ------------------------------------------------------
+
+
+@dataclass
+class FleetRun:
+    """Aggregate outcome of one fleet run, in global round order.
+
+    ``per_round`` / ``schedule`` / ``recovery`` / ``total_seconds``
+    deliberately mirror :class:`~repro.pim.scheduler.ScheduledRun` so
+    the serve dispatcher can consume either interchangeably; the timing
+    semantics differ — shards run concurrently, so ``total_seconds`` is
+    the fleet *makespan* (slowest shard), not the serial sum.
+    """
+
+    schedule: BatchSchedule
+    shards: int
+    #: shard id each global round was placed on
+    placements: list[int]
+    #: per-round results in global round order (the unsharded stream)
+    per_round: list[PimRunResult] = field(default_factory=list)
+    #: each participating shard's own ScheduledRun
+    shard_runs: dict[int, ScheduledRun] = field(default_factory=dict)
+    overlapped: bool = False
+    #: aggregate recovery report, pair indices global (None without faults)
+    recovery: Optional[RecoveryReport] = None
+    rounds_replayed: int = 0
+
+    @property
+    def kernel_seconds(self) -> float:
+        return sum(r.kernel_seconds for r in self.per_round)
+
+    @property
+    def transfer_seconds(self) -> float:
+        return sum(r.transfer_seconds for r in self.per_round)
+
+    @property
+    def recovery_seconds(self) -> float:
+        return sum(r.recovery_overhead_seconds for r in self.per_round)
+
+    @property
+    def shard_seconds(self) -> dict[int, float]:
+        """Modeled busy seconds per participating shard."""
+        return {k: run.total_seconds for k, run in sorted(self.shard_runs.items())}
+
+    @property
+    def total_seconds(self) -> float:
+        """Fleet makespan: shards run concurrently, so the run finishes
+        when the slowest shard does."""
+        return max(self.shard_seconds.values(), default=0.0)
+
+    @property
+    def serial_seconds(self) -> float:
+        """What the same rounds would cost on one shard (scaling denominator)."""
+        return sum(self.shard_seconds.values())
+
+    def speedup(self) -> float:
+        return self.serial_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    def throughput(self) -> float:
+        total = self.schedule.total_pairs
+        return total / self.total_seconds if self.total_seconds else 0.0
+
+    def results(self) -> list[tuple[int, int, object]]:
+        """Gathered records rebased to workload-global pair indices."""
+        out: list[tuple[int, int, object]] = []
+        start = 0
+        for rnd, size in zip(self.per_round, self.schedule.round_sizes()):
+            out.extend((start + local, score, cigar) for local, score, cigar in rnd.results)
+            start += size
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready fleet-run summary (schema ``repro.pim.fleet.run/v1``)."""
+        return {
+            "schema": "repro.pim.fleet.run/v1",
+            "shards": self.shards,
+            "rounds": self.schedule.rounds,
+            "rounds_replayed": self.rounds_replayed,
+            "placements": list(self.placements),
+            "total_seconds": self.total_seconds,
+            "serial_seconds": self.serial_seconds,
+            "shard_seconds": {str(k): v for k, v in self.shard_seconds.items()},
+            "throughput_pairs_per_s": self.throughput(),
+            "recovery": self.recovery.to_dict() if self.recovery is not None else None,
+        }
+
+
+# -- the coordinator -----------------------------------------------------------
+
+
+class FleetCoordinator:
+    """Places rounds on shards, runs them, federates the outcomes.
+
+    ``config`` describes **one shard** (``config.num_dpus`` DPUs per
+    shard; the federation totals ``shards * config.num_dpus``).  Every
+    shard gets its own system, scheduler, telemetry (when ``telemetry``
+    is given — the argument itself is the *primary* sink for
+    coordinator-level events) and, under a ``health_policy``, its own
+    :class:`~repro.pim.health.FleetHealth` ledger.
+
+    Health-aware placement: before each run the coordinator asks every
+    shard ledger for its healthy fraction; shards below
+    ``min_shard_healthy_fraction`` are quarantined out of placement and
+    a ``rebalance`` event is published on each change of the active
+    set.  If *every* shard is quarantined the full fleet becomes probe
+    traffic (mirroring :meth:`~repro.pim.health.FleetHealth.plan_round`).
+
+    ``shard_workers`` > 1 fans shards out over a
+    ``ProcessPoolExecutor`` (falling back to sequential execution if
+    the pool cannot start) — results are identical either way because a
+    shard's outcome is a pure function of its task.  Process-parallel
+    execution is incompatible with ``health_policy`` (breaker state
+    lives in the coordinator process) and refused up front.
+    """
+
+    def __init__(
+        self,
+        config: "PimSystemConfig",
+        kernel_config: Optional[KernelConfig] = None,
+        shards: int = 1,
+        *,
+        overlapped: bool = False,
+        workers: Optional[int] = None,
+        shard_workers: int = 1,
+        health_policy: Optional["HealthPolicy"] = None,
+        min_shard_healthy_fraction: float = 0.5,
+        fault_domain: str = "global",
+        telemetry: Optional["RunTelemetry"] = None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if shard_workers < 0:
+            raise ConfigError(f"shard_workers must be >= 0, got {shard_workers}")
+        if fault_domain not in FAULT_DOMAINS:
+            raise ConfigError(
+                f"fault_domain must be one of {FAULT_DOMAINS}, got {fault_domain!r}"
+            )
+        if not 0 < min_shard_healthy_fraction <= 1:
+            raise ConfigError(
+                "min_shard_healthy_fraction must be in (0, 1], got "
+                f"{min_shard_healthy_fraction}"
+            )
+        if shard_workers not in (0, 1) and health_policy is not None:
+            raise ConfigError(
+                "process-parallel shards (shard_workers > 1) cannot carry "
+                "health ledgers across processes; use shard_workers=1 with "
+                "health_policy"
+            )
+        self.shards = shards
+        self.config = config
+        self.overlapped = overlapped
+        self.workers = workers
+        self.shard_workers = shard_workers
+        self.health_policy = health_policy
+        self.min_shard_healthy_fraction = min_shard_healthy_fraction
+        self.fault_domain = fault_domain
+        #: primary telemetry: coordinator-level events (rebalance) and the
+        #: serve layer's own metrics land here; per-shard device telemetry
+        #: lives on the shard systems and is federated on demand.
+        self.telemetry = telemetry
+        self.shard_telemetries: list[Optional["RunTelemetry"]] = []
+        self.systems: list[PimSystem] = []
+        self.schedulers: list[BatchScheduler] = []
+        self.shard_healths: list = []
+        for k in range(shards):
+            shard_tel = None
+            if telemetry is not None:
+                from repro.obs.telemetry import RunTelemetry
+
+                shard_tel = RunTelemetry()
+            system = PimSystem(config, kernel_config, telemetry=shard_tel)
+            self.shard_telemetries.append(shard_tel)
+            self.systems.append(system)
+            self.schedulers.append(
+                BatchScheduler(system, overlapped=overlapped, workers=workers)
+            )
+            health = None
+            if health_policy is not None:
+                from repro.pim.health import FleetHealth
+
+                health = FleetHealth(
+                    config.num_dpus,
+                    policy=health_policy,
+                    registry=shard_tel.registry if shard_tel is not None else None,
+                    events=shard_tel.events if shard_tel is not None else None,
+                )
+            self.shard_healths.append(health)
+        self._last_active: tuple[int, ...] = tuple(range(shards))
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def dpus_per_shard(self) -> int:
+        return self.config.num_dpus
+
+    @property
+    def total_dpus(self) -> int:
+        """Federated DPU count — the paper-scale number a fleet models."""
+        return self.shards * self.config.num_dpus
+
+    @property
+    def kernel_config(self) -> KernelConfig:
+        return self.systems[0].kernel_config
+
+    def plan(
+        self, total_pairs: int, pairs_per_round: Optional[int] = None
+    ) -> BatchSchedule:
+        """The canonical (unsharded) schedule rounds are striped from."""
+        return self.schedulers[0].plan(total_pairs, pairs_per_round)
+
+    def max_pairs_per_round(self, mram_budget_fraction: float = 0.9) -> int:
+        return self.schedulers[0].max_pairs_per_round(mram_budget_fraction)
+
+    # -- health-aware placement --------------------------------------------
+
+    def healthy_fraction(self, now: Optional[float] = None) -> float:
+        """Fraction of the *federated* fleet available for placement."""
+        if self.health_policy is None:
+            return 1.0
+        healthy = sum(
+            len(h.available(now)) for h in self.shard_healths if h is not None
+        )
+        return healthy / self.total_dpus
+
+    def available_shards(self, now: Optional[float] = None) -> tuple[int, ...]:
+        """Sorted shard ids allowed to take rounds.
+
+        A shard is quarantined when its ledger's healthy fraction falls
+        below ``min_shard_healthy_fraction``; with every shard
+        quarantined the whole fleet is returned as probe traffic.
+        """
+        if self.health_policy is None:
+            return tuple(range(self.shards))
+        active = tuple(
+            k
+            for k in range(self.shards)
+            if self.shard_healths[k].healthy_fraction(now)
+            >= self.min_shard_healthy_fraction
+        )
+        return active if active else tuple(range(self.shards))
+
+    def place_rounds(
+        self, num_rounds: int, now: Optional[float] = None
+    ) -> list[int]:
+        """Deterministic striped placement over the active shards."""
+        active = self.available_shards(now)
+        self._note_rebalance(active, 0.0 if now is None else now)
+        return [active[i % len(active)] for i in range(num_rounds)]
+
+    def _note_rebalance(self, active: tuple[int, ...], now: float) -> None:
+        """Publish a ``rebalance`` event on each active-set change."""
+        if active == self._last_active:
+            return
+        excluded = sorted(set(range(self.shards)) - set(active))
+        self._last_active = active
+        if excluded:
+            warnings.warn(
+                f"shards {excluded} quarantined at t={now:.6f}; rounds "
+                f"rebalanced onto {len(active)} of {self.shards} shards",
+                DegradedCapacity,
+                stacklevel=3,
+            )
+        if self.telemetry is not None:
+            from repro.obs.events import REBALANCE
+
+            self.telemetry.events.publish(
+                REBALANCE,
+                now,
+                active=len(active),
+                shards=self.shards,
+                excluded=",".join(str(s) for s in excluded),
+            )
+
+    # -- fault domains ------------------------------------------------------
+
+    def _shard_plan(
+        self, fault_plan: Optional[FaultPlan], shard: int
+    ) -> Optional[FaultPlan]:
+        if fault_plan is None:
+            return None
+        if self.fault_domain == "uniform":
+            return fault_plan
+        return slice_fault_plan(fault_plan, shard, self.dpus_per_shard)
+
+    # -- journal federation -------------------------------------------------
+
+    def _fingerprint(
+        self,
+        pairs: list[ReadPair],
+        schedule: BatchSchedule,
+        collect_results: bool,
+        fault_plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy],
+    ) -> dict:
+        """Fleet workload fingerprint: excludes ``workers`` *and*
+        ``shards`` (the manifest records the shard count)."""
+        from repro.pim.journal import workload_fingerprint
+
+        policy: Optional[RetryPolicy] = None
+        if fault_plan is not None:
+            policy = retry_policy if retry_policy is not None else RetryPolicy()
+        return workload_fingerprint(
+            pairs,
+            schedule.pairs_per_round,
+            self.config.num_dpus,
+            self.config.tasklets,
+            self.config.metadata_policy,
+            collect_results,
+            fault_plan=fault_plan,
+            retry_policy=policy,
+            health_policy=self.health_policy,
+        )
+
+    @staticmethod
+    def _write_manifest(directory: Path, doc: dict) -> None:
+        """Atomic manifest write (same temp-file + replace discipline as
+        the per-shard journals)."""
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / MANIFEST_NAME
+        fd, tmp = tempfile.mkstemp(
+            dir=str(directory), prefix=MANIFEST_NAME, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def load_manifest(directory: Union[str, Path]) -> dict:
+        """Load and schema-check a fleet journal manifest."""
+        path = Path(directory) / MANIFEST_NAME
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise JournalError(f"cannot read fleet manifest {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"fleet manifest {path} is malformed: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("schema") != MANIFEST_SCHEMA:
+            raise JournalError(
+                f"{path} is not a {MANIFEST_SCHEMA} manifest "
+                f"(got {doc.get('schema') if isinstance(doc, dict) else doc!r})"
+            )
+        return doc
+
+    # -- execution ----------------------------------------------------------
+
+    def run(
+        self,
+        pairs: list[ReadPair],
+        pairs_per_round: Optional[int] = None,
+        collect_results: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        journal: Optional[Union[str, Path]] = None,
+        now: float = 0.0,
+        placements: Optional[list[int]] = None,
+        resume: bool = False,
+    ) -> FleetRun:
+        """Run a workload across the fleet and merge the outcomes.
+
+        ``journal`` names a *directory*: one ``repro.pim.journal/v1``
+        file per participating shard plus a ``manifest.json`` recording
+        the placement.  ``placements``/``resume`` are the resume path's
+        internals — use :meth:`resume_run`.
+        """
+        schedule = self.plan(len(pairs), pairs_per_round)
+        sizes = schedule.round_sizes()
+        starts: list[int] = []
+        acc = 0
+        for size in sizes:
+            starts.append(acc)
+            acc += size
+        if placements is None:
+            placements = self.place_rounds(schedule.rounds, now)
+        elif len(placements) != schedule.rounds:
+            raise ConfigError(
+                f"placement length {len(placements)} does not match the "
+                f"{schedule.rounds}-round schedule"
+            )
+        shard_rounds: dict[int, list[int]] = {}
+        for index, shard in enumerate(placements):
+            if not 0 <= shard < self.shards:
+                raise ConfigError(f"round {index} placed on unknown shard {shard}")
+            shard_rounds.setdefault(shard, []).append(index)
+
+        journal_dir = Path(journal) if journal is not None else None
+        if journal_dir is not None and not resume:
+            self._write_manifest(
+                journal_dir,
+                {
+                    "schema": MANIFEST_SCHEMA,
+                    "shards": self.shards,
+                    "dpus_per_shard": self.dpus_per_shard,
+                    "fault_domain": self.fault_domain,
+                    "pairs_per_round": schedule.pairs_per_round,
+                    "placements": list(placements),
+                    "journals": {
+                        str(k): shard_journal_name(k) for k in sorted(shard_rounds)
+                    },
+                    "fingerprint": self._fingerprint(
+                        pairs, schedule, collect_results, fault_plan, retry_policy
+                    ),
+                },
+            )
+
+        tasks: list[ShardTask] = []
+        for k in sorted(shard_rounds):
+            shard_pairs = tuple(
+                pair
+                for r in shard_rounds[k]
+                for pair in pairs[starts[r] : starts[r] + sizes[r]]
+            )
+            journal_path = (
+                str(journal_dir / shard_journal_name(k))
+                if journal_dir is not None
+                else None
+            )
+            tasks.append(
+                ShardTask(
+                    shard_id=k,
+                    config=self.config,
+                    kernel_config=self.systems[k].kernel_config,
+                    overlapped=self.overlapped,
+                    workers=self.workers,
+                    pairs=shard_pairs,
+                    pairs_per_round=schedule.pairs_per_round,
+                    collect_results=collect_results,
+                    fault_plan=self._shard_plan(fault_plan, k),
+                    retry_policy=retry_policy,
+                    journal_path=journal_path,
+                    resume=resume,
+                    now=now,
+                    with_telemetry=self.telemetry is not None,
+                )
+            )
+
+        shard_runs = self._execute(tasks, resume=resume, now=now)
+
+        per_round: list[Optional[PimRunResult]] = [None] * schedule.rounds
+        rounds_replayed = 0
+        for k, run_k in shard_runs.items():
+            rounds_replayed += run_k.rounds_replayed
+            for j, r in enumerate(shard_rounds[k]):
+                result = run_k.per_round[j]
+                if result.recovery is not None:
+                    # the shard shifted this round's recovery to its own
+                    # (shard-local) pair space; lift it to the global one
+                    result.recovery.shift_pairs(
+                        starts[r] - j * schedule.pairs_per_round
+                    )
+                per_round[r] = result
+        recovery: Optional[RecoveryReport] = None
+        for result in per_round:
+            if result is not None and result.recovery is not None:
+                if recovery is None:
+                    recovery = RecoveryReport()
+                recovery.merge(result.recovery)
+        return FleetRun(
+            schedule=schedule,
+            shards=self.shards,
+            placements=list(placements),
+            per_round=[r for r in per_round if r is not None],
+            shard_runs=shard_runs,
+            overlapped=self.overlapped,
+            recovery=recovery,
+            rounds_replayed=rounds_replayed,
+        )
+
+    def _execute(
+        self, tasks: list[ShardTask], resume: bool, now: float
+    ) -> dict[int, ScheduledRun]:
+        """Run shard tasks sequentially or over a process pool."""
+        if self.shard_workers not in (0, 1) and len(tasks) > 1:
+            workers = self.shard_workers or (os.cpu_count() or 1)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(tasks))
+                ) as pool:
+                    outcomes = list(pool.map(run_fleet_shard, tasks))
+                return self._absorb(outcomes)
+            except (OSError, BrokenProcessPool):
+                # pool infrastructure failure: the sequential path is
+                # result-identical (same discipline as repro.pim.parallel)
+                pass
+        outcomes = []
+        for task in tasks:
+            outcomes.append(self._run_shard_inline(task))
+        return self._absorb(outcomes, inline=True)
+
+    def _run_shard_inline(self, task: ShardTask) -> ShardOutcome:
+        """Run one shard on its persistent system/health in-process."""
+        k = task.shard_id
+        scheduler = self.schedulers[k]
+        pairs = list(task.pairs)
+        if (
+            task.resume
+            and task.journal_path is not None
+            and Path(task.journal_path).exists()
+        ):
+            run = scheduler.resume_run(
+                task.journal_path,
+                pairs,
+                pairs_per_round=task.pairs_per_round,
+                collect_results=task.collect_results,
+                fault_plan=task.fault_plan,
+                retry_policy=task.retry_policy,
+                health=self.shard_healths[k],
+                now=task.now,
+            )
+        else:
+            run = scheduler.run(
+                pairs,
+                pairs_per_round=task.pairs_per_round,
+                collect_results=task.collect_results,
+                fault_plan=task.fault_plan,
+                retry_policy=task.retry_policy,
+                health=self.shard_healths[k],
+                journal=task.journal_path,
+                now=task.now,
+            )
+        return ShardOutcome(shard_id=k, run=run)
+
+    def _absorb(
+        self, outcomes: list[ShardOutcome], inline: bool = False
+    ) -> dict[int, ScheduledRun]:
+        """Fold shard outcomes home; merge worker telemetry deltas."""
+        shard_runs: dict[int, ScheduledRun] = {}
+        for outcome in outcomes:
+            shard_runs[outcome.shard_id] = outcome.run
+            if inline:
+                continue  # persistent shard telemetry already has it all
+            shard_tel = self.shard_telemetries[outcome.shard_id]
+            if shard_tel is None:
+                continue
+            if outcome.metrics is not None:
+                shard_tel.registry.merge_snapshot(outcome.metrics)
+            for record in outcome.events or ():
+                shard_tel.events.publish(
+                    record["kind"], record["t_s"], **record["attrs"]
+                )
+        return shard_runs
+
+    def resume_run(
+        self,
+        journal: Union[str, Path],
+        pairs: list[ReadPair],
+        pairs_per_round: Optional[int] = None,
+        collect_results: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        now: float = 0.0,
+    ) -> FleetRun:
+        """Resume a crashed fleet run from its journal directory.
+
+        Validates the manifest (schema, shard count, fault domain, and
+        the workload fingerprint — which excludes ``workers`` and
+        ``shards``, so a run journaled at one worker count resumes at
+        any other), then re-runs under the **recorded** placement:
+        shards whose journals survived replay their completed rounds
+        idempotently; shards whose journals are missing or torn
+        re-execute.  The merged :class:`FleetRun` — results, recovery,
+        health ledgers, per-shard journal bytes — is identical to an
+        uninterrupted run's.
+        """
+        manifest = self.load_manifest(journal)
+        schedule = self.plan(len(pairs), pairs_per_round)
+        if int(manifest.get("shards", -1)) != self.shards:
+            raise JournalError(
+                f"fleet manifest records shards={manifest.get('shards')}, "
+                f"coordinator has shards={self.shards}"
+            )
+        if manifest.get("fault_domain") != self.fault_domain:
+            raise JournalError(
+                f"fleet manifest records fault_domain="
+                f"{manifest.get('fault_domain')!r}, coordinator uses "
+                f"{self.fault_domain!r}"
+            )
+        expected = self._fingerprint(
+            pairs, schedule, collect_results, fault_plan, retry_policy
+        )
+        if manifest.get("fingerprint") != expected:
+            recorded = manifest.get("fingerprint") or {}
+            mismatched = sorted(
+                key
+                for key in set(recorded) | set(expected)
+                if recorded.get(key) != expected.get(key)
+            )
+            raise JournalError(
+                "fleet manifest fingerprint does not match the offered "
+                f"workload/configuration (differs in: "
+                f"{', '.join(mismatched) or 'shape'})"
+            )
+        placements = [int(p) for p in manifest.get("placements", ())]
+        if len(placements) != schedule.rounds:
+            raise JournalError(
+                f"fleet manifest records {len(placements)} placements for a "
+                f"{schedule.rounds}-round schedule"
+            )
+        return self.run(
+            pairs,
+            pairs_per_round=pairs_per_round,
+            collect_results=collect_results,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            journal=journal,
+            now=now,
+            placements=placements,
+            resume=True,
+        )
+
+    # -- federation ----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """One coherent snapshot across the primary and every shard.
+
+        Counters and histograms sum, gauges keep the max — the
+        commutative merge :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`
+        defines — so the federated view is independent of shard order.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        merged = MetricsRegistry()
+        if self.telemetry is not None:
+            merged.merge_snapshot(self.telemetry.registry.snapshot())
+        for shard_tel in self.shard_telemetries:
+            if shard_tel is not None:
+                merged.merge_snapshot(shard_tel.registry.snapshot())
+        return merged.snapshot()
+
+    def health_states(self) -> dict[int, Optional[dict]]:
+        """Per-shard breaker states (``None`` for unledgered shards)."""
+        return {
+            k: (h.states() if h is not None else None)
+            for k, h in enumerate(self.shard_healths)
+        }
+
+    def health_doc(self, now: Optional[float] = None) -> dict:
+        """Merged fleet-health document (``repro.pim.fleet.health/v1``)."""
+        return {
+            "schema": "repro.pim.fleet.health/v1",
+            "shards": self.shards,
+            "dpus_per_shard": self.dpus_per_shard,
+            "total_dpus": self.total_dpus,
+            "healthy_fraction": self.healthy_fraction(now),
+            "available_shards": list(self.available_shards(now)),
+            "per_shard": {
+                str(k): (h.to_dict(now) if h is not None else None)
+                for k, h in enumerate(self.shard_healths)
+            },
+        }
+
+    def event_records(self) -> list[dict]:
+        """Federated event-log document: header plus every event.
+
+        Shard events gain a ``shard`` attribute; coordinator-level
+        events (rebalances) carry none.  The merged stream is ordered
+        by ``(t_s, shard, seq)`` and re-sequenced, so it validates
+        under :func:`~repro.obs.events.validate_event_log` and is
+        deterministic regardless of shard completion order.
+        """
+        from repro.obs.events import EventLog
+
+        tagged: list[tuple[float, int, int, str, dict]] = []
+        if self.telemetry is not None:
+            for event in self.telemetry.events.events():
+                tagged.append(
+                    (event.t_s, -1, event.seq, event.kind, dict(event.attrs))
+                )
+        for k, shard_tel in enumerate(self.shard_telemetries):
+            if shard_tel is None:
+                continue
+            for event in shard_tel.events.events():
+                attrs = dict(event.attrs)
+                attrs["shard"] = k
+                tagged.append((event.t_s, k, event.seq, event.kind, attrs))
+        tagged.sort(key=lambda item: (item[0], item[1], item[2]))
+        merged = EventLog(capacity=max(1, len(tagged)) + 1)
+        for t_s, _shard, _seq, kind, attrs in tagged:
+            merged.publish(kind, t_s, **attrs)
+        return merged.to_records()

@@ -86,7 +86,12 @@ def workload_fingerprint(
     splices journaled rounds into a fresh run.  ``workers`` is
     deliberately absent: parallel and sequential execution are
     result-identical, so a run journaled at ``workers=2`` may resume at
-    ``workers=0`` and vice versa.
+    ``workers=0`` and vice versa.  ``shards`` is absent for the same
+    reason — placement never changes results — and lives in the fleet
+    manifest (``repro.pim.fleet/v1``) instead, where
+    :meth:`~repro.pim.fleet.FleetCoordinator.resume_run` checks it
+    explicitly; a fleet run journaled at any worker count resumes at
+    any other.
     """
     digest = hashlib.sha256()
     for pair in pairs:

@@ -31,6 +31,7 @@ from repro.serve.resilience import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.cigar import Cigar
     from repro.data.generator import ReadPair
+    from repro.pim.fleet import FleetCoordinator
     from repro.pim.health import FleetHealth
     from repro.pim.scheduler import BatchScheduler, ScheduledRun
 
@@ -81,8 +82,24 @@ class BatchDispatcher:
         pairs_per_round: Optional[int] = None,
         health: Optional["FleetHealth"] = None,
         fallback: Optional[FallbackPolicy] = None,
+        fleet: Optional["FleetCoordinator"] = None,
     ) -> None:
+        if fleet is not None and health is not None:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                "fleet mode owns per-shard health ledgers; pass a "
+                "health_policy to the FleetCoordinator instead of a "
+                "FleetHealth to the dispatcher"
+            )
         self.scheduler = scheduler
+        #: optional sharded fleet: batches run through
+        #: :meth:`~repro.pim.fleet.FleetCoordinator.run` (round-striped
+        #: across shards, health-aware placement) instead of the single
+        #: scheduler; ``scheduler`` stays as the kernel-config source for
+        #: the CPU fallback.  Per-shard health lives inside the fleet, so
+        #: ``health`` must be ``None`` in fleet mode.
+        self.fleet = fleet
         self.fault_plan = fault_plan
         self.retry_policy = retry_policy
         #: optional round-size override forwarded to the scheduler
@@ -134,20 +151,36 @@ class BatchDispatcher:
 
     # -- dispatch ----------------------------------------------------------
 
+    def _healthy_fraction(self, now: float) -> float:
+        """Healthy capacity across whichever fleet view is attached."""
+        if self.fleet is not None:
+            return self.fleet.healthy_fraction(now)
+        if self.health is not None:
+            return self.health.healthy_fraction(now)
+        return 1.0
+
     def _degraded(self, now: float) -> bool:
         """Whether the fleet sits below the CPU-fallback threshold."""
-        if self.health is None or self.fallback is None:
+        if self.fallback is None:
+            return False
+        if self.health is None and (
+            self.fleet is None or self.fleet.health_policy is None
+        ):
             return False
         if self.fallback.min_healthy_fraction <= 0.0:
             return False
-        return self.health.healthy_fraction(now) < self.fallback.min_healthy_fraction
+        return self._healthy_fraction(now) < self.fallback.min_healthy_fraction
 
     def _note_fallback(self, degraded: bool, now: float) -> None:
         """Publish a ``fallback`` event on each activate/recover edge."""
         if degraded == self._fallback_active:
             return
         self._fallback_active = degraded
-        telemetry = self.scheduler.system.telemetry
+        telemetry = (
+            self.fleet.telemetry
+            if self.fleet is not None
+            else self.scheduler.system.telemetry
+        )
         if telemetry is None:
             return
         from repro.obs.events import FALLBACK
@@ -156,11 +189,7 @@ class BatchDispatcher:
             FALLBACK,
             now,
             state="active" if degraded else "recovered",
-            healthy_fraction=(
-                self.health.healthy_fraction(now)
-                if self.health is not None
-                else 1.0
-            ),
+            healthy_fraction=self._healthy_fraction(now),
         )
 
     def dispatch(self, pairs: List["ReadPair"], now: float) -> BatchOutcome:
@@ -198,15 +227,28 @@ class BatchDispatcher:
             )
 
         started = max(now, self._free_at)
-        run = self.scheduler.run(
-            list(pairs),
-            pairs_per_round=self.pairs_per_round,
-            collect_results=True,
-            fault_plan=self.fault_plan,
-            retry_policy=self.retry_policy,
-            health=self.health,
-            now=started,
-        )
+        if self.fleet is not None:
+            # round-striped across the shards; per-round results come
+            # back in global round order, so the rebase below is the
+            # same either way
+            run = self.fleet.run(
+                list(pairs),
+                pairs_per_round=self.pairs_per_round,
+                collect_results=True,
+                fault_plan=self.fault_plan,
+                retry_policy=self.retry_policy,
+                now=started,
+            )
+        else:
+            run = self.scheduler.run(
+                list(pairs),
+                pairs_per_round=self.pairs_per_round,
+                collect_results=True,
+                fault_plan=self.fault_plan,
+                retry_policy=self.retry_policy,
+                health=self.health,
+                now=started,
+            )
         results: List[PairResult] = [None] * len(pairs)
         start = 0
         for rnd, size in zip(run.per_round, run.schedule.round_sizes()):

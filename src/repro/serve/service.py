@@ -285,6 +285,7 @@ class AlignmentService:
         retry_policy: Optional[RetryPolicy] = None,
         health=None,
         fallback: Optional[FallbackPolicy] = None,
+        fleet=None,
     ) -> None:
         self.config = config if config is not None else ServiceConfig()
         self.clock = clock if clock is not None else VirtualClock()
@@ -305,6 +306,7 @@ class AlignmentService:
             pairs_per_round=self.config.pairs_per_round,
             health=health,
             fallback=fallback,
+            fleet=fleet,
         )
         self.cache: Optional[ResultCache] = (
             ResultCache(self.config.cache_pairs, self.config.cache_policy)
@@ -371,6 +373,21 @@ class AlignmentService:
         )
 
     def metrics_snapshot(self) -> dict:
+        # fleet mode: one coherent view across the service registry (the
+        # fleet's primary telemetry) and every shard's registry
+        fleet = self.dispatcher.fleet
+        if fleet is not None:
+            merged = MetricsRegistry()
+            merged.merge_snapshot(self.registry.snapshot())
+            if (
+                fleet.telemetry is not None
+                and fleet.telemetry.registry is not self.registry
+            ):
+                merged.merge_snapshot(fleet.telemetry.registry.snapshot())
+            for shard_tel in fleet.shard_telemetries:
+                if shard_tel is not None:
+                    merged.merge_snapshot(shard_tel.registry.snapshot())
+            return merged.snapshot()
         return self.registry.snapshot()
 
     # -- submission --------------------------------------------------------
@@ -858,6 +875,7 @@ def build_service(
     health_policy=None,
     fallback: Optional[FallbackPolicy] = None,
     engine: str = "vector",
+    shards: int = 1,
 ) -> AlignmentService:
     """Construct the full stack: system -> scheduler -> service.
 
@@ -877,6 +895,16 @@ def build_service(
     quarantine-aware and — when ``fallback`` is also given — batches
     route to the CPU baseline while healthy capacity sits below
     :attr:`~repro.serve.resilience.FallbackPolicy.min_healthy_fraction`.
+
+    ``shards`` > 1 federates ``shards`` independent, identically-shaped
+    PIM shards behind the one front door via a
+    :class:`~repro.pim.fleet.FleetCoordinator` (``num_dpus`` DPUs *per
+    shard*; batches are round-striped across shards, so responses stay
+    byte-identical to ``shards=1`` while modeled completion times
+    shrink).  With a ``health_policy`` each shard gets its own ledger,
+    placement rebalances away from quarantined shards (publishing
+    ``rebalance`` events into the service telemetry), and ``fallback``
+    judges the *federated* healthy fraction.
     """
     from repro.core.penalties import AffinePenalties
     from repro.pim.config import PimSystemConfig
@@ -889,20 +917,42 @@ def build_service(
         from repro.obs import RunTelemetry
 
         telemetry = RunTelemetry()
+    system_config = PimSystemConfig(
+        num_dpus=num_dpus,
+        num_ranks=1,
+        tasklets=tasklets,
+        num_simulated_dpus=num_dpus,
+        workers=workers,
+    )
+    kernel_config = KernelConfig(
+        penalties=penalties if penalties is not None else AffinePenalties(),
+        max_read_len=max_read_len,
+        max_edits=max_edits,
+        engine=engine,
+    )
+    if shards > 1:
+        from repro.pim.fleet import FleetCoordinator
+
+        fleet = FleetCoordinator(
+            system_config,
+            kernel_config,
+            shards=shards,
+            health_policy=health_policy,
+            telemetry=telemetry,
+        )
+        return AlignmentService(
+            fleet.schedulers[0],
+            config=config,
+            clock=clock,
+            telemetry=telemetry,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            fallback=fallback,
+            fleet=fleet,
+        )
     system = PimSystem(
-        PimSystemConfig(
-            num_dpus=num_dpus,
-            num_ranks=1,
-            tasklets=tasklets,
-            num_simulated_dpus=num_dpus,
-            workers=workers,
-        ),
-        kernel_config=KernelConfig(
-            penalties=penalties if penalties is not None else AffinePenalties(),
-            max_read_len=max_read_len,
-            max_edits=max_edits,
-            engine=engine,
-        ),
+        system_config,
+        kernel_config=kernel_config,
         telemetry=telemetry,
     )
     health = None

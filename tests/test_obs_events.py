@@ -11,6 +11,7 @@ from repro.obs.events import (
     EVENTS_SCHEMA,
     FALLBACK,
     JOURNAL_REPLAY,
+    REBALANCE,
     SHED,
     SLO_ALERT,
     WATCHDOG,
@@ -48,7 +49,7 @@ class TestPublish:
     def test_vocabulary_is_closed(self):
         assert EVENT_KINDS == {
             BREAKER, WATCHDOG, JOURNAL_REPLAY, FALLBACK, SHED, DEADLINE,
-            SLO_ALERT,
+            SLO_ALERT, REBALANCE,
         }
 
 

@@ -97,6 +97,55 @@ class TestFingerprint:
         )
         assert json.loads(json.dumps(doc)) == doc
 
+    def test_placement_knobs_stay_out_of_the_fingerprint(self):
+        """Regression pin: neither ``workers`` nor ``shards`` may ever
+        enter the fingerprint.  Host parallelism and shard placement
+        cannot change results, so a run journaled under one layout
+        must resume under any other.  The shard count is still pinned
+        against accidental mixing — but in the fleet manifest
+        (``repro.pim.fleet/v1``), where
+        :meth:`~repro.pim.fleet.FleetCoordinator.resume_run` checks it
+        explicitly instead of through the fingerprint.
+        """
+        doc = workload_fingerprint(
+            workload(4), 4, 4, 4, "mram", True,
+            fault_plan=FaultPlan(deaths=(DpuDeath(dpu_id=1),)),
+            retry_policy=RetryPolicy(),
+            health_policy=HealthPolicy(),
+        )
+        assert "workers" not in doc
+        assert "shards" not in doc
+
+    def test_shards_live_in_the_fleet_manifest_instead(self, tmp_path):
+        from repro.pim.config import PimSystemConfig
+        from repro.pim.fleet import FleetCoordinator
+
+        fleet = FleetCoordinator(
+            PimSystemConfig(
+                num_dpus=NUM_DPUS, num_ranks=1, tasklets=4,
+                num_simulated_dpus=NUM_DPUS,
+            ),
+            KernelConfig(penalties=EditPenalties(), max_read_len=40, max_edits=4),
+            shards=2,
+        )
+        journal = tmp_path / "journal"
+        fleet.run(workload(12), pairs_per_round=4, journal=journal)
+        manifest = FleetCoordinator.load_manifest(journal)
+        assert manifest["shards"] == 2
+        assert "shards" not in manifest["fingerprint"]
+        assert "workers" not in manifest["fingerprint"]
+        # and the manifest-level pin actually bites
+        mismatched = FleetCoordinator(
+            PimSystemConfig(
+                num_dpus=NUM_DPUS, num_ranks=1, tasklets=4,
+                num_simulated_dpus=NUM_DPUS,
+            ),
+            KernelConfig(penalties=EditPenalties(), max_read_len=40, max_edits=4),
+            shards=4,
+        )
+        with pytest.raises(JournalError, match="shards"):
+            mismatched.resume_run(journal, workload(12), pairs_per_round=4)
+
 
 class TestResultRoundTrip:
     def test_plain_run_round_trips(self):

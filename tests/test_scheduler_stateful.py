@@ -38,6 +38,7 @@ from repro.data.generator import ReadPairGenerator
 from repro.errors import DegradedCapacity
 from repro.pim.config import PimSystemConfig
 from repro.pim.faults import DpuDeath, FaultPlan, MramCorruption, RetryPolicy
+from repro.pim.fleet import FleetCoordinator
 from repro.pim.health import FleetHealth, HealthPolicy
 from repro.pim.kernel import KernelConfig
 from repro.pim.scheduler import BatchScheduler
@@ -238,3 +239,182 @@ SchedulerFaultMachine.TestCase.settings = settings(
     max_examples=12, stateful_step_count=10, deadline=None
 )
 TestSchedulerNeverLosesPairs = SchedulerFaultMachine.TestCase
+
+
+# -- the same invariant, one level up: a sharded fleet ------------------------
+
+SHARDS = 2
+FLEET_DPUS = SHARDS * NUM_DPUS
+
+
+def make_fleet(health: bool = False) -> FleetCoordinator:
+    return FleetCoordinator(
+        PimSystemConfig(
+            num_dpus=NUM_DPUS, num_ranks=1, tasklets=4, num_simulated_dpus=NUM_DPUS
+        ),
+        KernelConfig(penalties=EditPenalties(), max_read_len=32, max_edits=4),
+        shards=SHARDS,
+        health_policy=(
+            HealthPolicy(window=4, failure_threshold=2, cooldown_s=1e9)
+            if health
+            else None
+        ),
+    )
+
+
+class FleetFaultMachine(RuleBasedStateMachine):
+    """The scheduler machine's invariant, federated across shards.
+
+    Deaths here are *global-domain* — a drawn DPU id indexes the whole
+    ``SHARDS * NUM_DPUS`` fleet, so a fault plan may gut one shard while
+    leaving another untouched.  Whatever the interleaving:
+
+    * delivered pair indices stay unique,
+    * ``completed_pairs`` + ``abandoned_pairs`` partition ``0..n-1``,
+    * deaths-only plans deliver byte-identical alignments to an
+      unsharded fault-free baseline, and
+    * crashing mid-run (one shard journal torn at a record boundary,
+      another deleted outright) and resuming from the federated journal
+      replays to identical results and identical per-shard health
+      ledgers.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: list = []
+        self.deaths: dict = {}
+        self.plan_seed = 1
+
+    @rule(n=st.integers(min_value=1, max_value=10), seed=st.integers(0, 2**16))
+    def add_pairs(self, n: int, seed: int) -> None:
+        gen = ReadPairGenerator(length=24, error_rate=0.05, seed=seed)
+        self.pending.extend(gen.pairs(n))
+
+    @rule(dpu=st.integers(0, FLEET_DPUS - 1), transient=st.booleans())
+    def kill_dpu(self, dpu: int, transient: bool) -> None:
+        self.deaths[dpu] = (0,) if transient else None
+
+    @rule(seed=st.integers(1, 2**16))
+    def reseed(self, seed: int) -> None:
+        self.plan_seed = seed
+
+    @rule()
+    def clear_faults(self) -> None:
+        self.deaths = {}
+
+    def _plan(self):
+        if not self.deaths:
+            return None
+        return FaultPlan(
+            seed=self.plan_seed,
+            deaths=tuple(
+                DpuDeath(dpu_id=d, attempts=a) for d, a in sorted(self.deaths.items())
+            ),
+        )
+
+    def _check_partition(self, run, n: int, plan) -> None:
+        got = sorted(i for i, _, _ in run.results())
+        assert len(got) == len(set(got)), "duplicate pair index delivered"
+        if plan is None:
+            assert run.recovery is None
+            assert got == list(range(n))
+            return
+        rec = run.recovery
+        assert rec is not None
+        completed = sorted(rec.completed_pairs)
+        abandoned = sorted(rec.abandoned_pairs)
+        assert got == completed, "results disagree with recovery report"
+        assert not set(completed) & set(abandoned)
+        assert sorted(completed + abandoned) == list(range(n)), (
+            "pairs dropped or duplicated across the fleet"
+        )
+
+    @precondition(lambda self: self.pending)
+    @rule(pairs_per_round=st.integers(min_value=3, max_value=17))
+    def flush(self, pairs_per_round: int) -> None:
+        pairs, plan = self.pending, self._plan()
+        self.pending = []
+        n = len(pairs)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedCapacity)
+            run = make_fleet().run(
+                pairs,
+                pairs_per_round=pairs_per_round,
+                collect_results=True,
+                fault_plan=plan,
+                retry_policy=RetryPolicy(max_attempts=2, max_requeues=NUM_DPUS - 1),
+            )
+        self._check_partition(run, n, plan)
+        # deaths never change delivered data, sharded or not
+        baseline = BatchScheduler(make_system()).run(
+            pairs, pairs_per_round=pairs_per_round, collect_results=True
+        )
+        expected = dict((i, (s, c)) for i, s, c in flat_results(baseline))
+        for i, s, c in sorted(run.results()):
+            assert (s, str(c)) == expected[i], f"pair {i} changed under recovery"
+
+    @precondition(lambda self: self.pending)
+    @rule(
+        pairs_per_round=st.integers(min_value=3, max_value=17),
+        crash_after=st.integers(min_value=1, max_value=4),
+        lose_whole_shard=st.booleans(),
+        with_health=st.booleans(),
+    )
+    def flush_resume(
+        self,
+        pairs_per_round: int,
+        crash_after: int,
+        lose_whole_shard: bool,
+        with_health: bool,
+    ) -> None:
+        """Tear the federated journal mid-run, resume, lose nothing."""
+        pairs, plan = self.pending, self._plan()
+        self.pending = []
+        n = len(pairs)
+        policy = RetryPolicy(max_attempts=2, max_requeues=NUM_DPUS - 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            journal = Path(tmp) / "journal"
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedCapacity)
+                reference = make_fleet(with_health)
+                full = reference.run(
+                    pairs,
+                    pairs_per_round=pairs_per_round,
+                    collect_results=True,
+                    fault_plan=plan,
+                    retry_policy=policy,
+                    journal=journal,
+                )
+                shard_files = sorted(journal.glob("shard-*.jsonl"))
+                torn = shard_files[0]
+                lines = torn.read_text().splitlines()
+                keep = 1 + min(crash_after, len(lines) - 1)
+                torn.write_text("\n".join(lines[:keep]) + "\n")
+                if lose_whole_shard and len(shard_files) > 1:
+                    shard_files[-1].unlink()
+                resumer = make_fleet(with_health)
+                resumed = resumer.resume_run(
+                    journal,
+                    pairs,
+                    pairs_per_round=pairs_per_round,
+                    collect_results=True,
+                    fault_plan=plan,
+                    retry_policy=policy,
+                )
+        self._check_partition(resumed, n, plan)
+        assert sorted(resumed.results()) == sorted(full.results()), (
+            "resume changed delivered results"
+        )
+        if plan is not None:
+            assert resumed.recovery.to_dict() == full.recovery.to_dict()
+        assert resumed.total_seconds == full.total_seconds
+        if with_health:
+            assert resumer.health_states() == reference.health_states(), (
+                "health ledgers did not replay to identical state"
+            )
+
+
+FleetFaultMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=8, deadline=None
+)
+TestFleetNeverLosesPairs = FleetFaultMachine.TestCase

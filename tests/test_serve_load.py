@@ -14,11 +14,12 @@ plan.
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
 from repro.data.generator import ReadPair
-from repro.errors import Overloaded
+from repro.errors import DegradedCapacity, Overloaded
 from repro.pim.faults import DpuDeath, FaultPlan
 from repro.serve import (
     AlignRequest,
@@ -320,6 +321,100 @@ class TestAsyncFacade:
 
         future = asyncio.run(scenario())
         assert future.result().scores
+
+
+class TestFleetSoak:
+    """1000-request soak through a 4-shard fleet with a gutted shard.
+
+    The injected fault plan kills 3 of shard 0's 4 DPUs (global fault
+    domain), so the per-shard circuit breakers quarantine shard 0 and
+    the coordinator rebalances batches onto shards 1-3.  The pin: the
+    schema-valid load report is bit-identical across two runs, no
+    request is lost or abandoned, the rebalance shows up in the
+    federated event log — and sharding plus recovery stay invisible in
+    the actual alignments.
+    """
+
+    FAULT = FaultPlan(
+        seed=3,
+        deaths=(DpuDeath(dpu_id=0), DpuDeath(dpu_id=1), DpuDeath(dpu_id=2)),
+    )
+
+    def make_fleet_service(self, shards=4, fault_plan=None):
+        from repro.pim.health import HealthPolicy
+
+        # small batches: the soak must span many dispatches so the
+        # quarantine edge (and its rebalance event) happens mid-stream
+        config = ServiceConfig(
+            max_batch_pairs=8, max_wait_s=1e-3, max_queue_pairs=4096
+        )
+        return build_service(
+            num_dpus=4,
+            tasklets=2,
+            max_read_len=16,
+            max_edits=3,
+            config=config,
+            fault_plan=fault_plan,
+            health_policy=HealthPolicy(),
+            shards=shards,
+        )
+
+    def test_1000_request_soak_bit_identical_with_rebalance(self):
+        from repro.obs.events import validate_event_log
+
+        config = LoadgenConfig(
+            requests=1000, rate=20000.0, length=10, seed=13, clients=5
+        )
+        reports, fleets = [], []
+        for _ in range(2):
+            service = self.make_fleet_service(fault_plan=self.FAULT)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedCapacity)
+                reports.append(run_load(service, config))
+            fleets.append(service.dispatcher.fleet)
+
+        # bit-identical across runs, schema-valid, nothing lost
+        assert reports[0].to_jsonl() == reports[1].to_jsonl()
+        summary = validate_load_report(reports[0].to_records())
+        assert summary["completed"] == 1000
+        assert reports[0].recovery is not None
+        assert reports[0].recovery["abandoned_pairs"] == []
+
+        # the dying shard surfaced as a rebalance in the event log
+        records = fleets[0].event_records()
+        validate_event_log(records)
+        kinds = {r["kind"] for r in records[1:]}
+        assert "rebalance" in kinds, f"no rebalance event among {sorted(kinds)}"
+        rebalance = [r for r in records[1:] if r["kind"] == "rebalance"]
+        assert any(r["attrs"]["excluded"] == "0" for r in rebalance)
+        assert fleets[0].available_shards(reports[0].records[-1].completion_s) == (
+            1,
+            2,
+            3,
+        )
+
+    def test_sharding_and_recovery_invisible_in_alignments(self):
+        """Same trace through shards=4-with-faults and an unsharded
+        fault-free service: every response byte-identical."""
+        config = LoadgenConfig(requests=64, rate=20000.0, length=10, seed=13)
+        trace = build_trace(config)
+
+        def answers(service):
+            futures = []
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DegradedCapacity)
+                for when, request in trace:
+                    service.clock.advance_to(when)
+                    futures.append(service.submit(request))
+                service.drain()
+            return [
+                (f.result().request_id, f.result().scores, f.result().cigars)
+                for f in futures
+            ]
+
+        fleet_service = self.make_fleet_service(fault_plan=self.FAULT)
+        plain = self.make_fleet_service(shards=1)
+        assert answers(fleet_service) == answers(plain)
 
 
 class TestEngineDefault:
