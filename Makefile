@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast qa coverage bench bench-parallel bench-vector bench-ledger perf-gate examples fig1 outputs trace-demo serve-demo chaos fleet-demo clean
+.PHONY: install test test-fast qa campaign coverage bench bench-parallel bench-vector bench-ledger perf-gate examples fig1 outputs trace-demo serve-demo chaos fleet-demo clean
 
 install:
 	pip install -e .
@@ -23,6 +23,25 @@ qa:
 	PYTHONPATH=src HYPOTHESIS_PROFILE=ci python -m repro.cli qa \
 		--trials 50 --seed 42 --kill-dpu 1 --report out/qa/report-faults.jsonl
 
+# Seeded ablation x chaos campaign (see docs/campaigns.md): the full
+# standard ablation vocabulary crossed with the standard fault grid,
+# every cell run in parallel on the virtual clock, the evidence report
+# (schema repro.qa.campaign/v1) schema-validated with every delta
+# recomputed, and the structured event log written alongside.  The
+# report is byte-identical across reruns and across --workers settings.
+campaign:
+	mkdir -p out/campaign
+	PYTHONPATH=src python -m repro.cli campaign \
+		--pairs 48 --seed 42 --workers 2 \
+		--report out/campaign/report.jsonl \
+		--events-out out/campaign/events.jsonl
+	PYTHONPATH=src python -c "from repro.qa.campaign import validate_campaign_report; \
+		s = validate_campaign_report('out/campaign/report.jsonl'); \
+		print(f\"campaign OK: {s['cells']} cells, \" \
+		      f\"oracle {s['oracle_ok']}/{s['oracle_checked']}, \" \
+		      f\"{s['resumes_identical']}/{s['resumes_checked']} resumes \" \
+		      f\"byte-identical\")"
+
 # Coverage gate over the fault + QA subsystems.  pytest-cov is not part
 # of the baked toolchain everywhere, so the gate degrades to a plain run
 # (with a visible notice) when the plugin is missing rather than failing
@@ -32,13 +51,21 @@ coverage:
 		PYTHONPATH=src python -m pytest tests/test_pim_faults.py \
 			tests/test_qa_oracle.py tests/test_qa_cli.py \
 			tests/test_qa_differential.py tests/test_scheduler_stateful.py \
+			tests/test_pim_health.py tests/test_pim_journal.py \
+			tests/test_pim_fleet.py tests/test_campaign.py \
+			tests/test_campaign_report.py \
 			--cov=repro.pim.faults --cov=repro.qa \
+			--cov=repro.pim.health --cov=repro.pim.journal \
+			--cov=repro.pim.fleet --cov=repro.pim.ablation \
 			--cov-report=term-missing --cov-fail-under=85; \
 	else \
 		echo "pytest-cov not installed; running the suite without the gate"; \
 		PYTHONPATH=src python -m pytest tests/test_pim_faults.py \
 			tests/test_qa_oracle.py tests/test_qa_cli.py \
-			tests/test_qa_differential.py tests/test_scheduler_stateful.py -q; \
+			tests/test_qa_differential.py tests/test_scheduler_stateful.py \
+			tests/test_pim_health.py tests/test_pim_journal.py \
+			tests/test_pim_fleet.py tests/test_campaign.py \
+			tests/test_campaign_report.py -q; \
 	fi
 
 bench:

@@ -314,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
     qa.add_argument("--dpus", type=int, default=4)
     qa.add_argument("--tasklets", type=int, default=4)
     qa.add_argument("--workers", type=int, default=1)
+    qa.add_argument("--shards", type=int, default=1,
+                    help="run the sweep through a round-striped fleet of "
+                         "this many shards (--dpus DPUs each; default: 1 "
+                         "= the unsharded scheduler)")
+    qa.add_argument("--shard-workers", type=int, default=1,
+                    help="process-pool width for the fleet path "
+                         "(0/1 = inline)")
     qa.add_argument("--no-shrink", action="store_true",
                     help="skip minimizing failing cases")
     qa.add_argument("--kill-dpu", type=int, default=None, metavar="ID",
@@ -321,6 +328,47 @@ def build_parser() -> argparse.ArgumentParser:
                          "on its first attempt (recovery must still agree)")
     qa.add_argument("--report", metavar="PATH", default=None,
                     help="write the JSONL report here")
+
+    # campaign ------------------------------------------------------------
+    camp = sub.add_parser(
+        "campaign",
+        help="run an ablation x chaos campaign and write the evidence "
+             "report (schema repro.qa.campaign/v1)",
+    )
+    camp.add_argument("--pairs", type=int, default=48,
+                      help="seeded corpus pairs per cell (default: 48)")
+    camp.add_argument("--length", type=int, default=16)
+    camp.add_argument("--max-edits", type=int, default=4)
+    camp.add_argument("--seed", type=int, default=42)
+    camp.add_argument("--dpus", type=int, default=4,
+                      help="DPUs per shard (default: 4)")
+    camp.add_argument("--tasklets", type=int, default=2)
+    camp.add_argument("--pairs-per-round", type=int, default=8)
+    camp.add_argument("--baseline-shards", type=int, default=2,
+                      help="shard count ablations inherit unless pinned "
+                           "(default: 2)")
+    camp.add_argument("--serve-requests", type=int, default=24,
+                      help="serve-phase load replay size per cell "
+                           "(0 skips the serve phase)")
+    camp.add_argument("--serve-rate", type=float, default=4000.0)
+    camp.add_argument("--workers", type=int, default=0,
+                      help="process-pool width for cells (0/1 = inline; "
+                           "the report is byte-identical either way)")
+    camp.add_argument("--ablations", default=None, metavar="A,B,...",
+                      help="comma-separated standard ablation names "
+                           "(default: the full vocabulary; the first must "
+                           "be 'baseline')")
+    camp.add_argument("--grid", default=None, metavar="P,Q,...",
+                      help="comma-separated standard fault grid point "
+                           "names (default: the full grid)")
+    camp.add_argument("--report", metavar="PATH", default=None,
+                      help="write the JSONL campaign report here "
+                           "(validated after writing)")
+    camp.add_argument("--resume", action="store_true",
+                      help="salvage completed cells from an existing "
+                           "--report file and compute only the rest")
+    camp.add_argument("--events-out", metavar="PATH", default=None,
+                      help="write the campaign's structured event log here")
 
     # serve ---------------------------------------------------------------
     srv = sub.add_parser(
@@ -851,6 +899,8 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             num_dpus=args.dpus,
             tasklets=args.tasklets,
             workers=args.workers,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
             shrink=not args.no_shrink,
             fault_plan=fault_plan,
         )
@@ -873,6 +923,76 @@ def _cmd_qa(args: argparse.Namespace) -> int:
             )
         return 1
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.pim.ablation import STANDARD_ABLATIONS, ablation_by_name
+    from repro.qa.campaign import (
+        STANDARD_GRID,
+        CampaignConfig,
+        grid_point_by_name,
+        run_campaign,
+        validate_campaign_report,
+    )
+
+    ablations = STANDARD_ABLATIONS
+    if args.ablations:
+        ablations = tuple(
+            ablation_by_name(name.strip())
+            for name in args.ablations.split(",")
+        )
+    grid = STANDARD_GRID
+    if args.grid:
+        grid = tuple(
+            grid_point_by_name(name.strip()) for name in args.grid.split(",")
+        )
+    config = CampaignConfig(
+        pairs=args.pairs,
+        length=args.length,
+        max_edits=args.max_edits,
+        seed=args.seed,
+        num_dpus=args.dpus,
+        tasklets=args.tasklets,
+        pairs_per_round=args.pairs_per_round,
+        baseline_shards=args.baseline_shards,
+        serve_requests=args.serve_requests,
+        serve_rate=args.serve_rate,
+        ablations=ablations,
+        grid=grid,
+    )
+    telemetry = None
+    if args.events_out:
+        from repro.obs import RunTelemetry
+
+        telemetry = RunTelemetry()
+    report = run_campaign(
+        config,
+        workers=args.workers,
+        report_path=args.report,
+        resume=args.resume,
+        telemetry=telemetry,
+    )
+    print(report.summary_text())
+    if args.report:
+        validate_campaign_report(args.report)
+        print(f"wrote schema-valid campaign report to {args.report}")
+    if args.events_out:
+        from repro.obs import write_events_jsonl
+
+        write_events_jsonl(args.events_out, telemetry)
+        print(f"wrote event log to {args.events_out}")
+    baseline = report.config.baseline
+    for record in report.cells:
+        if record["delta"] is None:
+            continue
+        delta = record["delta"]
+        print(
+            f"  {record['cell']}: throughput x{delta['throughput_ratio']:.3f}, "
+            f"recovery {delta['recovery_seconds_delta']:+.4f}s, "
+            f"oracle {delta['oracle_agreement_delta']:+.3f} "
+            f"vs {baseline}"
+        )
+    return 0 if report.ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -1109,6 +1229,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "fig1": _cmd_fig1,
     "qa": _cmd_qa,
+    "campaign": _cmd_campaign,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "bench": _cmd_bench,

@@ -49,6 +49,12 @@ kind                 published by / meaning
 ``rebalance``        :class:`~repro.pim.fleet.FleetCoordinator` — the
                      active shard set changed and rounds were rebalanced
                      (attrs: ``active``, ``shards``, ``excluded``)
+``campaign_cell``    :func:`~repro.qa.campaign.run_campaign` — one
+                     ablation x fault-grid cell finished (attrs:
+                     ``ablation``, ``fault_point``, ``oracle_agreement``,
+                     ``total_seconds``)
+``campaign_done``    campaign runner — the full grid completed (attrs:
+                     ``cells``, ``ok``)
 ===================  ====================================================
 """
 
@@ -73,6 +79,8 @@ __all__ = [
     "DEADLINE",
     "SLO_ALERT",
     "REBALANCE",
+    "CAMPAIGN_CELL",
+    "CAMPAIGN_DONE",
     "validate_event_log",
 ]
 
@@ -87,10 +95,23 @@ SHED = "shed"
 DEADLINE = "deadline"
 SLO_ALERT = "slo_alert"
 REBALANCE = "rebalance"
+CAMPAIGN_CELL = "campaign_cell"
+CAMPAIGN_DONE = "campaign_done"
 
 #: the closed event vocabulary — the "typed" in "typed event log".
 EVENT_KINDS = frozenset(
-    {BREAKER, WATCHDOG, JOURNAL_REPLAY, FALLBACK, SHED, DEADLINE, SLO_ALERT, REBALANCE}
+    {
+        BREAKER,
+        WATCHDOG,
+        JOURNAL_REPLAY,
+        FALLBACK,
+        SHED,
+        DEADLINE,
+        SLO_ALERT,
+        REBALANCE,
+        CAMPAIGN_CELL,
+        CAMPAIGN_DONE,
+    }
 )
 
 #: attribute values may only be JSON scalars (schema stability).

@@ -56,6 +56,7 @@ SCENARIO_NAMES = (
     "serve_replay",
     "resilience_breaker",
     "fleet_scaling",
+    "campaign_grid",
 )
 
 
@@ -597,4 +598,110 @@ def fleet_scaling(profile: str) -> ScenarioResult:
             ),
         },
         counters=counters,
+    )
+
+
+# -- 7. ablation x chaos campaign grid --------------------------------------
+
+
+@scenario("campaign_grid")
+def campaign_grid(profile: str) -> ScenarioResult:
+    """The campaign runner as a regression-tracked scenario.
+
+    Runs a pinned ablation x fault-grid campaign (see
+    :mod:`repro.qa.campaign`), identity-checks the evidence the grid
+    exists to produce — the report fully revalidates, the breaker-off
+    cell pays more modeled recovery than baseline under a dead DPU, and
+    the journal-off cell pays a larger modeled restart bill after a
+    crash — and gates on the baseline cell's modeled throughput at the
+    dead-DPU point.  Percentiles are over per-cell modeled total
+    seconds (the straggler spread of the grid itself).
+    """
+    from repro.pim.ablation import ablation_by_name
+    from repro.qa.campaign import (
+        CampaignConfig,
+        cell_name,
+        grid_point_by_name,
+        run_campaign,
+        validate_campaign_report,
+    )
+
+    config = {
+        "scenario": "campaign_grid",
+        "profile": profile,
+        "pairs": 48 if profile == "quick" else 96,
+        "length": 16,
+        "max_edits": 4,
+        "seed": 42,
+        "num_dpus": 4,
+        "tasklets": 2,
+        "pairs_per_round": 8,
+        "baseline_shards": 2,
+        "serve_requests": 0 if profile == "quick" else 24,
+        "ablations": ["baseline", "breaker_off", "requeue_off", "journal_off"],
+        "grid": ["calm", "dead_dpu", "crash_dead"],
+    }
+    campaign_config = CampaignConfig(
+        pairs=config["pairs"],
+        length=config["length"],
+        max_edits=config["max_edits"],
+        seed=config["seed"],
+        num_dpus=config["num_dpus"],
+        tasklets=config["tasklets"],
+        pairs_per_round=config["pairs_per_round"],
+        baseline_shards=config["baseline_shards"],
+        serve_requests=config["serve_requests"],
+        ablations=tuple(ablation_by_name(n) for n in config["ablations"]),
+        grid=tuple(grid_point_by_name(n) for n in config["grid"]),
+    )
+    report = run_campaign(campaign_config)
+    validate_campaign_report(report.to_lines())
+    if not report.ok:
+        raise LedgerError("campaign_grid: campaign summary is not ok")
+
+    baseline_dead = report.cell(cell_name("baseline", "dead_dpu"))["metrics"]
+    breaker_off = report.cell(cell_name("breaker_off", "dead_dpu"))["metrics"]
+    if breaker_off["recovery_seconds"] <= baseline_dead["recovery_seconds"]:
+        raise LedgerError(
+            "campaign_grid: breaker-off cell did not regress modeled "
+            f"recovery ({breaker_off['recovery_seconds']:.6g} <= "
+            f"{baseline_dead['recovery_seconds']:.6g} modeled seconds)"
+        )
+    baseline_crash = report.cell(cell_name("baseline", "crash_dead"))["metrics"]
+    journal_off = report.cell(cell_name("journal_off", "crash_dead"))["metrics"]
+    if (
+        journal_off["restart_overhead_seconds"]
+        <= baseline_crash["restart_overhead_seconds"]
+    ):
+        raise LedgerError(
+            "campaign_grid: journal-off cell did not pay a larger modeled "
+            "restart bill than baseline after a crash"
+        )
+
+    p50, p90, p99 = _pctl(
+        [rec["metrics"]["total_seconds"] for rec in report.cells]
+    )
+    summary = report.summary()
+    return ScenarioResult(
+        scenario="campaign_grid",
+        config=config,
+        pairs_per_second=baseline_dead["throughput_pairs_per_s"],
+        total_seconds=baseline_dead["total_seconds"],
+        kernel_seconds=baseline_dead["kernel_seconds"],
+        latency_p50_s=p50,
+        latency_p90_s=p90,
+        latency_p99_s=p99,
+        info={
+            "cells": summary["cells"],
+            "oracle_ok": summary["oracle_ok"],
+            "oracle_checked": summary["oracle_checked"],
+            "resumes_identical": summary["resumes_identical"],
+            "breaker_off_recovery_delta_s": (
+                breaker_off["recovery_seconds"]
+                - baseline_dead["recovery_seconds"]
+            ),
+            "journal_off_restart_overhead_s": (
+                journal_off["restart_overhead_seconds"]
+            ),
+        },
     )

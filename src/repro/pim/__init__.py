@@ -7,6 +7,12 @@ paper's contributions on top: the custom two-level allocator and the
 MRAM-metadata WFA kernel.
 """
 
+from repro.pim.ablation import (
+    STANDARD_ABLATIONS,
+    STANDARD_ABLATION_NAMES,
+    AblationConfig,
+    ablation_by_name,
+)
 from repro.pim.allocator import Allocation, BumpAllocator, TaskletAllocator
 from repro.pim.config import (
     DpuConfig,
@@ -77,6 +83,10 @@ from repro.pim.trace import KernelTrace, TraceEvent
 from repro.pim.transfer import HostTransferEngine, TransferStats
 
 __all__ = [
+    "AblationConfig",
+    "STANDARD_ABLATIONS",
+    "STANDARD_ABLATION_NAMES",
+    "ablation_by_name",
     "BumpAllocator",
     "TaskletAllocator",
     "Allocation",

@@ -1,0 +1,172 @@
+"""One switchboard for the resilience/serving knobs an ablation flips.
+
+The robustness features grew up in different layers — circuit breakers
+in :mod:`repro.pim.health`, requeue budgets in
+:class:`~repro.pim.faults.RetryPolicy`, the write-ahead journal in
+:mod:`repro.pim.journal`, CPU fallback and the result cache in
+:mod:`repro.serve` — so "run the same workload with the breaker off"
+used to mean hand-editing three call sites.  :class:`AblationConfig`
+is the single frozen description of which of those features are on,
+plus the two architecture knobs ablation tables care about (alignment
+``engine`` and shard count), with helpers that translate the toggles
+into the per-layer policy objects each call site expects.
+
+The named :data:`STANDARD_ABLATIONS` vocabulary is the campaign
+runner's default grid axis (see :mod:`repro.qa.campaign`): an all-on
+``baseline`` followed by one-feature-off variants, the structure of the
+ablation tables in Diab et al.'s follow-up framework paper and RAPIDx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigError
+from repro.pim.faults import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pim.health import HealthPolicy
+
+__all__ = [
+    "AblationConfig",
+    "STANDARD_ABLATIONS",
+    "STANDARD_ABLATION_NAMES",
+    "ablation_by_name",
+]
+
+_ENGINES = ("vector", "scalar")
+
+
+@dataclass(frozen=True)
+class AblationConfig:
+    """Which resilience/serving features one run keeps enabled.
+
+    ``shards=None`` means "whatever the caller's baseline shard count
+    is" — only ablations that exist to *pin* the shard count (e.g.
+    ``shards_1``) set it.
+    """
+
+    name: str = "baseline"
+    #: per-DPU circuit breakers + quarantine-aware placement.
+    breaker: bool = True
+    #: requeue of a failed DPU's batch onto spare healthy DPUs
+    #: (off = retries in place only; persistent faults then abandon).
+    requeue: bool = True
+    #: write-ahead journal (crash/resume byte-identity).
+    journal: bool = True
+    #: serve-layer CPU fallback under degraded capacity.
+    fallback: bool = True
+    #: serve-layer digest-keyed result cache.
+    cache: bool = True
+    #: host-side alignment engine (``"vector"`` or ``"scalar"``).
+    engine: str = "vector"
+    #: pinned shard count; ``None`` inherits the caller's default.
+    shards: Optional[int] = None
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ConfigError("ablation needs a non-empty name")
+        if self.engine not in _ENGINES:
+            raise ConfigError(
+                f"ablation engine must be one of {_ENGINES}, got {self.engine!r}"
+            )
+        if self.shards is not None and self.shards < 1:
+            raise ConfigError(f"ablation shards must be >= 1, got {self.shards}")
+
+    @property
+    def all_on(self) -> bool:
+        """True when every toggled feature is enabled (a baseline shape)."""
+        return (
+            self.breaker
+            and self.requeue
+            and self.journal
+            and self.fallback
+            and self.cache
+        )
+
+    # -- per-layer translations -------------------------------------------
+
+    def resolve_shards(self, default: int) -> int:
+        """The shard count this ablation runs at."""
+        return default if self.shards is None else self.shards
+
+    def health_policy(
+        self, base: Optional["HealthPolicy"] = None
+    ) -> Optional["HealthPolicy"]:
+        """The breaker policy to install (``None`` when the breaker is off)."""
+        if not self.breaker:
+            return None
+        if base is not None:
+            return base
+        from repro.pim.health import HealthPolicy
+
+        return HealthPolicy()
+
+    def retry_policy(self, base: Optional[RetryPolicy] = None) -> RetryPolicy:
+        """``base`` (or the default policy) with requeue zeroed when off."""
+        policy = base if base is not None else RetryPolicy()
+        if self.requeue:
+            return policy
+        return replace(policy, max_requeues=0)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "breaker": self.breaker,
+            "requeue": self.requeue,
+            "journal": self.journal,
+            "fallback": self.fallback,
+            "cache": self.cache,
+            "engine": self.engine,
+            "shards": self.shards,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AblationConfig":
+        try:
+            out = cls(
+                name=str(data["name"]),
+                breaker=bool(data["breaker"]),
+                requeue=bool(data["requeue"]),
+                journal=bool(data["journal"]),
+                fallback=bool(data["fallback"]),
+                cache=bool(data["cache"]),
+                engine=str(data["engine"]),
+                shards=None if data.get("shards") is None else int(data["shards"]),
+            )
+        except KeyError as exc:
+            raise ConfigError(f"ablation dict missing key {exc}") from exc
+        out.validate()
+        return out
+
+
+#: the default campaign axis: all-on baseline first, then one knob off
+#: per variant (plus the two architecture pins).
+STANDARD_ABLATIONS: tuple[AblationConfig, ...] = (
+    AblationConfig(name="baseline"),
+    AblationConfig(name="breaker_off", breaker=False),
+    AblationConfig(name="requeue_off", requeue=False),
+    AblationConfig(name="journal_off", journal=False),
+    AblationConfig(name="fallback_off", fallback=False),
+    AblationConfig(name="cache_off", cache=False),
+    AblationConfig(name="scalar_engine", engine="scalar"),
+    AblationConfig(name="shards_1", shards=1),
+)
+
+STANDARD_ABLATION_NAMES: tuple[str, ...] = tuple(
+    a.name for a in STANDARD_ABLATIONS
+)
+
+
+def ablation_by_name(name: str) -> AblationConfig:
+    """Look up a standard ablation by name (:class:`~repro.errors.ConfigError`
+    on an unknown one)."""
+    for ablation in STANDARD_ABLATIONS:
+        if ablation.name == name:
+            return ablation
+    raise ConfigError(
+        f"unknown ablation {name!r}; known: {', '.join(STANDARD_ABLATION_NAMES)}"
+    )

@@ -14,11 +14,22 @@ The oracle hierarchy, weakest to strongest evidence:
 
 This package provides the corpus generators (:mod:`repro.qa.corpus`),
 the oracle (:mod:`repro.qa.oracle`), a greedy failing-case shrinker
-(:mod:`repro.qa.shrink`), and the seeded trial runner with its JSONL
+(:mod:`repro.qa.shrink`), the seeded trial runner with its JSONL
 report (:mod:`repro.qa.runner`), surfaced as the ``repro qa`` CLI
-subcommand.
+subcommand, and the ablation x chaos campaign runner
+(:mod:`repro.qa.campaign`, the ``repro campaign`` subcommand), which
+crosses the oracle sweep with seeded fault grids and emits a
+schema-validated evidence report.
 """
 
+from repro.qa.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    FaultGridPoint,
+    STANDARD_GRID,
+    run_campaign,
+    validate_campaign_report,
+)
 from repro.qa.corpus import CorpusConfig, QaCase, generate_corpus
 from repro.qa.oracle import OracleVerdict, check_case, reference_answers
 from repro.qa.runner import QaConfig, QaReport, run_qa, validate_qa_report
@@ -36,4 +47,10 @@ __all__ = [
     "run_qa",
     "validate_qa_report",
     "shrink_case",
+    "CampaignConfig",
+    "CampaignReport",
+    "FaultGridPoint",
+    "STANDARD_GRID",
+    "run_campaign",
+    "validate_campaign_report",
 ]

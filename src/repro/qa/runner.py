@@ -86,6 +86,13 @@ class QaConfig:
     num_dpus: int = 4
     tasklets: int = 4
     workers: int = 1
+    #: > 1 routes the sweep through a round-striped
+    #: :class:`~repro.pim.fleet.FleetCoordinator` (``num_dpus`` DPUs per
+    #: shard, ``fault_domain="uniform"``), so the differential oracle
+    #: exercises the fleet path instead of the lone scheduler.
+    shards: int = 1
+    #: process-pool width for the fleet path (0/1 = inline).
+    shard_workers: int = 1
     penalty_models: tuple[Penalties, ...] = DEFAULT_PENALTY_MODELS
     shrink: bool = True
     #: optional fault plan: the whole sweep then runs through the
@@ -98,6 +105,12 @@ class QaConfig:
             raise QaError(f"trials must be >= 1, got {self.trials}")
         if self.num_dpus < 1:
             raise QaError(f"num_dpus must be >= 1, got {self.num_dpus}")
+        if self.shards < 1:
+            raise QaError(f"shards must be >= 1, got {self.shards}")
+        if self.shard_workers < 0:
+            raise QaError(
+                f"shard_workers must be >= 0, got {self.shard_workers}"
+            )
         if not self.penalty_models:
             raise QaError("need at least one penalty model")
         self.corpus_config().validate()
@@ -114,6 +127,8 @@ class QaConfig:
             "num_dpus": self.num_dpus,
             "tasklets": self.tasklets,
             "workers": self.workers,
+            "shards": self.shards,
+            "shard_workers": self.shard_workers,
             "penalty_models": [penalty_name(p) for p in self.penalty_models],
             "shrink": self.shrink,
             "fault_plan": (
@@ -222,27 +237,53 @@ def run_qa(config: Optional[QaConfig] = None) -> QaReport:
 
     for penalties in cfg.penalty_models:
         model = penalty_name(penalties)
-        system = PimSystem(
-            PimSystemConfig(
-                num_dpus=cfg.num_dpus,
-                num_ranks=1,
-                tasklets=cfg.tasklets,
-                num_simulated_dpus=cfg.num_dpus,
-                workers=cfg.workers,
-            ),
-            kernel_config=KernelConfig(
-                penalties=penalties,
-                max_read_len=cfg.max_len,
-                max_edits=cfg.max_edits,
-            ),
+        pairs = [ReadPair(c.pattern, c.text) for c in corpus]
+        system_config = PimSystemConfig(
+            num_dpus=cfg.num_dpus,
+            num_ranks=1,
+            tasklets=cfg.tasklets,
+            num_simulated_dpus=cfg.num_dpus,
+            workers=cfg.workers,
         )
-        run = system.align(
-            [ReadPair(c.pattern, c.text) for c in corpus],
-            collect_results=True,
-            fault_plan=cfg.fault_plan,
-            retry_policy=cfg.retry_policy,
+        kernel_config = KernelConfig(
+            penalties=penalties,
+            max_read_len=cfg.max_len,
+            max_edits=cfg.max_edits,
         )
-        by_index = {index: (score, cigar) for index, score, cigar in run.results}
+        if cfg.shards > 1:
+            import math
+
+            from repro.pim.fleet import FleetCoordinator
+
+            fleet_run = FleetCoordinator(
+                system_config,
+                kernel_config,
+                shards=cfg.shards,
+                shard_workers=cfg.shard_workers,
+                fault_domain="uniform",
+            ).run(
+                pairs,
+                # at least two rounds per shard, so the sweep actually
+                # exercises round striping rather than shard 0 alone
+                pairs_per_round=max(
+                    1, math.ceil(cfg.trials / (2 * cfg.shards))
+                ),
+                collect_results=True,
+                fault_plan=cfg.fault_plan,
+                retry_policy=cfg.retry_policy,
+            )
+            results = fleet_run.results()
+            recovery = fleet_run.recovery
+        else:
+            run = PimSystem(system_config, kernel_config=kernel_config).align(
+                pairs,
+                collect_results=True,
+                fault_plan=cfg.fault_plan,
+                retry_policy=cfg.retry_policy,
+            )
+            results = run.results
+            recovery = run.recovery
+        by_index = {index: (score, cigar) for index, score, cigar in results}
         verdicts = [
             check_case(
                 case,
@@ -253,8 +294,8 @@ def run_qa(config: Optional[QaConfig] = None) -> QaReport:
             for case in corpus
         ]
         report.verdicts[model] = verdicts
-        if run.recovery is not None:
-            report.recovery[model] = run.recovery.to_dict()
+        if recovery is not None:
+            report.recovery[model] = recovery.to_dict()
 
         if cfg.shrink:
             repro_system = _single_pair_system(cfg, penalties)

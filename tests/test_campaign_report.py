@@ -1,0 +1,201 @@
+"""Integrity of the campaign evidence report.
+
+``validate_campaign_report`` must fully recompute a report before CI can
+cite a cell as evidence: every planted inconsistency here — a tampered
+metric, a forged delta, a missing baseline cell, a duplicated or
+reordered cell, a cooked summary — must be rejected with a typed
+:class:`~repro.errors.QaError`, mirroring the ``validate_qa_report``
+tamper tests in ``tests/test_qa_differential.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import QaError
+from repro.pim.ablation import AblationConfig
+from repro.qa.campaign import (
+    CampaignConfig,
+    FaultGridPoint,
+    run_campaign,
+    validate_campaign_report,
+)
+
+CONFIG = CampaignConfig(
+    pairs=8,
+    pairs_per_round=4,
+    serve_requests=0,
+    ablations=(
+        AblationConfig(name="baseline"),
+        AblationConfig(name="breaker_off", breaker=False),
+    ),
+    grid=(
+        FaultGridPoint(name="calm"),
+        FaultGridPoint(name="dead_dpu", dead_dpus=1),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def lines():
+    return run_campaign(CONFIG).to_lines()
+
+
+def tampered(lines, mutate):
+    out = copy.deepcopy(lines)
+    mutate(out)
+    return out
+
+
+def cell_record(lines, name):
+    for record in lines:
+        if record.get("record") == "cell" and record["cell"] == name:
+            return record
+    raise AssertionError(f"no cell {name}")
+
+
+class TestAccepts:
+    def test_pristine_report_validates(self, lines):
+        summary = validate_campaign_report(lines)
+        assert summary["ok"] is True
+        assert summary["cells"] == 4
+
+    def test_roundtrip_through_file(self, lines, tmp_path):
+        path = tmp_path / "report.jsonl"
+        path.write_text(
+            "".join(json.dumps(l, sort_keys=True) + "\n" for l in lines)
+        )
+        assert validate_campaign_report(path) == validate_campaign_report(lines)
+
+
+class TestRejectsTampering:
+    def test_tampered_metric_breaks_throughput_recompute(self, lines):
+        def mutate(out):
+            cell_record(out, "baseline@calm")["metrics"]["total_seconds"] *= 2
+
+        with pytest.raises(QaError, match="throughput"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_forged_oracle_agreement(self, lines):
+        def mutate(out):
+            cell_record(out, "breaker_off@dead_dpu")["metrics"][
+                "oracle_agreement"
+            ] = 0.5
+
+        with pytest.raises(QaError, match="oracle_agreement"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_forged_delta(self, lines):
+        def mutate(out):
+            cell_record(out, "breaker_off@calm")["delta"][
+                "throughput_ratio"
+            ] = 2.0
+
+        with pytest.raises(QaError, match="delta does not recompute"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_delta_planted_on_baseline_cell(self, lines):
+        def mutate(out):
+            donor = cell_record(out, "breaker_off@calm")["delta"]
+            cell_record(out, "baseline@calm")["delta"] = dict(donor)
+
+        with pytest.raises(QaError, match="baseline cells must not"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_forged_resume_claim(self, lines):
+        def mutate(out):
+            cell_record(out, "baseline@calm")["metrics"][
+                "resume_identical"
+            ] = True
+
+        with pytest.raises(QaError, match="resume"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_forged_restart_bill(self, lines):
+        def mutate(out):
+            cell_record(out, "breaker_off@dead_dpu")["metrics"][
+                "restart_overhead_seconds"
+            ] = 1.0
+
+        with pytest.raises(QaError, match="restart"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_cooked_summary(self, lines):
+        def mutate(out):
+            out[-1]["oracle_ok"] += 1
+
+        with pytest.raises(QaError, match="summary does not recompute"):
+            validate_campaign_report(tampered(lines, mutate))
+
+
+class TestRejectsCellSetDamage:
+    def test_missing_baseline_cell(self, lines):
+        def mutate(out):
+            out.remove(cell_record(out, "baseline@calm"))
+
+        with pytest.raises(QaError, match="missing cells"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_duplicated_cell(self, lines):
+        def mutate(out):
+            out.insert(2, copy.deepcopy(cell_record(out, "baseline@calm")))
+
+        with pytest.raises(QaError, match="duplicated cells"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_reordered_cells(self, lines):
+        def mutate(out):
+            out[1], out[2] = out[2], out[1]
+
+        with pytest.raises(QaError, match="cells disagree|order"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_smuggled_foreign_cell(self, lines):
+        def mutate(out):
+            forged = copy.deepcopy(cell_record(out, "breaker_off@calm"))
+            forged["cell"] = "breaker_off@stall"
+            forged["fault_point"] = "stall"
+            out.insert(len(out) - 1, forged)
+
+        with pytest.raises(QaError, match="unknown cells"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_missing_metric_key(self, lines):
+        def mutate(out):
+            del cell_record(out, "baseline@calm")["metrics"]["faults_seen"]
+
+        with pytest.raises(QaError, match="missing keys"):
+            validate_campaign_report(tampered(lines, mutate))
+
+
+class TestRejectsEnvelopeDamage:
+    def test_foreign_schema(self, lines):
+        def mutate(out):
+            out[0]["schema"] = "repro.qa.campaign/v0"
+
+        with pytest.raises(QaError, match="bad header"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_config_cell_cross_mismatch(self, lines):
+        def mutate(out):
+            out[0]["config"]["grid"] = out[0]["config"]["grid"][:1]
+
+        with pytest.raises(QaError, match="unknown cells"):
+            validate_campaign_report(tampered(lines, mutate))
+
+    def test_missing_summary(self, lines):
+        with pytest.raises(QaError, match="summary"):
+            validate_campaign_report(copy.deepcopy(lines)[:-1])
+
+    def test_empty_report(self):
+        with pytest.raises(QaError, match="at least a header"):
+            validate_campaign_report([])
+
+    def test_malformed_jsonl_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"record": "header"\nnot json\n')
+        with pytest.raises(QaError, match="not valid JSONL"):
+            validate_campaign_report(path)

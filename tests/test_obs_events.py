@@ -6,6 +6,8 @@ from repro.errors import ConfigError, TelemetryError
 from repro.obs import RunTelemetry, validate_event_log, write_events_jsonl
 from repro.obs.events import (
     BREAKER,
+    CAMPAIGN_CELL,
+    CAMPAIGN_DONE,
     DEADLINE,
     EVENT_KINDS,
     EVENTS_SCHEMA,
@@ -49,7 +51,7 @@ class TestPublish:
     def test_vocabulary_is_closed(self):
         assert EVENT_KINDS == {
             BREAKER, WATCHDOG, JOURNAL_REPLAY, FALLBACK, SHED, DEADLINE,
-            SLO_ALERT, REBALANCE,
+            SLO_ALERT, REBALANCE, CAMPAIGN_CELL, CAMPAIGN_DONE,
         }
 
 

@@ -56,4 +56,47 @@ class TestQaCommand:
         with pytest.raises(SystemExit) as exc:
             main(["qa", "--help"])
         assert exc.value.code == 0
-        assert "--kill-dpu" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "--kill-dpu" in out
+        assert "--shards" in out
+
+
+class TestQaShards:
+    def test_sharded_sweep_matches_unsharded_verdicts(self, tmp_path):
+        """--shards routes the sweep through the fleet; the per-case
+        oracle verdicts must be identical to the unsharded scheduler's."""
+        flat, sharded = tmp_path / "flat.jsonl", tmp_path / "sharded.jsonl"
+        assert main(
+            ["qa", "--trials", "24", "--seed", "11", "--report", str(flat)]
+        ) == 0
+        assert main(
+            [
+                "qa", "--trials", "24", "--seed", "11",
+                "--shards", "2", "--report", str(sharded),
+            ]
+        ) == 0
+
+        def cases(path):
+            return [
+                json.loads(l)
+                for l in path.read_text().splitlines()
+                if json.loads(l)["record"] == "case"
+            ]
+
+        assert cases(flat) == cases(sharded)
+        header = json.loads(sharded.read_text().splitlines()[0])
+        assert header["config"]["shards"] == 2
+
+    def test_sharded_sweep_with_fault_still_agrees(self, capsys, tmp_path):
+        report = tmp_path / "sharded-kill.jsonl"
+        code = main(
+            [
+                "qa", "--trials", "16", "--seed", "42",
+                "--shards", "2", "--shard-workers", "2",
+                "--kill-dpu", "1", "--report", str(report),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(report.read_text().splitlines()[-1])
+        assert summary["ok"] is True
+        assert summary["recovery"] is not None
