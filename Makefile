@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test test-fast qa campaign coverage bench bench-parallel bench-vector bench-ledger perf-gate examples fig1 outputs trace-demo serve-demo chaos fleet-demo clean
+.PHONY: install test test-fast qa campaign coverage bench bench-parallel bench-vector bench-ledger perf-gate examples fig1 outputs trace-demo serve-demo chaos chaos-net fleet-demo clean
 
 install:
 	pip install -e .
@@ -53,10 +53,12 @@ coverage:
 			tests/test_qa_differential.py tests/test_scheduler_stateful.py \
 			tests/test_pim_health.py tests/test_pim_journal.py \
 			tests/test_pim_fleet.py tests/test_campaign.py \
-			tests/test_campaign_report.py \
+			tests/test_campaign_report.py tests/test_pim_transport.py \
+			tests/test_transport_stateful.py \
 			--cov=repro.pim.faults --cov=repro.qa \
 			--cov=repro.pim.health --cov=repro.pim.journal \
 			--cov=repro.pim.fleet --cov=repro.pim.ablation \
+			--cov=repro.pim.transport \
 			--cov-report=term-missing --cov-fail-under=85; \
 	else \
 		echo "pytest-cov not installed; running the suite without the gate"; \
@@ -65,7 +67,8 @@ coverage:
 			tests/test_qa_differential.py tests/test_scheduler_stateful.py \
 			tests/test_pim_health.py tests/test_pim_journal.py \
 			tests/test_pim_fleet.py tests/test_campaign.py \
-			tests/test_campaign_report.py -q; \
+			tests/test_campaign_report.py tests/test_pim_transport.py \
+			tests/test_transport_stateful.py -q; \
 	fi
 
 bench:
@@ -175,6 +178,57 @@ chaos:
 		print(f\"chaos OK: journal {j.header['schema']} with \" \
 		      f\"{len(j.rounds())} rounds resumed byte-identically, \" \
 		      f\"load report valid ({s['completed']} completed)\")"
+
+# Transport chaos drill (see docs/fleet.md and docs/resilience.md): the
+# same workload runs through a 4-shard fleet twice — once over calm
+# links, once under a seeded NetworkFaultPlan (lossy + duplicating +
+# delayed + reordering links and a finite partition) with hedged
+# work-stealing — and the two result TSVs must be byte-identical: the
+# wire is invisible in the data.  The same plan then replays through
+# the serve path; the load report and the structured event log (which
+# must carry net_drop / net_redeliver / net_partition events) are both
+# schema-validated.  The same claims run under pytest in
+# tests/test_pim_transport.py (part of `make test`).
+chaos-net:
+	mkdir -p out/chaos-net
+	PYTHONPATH=src python -m repro.cli generate --pairs 256 --length 48 \
+		--error-rate 0.03 --seed 29 -o out/chaos-net/reads.seq
+	PYTHONPATH=src python -c "import json; \
+		from repro.pim.transport import LinkDelay, LinkDrop, \
+			LinkDuplicate, LinkReorder, NetworkFaultPlan, Partition; \
+		plan = NetworkFaultPlan(seed=29, \
+			drops=tuple(LinkDrop(shard_id=s, p=0.2) for s in (1, 2, 3)), \
+			duplicates=(LinkDuplicate(shard_id=2, p=0.25),), \
+			delays=(LinkDelay(shard_id=1, delay_s=1e-4, jitter_s=5e-5),), \
+			reorders=(LinkReorder(shard_id=2, p=0.2),), \
+			partitions=(Partition(start_s=0.0, end_s=0.03, shard_ids=(3,)),)); \
+		json.dump(plan.to_dict(), open('out/chaos-net/plan.json', 'w'), indent=2)"
+	PYTHONPATH=src python -m repro.cli pim-align -i out/chaos-net/reads.seq \
+		--dpus 4 --tasklets 4 --shards 4 --pairs-per-round 32 \
+		-o out/chaos-net/calm.tsv
+	PYTHONPATH=src python -m repro.cli pim-align -i out/chaos-net/reads.seq \
+		--dpus 4 --tasklets 4 --shards 4 --pairs-per-round 32 \
+		--net-plan @out/chaos-net/plan.json --hedge \
+		-o out/chaos-net/lossy.tsv
+	cmp out/chaos-net/calm.tsv out/chaos-net/lossy.tsv
+	PYTHONPATH=src python -m repro.cli loadgen \
+		--requests 160 --rate 8000 --length 10 --seed 29 \
+		--dpus 4 --tasklets 4 --shards 4 --pairs-per-round 2 \
+		--net-plan @out/chaos-net/plan.json --hedge \
+		--report out/chaos-net/load.jsonl \
+		--events-out out/chaos-net/events.jsonl
+	PYTHONPATH=src python -c "import json; \
+		from repro.obs.events import validate_event_log; \
+		from repro.serve import validate_load_report; \
+		s = validate_load_report('out/chaos-net/load.jsonl'); \
+		records = [json.loads(l) for l in open('out/chaos-net/events.jsonl')]; \
+		validate_event_log(records); \
+		kinds = {r.get('kind') for r in records[1:]}; \
+		missing = {'net_drop', 'net_redeliver', 'net_partition'} - kinds; \
+		assert not missing, f'net events missing from the log: {missing}'; \
+		print(f\"chaos-net OK: lossy TSV byte-identical to calm, \" \
+		      f\"load report valid ({s['completed']} completed), \" \
+		      f\"{len(records) - 1} events with net fault coverage\")"
 
 # Sharded-fleet chaos drill (see docs/fleet.md): a 4-shard fleet run
 # with a persistent DPU death under per-shard circuit breakers,

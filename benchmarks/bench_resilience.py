@@ -9,12 +9,14 @@ on fewer DPUs, because recovery overhead dwarfs the lost capacity.
 
 The acceptance number is the modeled ``total_seconds`` delta; results
 are asserted byte-identical either way (quarantine never changes the
-answers, only where and when they are computed).
+answers, only where and when they are computed).  Besides the rendered
+table, the run writes a machine-readable artifact in the shared
+``repro.bench.artifact/v1`` envelope (see ``conftest.write_artifact``).
 """
 
+import importlib.util
 import warnings
-
-from conftest import emit
+from pathlib import Path
 
 from repro.core.penalties import AffinePenalties
 from repro.data.generator import ReadPairGenerator
@@ -29,13 +31,27 @@ from repro.pim.system import PimSystem
 
 NUM_DPUS = 8
 DEAD_DPU = 3
+NUM_PAIRS = 480
+PAIRS_PER_ROUND = 96
+LENGTH = 64
+SEED = 11
 
 
-def build_system() -> PimSystem:
+def _conftest():
+    """The benchmarks-local conftest, by path (pytest shadows the name)."""
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", Path(__file__).resolve().parent / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def build_system(length: int = LENGTH) -> PimSystem:
     cfg = PimSystemConfig(
         num_dpus=NUM_DPUS, num_ranks=1, tasklets=8, num_simulated_dpus=NUM_DPUS
     )
-    kc = KernelConfig(penalties=AffinePenalties(), max_read_len=64, max_edits=3)
+    kc = KernelConfig(penalties=AffinePenalties(), max_read_len=length, max_edits=3)
     return PimSystem(cfg, kc)
 
 
@@ -47,37 +63,80 @@ def flat(run):
     return sorted(out)
 
 
-def test_breaker_vs_retry_only(benchmark):
-    pairs = ReadPairGenerator(length=64, error_rate=0.02, seed=11).pairs(480)
+def run_resilience(
+    num_pairs: int = NUM_PAIRS,
+    pairs_per_round: int = PAIRS_PER_ROUND,
+    length: int = LENGTH,
+    seed: int = SEED,
+):
+    """Both runs of the drill: (retry_only, with_breaker, health)."""
+    pairs = ReadPairGenerator(length=length, error_rate=0.02, seed=seed).pairs(
+        num_pairs
+    )
     plan = FaultPlan(deaths=(DpuDeath(dpu_id=DEAD_DPU),))
     policy = RetryPolicy(max_attempts=2, backoff_base_s=2e-3)
-
-    def run():
-        retry_only = BatchScheduler(build_system()).run(
+    retry_only = BatchScheduler(build_system(length)).run(
+        pairs,
+        pairs_per_round=pairs_per_round,
+        collect_results=True,
+        fault_plan=plan,
+        retry_policy=policy,
+    )
+    health = FleetHealth(
+        NUM_DPUS,
+        policy=HealthPolicy(window=4, failure_threshold=2, cooldown_s=1e9),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedCapacity)
+        with_breaker = BatchScheduler(build_system(length)).run(
             pairs,
-            pairs_per_round=96,
+            pairs_per_round=pairs_per_round,
             collect_results=True,
             fault_plan=plan,
             retry_policy=policy,
+            health=health,
         )
-        health = FleetHealth(
-            NUM_DPUS,
-            policy=HealthPolicy(window=4, failure_threshold=2, cooldown_s=1e9),
-        )
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DegradedCapacity)
-            with_breaker = BatchScheduler(build_system()).run(
-                pairs,
-                pairs_per_round=96,
-                collect_results=True,
-                fault_plan=plan,
-                retry_policy=policy,
-                health=health,
-            )
-        return retry_only, with_breaker, health
+    return retry_only, with_breaker, health
 
+
+def write_resilience_artifact(
+    retry_only,
+    with_breaker,
+    health,
+    *,
+    num_pairs: int = NUM_PAIRS,
+    pairs_per_round: int = PAIRS_PER_ROUND,
+    length: int = LENGTH,
+    seed: int = SEED,
+    path=None,
+) -> Path:
+    """The drill's machine-readable artifact, in the shared envelope."""
+    config = {
+        "num_dpus": NUM_DPUS,
+        "dead_dpu": DEAD_DPU,
+        "num_pairs": num_pairs,
+        "pairs_per_round": pairs_per_round,
+        "length": length,
+        "seed": seed,
+    }
+    body = {
+        "retry_only_seconds": retry_only.total_seconds,
+        "breaker_seconds": with_breaker.total_seconds,
+        "delta_seconds": retry_only.total_seconds - with_breaker.total_seconds,
+        "retry_only_recovery_seconds": retry_only.recovery_seconds,
+        "breaker_recovery_seconds": with_breaker.recovery_seconds,
+        "faults_seen": retry_only.recovery.faults_seen,
+        "dead_dpu_state": health.states()[DEAD_DPU],
+        "identical": flat(with_breaker) == flat(retry_only),
+    }
+    return _conftest().write_artifact(
+        "BENCH_resilience", config, body, seed=seed, path=path
+    )
+
+
+def test_breaker_vs_retry_only(benchmark):
     retry_only, with_breaker, health = benchmark.pedantic(
-        run, rounds=1, iterations=1
+        run_resilience, rounds=1, iterations=1
     )
 
     rows = []
@@ -99,12 +158,13 @@ def test_breaker_vs_retry_only(benchmark):
             "-",
         )
     )
-    emit(
+    _conftest().emit(
         "resilience",
         format_table(
             ["scheduler", "total_ms", "recovery_ms", "faults_seen"], rows
         ),
     )
+    write_resilience_artifact(retry_only, with_breaker, health)
 
     assert health.states()[DEAD_DPU] == "open"
     assert flat(with_breaker) == flat(retry_only)

@@ -94,6 +94,12 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                              "(modeled seconds)")
     parser.add_argument("--max-queue-pairs", type=int, default=4096,
                         help="admission bound on pending + in-flight pairs")
+    parser.add_argument("--pairs-per-round", type=int, default=None,
+                        metavar="N",
+                        help="scheduler round size inside each batch "
+                             "(default: one round per batch); with "
+                             "--shards > 1 smaller rounds stripe each "
+                             "batch across more coordinator<->shard links")
     parser.add_argument("--cache", type=int, default=0, metavar="N",
                         help="result-cache capacity in entries (0 = off)")
     parser.add_argument("--cache-policy", choices=("lru", "lfu"), default="lru")
@@ -118,9 +124,53 @@ def _add_serve_args(parser: argparse.ArgumentParser) -> None:
                              "round-stripe across shards with health-aware "
                              "rebalancing and responses stay byte-identical "
                              "to --shards 1")
+    parser.add_argument("--net-plan", metavar="JSON|@FILE", default=None,
+                        help="with --shards > 1: seeded NetworkFaultPlan for "
+                             "the coordinator<->shard links, as inline JSON "
+                             "or @path-to-json (keys: seed, drops, "
+                             "duplicates, delays, reorders, partitions)")
+    parser.add_argument("--link-timeout", type=float, default=None, metavar="S",
+                        help="modeled per-link delivery timeout before "
+                             "retransmission (default 0.002)")
+    parser.add_argument("--hedge", action="store_true",
+                        help="hedged re-dispatch: steal a timed-out "
+                             "in-flight round onto the next healthy shard "
+                             "instead of only retrying the link")
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write service metrics: Prometheus text for "
                              ".prom/.txt, JSON otherwise")
+
+
+def _parse_net_plan(args: argparse.Namespace):
+    """(net_plan, transport_policy) from --net-plan/--link-timeout/--hedge."""
+    import json as _json
+
+    from repro.errors import ConfigError
+    from repro.pim.transport import NetworkFaultPlan, TransportPolicy
+
+    net_plan = None
+    if args.net_plan is not None:
+        text = args.net_plan
+        if text.startswith("@"):
+            with open(text[1:], "r", encoding="utf-8") as fh:
+                text = fh.read()
+        try:
+            doc = _json.loads(text)
+        except _json.JSONDecodeError as exc:
+            raise ConfigError(f"--net-plan is not valid JSON: {exc}") from exc
+        net_plan = NetworkFaultPlan.from_dict(doc)
+    policy = None
+    if args.link_timeout is not None or args.hedge:
+        kwargs = {}
+        if args.link_timeout is not None:
+            kwargs["link_timeout_s"] = args.link_timeout
+        policy = TransportPolicy(hedge=args.hedge, **kwargs)
+    if policy is not None and net_plan is None:
+        raise ConfigError(
+            "--link-timeout/--hedge govern the modeled transport; they "
+            "need --net-plan (and --shards > 1)"
+        )
+    return net_plan, policy
 
 
 def _build_serve_service(args: argparse.Namespace):
@@ -142,6 +192,7 @@ def _build_serve_service(args: argparse.Namespace):
     fallback = None
     if args.fallback_threshold is not None:
         fallback = FallbackPolicy(min_healthy_fraction=args.fallback_threshold)
+    net_plan, transport_policy = _parse_net_plan(args)
     return build_service(
         num_dpus=args.dpus,
         tasklets=args.tasklets,
@@ -155,12 +206,15 @@ def _build_serve_service(args: argparse.Namespace):
             max_queue_pairs=args.max_queue_pairs,
             cache_pairs=args.cache,
             cache_policy=args.cache_policy,
+            pairs_per_round=args.pairs_per_round,
         ),
         fault_plan=fault_plan,
         health_policy=health_policy,
         fallback=fallback,
         engine=args.engine,
         shards=args.shards,
+        net_plan=net_plan,
+        transport_policy=transport_policy,
     )
 
 
@@ -272,8 +326,24 @@ def build_parser() -> argparse.ArgumentParser:
                           "byte-identical to --shards 1")
     pim.add_argument("--shard-workers", type=int, default=1, metavar="N",
                      help="host processes running shards in parallel "
-                          "(1 = sequential; incompatible with --breaker; "
+                          "(1 = sequential; health-ledger deltas ride home "
+                          "in each shard's outcome, so --breaker composes; "
                           "results are identical either way)")
+    pim.add_argument("--net-plan", metavar="JSON|@FILE", default=None,
+                     help="with --shards > 1: seeded NetworkFaultPlan for "
+                          "the coordinator<->shard links, as inline JSON or "
+                          "@path-to-json; rounds travel as idempotent "
+                          "envelopes with at-least-once redelivery")
+    pim.add_argument("--link-timeout", type=float, default=None, metavar="S",
+                     help="modeled per-link delivery timeout before "
+                          "retransmission (default 0.002)")
+    pim.add_argument("--hedge", action="store_true",
+                     help="hedged re-dispatch: steal a timed-out in-flight "
+                          "round onto the next healthy shard")
+    pim.add_argument("-o", "--output", default=None, metavar="PATH",
+                     help="write gathered alignments as TSV "
+                          "(index<TAB>score<TAB>cigar); forces result "
+                          "collection")
     _add_penalty_args(pim)
 
     # map ---------------------------------------------------------------
@@ -551,6 +621,23 @@ def _write_telemetry(args: argparse.Namespace, telemetry) -> None:
     )
 
 
+def _write_pim_tsv(path: str, records) -> None:
+    """Write gathered alignments as ``index<TAB>score<TAB>cigar`` rows."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for index, score, cigar in sorted(records):
+            fh.write(f"{index}\t{score}\t{cigar if cigar is not None else ''}\n")
+    print(f"wrote alignments to {path}")
+
+
+def _scheduled_records(run):
+    """Workload-global (index, score, cigar) triples from a ScheduledRun."""
+    out, start = [], 0
+    for rnd, size in zip(run.per_round, run.schedule.round_sizes()):
+        out.extend((start + i, s, c) for i, s, c in rnd.results)
+        start += size
+    return out
+
+
 def _cmd_pim_align(args: argparse.Namespace) -> int:
     from repro.pim.config import PimSystemConfig
     from repro.pim.kernel import KernelConfig
@@ -590,6 +677,13 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
 
     if args.shards > 1:
         return _pim_align_fleet(args, config, kernel_config, pairs, telemetry)
+    if args.net_plan is not None or args.hedge or args.link_timeout is not None:
+        print(
+            "error: --net-plan/--link-timeout/--hedge model the "
+            "coordinator<->shard network; they require --shards > 1",
+            file=sys.stderr,
+        )
+        return 1
 
     system = PimSystem(config, kernel_config, telemetry=telemetry)
 
@@ -605,6 +699,8 @@ def _cmd_pim_align(args: argparse.Namespace) -> int:
         return _pim_align_scheduled(args, system, pairs, telemetry)
 
     run = system.align(pairs)
+    if args.output:
+        _write_pim_tsv(args.output, run.results)
     rows = [
         ("pairs", f"{run.num_pairs:,}"),
         ("DPUs / tasklets / policy", f"{args.dpus} / {args.tasklets} / {args.policy}"),
@@ -660,6 +756,7 @@ def _pim_align_scheduled(args: argparse.Namespace, system, pairs, telemetry) -> 
                 args.journal,
                 pairs,
                 pairs_per_round=args.pairs_per_round,
+                collect_results=bool(args.output),
                 fault_plan=fault_plan,
                 health=health,
             )
@@ -667,10 +764,13 @@ def _pim_align_scheduled(args: argparse.Namespace, system, pairs, telemetry) -> 
             run = scheduler.run(
                 pairs,
                 pairs_per_round=args.pairs_per_round,
+                collect_results=bool(args.output),
                 fault_plan=fault_plan,
                 health=health,
                 journal=args.journal,
             )
+    if args.output:
+        _write_pim_tsv(args.output, _scheduled_records(run))
     rows = [
         ("pairs", f"{run.schedule.total_pairs:,}"),
         ("DPUs / tasklets / policy", f"{args.dpus} / {args.tasklets} / {args.policy}"),
@@ -736,6 +836,17 @@ def _pim_align_fleet(args: argparse.Namespace, config, kernel_config, pairs,
         from repro.pim.health import HealthPolicy
 
         health_policy = HealthPolicy()
+    net_plan, transport_policy = _parse_net_plan(args)
+    if net_plan is not None and not net_plan.is_calm() and (
+        args.journal is not None or args.resume
+    ):
+        print(
+            "error: --journal/--resume are not supported with an active "
+            "--net-plan (at-least-once delivery is the durability story "
+            "on a faulty network)",
+            file=sys.stderr,
+        )
+        return 1
     fleet = FleetCoordinator(
         config,
         kernel_config,
@@ -743,6 +854,8 @@ def _pim_align_fleet(args: argparse.Namespace, config, kernel_config, pairs,
         shard_workers=args.shard_workers,
         health_policy=health_policy,
         telemetry=telemetry,
+        net_plan=net_plan,
+        transport_policy=transport_policy,
     )
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", DegradedCapacity)
@@ -751,15 +864,19 @@ def _pim_align_fleet(args: argparse.Namespace, config, kernel_config, pairs,
                 args.journal,
                 pairs,
                 pairs_per_round=args.pairs_per_round,
+                collect_results=bool(args.output),
                 fault_plan=fault_plan,
             )
         else:
             run = fleet.run(
                 pairs,
                 pairs_per_round=args.pairs_per_round,
+                collect_results=bool(args.output),
                 fault_plan=fault_plan,
                 journal=args.journal,
             )
+    if args.output:
+        _write_pim_tsv(args.output, run.results())
     rows = [
         ("pairs", f"{run.schedule.total_pairs:,}"),
         ("shards x DPUs", f"{args.shards} x {args.dpus} = {fleet.total_dpus}"),
@@ -773,7 +890,22 @@ def _pim_align_fleet(args: argparse.Namespace, config, kernel_config, pairs,
         ("fleet speedup", f"{run.speedup():.2f}x"),
         ("throughput", f"{run.throughput():,.0f} pairs/s"),
     ]
+    if run.transport is not None:
+        t = run.transport
+        rows.extend([
+            ("net drops / redeliveries", f"{t.drops} / {t.redeliveries}"),
+            ("net partition-blocked", str(t.partition_blocked)),
+            ("net steals / dups absorbed",
+             f"{t.steals} / {t.duplicates_absorbed}"),
+        ])
     print(format_table(["metric", "value"], rows, title="simulated PIM fleet run"))
+    if run.transport is not None:
+        open_links = sorted(
+            k for k, s in fleet.transport.link_states(run.total_seconds).items()
+            if s != "closed"
+        )
+        if open_links:
+            print(f"links not closed: {open_links}")
     if run.recovery is not None:
         print(f"recovery: {run.recovery.faults_seen} fault(s), "
               f"{len(run.recovery.rerun_pairs)} pair(s) re-run, "

@@ -93,6 +93,18 @@ class TaskletStallError(FaultError):
     """A tasklet exceeded its stall budget (modeled watchdog trip)."""
 
 
+class TransportError(PimError):
+    """The modeled shard transport could not deliver a message.
+
+    Raised by :mod:`repro.pim.transport` when a link exhausts its
+    redelivery budget with no healthy shard to steal the work onto —
+    i.e. the ``NetworkFaultPlan`` violates the liveness precondition
+    that at least one shard stays reachable per partition epoch.
+    At-least-once delivery means this is *loud*: the coordinator never
+    silently drops a round.
+    """
+
+
 class JournalError(PimError):
     """A run journal is malformed, truncated badly, or does not match
     the workload/configuration it is being resumed against."""

@@ -55,6 +55,18 @@ kind                 published by / meaning
                      ``total_seconds``)
 ``campaign_done``    campaign runner — the full grid completed (attrs:
                      ``cells``, ``ok``)
+``net_drop``         :class:`~repro.pim.transport.ShardTransport` — a
+                     transport envelope was lost on a link (attrs:
+                     ``round``, ``shard``, ``direction``, ``attempt``)
+``net_redeliver``    transport — an envelope was retransmitted after a
+                     modeled link timeout (attrs: ``round``, ``shard``,
+                     ``direction``, ``attempt``, ``backoff_s``)
+``net_partition``    transport — a delivery attempt was blocked by an
+                     active partition window (attrs: ``round``,
+                     ``shard``, ``direction``, ``until_s``)
+``steal``            transport/fleet — an in-flight round was hedged
+                     onto another shard after its link timed out
+                     (attrs: ``round``, ``from_shard``, ``to_shard``)
 ===================  ====================================================
 """
 
@@ -81,6 +93,10 @@ __all__ = [
     "REBALANCE",
     "CAMPAIGN_CELL",
     "CAMPAIGN_DONE",
+    "NET_DROP",
+    "NET_REDELIVER",
+    "NET_PARTITION",
+    "STEAL",
     "validate_event_log",
 ]
 
@@ -97,6 +113,10 @@ SLO_ALERT = "slo_alert"
 REBALANCE = "rebalance"
 CAMPAIGN_CELL = "campaign_cell"
 CAMPAIGN_DONE = "campaign_done"
+NET_DROP = "net_drop"
+NET_REDELIVER = "net_redeliver"
+NET_PARTITION = "net_partition"
+STEAL = "steal"
 
 #: the closed event vocabulary — the "typed" in "typed event log".
 EVENT_KINDS = frozenset(
@@ -111,6 +131,10 @@ EVENT_KINDS = frozenset(
         REBALANCE,
         CAMPAIGN_CELL,
         CAMPAIGN_DONE,
+        NET_DROP,
+        NET_REDELIVER,
+        NET_PARTITION,
+        STEAL,
     }
 )
 

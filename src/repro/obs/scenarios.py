@@ -57,6 +57,7 @@ SCENARIO_NAMES = (
     "resilience_breaker",
     "fleet_scaling",
     "campaign_grid",
+    "fleet_lossy_net",
 )
 
 
@@ -704,4 +705,147 @@ def campaign_grid(profile: str) -> ScenarioResult:
                 journal_off["restart_overhead_seconds"]
             ),
         },
+    )
+
+
+# -- 8. fleet over a lossy network ------------------------------------------
+
+
+@scenario("fleet_lossy_net")
+def fleet_lossy_net(profile: str) -> ScenarioResult:
+    """The shard transport under rising link loss, identity-checked.
+
+    Runs one pinned workload through a 4-shard fleet at 0%, 1% and 5%
+    per-envelope drop probability (plus matching duplicate injection)
+    on every coordinator<->shard link.  The 0% point takes the direct
+    in-process path (a calm plan never constructs a transport); every
+    lossy point must return the byte-identical result stream — the
+    at-least-once + dedup exactly-once-effect claim — and must not
+    finish faster than the calm run (redelivery only adds modeled
+    time).  Gated metrics come from the 5% point, whose transport
+    counters ride in ``counters`` for the ledger diff.
+    """
+    from repro.pim.fleet import FleetCoordinator
+    from repro.pim.transport import LinkDrop, LinkDuplicate, NetworkFaultPlan
+
+    config = {
+        "scenario": "fleet_lossy_net",
+        "profile": profile,
+        "shards": 4,
+        "dpus_per_shard": 4,
+        "tasklets": 4,
+        "length": 32,
+        "error_rate": 0.05,
+        "max_edits": 3,
+        "seed": 23,
+        "net_seed": 5,
+        "pairs": 256 if profile == "quick" else 1024,
+        "pairs_per_round": 16 if profile == "quick" else 32,
+        "drop_rates": [0.0, 0.01, 0.05],
+    }
+    pairs = ReadPairGenerator(
+        length=config["length"],
+        error_rate=config["error_rate"],
+        seed=config["seed"],
+    ).pairs(config["pairs"])
+    system_config = PimSystemConfig(
+        num_dpus=config["dpus_per_shard"],
+        num_ranks=1,
+        tasklets=config["tasklets"],
+        num_simulated_dpus=config["dpus_per_shard"],
+    )
+    kernel_config = KernelConfig(
+        penalties=AffinePenalties(),
+        max_read_len=config["length"],
+        max_edits=config["max_edits"],
+        engine="vector",
+    )
+
+    def net_plan(rate: float) -> NetworkFaultPlan:
+        links = range(config["shards"])
+        return NetworkFaultPlan(
+            seed=config["net_seed"],
+            drops=tuple(LinkDrop(shard_id=s, p=rate) for s in links),
+            duplicates=tuple(LinkDuplicate(shard_id=s, p=rate) for s in links),
+        )
+
+    calm_signature = None
+    calm_seconds = None
+    gated = None
+    gated_report = None
+    counters = {}
+    curve = []
+    for rate in config["drop_rates"]:
+        telemetry = RunTelemetry() if rate == config["drop_rates"][-1] else None
+        fleet = FleetCoordinator(
+            system_config,
+            kernel_config,
+            shards=config["shards"],
+            net_plan=net_plan(rate),
+            telemetry=telemetry,
+        )
+        run = fleet.run(
+            pairs,
+            pairs_per_round=config["pairs_per_round"],
+            collect_results=True,
+        )
+        signature = _signature(run.results())
+        if calm_signature is None:
+            calm_signature = signature
+            calm_seconds = run.total_seconds
+            if fleet.transport is not None:
+                raise LedgerError(
+                    "fleet_lossy_net: a calm plan constructed a transport"
+                )
+        elif signature != calm_signature:
+            raise LedgerError(
+                f"fleet_lossy_net: drop rate {rate} results diverged from "
+                "the calm run (exactly-once effect broken)"
+            )
+        elif run.total_seconds < calm_seconds:
+            raise LedgerError(
+                f"fleet_lossy_net: drop rate {rate} finished faster than "
+                "the calm run on the modeled clock"
+            )
+        if telemetry is not None:
+            counters = counters_from_diff(fleet.metrics_snapshot())
+            gated = run
+            gated_report = run.transport
+        curve.append(
+            {
+                "drop_rate": rate,
+                "total_seconds": run.total_seconds,
+                "throughput": run.throughput(),
+                "drops": 0 if run.transport is None else run.transport.drops,
+                "redeliveries": (
+                    0 if run.transport is None else run.transport.redeliveries
+                ),
+            }
+        )
+
+    if gated_report is None or gated_report.drops < 1:
+        raise LedgerError(
+            "fleet_lossy_net: the gated 5% point never dropped an envelope "
+            "(the fault plan is not exercising the transport)"
+        )
+    p50, p90, p99 = _pctl([r.total_seconds for r in gated.per_round])
+    return ScenarioResult(
+        scenario="fleet_lossy_net",
+        config=config,
+        pairs_per_second=gated.throughput(),
+        total_seconds=gated.total_seconds,
+        kernel_seconds=gated.kernel_seconds,
+        latency_p50_s=p50,
+        latency_p90_s=p90,
+        latency_p99_s=p99,
+        info={
+            "results_identical": True,
+            "curve": curve,
+            "calm_total_seconds": calm_seconds,
+            "lossy_overhead_ratio": (
+                gated.total_seconds / calm_seconds if calm_seconds else 0.0
+            ),
+            "duplicates_absorbed": gated_report.duplicates_absorbed,
+        },
+        counters=counters,
     )

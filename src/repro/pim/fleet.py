@@ -59,6 +59,20 @@ Fault domains: a :class:`~repro.pim.faults.FaultPlan` handed to
   local DPU misbehaves on every shard); results stay byte-identical
   across shard counts even under faults, which is what the
   differential suite exploits.
+
+Networked execution: handing the coordinator a non-calm
+:class:`~repro.pim.transport.NetworkFaultPlan` routes every round
+through the modeled message-passing boundary in
+:mod:`repro.pim.transport` — typed envelopes with idempotency keys,
+at-least-once redelivery over seeded drop/duplicate/delay/reorder/
+partition faults, per-link circuit breakers, and (under
+``TransportPolicy(hedge=True)``) hedged re-dispatch that *steals* a
+timed-out in-flight round onto the next healthy shard.  Because a
+round's outcome is a pure function of its chunk and configuration,
+stealing moves only modeled time: the two racing results are
+byte-identical and the loser is absorbed by dedup.  Under a calm plan
+the transport is bypassed entirely, keeping the direct path
+byte-identical to the pre-transport fleet.
 """
 
 from __future__ import annotations
@@ -74,11 +88,17 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
 from repro.data.generator import ReadPair
-from repro.errors import ConfigError, DegradedCapacity, JournalError
+from repro.errors import ConfigError, DegradedCapacity, JournalError, TransportError
 from repro.pim.faults import FaultPlan, RecoveryReport, RetryPolicy
 from repro.pim.kernel import KernelConfig
 from repro.pim.scheduler import BatchSchedule, BatchScheduler, ScheduledRun
 from repro.pim.system import PimRunResult, PimSystem
+from repro.pim.transport import (
+    NetworkFaultPlan,
+    ShardTransport,
+    TransportPolicy,
+    TransportReport,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.telemetry import RunTelemetry
@@ -168,6 +188,12 @@ class ShardTask:
     resume: bool
     now: float
     with_telemetry: bool
+    #: the worker rebuilds this shard's health ledger from these two —
+    #: policy plus the coordinator's exported breaker state — and ships
+    #: the end state home in :attr:`ShardOutcome.health_state`, which is
+    #: what lets ``shard_workers > 1`` carry health ledgers at all.
+    health_policy: Optional["HealthPolicy"] = None
+    health_state: Optional[dict] = None
 
 
 @dataclass
@@ -182,6 +208,9 @@ class ShardOutcome:
     #: event records (:meth:`~repro.obs.events.Event.to_dict`) in
     #: publish order (``with_telemetry`` tasks only)
     events: Optional[list] = None
+    #: :meth:`~repro.pim.health.FleetHealth.export_state` delta the
+    #: coordinator imports into its persistent shard ledger
+    health_state: Optional[dict] = None
 
 
 def run_fleet_shard(task: ShardTask) -> ShardOutcome:
@@ -200,6 +229,18 @@ def run_fleet_shard(task: ShardTask) -> ShardOutcome:
     scheduler = BatchScheduler(
         system, overlapped=task.overlapped, workers=task.workers
     )
+    health = None
+    if task.health_policy is not None:
+        from repro.pim.health import FleetHealth
+
+        health = FleetHealth(
+            task.config.num_dpus,
+            policy=task.health_policy,
+            registry=telemetry.registry if telemetry is not None else None,
+            events=telemetry.events if telemetry is not None else None,
+        )
+        if task.health_state is not None:
+            health.import_state(task.health_state)
     pairs = list(task.pairs)
     if (
         task.resume
@@ -213,6 +254,7 @@ def run_fleet_shard(task: ShardTask) -> ShardOutcome:
             collect_results=task.collect_results,
             fault_plan=task.fault_plan,
             retry_policy=task.retry_policy,
+            health=health,
             now=task.now,
         )
     else:
@@ -222,6 +264,7 @@ def run_fleet_shard(task: ShardTask) -> ShardOutcome:
             collect_results=task.collect_results,
             fault_plan=task.fault_plan,
             retry_policy=task.retry_policy,
+            health=health,
             journal=task.journal_path,
             now=task.now,
         )
@@ -234,6 +277,7 @@ def run_fleet_shard(task: ShardTask) -> ShardOutcome:
             if telemetry is not None
             else None
         ),
+        health_state=health.export_state() if health is not None else None,
     )
 
 
@@ -263,6 +307,9 @@ class FleetRun:
     #: aggregate recovery report, pair indices global (None without faults)
     recovery: Optional[RecoveryReport] = None
     rounds_replayed: int = 0
+    #: per-run transport report when the run went over a faulty network
+    #: (None on the direct path; see :mod:`repro.pim.transport`)
+    transport: Optional[TransportReport] = None
 
     @property
     def kernel_seconds(self) -> float:
@@ -279,12 +326,18 @@ class FleetRun:
     @property
     def shard_seconds(self) -> dict[int, float]:
         """Modeled busy seconds per participating shard."""
+        if self.transport is not None:
+            return {k: v for k, v in sorted(self.transport.shard_busy_s.items())}
         return {k: run.total_seconds for k, run in sorted(self.shard_runs.items())}
 
     @property
     def total_seconds(self) -> float:
         """Fleet makespan: shards run concurrently, so the run finishes
-        when the slowest shard does."""
+        when the slowest shard does.  Over a faulty network the wire is
+        on the critical path too: the makespan runs to the latest
+        result *receipt* at the coordinator."""
+        if self.transport is not None:
+            return self.transport.makespan_s
         return max(self.shard_seconds.values(), default=0.0)
 
     @property
@@ -321,6 +374,9 @@ class FleetRun:
             "shard_seconds": {str(k): v for k, v in self.shard_seconds.items()},
             "throughput_pairs_per_s": self.throughput(),
             "recovery": self.recovery.to_dict() if self.recovery is not None else None,
+            "transport": (
+                self.transport.to_dict() if self.transport is not None else None
+            ),
         }
 
 
@@ -347,9 +403,20 @@ class FleetCoordinator:
     ``shard_workers`` > 1 fans shards out over a
     ``ProcessPoolExecutor`` (falling back to sequential execution if
     the pool cannot start) — results are identical either way because a
-    shard's outcome is a pure function of its task.  Process-parallel
-    execution is incompatible with ``health_policy`` (breaker state
-    lives in the coordinator process) and refused up front.
+    shard's outcome is a pure function of its task.  Health ledgers
+    survive the process boundary: each task carries the coordinator's
+    exported breaker state in, the worker feeds its own rebuilt ledger,
+    and the :class:`ShardOutcome` ships the end state home where it is
+    imported into the persistent per-shard ledger — byte-identical
+    health documents at any ``shard_workers``.
+
+    ``net_plan``/``transport_policy`` model the coordinator<->shard
+    network (:mod:`repro.pim.transport`): under a non-calm
+    :class:`~repro.pim.transport.NetworkFaultPlan` every round travels
+    as an idempotent envelope with at-least-once redelivery, and with
+    ``TransportPolicy(hedge=True)`` a timed-out in-flight round is
+    stolen onto the next healthy shard.  Networked runs are inline-only
+    and refuse journals (`the wire, not the WAL, is the experiment`).
     """
 
     def __init__(
@@ -365,6 +432,8 @@ class FleetCoordinator:
         min_shard_healthy_fraction: float = 0.5,
         fault_domain: str = "global",
         telemetry: Optional["RunTelemetry"] = None,
+        net_plan: Optional[NetworkFaultPlan] = None,
+        transport_policy: Optional[TransportPolicy] = None,
     ) -> None:
         if shards < 1:
             raise ConfigError(f"shards must be >= 1, got {shards}")
@@ -378,12 +447,6 @@ class FleetCoordinator:
             raise ConfigError(
                 "min_shard_healthy_fraction must be in (0, 1], got "
                 f"{min_shard_healthy_fraction}"
-            )
-        if shard_workers not in (0, 1) and health_policy is not None:
-            raise ConfigError(
-                "process-parallel shards (shard_workers > 1) cannot carry "
-                "health ledgers across processes; use shard_workers=1 with "
-                "health_policy"
             )
         self.shards = shards
         self.config = config
@@ -425,6 +488,23 @@ class FleetCoordinator:
                 )
             self.shard_healths.append(health)
         self._last_active: tuple[int, ...] = tuple(range(shards))
+        #: modeled network boundary; None under a calm/absent plan so the
+        #: direct path stays byte-identical (zero counters, events, time)
+        self.net_plan = net_plan
+        self.transport: Optional[ShardTransport] = None
+        if net_plan is not None and not net_plan.is_calm():
+            self.transport = ShardTransport(
+                shards,
+                net_plan,
+                policy=transport_policy,
+                registry=telemetry.registry if telemetry is not None else None,
+                events=telemetry.events if telemetry is not None else None,
+            )
+        elif transport_policy is not None and net_plan is None:
+            raise ConfigError(
+                "transport_policy without a net_plan has nothing to govern; "
+                "pass net_plan= (a NetworkFaultPlan, possibly calm)"
+            )
 
     # -- shape -------------------------------------------------------------
 
@@ -628,6 +708,26 @@ class FleetCoordinator:
                 raise ConfigError(f"round {index} placed on unknown shard {shard}")
             shard_rounds.setdefault(shard, []).append(index)
 
+        if self.transport is not None:
+            if journal is not None or resume:
+                raise ConfigError(
+                    "journaling/resume is not supported over a faulty network "
+                    "plan; run the networked drill without journal= (the "
+                    "transport's at-least-once delivery is the durability "
+                    "story there)"
+                )
+            return self._run_networked(
+                pairs,
+                schedule,
+                starts,
+                sizes,
+                placements,
+                collect_results,
+                fault_plan,
+                retry_policy,
+                now,
+            )
+
         journal_dir = Path(journal) if journal is not None else None
         if journal_dir is not None and not resume:
             self._write_manifest(
@@ -676,6 +776,12 @@ class FleetCoordinator:
                     resume=resume,
                     now=now,
                     with_telemetry=self.telemetry is not None,
+                    health_policy=self.health_policy,
+                    health_state=(
+                        self.shard_healths[k].export_state()
+                        if self.shard_healths[k] is not None
+                        else None
+                    ),
                 )
             )
 
@@ -774,6 +880,12 @@ class FleetCoordinator:
             shard_runs[outcome.shard_id] = outcome.run
             if inline:
                 continue  # persistent shard telemetry already has it all
+            if outcome.health_state is not None:
+                health = self.shard_healths[outcome.shard_id]
+                if health is not None:
+                    # the worker already published the transitions; import
+                    # the end state without replaying (no double count)
+                    health.import_state(outcome.health_state)
             shard_tel = self.shard_telemetries[outcome.shard_id]
             if shard_tel is None:
                 continue
@@ -784,6 +896,214 @@ class FleetCoordinator:
                     record["kind"], record["t_s"], **record["attrs"]
                 )
         return shard_runs
+
+    # -- networked execution --------------------------------------------------
+
+    def _run_networked(
+        self,
+        pairs: list[ReadPair],
+        schedule: BatchSchedule,
+        starts: list[int],
+        sizes: list[int],
+        placements: list[int],
+        collect_results: bool,
+        fault_plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy],
+        now: float,
+    ) -> FleetRun:
+        """Run every round through the modeled transport, in global order.
+
+        Per-shard ``busy`` clocks serialize rounds on their shard while
+        shards overlap each other, exactly like the direct path — but
+        each round additionally pays its work-envelope delivery on the
+        way out and its result-envelope delivery on the way home, and a
+        delivery that misses the hedge deadline (``hedge=True``) steals
+        the round onto the next healthy shard.  Results are unaffected
+        by any of it: a round is a pure function of its chunk, so the
+        networked ``per_round`` stream is byte-identical to the direct
+        path's (pinned in ``tests/test_pim_transport.py``).
+        """
+        assert self.transport is not None
+        report = self.transport.begin_run(now)
+        busy = {k: now for k in range(self.shards)}
+        per_round: list[PimRunResult] = []
+        recovery: Optional[RecoveryReport] = None
+        for r in range(schedule.rounds):
+            chunk = pairs[starts[r] : starts[r] + sizes[r]]
+            survivor, result, recv_s = self._round_over_network(
+                r,
+                chunk,
+                placements[r],
+                busy,
+                now,
+                schedule.pairs_per_round,
+                collect_results,
+                fault_plan,
+                retry_policy,
+            )
+            report.receipts[r] = recv_s
+            report.survivors[r] = survivor
+            if result.recovery is not None:
+                result.recovery.shift_pairs(starts[r])
+                if recovery is None:
+                    recovery = RecoveryReport()
+                recovery.merge(result.recovery)
+            per_round.append(result)
+        report.shard_busy_s = {
+            k: busy[k] - now for k in range(self.shards) if busy[k] > now
+        }
+        return FleetRun(
+            schedule=schedule,
+            shards=self.shards,
+            placements=list(placements),
+            per_round=per_round,
+            shard_runs={},
+            overlapped=self.overlapped,
+            recovery=recovery,
+            rounds_replayed=0,
+            transport=report,
+        )
+
+    def _round_over_network(
+        self,
+        r: int,
+        chunk: list[ReadPair],
+        shard: int,
+        busy: dict[int, float],
+        now: float,
+        pairs_per_round: int,
+        collect_results: bool,
+        fault_plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy],
+    ) -> tuple[int, PimRunResult, float]:
+        """One round's full network round-trip; returns the surviving
+        ``(shard, result, coordinator receipt time)``.
+
+        At-least-once on both legs: the work envelope retries until it
+        lands (or its redelivery budget exhausts), the round executes at
+        ``max(arrival, shard busy)``, and the result envelope retries
+        home.  Hedging arms a timer at dispatch: a round whose result
+        has not arrived by ``hedge_timeout_s`` is stolen onto the next
+        healthy shard and the two results race — earliest coordinator
+        receipt survives (tie goes to the original), the loser is
+        absorbed by dedup.
+        """
+        transport = self.transport
+        policy = transport.policy
+        # (receipt, origin-order) candidates; origin 0 = original shard
+        candidates: list[tuple[float, int, int, PimRunResult]] = []
+        tried = [shard]
+        work = transport.deliver("work", r, shard, now)
+        # the hedge timer is per-leg: the work envelope must be acked
+        # within hedge_timeout_s of dispatch, and the result must land
+        # within hedge_timeout_s of the round's modeled completion —
+        # a healthy shard that is merely *busy* is never stolen from.
+        hedge_needed = (not work.ok) or work.arrive_s > now + policy.hedge_timeout_s
+        t_steal = now + policy.hedge_timeout_s
+        if work.ok:
+            result, done = self._execute_round_on(
+                shard,
+                chunk,
+                busy,
+                work.arrive_s,
+                pairs_per_round,
+                collect_results,
+                fault_plan,
+                retry_policy,
+            )
+            back = transport.deliver("result", r, shard, done)
+            if back.ok:
+                candidates.append((back.arrive_s, 0, shard, result))
+            if not hedge_needed and (
+                not back.ok or back.arrive_s > done + policy.hedge_timeout_s
+            ):
+                hedge_needed = True
+                t_steal = done + policy.hedge_timeout_s
+        if policy.hedge and hedge_needed:
+            for offset in range(1, self.shards):
+                target = (shard + offset) % self.shards
+                if target in tried:
+                    continue
+                if not transport.link_ok(target, t_steal):
+                    continue
+                if not self._shard_placeable(target, t_steal):
+                    continue
+                tried.append(target)
+                transport.note_steal(r, shard, target, t_steal)
+                stolen = transport.deliver("work", r, target, t_steal)
+                if not stolen.ok:
+                    continue
+                result2, done2 = self._execute_round_on(
+                    target,
+                    chunk,
+                    busy,
+                    stolen.arrive_s,
+                    pairs_per_round,
+                    collect_results,
+                    fault_plan,
+                    retry_policy,
+                )
+                back2 = transport.deliver("result", r, target, done2)
+                if back2.ok:
+                    candidates.append((back2.arrive_s, 1, target, result2))
+                    break
+        if not candidates:
+            raise TransportError(
+                f"round {r}: no result reached the coordinator — shard "
+                f"{shard}'s link exhausted {policy.max_redeliveries} "
+                f"redeliveries and no healthy shard could steal the round; "
+                f"the network plan violates the >=1-live-shard liveness "
+                f"precondition"
+            )
+        candidates.sort(key=lambda c: (c[0], c[1]))
+        recv_s, _, survivor, result = candidates[0]
+        for _ in candidates[1:]:
+            transport.absorb_extra_result(r, survivor)
+        return survivor, result, recv_s
+
+    def _execute_round_on(
+        self,
+        k: int,
+        chunk: list[ReadPair],
+        busy: dict[int, float],
+        arrive_s: float,
+        pairs_per_round: int,
+        collect_results: bool,
+        fault_plan: Optional[FaultPlan],
+        retry_policy: Optional[RetryPolicy],
+    ) -> tuple[PimRunResult, float]:
+        """Execute one round's chunk on shard ``k`` at the modeled time
+        its work envelope arrived; returns (result, completion time)."""
+        start = max(arrive_s, busy[k])
+        run_k = self.schedulers[k].run(
+            list(chunk),
+            pairs_per_round=pairs_per_round,
+            collect_results=collect_results,
+            fault_plan=self._shard_plan(fault_plan, k),
+            retry_policy=retry_policy,
+            health=self.shard_healths[k],
+            now=start,
+        )
+        done = start + run_k.total_seconds
+        busy[k] = done
+        return run_k.per_round[0], done
+
+    def _shard_placeable(self, k: int, now: float) -> bool:
+        """Whether shard ``k``'s device health admits stolen work."""
+        if self.health_policy is None or self.shard_healths[k] is None:
+            return True
+        return (
+            self.shard_healths[k].healthy_fraction(now)
+            >= self.min_shard_healthy_fraction
+        )
+
+    def link_healthy_fraction(self, now: Optional[float] = None) -> float:
+        """Fraction of coordinator<->shard links not quarantined (1.0
+        without a transport) — the serve dispatcher's degraded-network
+        backpressure signal."""
+        if self.transport is None:
+            return 1.0
+        return self.transport.link_healthy_fraction(0.0 if now is None else now)
 
     def resume_run(
         self,

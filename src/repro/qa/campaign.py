@@ -3,8 +3,9 @@
 A *campaign* crosses an ablation axis (:data:`~repro.pim.ablation.STANDARD_ABLATIONS`
 — breaker off, requeue off, journal off, scalar engine, shards pinned to
 1, ...) with a seeded fault grid (:data:`STANDARD_GRID` — a persistent
-DPU death, a tasklet stall, MRAM bit rot, a mid-run crash/resume) and
-runs every resulting *cell* on the modeled clock:
+DPU death, a tasklet stall, MRAM bit rot, a mid-run crash/resume, a
+lossy coordinator<->shard link, a finite network partition) and runs
+every resulting *cell* on the modeled clock:
 
 1. the cell's workload (a seeded :mod:`repro.qa.corpus`) runs through a
    :class:`~repro.pim.fleet.FleetCoordinator` built from the cell's
@@ -50,7 +51,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import TYPE_CHECKING, Iterator, Optional, Union
 
 from repro.core.penalties import AffinePenalties, Penalties
 from repro.data.generator import ReadPair
@@ -65,6 +66,9 @@ from repro.pim.faults import (
 )
 from repro.qa.corpus import CorpusConfig, generate_corpus
 from repro.qa.oracle import reference_answers
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.pim.transport import NetworkFaultPlan
 
 __all__ = [
     "CAMPAIGN_SCHEMA",
@@ -120,17 +124,35 @@ class FaultGridPoint:
     corrupt_dpus: int = 0
     #: simulate a mid-run host crash (journal truncated + resumed).
     crash: bool = False
+    #: coordinator<->shard links that drop and duplicate envelopes
+    #: (survived by at-least-once redelivery + receiver-side dedup).
+    lossy_links: int = 0
+    #: seconds the top shard's link is partitioned from the run start
+    #: (finite, so redelivery always rides it out — even at one shard).
+    partition_s: float = 0.0
 
     def validate(self) -> None:
         if not self.name:
             raise ConfigError("fault grid point needs a non-empty name")
-        for field_name in ("dead_dpus", "stalled_dpus", "corrupt_dpus"):
+        for field_name in ("dead_dpus", "stalled_dpus", "corrupt_dpus", "lossy_links"):
             if getattr(self, field_name) < 0:
                 raise ConfigError(f"{field_name} must be >= 0")
+        if self.partition_s < 0:
+            raise ConfigError("partition_s must be >= 0")
+        if self.crash and self.net_active:
+            raise ConfigError(
+                "networked cells run inline-only (no journal), so a grid "
+                "point cannot combine crash with network faults"
+            )
 
     @property
     def faulty_dpus(self) -> int:
         return self.dead_dpus + self.stalled_dpus + self.corrupt_dpus
+
+    @property
+    def net_active(self) -> bool:
+        """Whether this point injects coordinator<->shard network faults."""
+        return self.lossy_links > 0 or self.partition_s > 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -139,6 +161,8 @@ class FaultGridPoint:
             "stalled_dpus": self.stalled_dpus,
             "corrupt_dpus": self.corrupt_dpus,
             "crash": self.crash,
+            "lossy_links": self.lossy_links,
+            "partition_s": self.partition_s,
         }
 
     @classmethod
@@ -150,6 +174,9 @@ class FaultGridPoint:
                 stalled_dpus=int(data["stalled_dpus"]),
                 corrupt_dpus=int(data["corrupt_dpus"]),
                 crash=bool(data["crash"]),
+                # absent in pre-transport reports; default to calm links
+                lossy_links=int(data.get("lossy_links", 0)),
+                partition_s=float(data.get("partition_s", 0.0)),
             )
         except KeyError as exc:
             raise ConfigError(f"fault grid point dict missing key {exc}") from exc
@@ -157,14 +184,17 @@ class FaultGridPoint:
         return out
 
 
-#: the default chaos axis: calm control, each fault family alone, and a
-#: combined death + mid-run crash/resume drill.
+#: the default chaos axis: calm control, each fault family alone
+#: (device-side and network-side), and a combined death + mid-run
+#: crash/resume drill.
 STANDARD_GRID: tuple[FaultGridPoint, ...] = (
     FaultGridPoint(name="calm"),
     FaultGridPoint(name="dead_dpu", dead_dpus=1),
     FaultGridPoint(name="stall", stalled_dpus=1),
     FaultGridPoint(name="bitrot", corrupt_dpus=1),
     FaultGridPoint(name="crash_dead", dead_dpus=1, crash=True),
+    FaultGridPoint(name="lossy_net", lossy_links=1),
+    FaultGridPoint(name="partition", partition_s=0.05),
 )
 
 STANDARD_GRID_NAMES: tuple[str, ...] = tuple(g.name for g in STANDARD_GRID)
@@ -214,6 +244,49 @@ def build_fault_plan(
         deaths=deaths,
         stalls=stalls,
         corruptions=corruptions,
+    )
+
+
+def build_net_plan(
+    point: FaultGridPoint, shards: int, seed: int, point_index: int
+) -> Optional["NetworkFaultPlan"]:
+    """The seeded :class:`NetworkFaultPlan` one grid point injects.
+
+    Lossy links are assigned from the top of the shard-id range
+    downward (mirroring :func:`build_fault_plan`'s placement), so
+    shard 0's link stays clean whenever ``lossy_links < shards``; a
+    partition covers the top shard's link for a finite window starting
+    at the run origin, which at-least-once redelivery always rides out
+    — even in the ``shards_1`` ablation where that is the only link.
+    The derived seed follows the fault-plan discipline so the same
+    campaign config always builds the same network plan.
+    """
+    point.validate()
+    if not point.net_active:
+        return None
+    from repro.pim.transport import (
+        LinkDrop,
+        LinkDuplicate,
+        NetworkFaultPlan,
+        Partition,
+    )
+
+    if point.lossy_links > shards:
+        raise ConfigError(
+            f"grid point {point.name!r} marks {point.lossy_links} links "
+            f"lossy but the cell runs only {shards} shard(s)"
+        )
+    lossy = range(shards - 1, shards - 1 - point.lossy_links, -1)
+    partitions = ()
+    if point.partition_s > 0.0:
+        partitions = (
+            Partition(start_s=0.0, end_s=point.partition_s, shard_ids=(shards - 1,)),
+        )
+    return NetworkFaultPlan(
+        seed=seed * 1_000_003 + point_index * 8_191,
+        drops=tuple(LinkDrop(shard_id=s, p=0.2) for s in lossy),
+        duplicates=tuple(LinkDuplicate(shard_id=s, p=0.2) for s in lossy),
+        partitions=partitions,
     )
 
 
@@ -398,11 +471,29 @@ METRIC_KEYS = frozenset(
         "serve_cached_pairs",
         "serve_fallback_pairs",
         "serve_p99_s",
+        "net_drops",
+        "net_redeliveries",
+        "net_duplicates_absorbed",
+        "net_partition_blocked",
+        "net_steals",
     }
 )
 
+#: transport counters every cell reports (zero off the network points).
+_NET_METRIC_KEYS = (
+    "net_drops",
+    "net_redeliveries",
+    "net_duplicates_absorbed",
+    "net_partition_blocked",
+    "net_steals",
+)
 
-def _make_fleet(cfg: CampaignConfig, ablation: AblationConfig):
+
+def _make_fleet(
+    cfg: CampaignConfig,
+    ablation: AblationConfig,
+    net_plan: Optional["NetworkFaultPlan"] = None,
+):
     from repro.pim.config import PimSystemConfig
     from repro.pim.fleet import FleetCoordinator
     from repro.pim.kernel import KernelConfig
@@ -428,6 +519,7 @@ def _make_fleet(cfg: CampaignConfig, ablation: AblationConfig):
         shards=ablation.resolve_shards(cfg.baseline_shards),
         health_policy=health_policy,
         fault_domain="uniform",
+        net_plan=net_plan,
     )
 
 
@@ -577,12 +669,25 @@ def run_cell(task: CellTask) -> dict:
     )
     pairs = [ReadPair(c.pattern, c.text) for c in corpus]
     fault_plan = build_fault_plan(point, cfg.num_dpus, cfg.seed, task.point_index)
+    net_plan = build_net_plan(
+        point,
+        ablation.resolve_shards(cfg.baseline_shards),
+        cfg.seed,
+        task.point_index,
+    )
     retry_policy = ablation.retry_policy(_RETRY_BASE)
 
     with warnings.catch_warnings(), tempfile.TemporaryDirectory() as tmp:
         warnings.simplefilter("ignore", DegradedCapacity)
-        journal_dir = Path(tmp) / "journal" if ablation.journal else None
-        run = _make_fleet(cfg, ablation).run(
+        # networked runs are inline-only (the coordinator refuses to mix
+        # an active net plan with a write-ahead journal), so network
+        # points run journal-free under every ablation
+        journal_dir = (
+            Path(tmp) / "journal"
+            if ablation.journal and net_plan is None
+            else None
+        )
+        run = _make_fleet(cfg, ablation, net_plan=net_plan).run(
             pairs,
             pairs_per_round=cfg.pairs_per_round,
             collect_results=True,
@@ -649,6 +754,17 @@ def run_cell(task: CellTask) -> dict:
         "resume_identical": resume_identical,
         "restart_reexecuted_rounds": restart_rounds,
         "restart_overhead_seconds": restart_overhead,
+        "net_drops": 0 if run.transport is None else run.transport.drops,
+        "net_redeliveries": (
+            0 if run.transport is None else run.transport.redeliveries
+        ),
+        "net_duplicates_absorbed": (
+            0 if run.transport is None else run.transport.duplicates_absorbed
+        ),
+        "net_partition_blocked": (
+            0 if run.transport is None else run.transport.partition_blocked
+        ),
+        "net_steals": 0 if run.transport is None else run.transport.steals,
         **serve,
     }
 
@@ -1077,6 +1193,27 @@ def _check_metrics(
             where,
             "restart bookkeeping nonzero without a crash grid point",
         )
+    for key in _NET_METRIC_KEYS:
+        _require(metrics[key] >= 0, where, f"{key} negative")
+    if not point.net_active:
+        _require(
+            all(metrics[key] == 0 for key in _NET_METRIC_KEYS),
+            where,
+            "net counters nonzero at a grid point without network faults",
+        )
+    if point.partition_s > 0.0:
+        # the partition window opens at the run origin, so the top
+        # shard's first envelope is always blocked at least once
+        _require(
+            metrics["net_partition_blocked"] >= 1,
+            where,
+            "partition grid point never blocked an envelope",
+        )
+    _require(
+        metrics["net_steals"] == 0,
+        where,
+        "campaign cells run without hedging; net_steals must be 0",
+    )
     if config.serve_requests == 0:
         _require(
             metrics["serve_completed"] == 0 and metrics["serve_rejected"] == 0,

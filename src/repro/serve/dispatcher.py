@@ -152,9 +152,20 @@ class BatchDispatcher:
     # -- dispatch ----------------------------------------------------------
 
     def _healthy_fraction(self, now: float) -> float:
-        """Healthy capacity across whichever fleet view is attached."""
+        """Healthy capacity across whichever fleet view is attached.
+
+        In fleet mode the network counts too: a quarantined
+        coordinator<->shard link degrades capacity exactly like
+        quarantined DPUs do (the min of device health and
+        :meth:`~repro.pim.fleet.FleetCoordinator.link_healthy_fraction`),
+        so a partitioned shard pushes batches toward the CPU fallback
+        even while its DPUs are perfectly healthy.
+        """
         if self.fleet is not None:
-            return self.fleet.healthy_fraction(now)
+            return min(
+                self.fleet.healthy_fraction(now),
+                self.fleet.link_healthy_fraction(now),
+            )
         if self.health is not None:
             return self.health.healthy_fraction(now)
         return 1.0
@@ -164,7 +175,8 @@ class BatchDispatcher:
         if self.fallback is None:
             return False
         if self.health is None and (
-            self.fleet is None or self.fleet.health_policy is None
+            self.fleet is None
+            or (self.fleet.health_policy is None and self.fleet.transport is None)
         ):
             return False
         if self.fallback.min_healthy_fraction <= 0.0:

@@ -877,6 +877,8 @@ def build_service(
     engine: str = "vector",
     shards: int = 1,
     ablation=None,
+    net_plan=None,
+    transport_policy=None,
 ) -> AlignmentService:
     """Construct the full stack: system -> scheduler -> service.
 
@@ -906,6 +908,12 @@ def build_service(
     placement rebalances away from quarantined shards (publishing
     ``rebalance`` events into the service telemetry), and ``fallback``
     judges the *federated* healthy fraction.
+
+    ``net_plan``/``transport_policy`` (fleet mode only) model the
+    coordinator<->shard network via :mod:`repro.pim.transport`: batches
+    pay envelope delivery over seeded link faults, and the dispatcher's
+    fallback decision folds the *link* healthy fraction in — a
+    partitioned shard degrades the service exactly like dead DPUs do.
 
     ``ablation`` (an :class:`~repro.pim.ablation.AblationConfig`)
     overrides the individual knobs from one switchboard: it selects the
@@ -959,6 +967,8 @@ def build_service(
             shards=shards,
             health_policy=health_policy,
             telemetry=telemetry,
+            net_plan=net_plan,
+            transport_policy=transport_policy,
         )
         return AlignmentService(
             fleet.schedulers[0],
@@ -969,6 +979,13 @@ def build_service(
             retry_policy=retry_policy,
             fallback=fallback,
             fleet=fleet,
+        )
+    if net_plan is not None or transport_policy is not None:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            "net_plan/transport_policy model the coordinator<->shard "
+            "network and need fleet mode; pass shards > 1"
         )
     system = PimSystem(
         system_config,

@@ -32,6 +32,7 @@ from repro.qa.campaign import (
     CampaignConfig,
     FaultGridPoint,
     build_fault_plan,
+    build_net_plan,
     cell_name,
     grid_point_by_name,
     run_campaign,
@@ -210,6 +211,76 @@ class TestEvidence:
         assert summary["resumes_checked"] > 0
         assert summary["resumes_identical"] == summary["resumes_checked"]
         assert validate_campaign_report(path) == summary
+
+
+class TestNetworkGrid:
+    def test_network_points_in_standard_grid(self):
+        lossy = grid_point_by_name("lossy_net")
+        part = grid_point_by_name("partition")
+        assert lossy.lossy_links >= 1 and lossy.net_active
+        assert part.partition_s > 0 and part.net_active
+        assert not grid_point_by_name("calm").net_active
+
+    def test_build_net_plan_seeded_and_calm(self):
+        point = grid_point_by_name("lossy_net")
+        a = build_net_plan(point, 2, seed=42, point_index=5)
+        b = build_net_plan(point, 2, seed=42, point_index=5)
+        assert a == b and not a.is_calm()
+        assert build_net_plan(grid_point_by_name("calm"), 2, 42, 0) is None
+        with pytest.raises(ConfigError, match="lossy"):
+            build_net_plan(
+                FaultGridPoint(name="flood", lossy_links=3), 2, 42, 0
+            )
+
+    def test_crash_and_net_faults_cannot_combine(self):
+        # networked cells run inline-only, so crash/resume has no journal
+        with pytest.raises(ConfigError, match="inline-only"):
+            FaultGridPoint(name="bad", crash=True, lossy_links=1).validate()
+
+    def test_grid_point_dict_back_compat(self):
+        # pre-transport reports carry no net fields; they parse as calm
+        old = {
+            "name": "dead_dpu",
+            "dead_dpus": 1,
+            "stalled_dpus": 0,
+            "corrupt_dpus": 0,
+            "crash": False,
+        }
+        point = FaultGridPoint.from_dict(old)
+        assert point.lossy_links == 0 and point.partition_s == 0.0
+        assert not point.net_active
+
+    def test_net_cells_complete_oracle_equal(self, full_report):
+        report, _ = full_report
+        lossy = report.cell(cell_name("baseline", "lossy_net"))["metrics"]
+        part = report.cell(cell_name("baseline", "partition"))["metrics"]
+        calm = report.cell(cell_name("baseline", "calm"))["metrics"]
+        assert lossy["oracle_agreement"] == 1.0
+        assert part["oracle_agreement"] == 1.0
+        assert part["net_partition_blocked"] >= 1
+        assert part["net_redeliveries"] >= 1
+        assert all(calm[k] == 0 for k in (
+            "net_drops",
+            "net_redeliveries",
+            "net_duplicates_absorbed",
+            "net_partition_blocked",
+            "net_steals",
+        ))
+
+    def test_validator_rejects_tampered_net_counters(
+        self, small_report, tmp_path
+    ):
+        _, path = small_report
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        # SMALL's grid has no network point, so any nonzero net counter
+        # in a cell is a fabrication the validator must catch
+        records[1]["metrics"]["net_drops"] = 3
+        tampered = tmp_path / "tampered.jsonl"
+        tampered.write_text(
+            "\n".join(json.dumps(r) for r in records) + "\n"
+        )
+        with pytest.raises(QaError, match="net counters"):
+            validate_campaign_report(tampered)
 
 
 class TestResume:

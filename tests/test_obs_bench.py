@@ -179,7 +179,7 @@ class TestCompare:
 class TestScenarioCatalog:
     def test_catalog_names(self):
         assert scenario_names() == sorted(SCENARIO_NAMES)
-        assert len(SCENARIO_NAMES) == 7
+        assert len(SCENARIO_NAMES) == 8
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(LedgerError, match="unknown scenario"):

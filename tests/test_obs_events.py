@@ -13,9 +13,13 @@ from repro.obs.events import (
     EVENTS_SCHEMA,
     FALLBACK,
     JOURNAL_REPLAY,
+    NET_DROP,
+    NET_PARTITION,
+    NET_REDELIVER,
     REBALANCE,
     SHED,
     SLO_ALERT,
+    STEAL,
     WATCHDOG,
     EventLog,
 )
@@ -52,6 +56,7 @@ class TestPublish:
         assert EVENT_KINDS == {
             BREAKER, WATCHDOG, JOURNAL_REPLAY, FALLBACK, SHED, DEADLINE,
             SLO_ALERT, REBALANCE, CAMPAIGN_CELL, CAMPAIGN_DONE,
+            NET_DROP, NET_REDELIVER, NET_PARTITION, STEAL,
         }
 
 

@@ -428,8 +428,10 @@ class TestValidation:
             make_fleet(2, fault_domain="banana")
         with pytest.raises(ConfigError):
             make_fleet(2, min_shard_healthy_fraction=0.0)
-        with pytest.raises(ConfigError):
-            make_fleet(2, shard_workers=2, health_policy=HealthPolicy())
+        # shard_workers > 1 + health_policy used to be refused; health
+        # deltas now ride home in ShardOutcome, so it constructs fine
+        fleet = make_fleet(2, shard_workers=2, health_policy=HealthPolicy())
+        assert all(h is not None for h in fleet.shard_healths)
 
     def test_resume_refuses_shard_count_mismatch(self, tmp_path):
         pairs = make_pairs(30)

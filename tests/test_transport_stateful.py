@@ -1,0 +1,196 @@
+"""Stateful Hypothesis test: the transport has an exactly-once *effect*.
+
+A :class:`~hypothesis.stateful.RuleBasedStateMachine` accumulates a
+workload and a network fault plan — lossy links, duplicate injection,
+delays, reorders, finite partitions, hedging on or off — through
+arbitrary interleavings of rules, then flushes through a
+:class:`~repro.pim.fleet.FleetCoordinator` with the modeled transport
+attached.  The invariant under ANY such plan (shard 0's link is kept
+fault-free so the ISSUE's >=1-live-shard liveness precondition holds,
+and partitions are finite so redelivery always clears them):
+
+* delivered pair indices are unique and cover the workload exactly —
+  at-least-once delivery plus receiver-side dedup never drops a pair
+  and never double-delivers one;
+* results are byte-identical to a fault-free fleet baseline — the wire
+  is invisible in the data;
+* every round has exactly one surviving result, even when hedged
+  stealing raced two executions of it — the loser is absorbed, counted
+  in ``duplicates_absorbed``, never delivered;
+* the transport report stays internally consistent (receipts and
+  survivors cover the round set, the makespan is the run's clock).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.core.penalties import EditPenalties
+from repro.data.generator import ReadPairGenerator
+from repro.pim.config import PimSystemConfig
+from repro.pim.fleet import FleetCoordinator
+from repro.pim.kernel import KernelConfig
+from repro.pim.transport import (
+    LinkDelay,
+    LinkDrop,
+    LinkDuplicate,
+    LinkReorder,
+    NetworkFaultPlan,
+    Partition,
+    TransportPolicy,
+)
+
+NUM_DPUS = 4
+SHARDS = 2
+
+#: the faultable link (shard 0 stays clean: the liveness precondition).
+FAULTY = st.just(SHARDS - 1)
+DIRECTIONS = st.sampled_from(["work", "result", "both"])
+
+
+def make_fleet(net_plan=None, hedge: bool = False) -> FleetCoordinator:
+    return FleetCoordinator(
+        PimSystemConfig(
+            num_dpus=NUM_DPUS, num_ranks=1, tasklets=4, num_simulated_dpus=NUM_DPUS
+        ),
+        KernelConfig(penalties=EditPenalties(), max_read_len=32, max_edits=4),
+        shards=SHARDS,
+        net_plan=net_plan,
+        transport_policy=(
+            TransportPolicy(hedge=True)
+            if hedge and net_plan is not None and not net_plan.is_calm()
+            else None
+        ),
+    )
+
+
+class TransportMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: list = []
+        self.drops: list = []
+        self.duplicates: list = []
+        self.delays: list = []
+        self.reorders: list = []
+        self.partitions: list = []
+        self.hedge = False
+        self.net_seed = 1
+
+    # -- build up state -----------------------------------------------------
+
+    @rule(n=st.integers(min_value=1, max_value=10), seed=st.integers(0, 2**16))
+    def add_pairs(self, n: int, seed: int) -> None:
+        gen = ReadPairGenerator(length=24, error_rate=0.05, seed=seed)
+        self.pending.extend(gen.pairs(n))
+
+    @rule(
+        shard=FAULTY,
+        p=st.floats(min_value=0.05, max_value=0.5),
+        direction=DIRECTIONS,
+    )
+    def lossy_link(self, shard: int, p: float, direction: str) -> None:
+        self.drops.append(LinkDrop(shard_id=shard, p=p, direction=direction))
+
+    @rule(
+        shard=FAULTY,
+        p=st.floats(min_value=0.05, max_value=0.5),
+        direction=DIRECTIONS,
+    )
+    def duplicating_link(self, shard: int, p: float, direction: str) -> None:
+        self.duplicates.append(
+            LinkDuplicate(shard_id=shard, p=p, direction=direction)
+        )
+
+    @rule(
+        shard=FAULTY,
+        delay=st.floats(min_value=0.0, max_value=2e-3),
+        jitter=st.floats(min_value=0.0, max_value=1e-3),
+    )
+    def slow_link(self, shard: int, delay: float, jitter: float) -> None:
+        self.delays.append(
+            LinkDelay(shard_id=shard, delay_s=delay, jitter_s=jitter)
+        )
+
+    @rule(shard=FAULTY, p=st.floats(min_value=0.05, max_value=0.5))
+    def reordering_link(self, shard: int, p: float) -> None:
+        self.reorders.append(LinkReorder(shard_id=shard, p=p, penalty_s=2e-4))
+
+    @rule(
+        shard=FAULTY,
+        start=st.floats(min_value=0.0, max_value=0.01),
+        duration=st.floats(min_value=1e-3, max_value=0.05),
+    )
+    def partition_window(self, shard: int, start: float, duration: float) -> None:
+        self.partitions.append(
+            Partition(start_s=start, end_s=start + duration, shard_ids=(shard,))
+        )
+
+    @rule(hedge=st.booleans())
+    def set_hedge(self, hedge: bool) -> None:
+        self.hedge = hedge
+
+    @rule(seed=st.integers(1, 2**16))
+    def reseed(self, seed: int) -> None:
+        self.net_seed = seed
+
+    @rule()
+    def calm_network(self) -> None:
+        self.drops = []
+        self.duplicates = []
+        self.delays = []
+        self.reorders = []
+        self.partitions = []
+
+    # -- flush + check ------------------------------------------------------
+
+    def _plan(self) -> NetworkFaultPlan:
+        return NetworkFaultPlan(
+            seed=self.net_seed,
+            drops=tuple(self.drops),
+            duplicates=tuple(self.duplicates),
+            delays=tuple(self.delays),
+            reorders=tuple(self.reorders),
+            partitions=tuple(self.partitions),
+        )
+
+    @precondition(lambda self: self.pending)
+    @rule(pairs_per_round=st.integers(min_value=3, max_value=13))
+    def flush(self, pairs_per_round: int) -> None:
+        pairs, plan = self.pending, self._plan()
+        self.pending = []
+        n = len(pairs)
+        fleet = make_fleet(net_plan=plan, hedge=self.hedge)
+        run = fleet.run(pairs, pairs_per_round=pairs_per_round, collect_results=True)
+
+        got = sorted(i for i, _, _ in run.results())
+        assert len(got) == len(set(got)), "a pair was double-delivered"
+        assert got == list(range(n)), "a pair was dropped on the wire"
+
+        baseline = make_fleet().run(
+            pairs, pairs_per_round=pairs_per_round, collect_results=True
+        )
+        assert sorted(run.results()) == sorted(baseline.results()), (
+            "the network changed delivered data"
+        )
+
+        if fleet.transport is None:
+            assert run.transport is None
+            return
+        report = run.transport
+        rounds = run.schedule.rounds
+        # exactly one survivor per round: a steal race never keeps both
+        assert sorted(report.survivors) == list(range(rounds))
+        assert sorted(report.receipts) == list(range(rounds))
+        assert set(report.survivors.values()) <= set(range(SHARDS))
+        if not self.hedge:
+            assert report.steals == 0
+        assert report.duplicates_absorbed >= 0
+        assert run.total_seconds == report.makespan_s
+
+
+TransportMachine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=8, deadline=None
+)
+TestTransportExactlyOnceEffect = TransportMachine.TestCase
